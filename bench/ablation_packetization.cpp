@@ -1,0 +1,55 @@
+// Ablation: the packetizer adjustments (Section 3). The paper's headline
+// numbers collapse each pipeline into a single node and use plain
+// rate-latency formulas; this study quantifies what the per-node packetizer
+// adjustments ([beta - l_max]^+ per stage, alpha + l_max at the source)
+// add to the delay and backlog bounds of both applications.
+#include <cstdio>
+
+#include "apps/bitw.hpp"
+#include "apps/blast.hpp"
+#include "netcalc/pipeline.hpp"
+#include "report.hpp"
+#include "util/format.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace streamcalc;
+
+void study(const char* name, const std::vector<netcalc::NodeSpec>& nodes,
+           const netcalc::SourceSpec& src, netcalc::ModelPolicy base) {
+  netcalc::ModelPolicy off = base;
+  off.packetize = false;
+  netcalc::ModelPolicy on = base;
+  on.packetize = true;
+  const netcalc::PipelineModel m_off(nodes, src, off);
+  const netcalc::PipelineModel m_on(nodes, src, on);
+
+  util::Table t({"Bound", "No packetizer", "Per-node packetizer", "inflation"},
+                {util::Align::kLeft, util::Align::kRight, util::Align::kRight,
+                 util::Align::kRight});
+  t.add_row({"delay d", util::format_duration(m_off.delay_bound()),
+             util::format_duration(m_on.delay_bound()),
+             bench::versus(m_on.delay_bound().in_seconds(),
+                           m_off.delay_bound().in_seconds())});
+  t.add_row({"backlog x", util::format_size(m_off.backlog_bound()),
+             util::format_size(m_on.backlog_bound()),
+             bench::versus(m_on.backlog_bound().in_bytes(),
+                           m_off.backlog_bound().in_bytes())});
+  std::printf("\n-- %s --\n%s", name, t.render().c_str());
+}
+
+}  // namespace
+
+int main() {
+  bench::banner("Ablation: packetization",
+                "Effect of per-node packetizer adjustments on the bounds");
+  study("BLAST (finite job)", apps::blast::nodes(), apps::blast::job_source(),
+        apps::blast::policy());
+  study("Bump-in-the-wire (delay study)", apps::bitw::nodes(),
+        apps::bitw::delay_study_source(), apps::bitw::policy());
+  std::printf("\nReading: per-stage packetizers shift each service curve by "
+              "one output block (l/R per stage), growing both bounds; the "
+              "paper's single-node collapse avoids paying this per stage.\n");
+  return 0;
+}

@@ -1,0 +1,67 @@
+// Section 5, points (1) and (2): the bump-in-the-wire end-to-end delay
+// bound (paper: 38 us) and backlog bound (paper: 3 KiB), corroborated by
+// simulation (paper: delays in [25.7, 36.7] us, max backlog 2 KiB).
+#include <cstdio>
+
+#include "apps/bitw.hpp"
+#include "netcalc/pipeline.hpp"
+#include "report.hpp"
+#include "streamsim/pipeline_sim.hpp"
+#include "util/format.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace streamcalc;
+  namespace bitw = apps::bitw;
+
+  bench::banner("Section 5 (1)-(2)",
+                "Bump-in-the-wire delay and backlog bounds vs simulation");
+
+  const auto nodes = bitw::nodes();
+  const netcalc::PipelineModel model(nodes, bitw::delay_study_source(),
+                                     bitw::policy());
+  const auto sim = streamsim::simulate(nodes, bitw::delay_study_source(),
+                                       bitw::sim_config());
+  const bitw::PaperNumbers p = bitw::paper();
+
+  util::Table t({"Quantity", "Paper", "This reproduction", "vs paper"},
+                {util::Align::kLeft, util::Align::kRight, util::Align::kRight,
+                 util::Align::kRight});
+  t.add_row({"NC delay bound d",
+             util::format_significant(p.delay_bound_us) + " us",
+             util::format_duration(model.delay_bound()),
+             bench::versus(model.delay_bound().in_micros(),
+                           p.delay_bound_us)});
+  t.add_row({"Sim longest delay",
+             util::format_significant(p.sim_delay_max_us) + " us",
+             util::format_duration(sim.max_delay),
+             bench::versus(sim.max_delay.in_micros(), p.sim_delay_max_us)});
+  t.add_row({"Sim shortest delay",
+             util::format_significant(p.sim_delay_min_us) + " us",
+             util::format_duration(sim.min_delay),
+             bench::versus(sim.min_delay.in_micros(), p.sim_delay_min_us)});
+  t.add_separator();
+  t.add_row({"NC backlog bound x",
+             util::format_significant(p.backlog_bound_kib) + " KiB",
+             util::format_size(model.backlog_bound()),
+             bench::versus(model.backlog_bound().in_kib(),
+                           p.backlog_bound_kib)});
+  t.add_row({"Sim max backlog",
+             util::format_significant(p.sim_backlog_kib) + " KiB",
+             util::format_size(sim.max_backlog),
+             bench::versus(sim.max_backlog.in_kib(), p.sim_backlog_kib)});
+  std::fputs(t.render().c_str(), stdout);
+
+  std::printf("\nbracketing checks: sim max delay <= bound: %s; "
+              "sim max backlog <= bound: %s\n",
+              sim.max_delay <= model.delay_bound() ? "yes" : "NO",
+              sim.max_backlog <= model.backlog_bound() ? "yes" : "NO");
+  std::printf("fixed latency component T^tot: %s; offered load: %s\n",
+              util::format_duration(model.total_latency()).c_str(),
+              util::format_rate(bitw::delay_study_source().rate).c_str());
+  std::printf("note: at the sustained 61 MiB/s the encrypt stage's slowest "
+              "service exceeds the inter-chunk period, so queue peaks can "
+              "exceed the average-rate bound — the R_alpha vs R_beta regime "
+              "discussion of Section 3 (see EXPERIMENTS.md).\n");
+  return 0;
+}

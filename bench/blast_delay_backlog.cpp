@@ -1,0 +1,84 @@
+// Section 4, points (1) and (2): the BLAST end-to-end virtual-delay bound
+// (paper: 46.9 ms) and data-occupancy/backlog bound (paper: 20.6 MiB),
+// corroborated by the discrete-event simulation (paper: delays in
+// [40.7, 46.4] ms, max backlog 20.1 "KiB" — see the EXPERIMENTS.md note on
+// that unit).
+//
+// The offered FPGA rate (704 MiB/s) exceeds the bottleneck (~350 MiB/s),
+// so the asymptotic NC bounds are infinite; following the paper's
+// "as a job traverses the system" reading, the bounds below are computed
+// for one finite database-search job (Section 3's hypothesis).
+#include <cstdio>
+
+#include "apps/blast.hpp"
+#include "netcalc/pipeline.hpp"
+#include "report.hpp"
+#include "streamsim/pipeline_sim.hpp"
+#include "util/format.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace streamcalc;
+  namespace blast = apps::blast;
+
+  bench::banner("Section 4 (1)-(2)",
+                "BLAST virtual delay and backlog bounds vs simulation");
+
+  const auto nodes = blast::nodes();
+  const netcalc::PipelineModel job_model(nodes, blast::job_source(),
+                                         blast::policy());
+  const auto sim = streamsim::simulate(nodes, blast::streaming_source(),
+                                       blast::sim_config());
+  const blast::PaperNumbers p = blast::paper();
+
+  util::Table t({"Quantity", "Paper", "This reproduction", "vs paper"},
+                {util::Align::kLeft, util::Align::kRight, util::Align::kRight,
+                 util::Align::kRight});
+  t.add_row({"NC delay bound d",
+             util::format_significant(p.delay_bound_ms) + " ms",
+             util::format_duration(job_model.delay_bound()),
+             bench::versus(job_model.delay_bound().in_millis(),
+                           p.delay_bound_ms)});
+  t.add_row({"Sim longest delay",
+             util::format_significant(p.sim_delay_max_ms) + " ms",
+             util::format_duration(sim.max_delay),
+             bench::versus(sim.max_delay.in_millis(), p.sim_delay_max_ms)});
+  t.add_row({"Sim shortest delay",
+             util::format_significant(p.sim_delay_min_ms) + " ms",
+             util::format_duration(sim.min_delay),
+             bench::versus(sim.min_delay.in_millis(), p.sim_delay_min_ms)});
+  t.add_separator();
+  // The paper's 20.6 MiB backlog is reproduced exactly by the model WITH
+  // per-node packetizer adjustments, while its 46.9 ms delay matches the
+  // collapsed (non-packetized) model — evidently the paper's backlog
+  // calculation included the packetizer terms and the delay did not.
+  netcalc::ModelPolicy packetized = blast::policy();
+  packetized.packetize = true;
+  const netcalc::PipelineModel pk_model(nodes, blast::job_source(),
+                                        packetized);
+  t.add_row({"NC backlog bound x (packetized)",
+             util::format_significant(p.backlog_bound_mib) + " MiB",
+             util::format_size(pk_model.backlog_bound()),
+             bench::versus(pk_model.backlog_bound().in_mib(),
+                           p.backlog_bound_mib)});
+  t.add_row({"NC backlog bound x (collapsed)", "-",
+             util::format_size(job_model.backlog_bound()),
+             bench::versus(job_model.backlog_bound().in_mib(),
+                           p.backlog_bound_mib)});
+  t.add_row({"Sim max backlog",
+             util::format_significant(p.sim_backlog_mib) + " MiB*",
+             util::format_size(sim.max_backlog),
+             bench::versus(sim.max_backlog.in_mib(), p.sim_backlog_mib)});
+  std::fputs(t.render().c_str(), stdout);
+  std::printf("* printed as \"20.1 KiB\" in the paper; the MiB reading fits "
+              "the 20.6 MiB bound (see EXPERIMENTS.md).\n");
+
+  std::printf("\nbracketing checks: sim max delay <= bound: %s; "
+              "sim max backlog <= bound: %s\n",
+              sim.max_delay <= job_model.delay_bound() ? "yes" : "NO",
+              sim.max_backlog <= job_model.backlog_bound() ? "yes" : "NO");
+  std::printf("job volume: %s; fixed latency component T^tot: %s\n",
+              util::format_size(blast::job_source().job_volume).c_str(),
+              util::format_duration(job_model.total_latency()).c_str());
+  return 0;
+}

@@ -1,0 +1,59 @@
+// Deployment study motivated by Figures 5-8: traditional FPGA interconnect
+// vs bump in the wire. The bump-in-the-wire configuration removes the PCIe
+// round trip through host memory; this bench quantifies the latency and
+// backlog advantage with both the analytic model and the simulator.
+#include <cstdio>
+
+#include "apps/bitw.hpp"
+#include "netcalc/pipeline.hpp"
+#include "report.hpp"
+#include "streamsim/pipeline_sim.hpp"
+#include "util/format.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace streamcalc;
+  namespace bitw = apps::bitw;
+
+  bench::banner("Deployment comparison (Figs. 5-8)",
+                "Traditional interconnect vs bump in the wire");
+
+  const auto bump = bitw::nodes();
+  const auto trad = bitw::traditional_nodes();
+  const auto src = bitw::delay_study_source();
+
+  const netcalc::PipelineModel mb(bump, src, bitw::policy());
+  const netcalc::PipelineModel mt(trad, src, bitw::policy());
+  const auto sb = streamsim::simulate(bump, src, bitw::sim_config());
+  const auto st = streamsim::simulate(trad, src, bitw::sim_config());
+
+  util::Table t({"Metric", "Traditional", "Bump in the wire", "improvement"},
+                {util::Align::kLeft, util::Align::kRight, util::Align::kRight,
+                 util::Align::kRight});
+  t.add_row({"NC delay bound", util::format_duration(mt.delay_bound()),
+             util::format_duration(mb.delay_bound()),
+             bench::versus(mb.delay_bound().in_seconds(),
+                           mt.delay_bound().in_seconds())});
+  t.add_row({"NC backlog bound", util::format_size(mt.backlog_bound()),
+             util::format_size(mb.backlog_bound()),
+             bench::versus(mb.backlog_bound().in_bytes(),
+                           mt.backlog_bound().in_bytes())});
+  t.add_row({"NC fixed latency T^tot",
+             util::format_duration(mt.total_latency()),
+             util::format_duration(mb.total_latency()),
+             bench::versus(mb.total_latency().in_seconds(),
+                           mt.total_latency().in_seconds())});
+  t.add_row({"sim max delay", util::format_duration(st.max_delay),
+             util::format_duration(sb.max_delay),
+             bench::versus(sb.max_delay.in_seconds(),
+                           st.max_delay.in_seconds())});
+  t.add_row({"sim throughput", util::format_rate(st.throughput),
+             util::format_rate(sb.throughput),
+             bench::versus(sb.throughput.in_bytes_per_sec(),
+                           st.throughput.in_bytes_per_sec())});
+  std::fputs(t.render().c_str(), stdout);
+  std::printf("\nReading: removing the PCIe round trip cuts the fixed "
+              "latency while sustained throughput stays encrypt-bound — "
+              "the motivation for bump-in-the-wire offload in Section 5.\n");
+  return 0;
+}

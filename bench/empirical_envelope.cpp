@@ -1,0 +1,92 @@
+// Empirical-envelope validation: record the simulator's cumulative output
+// trace for the bump-in-the-wire pipeline, compute its *minimal arrival
+// curve* (the min-plus self-deconvolution R (/) R), and verify it lies
+// below the model's output-flow bound alpha* at every window length — the
+// output-bound theorem checked against an actual trajectory, and the
+// "variable rate arrival curves" direction of the paper's future work.
+#include <algorithm>
+#include <cstdio>
+
+#include "apps/bitw.hpp"
+#include "netcalc/pipeline.hpp"
+#include "netcalc/trace.hpp"
+#include "report.hpp"
+#include "streamsim/pipeline_sim.hpp"
+#include "util/format.hpp"
+#include "util/plot.hpp"
+
+int main() {
+  using namespace streamcalc;
+  namespace bitw = apps::bitw;
+
+  bench::banner("Empirical output envelope (extension)",
+                "Minimal arrival curve of the simulated BITW output vs the "
+                "analytic output-flow bound");
+
+  const auto nodes = bitw::nodes();
+  // Sound configuration: worst-case rates, with the offered load strictly
+  // below the worst-case bottleneck so the output bound is finite. (The
+  // paper's average-rate curves are not strict guarantees against a
+  // stochastic run, so the envelope comparison uses the configuration
+  // that is.)
+  netcalc::SourceSpec src = bitw::delay_study_source();
+  src.rate = util::DataRate::mib_per_sec(54);
+  netcalc::ModelPolicy sound;  // kMin basis, per-node packetizers ON:
+  // the [beta - l]^+ terms are what covers whole-chunk output clustering.
+  const netcalc::PipelineModel model(nodes, src, sound);
+
+  auto cfg = bitw::sim_config();
+  cfg.horizon = util::Duration::millis(2);
+  cfg.warmup = util::Duration::micros(0);
+  cfg.max_trace_samples = 512;
+  const auto sim = streamsim::simulate(nodes, src, cfg);
+
+  const minplus::Curve empirical =
+      netcalc::minimal_arrival_curve(sim.output_trace);
+
+  // Compare over window lengths up to half the horizon.
+  bool below = true;
+  double worst_margin = 1e300;
+  const double horizon = cfg.horizon.in_seconds() / 2;
+  for (double t = 0.0; t <= horizon; t += horizon / 200.0) {
+    const double emp = empirical.value_right(t);
+    const double bound = model.output_bound_curve().value_right(t);
+    worst_margin = std::min(worst_margin, bound - emp);
+    if (emp > bound + 1.0) below = false;
+  }
+  std::printf("empirical envelope below alpha* at every window: %s "
+              "(tightest margin %s)\n\n",
+              below ? "yes" : "NO",
+              util::format_size(util::DataSize::bytes(worst_margin)).c_str());
+
+  util::Figure fig("Empirical output envelope vs alpha* (KiB over us)",
+                   "window_us", "KiB");
+  util::Series emp_s, bound_s;
+  emp_s.name = "empirical envelope (R (/) R)";
+  bound_s.name = "alpha* (model output bound)";
+  for (double t = 0.0; t <= horizon; t += horizon / 100.0) {
+    emp_s.x.push_back(t * 1e6);
+    emp_s.y.push_back(empirical.value_right(t) / 1024.0);
+    bound_s.x.push_back(t * 1e6);
+    bound_s.y.push_back(
+        model.output_bound_curve().value_right(t) / 1024.0);
+  }
+  fig.add_series(emp_s);
+  fig.add_series(bound_s);
+  std::fputs(fig.to_ascii().c_str(), stdout);
+
+  std::printf("\nat the %s window: empirical %s vs alpha* %s\n",
+              util::format_duration(util::Duration::seconds(horizon)).c_str(),
+              util::format_rate(util::DataRate::bytes_per_sec(
+                                    empirical.value(horizon) / horizon))
+                  .c_str(),
+              util::format_rate(util::DataRate::bytes_per_sec(
+                                    model.output_bound_curve().value(horizon) /
+                                    horizon))
+                  .c_str());
+  std::printf("note: without the per-node packetizer terms ([beta - l]^+) "
+              "the bound is violated by whole-chunk output clustering — "
+              "the packetization adjustments of Section 3 are "
+              "load-bearing.\n");
+  return 0;
+}

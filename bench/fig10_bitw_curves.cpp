@@ -1,0 +1,84 @@
+// Figure 10: network calculus model for the bump-in-the-wire application —
+// arrival curve, service curve, output flow bound, and the simulation
+// stairstep. Like the paper, the maximum service curve gamma is omitted
+// from the plot (it would skew the scale); its finite-horizon rate is
+// reported numerically instead.
+#include <cstdio>
+#include <limits>
+
+#include "apps/bitw.hpp"
+#include "netcalc/bounds.hpp"
+#include "netcalc/pipeline.hpp"
+#include "report.hpp"
+#include "streamsim/pipeline_sim.hpp"
+#include "util/format.hpp"
+#include "util/plot.hpp"
+
+int main() {
+  using namespace streamcalc;
+  namespace bitw = apps::bitw;
+
+  bench::banner("Figure 10",
+                "Network calculus model for the bump-in-the-wire application");
+
+  const auto nodes = bitw::nodes();
+  // Plot the throttled configuration (the one whose stairstep the paper
+  // shows between the bounds).
+  const netcalc::PipelineModel model(nodes, bitw::throttled_source(),
+                                     bitw::policy());
+  auto cfg = bitw::sim_config();
+  cfg.horizon = bitw::table3_horizon() * 2.0;
+  cfg.warmup = util::Duration::micros(0);
+  const auto sim = streamsim::simulate(nodes, bitw::throttled_source(), cfg);
+
+  const double horizon = cfg.horizon.in_seconds();
+  util::Figure fig("Figure 10: BITW curves (input-normalized KiB over us)",
+                   "t_us", "KiB");
+  auto sample_curve = [&](const minplus::Curve& c, const char* name) {
+    util::Series s;
+    s.name = name;
+    for (double t = 0.0; t <= horizon; t += horizon / 120.0) {
+      const double v = c.value_right(t);
+      if (v == std::numeric_limits<double>::infinity()) break;
+      s.x.push_back(t * 1e6);
+      s.y.push_back(v / 1024.0);
+    }
+    return s;
+  };
+  fig.add_series(sample_curve(model.arrival_curve(), "alpha (arrival)"));
+  fig.add_series(sample_curve(model.service_curve(), "beta (service)"));
+  if (model.output_bound_curve().is_finite()) {
+    fig.add_series(
+        sample_curve(model.output_bound_curve(), "alpha* (output bound)"));
+  }
+  util::Series stair;
+  stair.name = "simulated output (stairstep)";
+  stair.stairstep = true;
+  for (const auto& [t, bytes] : sim.output_trace) {
+    stair.x.push_back(t * 1e6);
+    stair.y.push_back(bytes / 1024.0);
+  }
+  if (!stair.x.empty()) fig.add_series(stair);
+
+  std::fputs(fig.to_ascii().c_str(), stdout);
+  std::printf("\nCSV:\n%s", fig.to_csv(60).c_str());
+
+  std::printf("\ngamma (omitted from plot, as in the paper): "
+              "finite-horizon rate %s — maximum observed throughput at "
+              "maximum observed compression\n",
+              util::format_rate(netcalc::limiting_rate(
+                                    model.max_service_curve(),
+                                    bitw::table3_horizon()))
+                  .c_str());
+
+  bool below = true;
+  for (const auto& [t, bytes] : sim.output_trace) {
+    if (model.output_bound_curve().is_finite() &&
+        bytes > model.output_bound_curve().value_right(t) + 1.0) {
+      below = false;
+    }
+  }
+  std::printf("simulation stays below the output bound: %s\n",
+              below ? "yes" : "NO");
+  return 0;
+}

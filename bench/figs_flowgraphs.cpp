@@ -1,0 +1,51 @@
+// Figures 2, 3, 5-9: the structural figures, regenerated from the same
+// NodeSpecs that parameterize the models.
+//
+//   Fig. 2  BLASTN computation pipeline stages
+//   Fig. 3  BLAST data-flow graph with job ratios
+//   Figs. 5/7  traditional FPGA interconnect (block view / flow graph)
+//   Figs. 6/8  bump-in-the-wire interconnect (block view / flow graph)
+//   Fig. 9  actual modelled bump-in-the-wire flow graph
+#include <cstdio>
+
+#include "apps/bitw.hpp"
+#include "apps/blast.hpp"
+#include "apps/flowgraph.hpp"
+#include "report.hpp"
+
+int main() {
+  using namespace streamcalc;
+
+  bench::banner("Figure 2", "BLASTN computation pipeline (stages)");
+  std::printf(
+      "FASTA db -> [fa_2bit (FPGA)] -> [seed match] -> [seed enumeration]\n"
+      "         -> [small extension] -> [ungapped extension] -> hits\n");
+
+  bench::banner("Figure 3", "BLAST data-flow graph with job ratios");
+  std::printf("%s\n\nDOT:\n%s\n",
+              apps::flow_graph_ascii(apps::blast::nodes()).c_str(),
+              apps::flow_graph_dot("blast", apps::blast::nodes(),
+                                   apps::blast::streaming_source())
+                  .c_str());
+
+  bench::banner("Figures 5 & 7",
+                "Traditional FPGA accelerator: data crosses PCIe to host "
+                "memory and the host NIC");
+  std::printf("CPU <-PCIe-> FPGA ; FPGA output returns over PCIe before "
+              "reaching the network\n\n%s\n\nDOT:\n%s\n",
+              apps::flow_graph_ascii(apps::bitw::traditional_nodes()).c_str(),
+              apps::flow_graph_dot("bitw_traditional",
+                                   apps::bitw::traditional_nodes(),
+                                   apps::bitw::streaming_source())
+                  .c_str());
+
+  bench::banner("Figures 6, 8 & 9",
+                "Bump-in-the-wire FPGA accelerator: the FPGA sits on the "
+                "network path; no PCIe round trip");
+  std::printf("%s\n\nDOT:\n%s\n",
+              apps::flow_graph_ascii(apps::bitw::nodes()).c_str(),
+              apps::flow_graph_dot("bitw", apps::bitw::nodes(),
+                                   apps::bitw::streaming_source())
+                  .c_str());
+  return 0;
+}

@@ -1,0 +1,30 @@
+// Shared output helpers for the paper-artifact benches: a banner per
+// artifact and paper-vs-reproduction comparison rows.
+#pragma once
+
+#include <cmath>
+#include <cstdio>
+#include <string>
+
+#include "util/format.hpp"
+#include "util/table.hpp"
+
+namespace streamcalc::bench {
+
+inline void banner(const std::string& artifact,
+                   const std::string& description) {
+  std::printf("\n==============================================================\n");
+  std::printf("%s\n%s\n", artifact.c_str(), description.c_str());
+  std::printf("==============================================================\n");
+}
+
+/// "within x%" annotation comparing a reproduced value to the published one.
+inline std::string versus(double ours, double published) {
+  if (published == 0.0) return "-";
+  const double rel = (ours - published) / published;
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%+.1f%%", rel * 100.0);
+  return buf;
+}
+
+}  // namespace streamcalc::bench

@@ -1,0 +1,72 @@
+// Table 1: BLAST streaming data application throughput.
+//
+//   | Source                          | Paper     | This reproduction |
+//   | NC upper bound                  | 704 MiB/s | ...               |
+//   | NC lower bound                  | 350 MiB/s | ...               |
+//   | Discrete-event simulation model | 353 MiB/s | ...               |
+//   | Queueing theory prediction [12] | 500 MiB/s | ...               |
+//   | Measured throughput [12]        | 355 MiB/s | (external datum)  |
+#include <cstdio>
+
+#include "apps/blast.hpp"
+#include "netcalc/pipeline.hpp"
+#include "queueing/mm1.hpp"
+#include "report.hpp"
+#include "streamsim/pipeline_sim.hpp"
+#include "util/format.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace streamcalc;
+  namespace blast = apps::blast;
+
+  bench::banner("Table 1", "BLAST streaming data application throughput");
+
+  const auto nodes = blast::nodes();
+  const netcalc::PipelineModel model(nodes, blast::streaming_source(),
+                                     blast::policy());
+  const auto tb = model.throughput_bounds(blast::table1_horizon());
+  const auto queueing = queueing::analyze(nodes, blast::streaming_source());
+  const auto sim =
+      streamsim::simulate(nodes, blast::streaming_source(),
+                          blast::sim_config());
+  const blast::PaperNumbers p = blast::paper();
+
+  util::Table t({"Source", "Paper", "This reproduction", "vs paper"},
+                {util::Align::kLeft, util::Align::kRight, util::Align::kRight,
+                 util::Align::kRight});
+  auto row = [&](const char* name, double paper_mibps, double ours_mibps) {
+    t.add_row({name,
+               util::format_significant(paper_mibps) + " MiB/s",
+               util::format_significant(ours_mibps) + " MiB/s",
+               bench::versus(ours_mibps, paper_mibps)});
+  };
+  row("Network calculus upper bound", p.nc_upper_mibps,
+      tb.upper.in_mib_per_sec());
+  row("Network calculus lower bound", p.nc_lower_mibps,
+      tb.lower.in_mib_per_sec());
+  row("Discrete-event simulation model", p.des_mibps,
+      sim.throughput.in_mib_per_sec());
+  row("Queueing theory prediction [12]", p.queueing_mibps,
+      queueing.roofline_throughput.in_mib_per_sec());
+  t.add_separator();
+  t.add_row({"Measured throughput [12]",
+             util::format_significant(p.measured_mibps) + " MiB/s",
+             "(external datum)", "-"});
+  std::fputs(t.render().c_str(), stdout);
+
+  std::printf(
+      "\nShape checks: lower <= DES <= queueing <= upper: %s; DES within a "
+      "few %% of the lower bound: %s\n",
+      (tb.lower.in_mib_per_sec() <= sim.throughput.in_mib_per_sec() + 2 &&
+       sim.throughput < queueing.roofline_throughput &&
+       queueing.roofline_throughput < tb.upper)
+          ? "yes"
+          : "NO",
+      (sim.throughput.in_mib_per_sec() / tb.lower.in_mib_per_sec() < 1.05)
+          ? "yes"
+          : "NO");
+  std::printf("Bottleneck stage: %s (as in the paper: GPU seed matching)\n",
+              nodes[model.bottleneck()].name.c_str());
+  return 0;
+}

@@ -1,0 +1,82 @@
+// Future-work study (Section 6): "utilizing variable rate arrival curves
+// can introduce the concept of back pressure into the model". A bursty
+// duty-cycled source (active/idle phases) drives the BITW pipeline; the
+// model derives the *minimal arrival curve* of the rate profile
+// analytically (R (/) R of its cumulative curve) and bounds delay/backlog
+// with it, while the simulator replays the exact same profile.
+#include <cstdio>
+
+#include "apps/bitw.hpp"
+#include "netcalc/pipeline.hpp"
+#include "netcalc/trace.hpp"
+#include "report.hpp"
+#include "streamsim/pipeline_sim.hpp"
+#include "util/format.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace streamcalc;
+  namespace bitw = apps::bitw;
+  using util::DataRate;
+
+  bench::banner("Variable-rate arrivals (future work, Section 6)",
+                "Duty-cycled source through the BITW pipeline: profile-"
+                "derived arrival curve vs simulation");
+
+  const auto nodes = bitw::nodes();
+
+  util::Table t({"Duty cycle", "Peak", "Mean", "NC delay bound",
+                 "Sim max delay", "NC backlog bound", "Sim max backlog"},
+                {util::Align::kRight, util::Align::kRight, util::Align::kRight,
+                 util::Align::kRight, util::Align::kRight,
+                 util::Align::kRight, util::Align::kRight});
+
+  for (double duty : {0.2, 0.4, 0.6}) {
+    // 100 us period: active at 150 MiB/s (transiently overloading the
+    // ~68 MiB/s encrypt stage) for duty*period, idle otherwise.
+    const double period = 100e-6;
+    const double peak = DataRate::mib_per_sec(150).in_bytes_per_sec();
+    std::vector<std::pair<double, double>> profile;
+    for (int k = 0; k < 40; ++k) {
+      profile.emplace_back(k * period, peak);
+      profile.emplace_back(k * period + duty * period, 0.0);
+    }
+
+    // Model: minimal arrival curve of the profile, packetized.
+    const auto cumulative = netcalc::cumulative_from_rate_profile(profile);
+    minplus::Curve alpha = netcalc::minimal_arrival_curve(cumulative);
+    alpha = alpha.plus_step(1024.0);  // chunk granularity
+    netcalc::SourceSpec src = bitw::delay_study_source();
+    src.rate = DataRate::bytes_per_sec(peak * duty);
+    // Sound configuration (worst-case rates, per-node packetizers): the
+    // bounds must dominate a stochastic simulation.
+    const auto model = netcalc::PipelineModel::with_arrival(
+        nodes, src, netcalc::ModelPolicy{}, alpha);
+
+    // Simulation: replay the exact profile.
+    auto cfg = bitw::sim_config();
+    cfg.horizon = util::Duration::seconds(40 * period);
+    cfg.warmup = util::Duration::seconds(0);
+    cfg.rate_profile = profile;
+    const auto sim = streamsim::simulate(nodes, src, cfg);
+
+    t.add_row({util::format_significant(duty * 100) + "%",
+               util::format_rate(DataRate::bytes_per_sec(peak)),
+               util::format_rate(src.rate),
+               util::format_duration(model.delay_bound()),
+               util::format_duration(sim.max_delay),
+               util::format_size(model.backlog_bound()),
+               util::format_size(sim.max_backlog)});
+  }
+  std::fputs(t.render().c_str(), stdout);
+  std::printf(
+      "\nReading: every on-phase transiently overloads the encrypt stage "
+      "(150 > 68 MiB/s), so a plain leaky bucket at the mean rate would "
+      "miss the burst queues entirely; the profile-derived envelope "
+      "captures them, and the (sound, worst-case) bounds dominate the "
+      "simulated peaks and grow with the duty cycle. The 40-period profile "
+      "is a finite job, so even the 60%% case (mean 90 MiB/s above the "
+      "sustained service) keeps finite job-traversal bounds — the "
+      "variable-rate generalization of the Section 3 regime discussion.\n");
+  return 0;
+}

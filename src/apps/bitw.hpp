@@ -1,0 +1,79 @@
+// Model of the "bump in the wire" FPGA compression/encryption pipeline
+// (paper, Section 5; Figs. 5-9; Tables 2-3).
+//
+// Two network-attached Alveo-class FPGAs run streaming LZ4 compression and
+// 256-bit CBC AES kernels (Vitis libraries) plus a TCP/CMAC network stack:
+// the source FPGA compresses and encrypts, the data crosses the network
+// without ever returning to host memory, and the destination FPGA decrypts,
+// decompresses, and delivers over PCIe. Per-stage throughputs are the
+// paper's Table 2 verbatim; LZ4 compression ratios observed: 1.0x minimum,
+// 2.2x average, 5.3x maximum.
+#pragma once
+
+#include <vector>
+
+#include "netcalc/node.hpp"
+#include "netcalc/pipeline.hpp"
+#include "streamsim/pipeline_sim.hpp"
+
+namespace streamcalc::apps::bitw {
+
+/// Observed LZ4 compression ratios (Table 2 caption).
+inline constexpr double kCompressionMin = 1.0;
+inline constexpr double kCompressionAvg = 2.2;
+inline constexpr double kCompressionMax = 5.3;
+
+/// The six-node chain of Fig. 9: compress, encrypt, network, decrypt,
+/// decompress, PCIe. Rates are Table 2 verbatim; all kernels are streaming
+/// (cut-through) with pipeline-fill latencies, moving 1 KiB chunks.
+std::vector<netcalc::NodeSpec> nodes();
+
+/// The same functions deployed with a traditional FPGA interconnect
+/// (Fig. 7): the compressed/encrypted data must cross PCIe to host memory
+/// and the host NIC instead of leaving the FPGA directly. Used by the
+/// deployment-comparison example/bench.
+std::vector<netcalc::NodeSpec> traditional_nodes();
+
+/// Fast upstream feed (FPGA DRAM DMA): the Table 3 throughput study offers
+/// data faster than the pipeline can drain it.
+netcalc::SourceSpec streaming_source();
+
+/// Throttled source matching the paper's simulation: chunks are offered at
+/// the rate the pipeline actually sustains (the Table 3 simulation row).
+netcalc::SourceSpec throttled_source();
+
+/// Source for the Section-5 delay/backlog study: offered load equal to the
+/// bottleneck's *minimum* measured rate, so the pipeline is stable even
+/// under worst-case service and the backlog bound is sound against the
+/// stochastic simulation. (At the sustained 61 MiB/s the encrypt stage is
+/// transiently overloaded — its slowest service exceeds the inter-chunk
+/// period — and queue peaks can exceed the average-rate bound; see
+/// EXPERIMENTS.md.)
+netcalc::SourceSpec delay_study_source();
+
+/// Paper policy: service curves from the sustained average rates
+/// (Table 2's primary columns), maximum service curve = the same baseline
+/// scaled by the maximum compression (Section 5), single-node collapse.
+netcalc::ModelPolicy policy();
+
+/// Simulation configuration (1 KiB chunks, bounded FIFOs).
+streamsim::SimConfig sim_config();
+
+/// Horizon over which the Table 3 throughput numbers are evaluated.
+util::Duration table3_horizon();
+
+/// Published values from the paper for side-by-side reporting.
+struct PaperNumbers {
+  double nc_upper_mibps = 313.0;
+  double nc_lower_mibps = 59.0;
+  double des_mibps = 61.0;
+  double queueing_mibps = 151.0;
+  double delay_bound_us = 38.0;
+  double sim_delay_max_us = 36.7;
+  double sim_delay_min_us = 25.7;
+  double backlog_bound_kib = 3.0;
+  double sim_backlog_kib = 2.0;
+};
+PaperNumbers paper();
+
+}  // namespace streamcalc::apps::bitw

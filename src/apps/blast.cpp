@@ -1,0 +1,130 @@
+#include "apps/blast.hpp"
+
+namespace streamcalc::apps::blast {
+
+using netcalc::NodeKind;
+using netcalc::NodeSpec;
+using netcalc::SourceSpec;
+using netcalc::VolumeRatio;
+using util::DataRate;
+using util::DataSize;
+using util::Duration;
+using namespace util::literals;
+
+namespace {
+
+/// Builds a compute node from its *input-normalized* rates (MiB of pipeline
+/// input per second) given the data volume it actually sees. Raw times are
+/// derived from the raw block size.
+NodeSpec stage(const char* name, DataSize block_in, DataSize block_out,
+               double vol_in, double norm_min, double norm_avg,
+               double norm_max, VolumeRatio volume) {
+  NodeSpec n;
+  n.name = name;
+  n.kind = NodeKind::kCompute;
+  n.block_in = block_in;
+  n.block_out = block_out;
+  n.time_min = block_in / DataRate::mib_per_sec(norm_max * vol_in);
+  n.time_avg = block_in / DataRate::mib_per_sec(norm_avg * vol_in);
+  n.time_max = block_in / DataRate::mib_per_sec(norm_min * vol_in);
+  n.volume = volume;
+  n.validate();
+  return n;
+}
+
+}  // namespace
+
+std::vector<netcalc::NodeSpec> nodes() {
+  std::vector<NodeSpec> ns;
+
+  // A: fa_2bit on the FPGA — FASTA to 2-bit conversion, 4:1 volume drop.
+  ns.push_back(stage("fa_2bit", 1_MiB, 128_KiB, 1.0,
+                     /*norm rates*/ 720, 760, 880, VolumeRatio::exact(0.25)));
+
+  // B: decompose — FPGA DMA splits large blocks into network-sized chunks
+  // (Fig. 3 node D). Sees 0.25 bytes per input byte.
+  ns.push_back(stage("decompose", 256_KiB, 64_KiB, 0.25,
+                     1800, 2000, 2400, VolumeRatio::exact(1.0)));
+
+  // C: network link between the FPGA host and the GPU host.
+  ns.push_back(NodeSpec::link("network", NodeKind::kNetworkLink,
+                              DataRate::gib_per_sec(10), 64_KiB, 10_us));
+
+  // D: compose — collects chunks into even larger blocks for GPU dispatch
+  // (Fig. 3 node E); the aggregation latency of the T^tot recursion.
+  ns.push_back(stage("compose", 256_KiB, 256_KiB, 0.25,
+                     1800, 2000, 2400, VolumeRatio::exact(1.0)));
+
+  // E: PCIe transfer into GPU memory.
+  ns.push_back(NodeSpec::link("pcie", NodeKind::kPcieLink,
+                              DataRate::gib_per_sec(11), 256_KiB, 20_us));
+
+  // F: seed matching on the GPU — the pipeline bottleneck. Filters the
+  // vast majority of 8-mer positions. Isolated-measurement throughput
+  // (used by the queueing model) is well above the in-pipeline average
+  // because SIMD occupancy effects do not appear in isolation ([12]
+  // observed ~30% roofline optimism).
+  {
+    NodeSpec n = stage("seed_match", 256_KiB, 16_KiB, 0.25,
+                       353, 356, 900, VolumeRatio::exact(0.05));
+    n.rate_isolated = DataRate::mib_per_sec(500 * 0.25);  // 500 normalized
+    ns.push_back(n);
+  }
+
+  // G: seed enumeration + small extension — enumeration multiplies matches
+  // (1-2 per position), small extension filters most of them. Mercator
+  // schedules these as fine-grained work items (no block aggregation).
+  {
+    NodeSpec n = stage("seed_enum_ext", 16_KiB, 16_KiB, 0.0125,
+                       2000, 2500, 4000, VolumeRatio::exact(0.45));
+    n.aggregates = false;
+    ns.push_back(n);
+  }
+
+  // H: ungapped extension — scores candidate alignments, few survive.
+  {
+    NodeSpec n = stage("ungapped_ext", 8_KiB, 8_KiB, 0.005625,
+                       3000, 4000, 6000, VolumeRatio::exact(0.10));
+    n.aggregates = false;
+    ns.push_back(n);
+  }
+
+  return ns;
+}
+
+netcalc::SourceSpec streaming_source() {
+  SourceSpec s;
+  s.rate = DataRate::mib_per_sec(704);  // FPGA sustained output, normalized
+  s.burst = 1_MiB;
+  s.packet = DataSize::bytes(0);
+  return s;
+}
+
+netcalc::SourceSpec job_source() {
+  SourceSpec s = streaming_source();
+  s.job_volume = 25_MiB;  // one database search job
+  return s;
+}
+
+netcalc::ModelPolicy policy() {
+  netcalc::ModelPolicy p;
+  p.service_basis = netcalc::RateBasis::kMin;
+  p.max_service_basis = netcalc::RateBasis::kMax;
+  p.packetize = false;  // paper collapses the chain into a single node
+  return p;
+}
+
+streamsim::SimConfig sim_config() {
+  streamsim::SimConfig c;
+  c.horizon = table1_horizon();
+  c.warmup = Duration::seconds(0.3);  // exclude the pipeline-fill transient
+  c.seed = 42;
+  c.queue_capacity = 2;  // Mercator's limited inter-stage queues
+  return c;
+}
+
+util::Duration table1_horizon() { return Duration::seconds(1.4); }
+
+PaperNumbers paper() { return {}; }
+
+}  // namespace streamcalc::apps::blast

@@ -1,0 +1,69 @@
+#include "apps/flowgraph.hpp"
+
+#include <sstream>
+
+#include "util/format.hpp"
+
+namespace streamcalc::apps {
+
+namespace {
+
+std::string ratio_label(double r) {
+  // Render as a:b with small integers where possible.
+  if (r >= 1.0) return util::format_significant(r) + ":1";
+  return "1:" + util::format_significant(1.0 / r);
+}
+
+const char* shape_for(netcalc::NodeKind k) {
+  switch (k) {
+    case netcalc::NodeKind::kCompute:
+      return "box";
+    case netcalc::NodeKind::kNetworkLink:
+      return "ellipse";
+    case netcalc::NodeKind::kPcieLink:
+      return "hexagon";
+  }
+  return "box";
+}
+
+}  // namespace
+
+std::string flow_graph_dot(const std::string& title,
+                           const std::vector<netcalc::NodeSpec>& nodes,
+                           const netcalc::SourceSpec& source) {
+  std::ostringstream os;
+  os << "digraph \"" << title << "\" {\n";
+  os << "  rankdir=LR;\n";
+  os << "  source [shape=plaintext, label=\"source\\n"
+     << util::format_rate(source.rate) << "\"];\n";
+  for (const netcalc::NodeSpec& n : nodes) {
+    os << "  \"" << n.name << "\" [shape=" << shape_for(n.kind)
+       << ", label=\"" << n.name << "\\n" << to_string(n.kind) << "\\n"
+       << util::format_rate(n.rate_avg()) << "\"];\n";
+  }
+  os << "  sink [shape=plaintext];\n";
+  std::string prev = "source";
+  for (const netcalc::NodeSpec& n : nodes) {
+    os << "  " << (prev == "source" || prev == "sink"
+                       ? prev
+                       : "\"" + prev + "\"")
+       << " -> \"" << n.name << "\" [label=\""
+       << ratio_label(n.job_ratio()) << "\"];\n";
+    prev = n.name;
+  }
+  os << "  \"" << prev << "\" -> sink;\n";
+  os << "}\n";
+  return os.str();
+}
+
+std::string flow_graph_ascii(const std::vector<netcalc::NodeSpec>& nodes) {
+  std::ostringstream os;
+  os << "[source]";
+  for (const netcalc::NodeSpec& n : nodes) {
+    os << " -> (" << n.name << " " << ratio_label(n.job_ratio()) << ")";
+  }
+  os << " -> [sink]";
+  return os.str();
+}
+
+}  // namespace streamcalc::apps

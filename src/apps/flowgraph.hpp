@@ -1,0 +1,26 @@
+// Flow-graph rendering for the paper's structural figures (Figs. 2-3, 5-9):
+// emits Graphviz DOT and a one-line ASCII chain with the per-node job
+// ratios annotated, generated from the same NodeSpecs that drive the
+// models so the figures cannot drift from the parameters.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "netcalc/node.hpp"
+#include "netcalc/pipeline.hpp"
+
+namespace streamcalc::apps {
+
+/// Graphviz DOT for a pipeline: source -> nodes -> sink, with node kind
+/// shapes (boxes for compute, ellipses for links) and job ratios as edge
+/// labels.
+std::string flow_graph_dot(const std::string& title,
+                           const std::vector<netcalc::NodeSpec>& nodes,
+                           const netcalc::SourceSpec& source);
+
+/// One-line ASCII rendering in the style of the paper's Fig. 3:
+///   [source] -> (fa_2bit 8:1) -> (decompose 4:1) -> ...
+std::string flow_graph_ascii(const std::vector<netcalc::NodeSpec>& nodes);
+
+}  // namespace streamcalc::apps

@@ -1,0 +1,143 @@
+#include "cli/report.hpp"
+
+#include <sstream>
+
+#include "queueing/mm1.hpp"
+#include "streamsim/pipeline_sim.hpp"
+#include "util/format.hpp"
+#include "util/table.hpp"
+
+namespace streamcalc::cli {
+
+namespace {
+
+std::string run_dag_report(const Spec& spec) {
+  using util::format_duration;
+  using util::format_rate;
+  using util::format_size;
+
+  std::ostringstream os;
+  const netcalc::DagSpec dag = spec.dag();
+  const netcalc::DagModel model(dag, spec.source, spec.policy);
+
+  os << "pipeline: DAG with " << dag.nodes.size() << " nodes, "
+     << dag.edges.size() << " edges, offered "
+     << format_rate(spec.source.rate) << "\n\n";
+
+  os << "per-node analysis:\n";
+  util::Table t({"node", "regime", "arrival", "service", "delay", "backlog",
+                 "buffer"},
+                {util::Align::kLeft, util::Align::kLeft, util::Align::kRight,
+                 util::Align::kRight, util::Align::kRight,
+                 util::Align::kRight, util::Align::kRight});
+  for (const auto& a : model.per_node_analysis()) {
+    t.add_row({a.name, to_string(a.load_regime), format_rate(a.arrival_rate),
+               format_rate(a.service_rate), format_duration(a.delay),
+               format_size(a.backlog), format_size(a.buffer_bytes)});
+  }
+  os << t.render();
+
+  os << "\npath delay bounds:\n";
+  for (const auto& p : model.per_path_analysis()) {
+    os << "  ";
+    for (std::size_t i = 0; i < p.nodes.size(); ++i) {
+      os << dag.nodes[p.nodes[i]].name
+         << (i + 1 < p.nodes.size() ? " -> " : "");
+    }
+    os << ": " << format_duration(p.delay) << "\n";
+  }
+  os << "end-to-end delay bound: " << format_duration(model.delay_bound())
+     << "; total backlog bound: " << format_size(model.backlog_bound())
+     << "\n";
+
+  if (spec.analysis.simulate) {
+    streamsim::SimConfig cfg;
+    cfg.horizon = spec.analysis.horizon;
+    cfg.warmup = spec.analysis.horizon / 5.0;
+    cfg.seed = spec.analysis.seed;
+    cfg.queue_capacity = spec.analysis.queue_capacity;
+    const auto sim = streamsim::simulate_dag(dag, spec.source, cfg);
+    os << "\nsimulation (seed " << spec.analysis.seed << "):\n";
+    os << "  throughput  " << format_rate(sim.throughput) << "\n";
+    os << "  delays      [" << format_duration(sim.min_delay) << " .. "
+       << format_duration(sim.max_delay) << "]\n";
+    os << "  max backlog " << format_size(sim.max_backlog) << "\n";
+    os << "  within bounds: delay "
+       << (sim.max_delay <= model.delay_bound() ? "yes" : "NO")
+       << ", backlog "
+       << (sim.max_backlog <= model.backlog_bound() ? "yes" : "NO") << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace
+
+std::string run_report(const Spec& spec) {
+  using util::format_duration;
+  using util::format_rate;
+  using util::format_size;
+
+  if (spec.is_dag()) return run_dag_report(spec);
+
+  std::ostringstream os;
+  const netcalc::PipelineModel model(spec.nodes, spec.source, spec.policy);
+
+  os << "pipeline: " << spec.nodes.size() << " stages, offered "
+     << format_rate(spec.source.rate);
+  if (spec.source.job_volume.is_finite()) {
+    os << ", job " << format_size(spec.source.job_volume);
+  }
+  os << "\n";
+  os << "regime:   " << to_string(model.load_regime()) << "\n";
+  os << "bottleneck: " << spec.nodes[model.bottleneck()].name << "\n\n";
+
+  os << "end-to-end bounds:\n";
+  os << "  delay    d <= " << format_duration(model.delay_bound()) << "\n";
+  os << "  backlog  x <= " << format_size(model.backlog_bound()) << "\n";
+  os << "  fixed latency T^tot = " << format_duration(model.total_latency())
+     << "\n";
+  const auto tb = model.throughput_bounds(spec.analysis.horizon);
+  os << "  throughput over " << format_duration(spec.analysis.horizon)
+     << ": guaranteed " << format_rate(tb.lower) << ", at most "
+     << format_rate(tb.upper) << "\n";
+
+  const auto q = queueing::analyze(spec.nodes, spec.source);
+  os << "  M/M/1 roofline: " << format_rate(q.roofline_throughput) << "\n\n";
+
+  os << "per-node analysis:\n";
+  util::Table t({"node", "regime", "arrival", "service", "delay", "backlog",
+                 "buffer", "agg wait"},
+                {util::Align::kLeft, util::Align::kLeft, util::Align::kRight,
+                 util::Align::kRight, util::Align::kRight,
+                 util::Align::kRight, util::Align::kRight,
+                 util::Align::kRight});
+  for (const auto& a : model.per_node_analysis()) {
+    t.add_row({a.name, to_string(a.load_regime), format_rate(a.arrival_rate),
+               format_rate(a.service_rate), format_duration(a.delay),
+               format_size(a.backlog), format_size(a.buffer_bytes),
+               format_duration(a.aggregation_wait)});
+  }
+  os << t.render();
+
+  if (spec.analysis.simulate) {
+    streamsim::SimConfig cfg;
+    cfg.horizon = spec.analysis.horizon;
+    cfg.warmup = spec.analysis.horizon / 5.0;
+    cfg.seed = spec.analysis.seed;
+    cfg.queue_capacity = spec.analysis.queue_capacity;
+    const auto sim = streamsim::simulate(spec.nodes, spec.source, cfg);
+    os << "\nsimulation (seed " << spec.analysis.seed << "):\n";
+    os << "  throughput  " << format_rate(sim.throughput) << "\n";
+    os << "  delays      [" << format_duration(sim.min_delay) << " .. "
+       << format_duration(sim.max_delay) << "], mean "
+       << format_duration(sim.mean_delay) << "\n";
+    os << "  max backlog " << format_size(sim.max_backlog) << "\n";
+    os << "  within bounds: delay "
+       << (sim.max_delay <= model.delay_bound() ? "yes" : "NO")
+       << ", backlog "
+       << (sim.max_backlog <= model.backlog_bound() ? "yes" : "NO") << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace streamcalc::cli

@@ -1,0 +1,15 @@
+// Text report for a parsed pipeline spec: the analysis the CLI prints.
+#pragma once
+
+#include <string>
+
+#include "cli/spec.hpp"
+
+namespace streamcalc::cli {
+
+/// Runs the network-calculus model (plus the queueing baseline and, if
+/// requested, the simulator) on a parsed spec and renders a full text
+/// report.
+std::string run_report(const Spec& spec);
+
+}  // namespace streamcalc::cli

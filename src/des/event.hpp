@@ -1,0 +1,47 @@
+// One-shot broadcast event, equivalent to SimPy's Event: processes await
+// it; trigger() resumes all of them (at the current simulated time).
+#pragma once
+
+#include <coroutine>
+#include <vector>
+
+#include "des/simulation.hpp"
+
+namespace streamcalc::des {
+
+/// A level-triggered one-shot event. Awaiting an already-triggered event
+/// completes immediately.
+class Event {
+ public:
+  explicit Event(Simulation& sim) : sim_(&sim) {}
+  Event(const Event&) = delete;
+  Event& operator=(const Event&) = delete;
+
+  bool triggered() const { return triggered_; }
+
+  /// Fires the event, scheduling every waiter at the current time.
+  /// Idempotent.
+  void trigger() {
+    if (triggered_) return;
+    triggered_ = true;
+    for (std::coroutine_handle<> h : waiters_) sim_->schedule_now(h);
+    waiters_.clear();
+  }
+
+  struct Awaiter {
+    Event* event;
+    bool await_ready() const noexcept { return event->triggered_; }
+    void await_suspend(std::coroutine_handle<> h) const {
+      event->waiters_.push_back(h);
+    }
+    void await_resume() const noexcept {}
+  };
+  Awaiter operator co_await() { return Awaiter{this}; }
+
+ private:
+  Simulation* sim_;
+  bool triggered_ = false;
+  std::vector<std::coroutine_handle<>> waiters_;
+};
+
+}  // namespace streamcalc::des

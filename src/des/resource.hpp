@@ -1,0 +1,65 @@
+// Counted resource (SimPy's Resource): at most `capacity` concurrent
+// holders; acquire() suspends when exhausted, release() admits the oldest
+// waiter. Used to model servers that can execute a limited number of jobs
+// at once.
+#pragma once
+
+#include <coroutine>
+#include <deque>
+
+#include "des/simulation.hpp"
+#include "util/error.hpp"
+
+namespace streamcalc::des {
+
+/// Counting semaphore over simulated time. Not copyable.
+class Resource {
+ public:
+  Resource(Simulation& sim, std::size_t capacity)
+      : sim_(&sim), available_(capacity), capacity_(capacity) {
+    util::require(capacity >= 1, "Resource capacity must be >= 1");
+  }
+  Resource(const Resource&) = delete;
+  Resource& operator=(const Resource&) = delete;
+
+  std::size_t capacity() const { return capacity_; }
+  std::size_t available() const { return available_; }
+  std::size_t waiting() const { return waiters_.size(); }
+
+  struct [[nodiscard]] AcquireAwaiter {
+    Resource* res;
+    bool await_ready() const {
+      if (res->available_ == 0) return false;
+      --res->available_;
+      return true;
+    }
+    void await_suspend(std::coroutine_handle<> h) const {
+      res->waiters_.push_back(h);
+    }
+    void await_resume() const noexcept {}
+  };
+
+  /// Awaitable: completes once a unit is held. Pair with release().
+  AcquireAwaiter acquire() { return AcquireAwaiter{this}; }
+
+  /// Returns a unit; hands it directly to the oldest waiter if any.
+  void release() {
+    util::require(available_ < capacity_ || !waiters_.empty(),
+                  "release() without a matching acquire()");
+    if (!waiters_.empty()) {
+      std::coroutine_handle<> h = waiters_.front();
+      waiters_.pop_front();
+      sim_->schedule_now(h);  // the unit passes straight to the waiter
+      return;
+    }
+    ++available_;
+  }
+
+ private:
+  Simulation* sim_;
+  std::size_t available_;
+  std::size_t capacity_;
+  std::deque<std::coroutine_handle<>> waiters_;
+};
+
+}  // namespace streamcalc::des

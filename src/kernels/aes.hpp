@@ -1,0 +1,48 @@
+// AES-128/AES-256 in CBC mode — the software stand-in for the Vitis
+// 256-bit CBC AES kernel of the paper's bump-in-the-wire pipeline
+// (Section 5). Straightforward FIPS-197 implementation (S-box,
+// ShiftRows, MixColumns over GF(2^8)); validated against the FIPS-197
+// and NIST SP 800-38A known-answer vectors in the test suite.
+//
+// This is a functional kernel for throughput measurement and round-trip
+// testing, not a hardened cryptographic library (no constant-time
+// guarantees).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace streamcalc::kernels {
+
+/// AES block/key containers.
+using AesBlock = std::array<std::uint8_t, 16>;
+
+/// Key-expanded AES context for 128- or 256-bit keys.
+class Aes {
+ public:
+  /// Builds from a 16-byte (AES-128) or 32-byte (AES-256) key; other key
+  /// sizes throw PreconditionError.
+  explicit Aes(std::span<const std::uint8_t> key);
+
+  int rounds() const { return rounds_; }
+
+  /// Encrypts/decrypts a single 16-byte block (ECB primitive).
+  AesBlock encrypt_block(const AesBlock& in) const;
+  AesBlock decrypt_block(const AesBlock& in) const;
+
+  /// CBC mode over whole blocks. The input length must be a multiple of
+  /// 16 (the streaming pipeline moves whole chunks; padding is the
+  /// caller's concern). Returns ciphertext/plaintext of equal length.
+  std::vector<std::uint8_t> cbc_encrypt(std::span<const std::uint8_t> data,
+                                        const AesBlock& iv) const;
+  std::vector<std::uint8_t> cbc_decrypt(std::span<const std::uint8_t> data,
+                                        const AesBlock& iv) const;
+
+ private:
+  int rounds_;
+  std::vector<std::array<std::uint8_t, 16>> round_keys_;
+};
+
+}  // namespace streamcalc::kernels

@@ -1,0 +1,175 @@
+#include "kernels/blastn.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace streamcalc::kernels {
+
+std::uint16_t QueryIndex::kmer_at(std::span<const std::uint8_t> packed,
+                                  std::uint64_t pos) {
+  std::uint16_t k = 0;
+  for (int i = 0; i < 8; ++i) {
+    k = static_cast<std::uint16_t>(
+        k | (base_at(packed, pos + static_cast<std::uint64_t>(i))
+             << (2 * i)));
+  }
+  return k;
+}
+
+QueryIndex::QueryIndex(std::span<const std::uint8_t> query_packed,
+                       std::uint64_t bases)
+    : packed_(query_packed.begin(), query_packed.end()), bases_(bases) {
+  util::require(bases >= 8, "QueryIndex requires a query of >= 8 bases");
+  util::require(bases <= query_packed.size() * 4,
+                "QueryIndex: packed query shorter than the declared bases");
+  for (std::uint64_t q = 0; q + 8 <= bases; ++q) {
+    auto& bucket = table_[kmer_at(packed_, q)];
+    if (bucket.empty()) ++distinct_;
+    bucket.push_back(static_cast<std::uint32_t>(q));
+  }
+}
+
+std::vector<std::uint32_t> seed_match(std::span<const std::uint8_t> db_packed,
+                                      std::uint64_t db_bases,
+                                      const QueryIndex& index) {
+  std::vector<std::uint32_t> hits;
+  if (db_bases < 8) return hits;
+  // Byte-aligned 8-mers: two consecutive packed bytes form the key.
+  for (std::uint64_t p = 0; p + 8 <= db_bases; p += 4) {
+    const std::uint16_t kmer = static_cast<std::uint16_t>(
+        db_packed[p / 4] | (db_packed[p / 4 + 1] << 8));
+    if (index.contains(kmer)) {
+      hits.push_back(static_cast<std::uint32_t>(p));
+    }
+  }
+  return hits;
+}
+
+std::vector<SeedMatch> seed_enumerate(
+    std::span<const std::uint32_t> db_positions,
+    std::span<const std::uint8_t> db_packed, const QueryIndex& index) {
+  std::vector<SeedMatch> matches;
+  matches.reserve(db_positions.size());
+  for (std::uint32_t p : db_positions) {
+    const std::uint16_t kmer = static_cast<std::uint16_t>(
+        db_packed[p / 4] | (db_packed[p / 4 + 1] << 8));
+    for (std::uint32_t q : index.positions(kmer)) {
+      matches.push_back(SeedMatch{p, q});
+    }
+  }
+  return matches;
+}
+
+std::vector<SeedMatch> small_extension(std::span<const SeedMatch> matches,
+                                       std::span<const std::uint8_t> db_packed,
+                                       std::uint64_t db_bases,
+                                       const QueryIndex& index,
+                                       int min_length) {
+  std::vector<SeedMatch> kept;
+  const auto query = index.query_packed();
+  const std::uint64_t query_bases = index.query_bases();
+  for (const SeedMatch& m : matches) {
+    int length = 8;
+    // Extend left by up to 3 exactly matching bases.
+    for (int i = 1; i <= 3; ++i) {
+      if (m.db_pos < static_cast<std::uint32_t>(i) ||
+          m.query_pos < static_cast<std::uint32_t>(i)) {
+        break;
+      }
+      if (base_at(db_packed, m.db_pos - static_cast<std::uint32_t>(i)) !=
+          base_at(query, m.query_pos - static_cast<std::uint32_t>(i))) {
+        break;
+      }
+      ++length;
+    }
+    // Extend right by up to 3.
+    for (int i = 0; i < 3; ++i) {
+      const std::uint64_t dp = m.db_pos + 8 + static_cast<std::uint64_t>(i);
+      const std::uint64_t qp =
+          m.query_pos + 8 + static_cast<std::uint64_t>(i);
+      if (dp >= db_bases || qp >= query_bases) break;
+      if (base_at(db_packed, dp) != base_at(query, qp)) break;
+      ++length;
+    }
+    if (length >= min_length) kept.push_back(m);
+  }
+  return kept;
+}
+
+namespace {
+
+/// Best X-drop extension score in one direction. `step` is +1 (right) or
+/// -1 (left); the seed itself is not re-scored.
+int extend_direction(std::span<const std::uint8_t> db,
+                     std::uint64_t db_bases,
+                     std::span<const std::uint8_t> query,
+                     std::uint64_t query_bases, const SeedMatch& m, int step,
+                     const UngappedParams& params, int* best_steps) {
+  int score = 0;
+  int best = 0;
+  *best_steps = 0;
+  for (int i = 1; i <= params.window; ++i) {
+    const std::int64_t dp =
+        static_cast<std::int64_t>(m.db_pos) +
+        (step > 0 ? 7 + i : -i);
+    const std::int64_t qp =
+        static_cast<std::int64_t>(m.query_pos) +
+        (step > 0 ? 7 + i : -i);
+    if (dp < 0 || qp < 0 || dp >= static_cast<std::int64_t>(db_bases) ||
+        qp >= static_cast<std::int64_t>(query_bases)) {
+      break;
+    }
+    score += (base_at(db, static_cast<std::uint64_t>(dp)) ==
+              base_at(query, static_cast<std::uint64_t>(qp)))
+                 ? params.match_reward
+                 : params.mismatch_penalty;
+    if (score > best) {
+      best = score;
+      *best_steps = i;
+    }
+    if (best - score >= params.x_drop) break;  // X-drop cutoff
+  }
+  return best;
+}
+
+}  // namespace
+
+std::vector<Alignment> ungapped_extension(
+    std::span<const SeedMatch> matches,
+    std::span<const std::uint8_t> db_packed, std::uint64_t db_bases,
+    const QueryIndex& index, const UngappedParams& params) {
+  std::vector<Alignment> alignments;
+  const auto query = index.query_packed();
+  const std::uint64_t query_bases = index.query_bases();
+  for (const SeedMatch& m : matches) {
+    int left_steps = 0;
+    int right_steps = 0;
+    const int left = extend_direction(db_packed, db_bases, query,
+                                      query_bases, m, -1, params,
+                                      &left_steps);
+    const int right = extend_direction(db_packed, db_bases, query,
+                                       query_bases, m, +1, params,
+                                       &right_steps);
+    const int seed_score = 8 * params.match_reward;
+    const int total = seed_score + left + right;
+    if (total >= params.threshold) {
+      alignments.push_back(Alignment{
+          m, total,
+          static_cast<std::uint32_t>(8 + left_steps + right_steps)});
+    }
+  }
+  return alignments;
+}
+
+std::vector<Alignment> blastn_pipeline(
+    std::span<const std::uint8_t> db_packed, std::uint64_t db_bases,
+    const QueryIndex& index, const UngappedParams& params) {
+  const auto hits = seed_match(db_packed, db_bases, index);
+  const auto matches = seed_enumerate(hits, db_packed, index);
+  const auto extended =
+      small_extension(matches, db_packed, db_bases, index);
+  return ungapped_extension(extended, db_packed, db_bases, index, params);
+}
+
+}  // namespace streamcalc::kernels

@@ -1,0 +1,92 @@
+#include "kernels/fa2bit.hpp"
+
+#include "util/error.hpp"
+
+namespace streamcalc::kernels {
+
+std::uint8_t base_code(char c) {
+  switch (c) {
+    case 'A':
+    case 'a':
+      return 0;
+    case 'C':
+    case 'c':
+      return 1;
+    case 'G':
+    case 'g':
+      return 2;
+    case 'T':
+    case 't':
+      return 3;
+    default:
+      return 0xFF;
+  }
+}
+
+void Fa2Bit::feed(std::string_view chunk) {
+  for (char c : chunk) {
+    if (in_header_) {
+      if (c == '\n') in_header_ = false;
+      continue;
+    }
+    if (c == '>') {
+      in_header_ = true;
+      continue;
+    }
+    if (c == '\n' || c == '\r' || c == ' ' || c == '\t') continue;
+
+    std::uint8_t code = base_code(c);
+    if (code == 0xFF) {
+      ++ambiguous_;
+      code = 0;  // mask ambiguous bases to A
+    }
+    pending_ = static_cast<std::uint8_t>(
+        pending_ | (code << (2 * pending_count_)));
+    if (++pending_count_ == 4) {
+      packed_.push_back(pending_);
+      pending_ = 0;
+      pending_count_ = 0;
+    }
+    ++bases_;
+  }
+}
+
+void Fa2Bit::finish() {
+  if (pending_count_ > 0) {
+    packed_.push_back(pending_);
+    pending_ = 0;
+    pending_count_ = 0;
+  }
+}
+
+void Fa2Bit::reset() {
+  packed_.clear();
+  bases_ = 0;
+  ambiguous_ = 0;
+  pending_ = 0;
+  pending_count_ = 0;
+  in_header_ = false;
+}
+
+std::vector<std::uint8_t> fa2bit(std::string_view fasta) {
+  Fa2Bit conv;
+  conv.feed(fasta);
+  conv.finish();
+  return conv.packed();
+}
+
+std::vector<char> unpack_2bit(std::span<const std::uint8_t> packed,
+                              std::uint64_t bases) {
+  util::require(bases <= packed.size() * 4,
+                "unpack_2bit: more bases requested than packed data holds");
+  static constexpr char kBases[4] = {'A', 'C', 'G', 'T'};
+  std::vector<char> out;
+  out.reserve(bases);
+  for (std::uint64_t i = 0; i < bases; ++i) {
+    const std::uint8_t byte = packed[i / 4];
+    out.push_back(kBases[(byte >> (2 * (i % 4))) & 0x3]);
+  }
+  return out;
+}
+
+}  // namespace streamcalc::kernels

@@ -1,0 +1,62 @@
+// fa_2bit: FASTA-to-2-bit DNA conversion, the DIBS pre-processing stage the
+// paper's BLAST pipeline runs on an FPGA ([8], [13]).
+//
+// Each base A/C/G/T (case-insensitive) packs into 2 bits; four bases per
+// output byte, first base in the least-significant bits. Ambiguous IUPAC
+// codes (N, R, ...) are mapped to A and counted, matching the common
+// practice of masking them out downstream. FASTA header lines ('>' to end
+// of line) and whitespace are skipped.
+//
+// The converter is a streaming kernel: feed arbitrary chunks, collect
+// packed output, so its throughput can be measured in isolation
+// (kernels/measure.hpp) exactly as the paper measures its stages.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string_view>
+#include <vector>
+
+namespace streamcalc::kernels {
+
+/// 2-bit encoding of one base; 0xFF for non-base characters.
+std::uint8_t base_code(char c);
+
+/// Streaming FASTA -> 2-bit converter. Not thread-safe.
+class Fa2Bit {
+ public:
+  /// Consumes a chunk of FASTA text, appending packed bases to the
+  /// internal buffer.
+  void feed(std::string_view chunk);
+
+  /// Flushes a final partial byte (zero-padded). Call once at end of input.
+  void finish();
+
+  /// Packed output so far (4 bases per byte, LSB-first).
+  const std::vector<std::uint8_t>& packed() const { return packed_; }
+  /// Number of bases encoded (may exceed 4 * packed().size() before
+  /// finish() pads the tail byte).
+  std::uint64_t bases() const { return bases_; }
+  /// Ambiguous (non-ACGT) bases mapped to A.
+  std::uint64_t ambiguous() const { return ambiguous_; }
+
+  /// Clears all state for reuse.
+  void reset();
+
+ private:
+  std::vector<std::uint8_t> packed_;
+  std::uint64_t bases_ = 0;
+  std::uint64_t ambiguous_ = 0;
+  std::uint8_t pending_ = 0;   ///< partial byte being filled
+  int pending_count_ = 0;      ///< bases in the partial byte (0-3)
+  bool in_header_ = false;     ///< inside a '>' header line
+};
+
+/// One-shot convenience: converts a whole FASTA string.
+std::vector<std::uint8_t> fa2bit(std::string_view fasta);
+
+/// Unpacks 2-bit data back to bases (for tests and downstream kernels).
+std::vector<char> unpack_2bit(std::span<const std::uint8_t> packed,
+                              std::uint64_t bases);
+
+}  // namespace streamcalc::kernels

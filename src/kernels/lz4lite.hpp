@@ -1,0 +1,36 @@
+// lz4lite: an LZ77 byte-stream compressor with the LZ4 token layout —
+// the software stand-in for the Vitis streaming LZ4 kernel the paper's
+// bump-in-the-wire pipeline offloads to an FPGA (Section 5).
+//
+// Format (per independently-compressed chunk): a sequence of
+//   [token] [literal-length extension]* [literals]
+//   [match offset: 2 bytes LE] [match-length extension]*
+// where the token's high nibble is the literal count (15 = extended by
+// 255-run bytes) and the low nibble is match length - 4. The final
+// sequence carries literals only. Matches reference up to 64 KiB back.
+//
+// Like the Vitis kernel, data is compressed in chunks: each chunk is
+// self-contained, so chunking reduces cross-chunk redundancy — the effect
+// the paper notes when discussing observed compression ratios.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace streamcalc::kernels {
+
+/// Compresses one self-contained chunk. Never fails; incompressible data
+/// expands by at most ~0.5%.
+std::vector<std::uint8_t> lz4lite_compress(std::span<const std::uint8_t> in);
+
+/// Decompresses one chunk produced by lz4lite_compress. Throws
+/// PreconditionError on malformed input.
+std::vector<std::uint8_t> lz4lite_decompress(
+    std::span<const std::uint8_t> in);
+
+/// Convenience: original size / compressed size for one chunk.
+double lz4lite_ratio(std::span<const std::uint8_t> in);
+
+}  // namespace streamcalc::kernels

@@ -1,0 +1,101 @@
+#include "kernels/testdata.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "util/error.hpp"
+
+namespace streamcalc::kernels {
+
+std::string random_dna(util::Xoshiro256& rng, std::size_t bases) {
+  static constexpr char kBases[4] = {'A', 'C', 'G', 'T'};
+  std::string s;
+  s.reserve(bases);
+  for (std::size_t i = 0; i < bases; ++i) {
+    s.push_back(kBases[rng() & 0x3]);
+  }
+  return s;
+}
+
+void plant_homologies(std::string& db, const std::string& query,
+                      util::Xoshiro256& rng, int count, std::size_t length,
+                      double mutation_rate) {
+  util::require(length <= query.size(),
+                "plant_homologies: homology longer than the query");
+  util::require(db.size() >= length,
+                "plant_homologies: database shorter than the homology");
+  static constexpr char kBases[4] = {'A', 'C', 'G', 'T'};
+  for (int c = 0; c < count; ++c) {
+    const std::size_t q0 =
+        static_cast<std::size_t>(rng() % (query.size() - length + 1));
+    const std::size_t d0 =
+        static_cast<std::size_t>(rng() % (db.size() - length + 1));
+    for (std::size_t i = 0; i < length; ++i) {
+      db[d0 + i] = rng.uniform01() < mutation_rate
+                       ? kBases[rng() & 0x3]
+                       : query[q0 + i];
+    }
+  }
+}
+
+std::vector<std::uint8_t> telemetry_text(util::Xoshiro256& rng,
+                                         std::size_t bytes,
+                                         double redundancy) {
+  util::require(redundancy >= 0.0 && redundancy <= 1.0,
+                "telemetry_text: redundancy must be in [0, 1]");
+  // A small dictionary of recurring line templates; redundancy selects how
+  // often a line reuses a template verbatim versus carrying fresh entropy.
+  static constexpr const char* kTemplates[] = {
+      "sensor=thermal-array zone=%02d status=NOMINAL reading=%06.2f C",
+      "sensor=vibration axis=%02d status=NOMINAL rms=%06.4f g",
+      "link=uplink-%02d queue_depth=%04d drops=0 state=UP",
+      "pump=%02d flow=%07.3f lpm pressure=%06.2f kPa valves=OPEN",
+  };
+  std::vector<std::uint8_t> out;
+  out.reserve(bytes + 128);
+  char line[160];
+  while (out.size() < bytes) {
+    const auto t = rng() % (sizeof kTemplates / sizeof kTemplates[0]);
+    int a;
+    double b, c2;
+    if (rng.uniform01() < redundancy) {
+      // Recurring values: only a handful of distinct lines.
+      a = static_cast<int>(rng() % 4);
+      b = 20.0 + static_cast<double>(rng() % 4);
+      c2 = 100.0 + static_cast<double>(rng() % 4);
+    } else {
+      a = static_cast<int>(rng() % 100);
+      b = rng.uniform(0.0, 9999.0);
+      c2 = rng.uniform(0.0, 9999.0);
+    }
+    int n;
+    switch (t) {
+      case 0:
+        n = std::snprintf(line, sizeof line, kTemplates[0], a, b);
+        break;
+      case 1:
+        n = std::snprintf(line, sizeof line, kTemplates[1], a, b / 1000.0);
+        break;
+      case 2:
+        n = std::snprintf(line, sizeof line, kTemplates[2], a,
+                          static_cast<int>(c2));
+        break;
+      default:
+        n = std::snprintf(line, sizeof line, kTemplates[3], a, b, c2);
+        break;
+    }
+    out.insert(out.end(), line, line + n);
+    if (rng.uniform01() >= redundancy) {
+      // Fresh lines carry a high-entropy trace id, defeating LZ matching.
+      char tag[32];
+      const int tn = std::snprintf(tag, sizeof tag, " trace=%016llx",
+                                   static_cast<unsigned long long>(rng()));
+      out.insert(out.end(), tag, tag + tn);
+    }
+    out.push_back('\n');
+  }
+  out.resize(bytes);
+  return out;
+}
+
+}  // namespace streamcalc::kernels

@@ -1,0 +1,35 @@
+// Synthetic workload generators for the kernels: DNA databases with
+// planted homologies (for the BLAST pipeline) and telemetry-like text with
+// controllable redundancy (for the compression pipeline). The paper's
+// experiments run on proprietary databases and OCT traffic; these
+// generators exercise the same code paths with controllable statistics
+// (see DESIGN.md, "Substitutions").
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace streamcalc::kernels {
+
+/// Uniform random DNA sequence of `bases` characters (ACGT).
+std::string random_dna(util::Xoshiro256& rng, std::size_t bases);
+
+/// Copies `count` random substrings of `query` (each `length` bases, with
+/// `mutation_rate` per-base substitutions) into random positions of `db` —
+/// planted homologies for the BLAST pipeline to find.
+void plant_homologies(std::string& db, const std::string& query,
+                      util::Xoshiro256& rng, int count, std::size_t length,
+                      double mutation_rate);
+
+/// Telemetry-like line-oriented text of roughly `bytes` bytes whose
+/// compressibility is controlled by `redundancy` in [0, 1]: 0 produces
+/// unique high-entropy payloads, 1 repeats a small set of lines nearly
+/// verbatim (LZ ratios from ~1.1x to >5x).
+std::vector<std::uint8_t> telemetry_text(util::Xoshiro256& rng,
+                                         std::size_t bytes,
+                                         double redundancy);
+
+}  // namespace streamcalc::kernels

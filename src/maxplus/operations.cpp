@@ -1,0 +1,209 @@
+#include "maxplus/operations.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "minplus/detail/builder.hpp"
+#include "minplus/operations.hpp"
+#include "util/error.hpp"
+
+namespace streamcalc::maxplus {
+
+namespace {
+
+using minplus::Segment;
+using minplus::detail::kInf;
+
+double add_inf(double a, double b) {
+  if (a == kInf || b == kInf) return kInf;
+  return a + b;
+}
+
+/// a - b for the infimum: -inf (returned as the clamp 0 by callers) when b
+/// dominates; +inf when a is infinite.
+double sub_inf(double a, double b) {
+  if (a == kInf && b == kInf) return kInf;  // undefined piece; ignore (big)
+  if (a == kInf) return kInf;
+  if (b == kInf) return -kInf;
+  return a - b;
+}
+
+double sup_at_impl(const Curve& f, const Curve& g, double t) {
+  std::vector<double> ss{0.0, t};
+  for (const Segment& s : f.segments()) {
+    if (s.x <= t) ss.push_back(s.x);
+  }
+  for (const Segment& s : g.segments()) {
+    if (s.x <= t) ss.push_back(t - s.x);
+  }
+  double best = 0.0;
+  for (double s : ss) {
+    if (s < 0.0 || s > t) continue;
+    const double u = t - s;
+    best = std::max(best, add_inf(f.value(s), g.value(u)));
+    if (s < t) {
+      best = std::max(best, add_inf(f.value_right(s), g.value_left(u)));
+    }
+    if (s > 0.0) {
+      best = std::max(best, add_inf(f.value_left(s), g.value_right(u)));
+    }
+    if (best == kInf) break;
+  }
+  return best;
+}
+
+/// Replaces point values of an envelope with the exact evaluator's values
+/// (see the min-plus twin in minplus/operations.cpp).
+template <typename AtFn>
+Curve repair_point_values(const Curve& env, const AtFn& at) {
+  std::vector<Segment> segs = env.segments();
+  for (std::size_t i = 0; i < segs.size(); ++i) {
+    Segment& s = segs[i];
+    double lo = 0.0;
+    if (i > 0) {
+      const Segment& p = segs[i - 1];
+      lo = p.value_after == kInf ? kInf
+                                 : p.value_after + p.slope * (s.x - p.x);
+    }
+    s.value_at = std::min(std::max(at(s.x), lo), s.value_after);
+  }
+  return Curve(std::move(segs));
+}
+
+}  // namespace
+
+double convolve_at(const Curve& f, const Curve& g, double t) {
+  util::require(t >= 0.0 && !std::isnan(t), "convolve_at requires t >= 0");
+  return sup_at_impl(f, g, t);
+}
+
+Curve convolve(const Curve& f, const Curve& g) {
+  // Branch envelope, dual to min-plus convolve(): anchoring the split at a
+  // breakpoint T of one operand contributes the whole curve
+  // c + g(t - T) for t >= T (and 0 before, a safe under-estimate for a
+  // supremum of non-negative curves). maximum() finds branch crossings
+  // exactly; isolated point values are repaired afterwards.
+  std::vector<Curve> branches;
+  const auto add_branches = [&branches](const Curve& anchor,
+                                        const Curve& shape) {
+    for (const Segment& s : anchor.segments()) {
+      // The largest legitimate contribution at/after the anchor dominates.
+      const double c = s.value_after;
+      if (c == kInf) {
+        // Everything from this anchor on is +inf.
+        std::vector<Segment> segs;
+        if (s.x > 0.0) segs.push_back(Segment{0.0, 0.0, 0.0, 0.0});
+        segs.push_back(Segment{s.x, s.value_at == kInf ? kInf : 0.0, kInf,
+                               0.0});
+        // A jump to +inf needs value_at >= previous limit; keep it simple
+        // and conservative: 0 at the point unless truly infinite there.
+        branches.push_back(Curve(std::move(segs)));
+        continue;
+      }
+      Curve branch = shape;
+      if (c > 0.0) branch = branch.plus_step(c);
+      // plus_step leaves the origin value; lift it too so the constant is
+      // applied uniformly (the repair pass fixes isolated points anyway).
+      branches.push_back(branch.shift_right(s.x));
+    }
+  };
+  add_branches(f, g);
+  add_branches(g, f);
+  Curve env = branches.front();
+  for (std::size_t i = 1; i < branches.size(); ++i) {
+    env = minplus::maximum(env, branches[i]);
+  }
+  return repair_point_values(env,
+                             [&](double t) { return sup_at_impl(f, g, t); });
+}
+
+namespace {
+
+/// Exact point (or right-limit) evaluation of the clamped max-plus
+/// deconvolution.
+double inf_at_impl(const Curve& f, const Curve& g, double t,
+                   bool right_limit) {
+  std::vector<double> ss{0.0};
+  for (const Segment& s : g.segments()) ss.push_back(s.x);
+  for (const Segment& s : f.segments()) {
+    if (s.x >= t) ss.push_back(s.x - t);
+  }
+  ss.push_back(std::max(f.last_breakpoint(), g.last_breakpoint()) + 1.0);
+  double best = kInf;
+  for (double s : ss) {
+    if (s < 0.0) continue;
+    const double a = t + s;
+    if (right_limit) {
+      best = std::min(best, sub_inf(f.value_right(a), g.value(s)));
+      best = std::min(best, sub_inf(f.value_right(a), g.value_right(s)));
+      if (s > 0.0) {
+        best = std::min(best, sub_inf(f.value(a), g.value_left(s)));
+      }
+    } else {
+      best = std::min(best, sub_inf(f.value(a), g.value(s)));
+      best = std::min(best, sub_inf(f.value_right(a), g.value_right(s)));
+      if (s > 0.0) {
+        best = std::min(best, sub_inf(f.value_left(a), g.value_left(s)));
+      }
+    }
+  }
+  return std::max(0.0, best);
+}
+
+}  // namespace
+
+double deconvolve_at(const Curve& f, const Curve& g, double t) {
+  util::require(t >= 0.0 && !std::isnan(t), "deconvolve_at requires t >= 0");
+  if (f.tail_slope() < g.tail_slope()) return 0.0;  // diverges to -inf
+  return inf_at_impl(f, g, t, /*right_limit=*/false);
+}
+
+Curve deconvolve(const Curve& f, const Curve& g) {
+  if (f.tail_slope() < g.tail_slope()) return Curve::zero();
+  // Candidate breakpoints (differences of operand breakpoints) plus
+  // adaptive refinement: the infimum envelope can kink where competing
+  // branches cross, which bisection localizes to machine precision.
+  std::vector<double> ts{0.0};
+  for (const Segment& sf : f.segments()) {
+    ts.push_back(sf.x);
+    for (const Segment& sg : g.segments()) {
+      if (sf.x - sg.x > 0.0) ts.push_back(sf.x - sg.x);
+    }
+  }
+  for (const Segment& sg : g.segments()) ts.push_back(sg.x);
+  // Far probe so the bisection refinement can reach kinks beyond the last
+  // seeded candidate (past it the curve is affine).
+  ts.push_back(f.last_breakpoint() + g.last_breakpoint() + 1.0);
+  const auto at = [&](double t) {
+    return inf_at_impl(f, g, t, /*right_limit=*/false);
+  };
+  const auto right = [&](double t) {
+    return inf_at_impl(f, g, t, /*right_limit=*/true);
+  };
+  std::vector<double> grid = minplus::detail::canonical_candidates(ts);
+  for (int round = 0; round < 40; ++round) {
+    std::vector<double> refined;
+    bool changed = false;
+    for (std::size_t i = 0; i + 1 < grid.size(); ++i) {
+      refined.push_back(grid[i]);
+      const double mid = 0.5 * (grid[i] + grid[i + 1]);
+      // Linear between neighbours? Compare the evaluator with the chord.
+      const double va = at(grid[i]);
+      const double vb = at(grid[i + 1]);
+      const double vm = at(mid);
+      const double chord = 0.5 * (va + vb);
+      if (std::isfinite(vm) && std::isfinite(chord) &&
+          std::fabs(vm - chord) > 1e-9 * (1.0 + std::fabs(vm))) {
+        refined.push_back(mid);
+        changed = true;
+      }
+    }
+    refined.push_back(grid.back());
+    grid = std::move(refined);
+    if (!changed) break;
+  }
+  return minplus::detail::build_from_evaluators(grid, at, right);
+}
+
+}  // namespace streamcalc::maxplus

@@ -1,0 +1,39 @@
+// Max-plus algebra operations — the dual dioid the paper's background
+// section introduces alongside min-plus ("in max-plus algebra, addition is
+// replaced by the supremum and, once again, multiplication is replaced
+// with addition").
+//
+//   (f (+) g)(t) = sup_{0 <= s <= t} f(s) + g(t - s)   (max-plus conv)
+//   (f (-) g)(t) = inf_{s >= 0} f(t + s) - g(s)        (max-plus deconv)
+//
+// Max-plus convolution composes *lower* envelopes: if two stages each
+// guarantee at least f(t)/g(t) cumulative output when fed greedily, their
+// tandem guarantees at least (f (+) g)... see the duality tests for the
+// exchange identity linking it to min-plus convolution through pseudo-
+// inverses: (f (x) g)^{-1} = f^{-1} (+) g^{-1}.
+//
+// Both operators act on the same piecewise-linear Curve class as the
+// min-plus layer and are exact.
+#pragma once
+
+#include "minplus/curve.hpp"
+
+namespace streamcalc::maxplus {
+
+using minplus::Curve;
+
+/// Max-plus convolution (sup of split sums). Exact.
+Curve convolve(const Curve& f, const Curve& g);
+
+/// Evaluates (f (+) g)(t) directly.
+double convolve_at(const Curve& f, const Curve& g, double t);
+
+/// Max-plus deconvolution inf_{s>=0} [f(t+s) - g(s)], clamped below at 0.
+/// If g eventually outgrows f the infimum diverges to -inf and the result
+/// is identically 0 after clamping.
+Curve deconvolve(const Curve& f, const Curve& g);
+
+/// Evaluates the clamped max-plus deconvolution at one point.
+double deconvolve_at(const Curve& f, const Curve& g, double t);
+
+}  // namespace streamcalc::maxplus

@@ -1,0 +1,83 @@
+// Internal: reconstruction of piecewise-linear curves from exact point
+// evaluators, shared by the operation implementations. Not part of the
+// public API.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "minplus/curve.hpp"
+#include "util/error.hpp"
+
+namespace streamcalc::minplus::detail {
+
+inline constexpr double kInf = std::numeric_limits<double>::infinity();
+
+/// Sorts, dedups (with a relative tolerance so candidate points computed
+/// with rounding error collapse onto true breakpoints), drops negatives,
+/// and ensures 0 is present.
+inline std::vector<double> canonical_candidates(std::vector<double> xs) {
+  xs.push_back(0.0);
+  std::sort(xs.begin(), xs.end());
+  std::vector<double> out;
+  out.reserve(xs.size());
+  for (double x : xs) {
+    if (x < 0.0) continue;
+    if (!out.empty() && x - out.back() <= 1e-12 * (1.0 + std::fabs(x))) {
+      continue;
+    }
+    out.push_back(x);
+  }
+  SC_ASSERT(!out.empty() && out.front() == 0.0);
+  return out;
+}
+
+/// Builds a curve from point evaluators. `at(t)` gives f(t), `right(t)`
+/// gives the right limit. The evaluators must be exact on the candidate
+/// grid (the function must be linear between adjacent candidates); the
+/// builder recovers each linear piece from a midpoint sample and the final
+/// infinite segment from a probe one span past the last candidate.
+template <typename AtFn, typename RightFn>
+Curve build_from_evaluators(const std::vector<double>& candidates,
+                            const AtFn& at, const RightFn& right) {
+  std::vector<Segment> segs;
+  segs.reserve(candidates.size());
+  for (std::size_t i = 0; i < candidates.size(); ++i) {
+    const double x = candidates[i];
+    double value_at = at(x);
+    double value_after = std::max(right(x), value_at);
+    double slope = 0.0;
+    if (value_after != kInf) {
+      double probe_x;
+      if (i + 1 < candidates.size()) {
+        probe_x = 0.5 * (x + candidates[i + 1]);
+      } else {
+        probe_x = x + std::max(1.0, x);
+      }
+      const double probe = at(probe_x);
+      if (probe == kInf) {
+        // The function reaches +inf strictly inside what we assumed was a
+        // linear piece; candidates were supposed to cover all breakpoints.
+        SC_ASSERT(false);
+      }
+      slope = std::max(0.0, (probe - value_after) / (probe_x - x));
+    }
+    // Guard against rounding-induced monotonicity violations.
+    if (!segs.empty()) {
+      const Segment& p = segs.back();
+      const double left_limit =
+          p.value_after == kInf ? kInf
+                                : p.value_after + p.slope * (x - p.x);
+      if (left_limit != kInf && value_at < left_limit) {
+        value_at = left_limit;
+        value_after = std::max(value_after, value_at);
+      }
+    }
+    segs.push_back(Segment{x, value_at, value_after, slope});
+  }
+  return Curve(std::move(segs));
+}
+
+}  // namespace streamcalc::minplus::detail

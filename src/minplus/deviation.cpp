@@ -1,0 +1,83 @@
+#include "minplus/deviation.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace streamcalc::minplus {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+double sub_inf(double a, double b) {
+  if (a == kInf && b == kInf) return -kInf;  // both infinite: no deviation
+  if (a == kInf) return kInf;
+  if (b == kInf) return -kInf;
+  return a - b;
+}
+
+std::vector<double> shared_candidates(const Curve& f, const Curve& g) {
+  std::vector<double> ts{0.0};
+  for (const Segment& s : f.segments()) ts.push_back(s.x);
+  for (const Segment& s : g.segments()) ts.push_back(s.x);
+  // One probe beyond all breakpoints: there both curves are affine, so the
+  // deviation is monotone and its supremum over the tail sits at the probe
+  // (callers handle the divergent-tail case separately).
+  ts.push_back(std::max(f.last_breakpoint(), g.last_breakpoint()) + 1.0);
+  std::sort(ts.begin(), ts.end());
+  ts.erase(std::unique(ts.begin(), ts.end()), ts.end());
+  return ts;
+}
+
+}  // namespace
+
+double vertical_deviation(const Curve& f, const Curve& g) {
+  if (f.tail_slope() > g.tail_slope()) return kInf;
+  double best = 0.0;
+  for (double t : shared_candidates(f, g)) {
+    best = std::max(best, sub_inf(f.value(t), g.value(t)));
+    best = std::max(best, sub_inf(f.value_right(t), g.value_right(t)));
+    if (t > 0.0) {
+      best = std::max(best, sub_inf(f.value_left(t), g.value_left(t)));
+    }
+    if (best == kInf) break;
+  }
+  return best;
+}
+
+double horizontal_deviation(const Curve& f, const Curve& g) {
+  if (f.tail_slope() > g.tail_slope()) return kInf;
+
+  // Candidate abscissae where the delay d(t) = g^{-1}(f(t)) - t can peak:
+  // breakpoints of f, instants where f crosses the value levels of g's
+  // breakpoints, and one probe past all breakpoints (beyond which d(t) is
+  // affine non-increasing given the tail-slope check above).
+  std::vector<double> ts = shared_candidates(f, g);
+  for (const Segment& s : g.segments()) {
+    for (double level : {s.value_at, s.value_after}) {
+      if (level == kInf) continue;
+      const double t = f.lower_inverse(level);
+      if (std::isfinite(t)) ts.push_back(t);
+    }
+  }
+  std::sort(ts.begin(), ts.end());
+  ts.erase(std::unique(ts.begin(), ts.end()), ts.end());
+
+  double best = 0.0;
+  for (double t : ts) {
+    for (double level : {f.value(t), f.value_right(t)}) {
+      if (level == kInf) return kInf;  // f demands more than g ever serves
+      if (level <= 0.0) continue;
+      const double reach = g.lower_inverse(level);
+      if (reach == kInf) return kInf;
+      best = std::max(best, reach - t);
+    }
+  }
+  return best;
+}
+
+}  // namespace streamcalc::minplus

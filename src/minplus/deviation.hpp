@@ -1,0 +1,25 @@
+// Horizontal and vertical deviations between curves.
+//
+// For an arrival curve alpha and a service curve beta these are the two
+// fundamental performance bounds of network calculus (Le Boudec & Thiran,
+// ch. 1):
+//
+//   backlog bound  x = v(alpha, beta) = sup_t [alpha(t) - beta(t)]
+//   delay bound    d = h(alpha, beta)
+//                    = sup_t inf{ d >= 0 : alpha(t) <= beta(t + d) }
+//
+// Both are computed exactly for piecewise-linear curves and return +inf
+// when the deviation diverges (alpha's long-run rate exceeding beta's).
+#pragma once
+
+#include "minplus/curve.hpp"
+
+namespace streamcalc::minplus {
+
+/// sup_{t >= 0} [f(t) - g(t)], clamped below at 0; +inf if divergent.
+double vertical_deviation(const Curve& f, const Curve& g);
+
+/// sup_{t >= 0} inf{ d >= 0 : f(t) <= g(t + d) }; +inf if divergent.
+double horizontal_deviation(const Curve& f, const Curve& g);
+
+}  // namespace streamcalc::minplus

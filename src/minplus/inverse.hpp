@@ -1,0 +1,26 @@
+// Pseudo-inverse curves: switching between the time domain ("how much data
+// by time t") and the data domain ("by when is byte x through").
+//
+// For a wide-sense-increasing curve f, the lower pseudo-inverse
+//
+//   f^{-1}(y) = inf{ t >= 0 : f(t) >= y }
+//
+// is itself a wide-sense-increasing piecewise-linear curve of the data
+// amount y: jumps of f become plateaus of f^{-1} and plateaus become
+// jumps. Service curves inverted this way answer "the latest time the
+// first y bytes are served" — the max-plus view of network calculus that
+// the paper's background section mentions alongside min-plus.
+#pragma once
+
+#include "minplus/curve.hpp"
+
+namespace streamcalc::minplus {
+
+/// The lower pseudo-inverse of `f` as a curve over data (x axis: bytes,
+/// values: seconds). Requires f to be unbounded (finite tail slope > 0) or
+/// the inverse becomes +inf past sup f — both cases are representable and
+/// handled. For f with an infinite tail (delta curves), the inverse is
+/// capped at the jump abscissa.
+Curve lower_inverse_curve(const Curve& f);
+
+}  // namespace streamcalc::minplus

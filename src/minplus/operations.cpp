@@ -1,0 +1,457 @@
+#include "minplus/operations.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "minplus/detail/builder.hpp"
+#include "util/error.hpp"
+
+namespace streamcalc::minplus {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+double add_inf(double a, double b) {
+  if (a == kInf || b == kInf) return kInf;
+  return a + b;
+}
+
+/// a - b for the deconvolution sup: +inf beats everything; a -inf
+/// contribution (b == +inf with finite a) can never be the sup, and the
+/// caller skips it by checking the return for NaN-free semantics here.
+/// Returns -inf when b == +inf (and a finite) so max() ignores it.
+double sub_inf(double a, double b) {
+  if (a == kInf && b == kInf) return -kInf;  // undefined piece; ignore
+  if (a == kInf) return kInf;
+  if (b == kInf) return -kInf;
+  return a - b;
+}
+
+std::vector<double> breakpoints(const Curve& c) {
+  std::vector<double> xs;
+  xs.reserve(c.segments().size());
+  for (const Segment& s : c.segments()) xs.push_back(s.x);
+  return xs;
+}
+
+/// Adds the crossing abscissae of f and g (where f - g changes sign inside
+/// a linear piece) to `xs`, which must already contain all breakpoints of
+/// both curves.
+void add_crossings(const Curve& f, const Curve& g, std::vector<double>& xs) {
+  const std::vector<double> grid = detail::canonical_candidates(xs);
+  auto crossing_in = [&](double x1, double x2_or_inf) {
+    const double vf = f.value_right(x1);
+    const double vg = g.value_right(x1);
+    if (vf == kInf || vg == kInf) return;
+    double mf, mg;
+    if (std::isfinite(x2_or_inf)) {
+      const double lf = f.value_left(x2_or_inf);
+      const double lg = g.value_left(x2_or_inf);
+      if (lf == kInf || lg == kInf) return;
+      mf = (lf - vf) / (x2_or_inf - x1);
+      mg = (lg - vg) / (x2_or_inf - x1);
+    } else {
+      mf = f.tail_slope();
+      mg = g.tail_slope();
+      if (mf == kInf || mg == kInf) return;
+    }
+    const double d0 = vf - vg;
+    const double ms = mf - mg;
+    // Nearly-parallel pieces have no numerically meaningful crossing; the
+    // division below would fabricate a breakpoint at an absurd abscissa.
+    if (std::fabs(ms) <= 1e-9 * (std::fabs(mf) + std::fabs(mg))) return;
+    const double t = x1 - d0 / ms;
+    // A crossing at (or within rounding distance of) an interval endpoint
+    // adds nothing — and keeping it would make the later dedup drop the
+    // true breakpoint (losing any jump there) in favour of the crossing.
+    const double tol = 1e-9 * (1.0 + std::fabs(t));
+    if (t <= x1 + tol) return;
+    if (std::isfinite(x2_or_inf) && t >= x2_or_inf - tol) return;
+    xs.push_back(t);
+  };
+  for (std::size_t i = 0; i + 1 < grid.size(); ++i) {
+    crossing_in(grid[i], grid[i + 1]);
+  }
+  crossing_in(grid.back(), kInf);
+}
+
+template <typename Op>
+Curve pointwise(const Curve& f, const Curve& g, const Op& op,
+                bool needs_crossings) {
+  std::vector<double> xs = breakpoints(f);
+  const std::vector<double> gx = breakpoints(g);
+  xs.insert(xs.end(), gx.begin(), gx.end());
+  if (needs_crossings) add_crossings(f, g, xs);
+  const std::vector<double> grid = detail::canonical_candidates(std::move(xs));
+  return detail::build_from_evaluators(
+      grid, [&](double t) { return op(f.value(t), g.value(t)); },
+      [&](double t) { return op(f.value_right(t), g.value_right(t)); });
+}
+
+/// Returns the latency T if the curve is exactly delta_T, else a negative
+/// sentinel.
+double pure_delay_latency(const Curve& c) {
+  const auto& segs = c.segments();
+  if (segs.size() == 1) {
+    const Segment& s = segs.front();
+    if (s.value_at == 0.0 && s.value_after == kInf) return 0.0;
+    return -1.0;
+  }
+  if (segs.size() == 2 && segs[0] == Segment{0.0, 0.0, 0.0, 0.0}) {
+    const Segment& s = segs[1];
+    if (s.value_at == 0.0 && s.value_after == kInf) return s.x;
+  }
+  return -1.0;
+}
+
+/// Slope-sorted convolution of two finite convex curves.
+Curve convolve_convex(const Curve& f, const Curve& g) {
+  struct Piece {
+    double slope;
+    double length;  // kInf for the final segment
+  };
+  auto pieces_of = [](const Curve& c) {
+    std::vector<Piece> ps;
+    const auto& segs = c.segments();
+    for (std::size_t i = 0; i < segs.size(); ++i) {
+      const double len =
+          (i + 1 < segs.size()) ? segs[i + 1].x - segs[i].x : kInf;
+      ps.push_back(Piece{segs[i].slope, len});
+    }
+    return ps;
+  };
+  std::vector<Piece> pieces = pieces_of(f);
+  const std::vector<Piece> gp = pieces_of(g);
+  pieces.insert(pieces.end(), gp.begin(), gp.end());
+  std::stable_sort(pieces.begin(), pieces.end(),
+                   [](const Piece& a, const Piece& b) {
+                     return a.slope < b.slope;
+                   });
+
+  std::vector<Segment> segs;
+  double x = 0.0;
+  double y = f.value(0.0) + g.value(0.0);
+  for (const Piece& p : pieces) {
+    if (segs.empty() || x > segs.back().x) {
+      segs.push_back(Segment{x, y, y, p.slope});
+    } else {
+      // The previous piece's width rounded away at this magnitude; the
+      // region belongs to this piece's slope.
+      segs.back().slope = p.slope;
+    }
+    if (p.length == kInf) break;  // all later pieces are steeper; unused
+    x += p.length;
+    y += p.slope * p.length;
+  }
+  return Curve(std::move(segs));
+}
+
+/// t -> c + g(t) (also lifting the origin value). c may be +inf.
+Curve plus_const(const Curve& g, double c) {
+  if (c == kInf) {
+    return Curve({Segment{0.0, kInf, kInf, 0.0}});
+  }
+  std::vector<Segment> out = g.segments();
+  for (Segment& s : out) {
+    s.value_at = add_inf(s.value_at, c);
+    s.value_after = add_inf(s.value_after, c);
+  }
+  return Curve(std::move(out));
+}
+
+/// Branch of the convolution infimum anchored at split point s = T with
+/// f-contribution c: exactly c + g(t - T) for t >= T, and the safe plateau
+/// c + g(0) on [0, T). (Safe because conv(t) <= f(t) + g(0) <= c + g(0)
+/// there whenever c is a value f takes at or after t.)
+Curve conv_branch(const Curve& g, double T, double c) {
+  if (c == kInf) return plus_const(g, c);
+  std::vector<Segment> out;
+  const double plateau = add_inf(g.value(0.0), c);
+  if (T > 0.0) out.push_back(Segment{0.0, plateau, plateau, 0.0});
+  for (const Segment& s : g.segments()) {
+    const double x = s.x + T;
+    if (!out.empty() && x <= out.back().x) continue;  // ulp collision
+    out.push_back(Segment{x, add_inf(s.value_at, c),
+                          add_inf(s.value_after, c), s.slope});
+  }
+  return Curve(std::move(out));
+}
+
+/// Replaces each breakpoint's value_at with the exact evaluator's value
+/// (clamped into [left limit, right limit] so rounding noise cannot break
+/// monotonicity). The envelope construction is exact on open intervals and
+/// at right limits, but at isolated breakpoints the true value can differ
+/// from the branch minimum/maximum; this repairs those points.
+template <typename AtFn>
+Curve repair_point_values(const Curve& env, const AtFn& at) {
+  std::vector<Segment> segs = env.segments();
+  for (std::size_t i = 0; i < segs.size(); ++i) {
+    Segment& s = segs[i];
+    double lo = 0.0;
+    if (i > 0) {
+      const Segment& p = segs[i - 1];
+      lo = p.value_after == kInf ? kInf
+                                 : p.value_after + p.slope * (s.x - p.x);
+    }
+    s.value_at = std::min(std::max(at(s.x), lo), s.value_after);
+  }
+  return Curve(std::move(segs));
+}
+
+/// Branch of the deconvolution supremum anchored at t + s = X with
+/// f-contribution c: max(0, c - g(X - t)) on [0, X], constant after (safe
+/// because deconv(t) >= f(t) - g(0) >= c - g(0) for t >= X).
+Curve deconv_reflected_branch(const Curve& g, double X, double c) {
+  std::vector<double> ts{0.0, X};
+  for (const Segment& s : g.segments()) {
+    if (s.x <= X) ts.push_back(X - s.x);
+  }
+  if (c != kInf) {
+    // The max(0, .) clamp introduces one kink where g(X - t) crosses c.
+    const double u_cross = g.lower_inverse(c);
+    if (std::isfinite(u_cross) && u_cross <= X) ts.push_back(X - u_cross);
+  }
+  std::sort(ts.begin(), ts.end());
+  ts.erase(std::unique(ts.begin(), ts.end()), ts.end());
+  const auto arg = [X](double t) { return std::max(0.0, X - t); };
+  return detail::build_from_evaluators(
+      ts,
+      [&](double t) { return std::max(0.0, sub_inf(c, g.value(arg(t)))); },
+      [&](double t) {
+        return std::max(0.0, sub_inf(c, g.value_left(arg(t))));
+      });
+}
+
+double conv_at_impl(const Curve& f, const Curve& g, double t) {
+  std::vector<double> ss{0.0, t};
+  for (const Segment& s : f.segments()) {
+    if (s.x <= t) ss.push_back(s.x);
+  }
+  for (const Segment& s : g.segments()) {
+    if (s.x <= t) ss.push_back(t - s.x);
+  }
+  double best = kInf;
+  for (double s : ss) {
+    if (s < 0.0 || s > t) continue;
+    const double u = t - s;
+    best = std::min(best, add_inf(f.value(s), g.value(u)));
+    if (s < t) {
+      best = std::min(best, add_inf(f.value_right(s), g.value_left(u)));
+    }
+    if (s > 0.0) {
+      best = std::min(best, add_inf(f.value_left(s), g.value_right(u)));
+    }
+  }
+  return best;
+}
+
+double deconv_at_impl(const Curve& f, const Curve& g, double t,
+                      bool right_limit) {
+  std::vector<double> ss{0.0};
+  for (const Segment& s : g.segments()) ss.push_back(s.x);
+  for (const Segment& s : f.segments()) {
+    if (s.x >= t) ss.push_back(s.x - t);
+  }
+  // One probe beyond every breakpoint: past it the difference is affine
+  // with non-positive slope (callers rule out the unbounded case first),
+  // so no larger value exists further out.
+  ss.push_back(std::max(f.last_breakpoint(), g.last_breakpoint()) + 1.0);
+
+  double best = 0.0;  // deconvolution of cumulative curves clamps at 0
+  for (double s : ss) {
+    if (s < 0.0) continue;
+    const double a = t + s;
+    if (right_limit) {
+      best = std::max(best, sub_inf(f.value_right(a), g.value(s)));
+      best = std::max(best, sub_inf(f.value_right(a), g.value_right(s)));
+      best = std::max(best, sub_inf(f.value(a), g.value(s)));
+      if (s > 0.0) {
+        best = std::max(best, sub_inf(f.value(a), g.value_left(s)));
+      }
+    } else {
+      best = std::max(best, sub_inf(f.value(a), g.value(s)));
+      best = std::max(best, sub_inf(f.value_right(a), g.value_right(s)));
+      if (s > 0.0) {
+        best = std::max(best, sub_inf(f.value_left(a), g.value_left(s)));
+      }
+    }
+    if (best == kInf) break;
+  }
+  return best;
+}
+
+}  // namespace
+
+Curve add(const Curve& f, const Curve& g) {
+  return pointwise(f, g, [](double a, double b) { return add_inf(a, b); },
+                   /*needs_crossings=*/false);
+}
+
+Curve minimum(const Curve& f, const Curve& g) {
+  return pointwise(f, g, [](double a, double b) { return std::min(a, b); },
+                   /*needs_crossings=*/true);
+}
+
+Curve maximum(const Curve& f, const Curve& g) {
+  return pointwise(f, g, [](double a, double b) { return std::max(a, b); },
+                   /*needs_crossings=*/true);
+}
+
+Curve subtract_clamped(const Curve& f, const Curve& g) {
+  const auto diff = [](double a, double b) {
+    if (a == kInf) return kInf;
+    if (b == kInf) return 0.0;
+    return std::max(a - b, 0.0);
+  };
+  std::vector<double> xs = breakpoints(f);
+  const std::vector<double> gx = breakpoints(g);
+  xs.insert(xs.end(), gx.begin(), gx.end());
+  add_crossings(f, g, xs);
+  const std::vector<double> grid = detail::canonical_candidates(std::move(xs));
+
+  // Built by hand rather than through the generic builder: that builder
+  // clamps away monotonicity violations, but a residual curve that is not
+  // wide-sense increasing is simply not a valid service curve (Le Boudec
+  // Thm. 6.2.1's proviso) and silently raising it would be unsound.
+  std::vector<Segment> segs;
+  segs.reserve(grid.size());
+  for (std::size_t i = 0; i < grid.size(); ++i) {
+    const double x = grid[i];
+    const double at = diff(f.value(x), g.value(x));
+    double after = diff(f.value_right(x), g.value_right(x));
+    // A downward jump (cross-traffic burst) makes the residual invalid.
+    util::require(after >= at - 1e-9 * (1.0 + std::fabs(at)),
+                  "subtract_clamped: [f - g]^+ is not wide-sense "
+                  "increasing and is not a valid residual service curve");
+    after = std::max(after, at);
+    double slope = 0.0;
+    if (after != kInf) {
+      const double probe_x = (i + 1 < grid.size())
+                                 ? 0.5 * (x + grid[i + 1])
+                                 : x + std::max(1.0, x);
+      const double probe = diff(f.value(probe_x), g.value(probe_x));
+      slope = (probe - after) / (probe_x - x);
+      util::require(slope >= -1e-9 * (1.0 + std::fabs(probe)),
+                    "subtract_clamped: [f - g]^+ is not wide-sense "
+                    "increasing and is not a valid residual service curve");
+      slope = std::max(0.0, slope);
+    }
+    if (!segs.empty()) {
+      const Segment& p = segs.back();
+      const double left =
+          p.value_after == kInf ? kInf : p.value_after + p.slope * (x - p.x);
+      util::require(left == kInf || at >= left - 1e-9 * (1.0 + left),
+                    "subtract_clamped: [f - g]^+ is not wide-sense "
+                    "increasing and is not a valid residual service curve");
+    }
+    segs.push_back(Segment{x, at, after, slope});
+  }
+  return Curve(std::move(segs));
+}
+
+double convolve_at(const Curve& f, const Curve& g, double t) {
+  util::require(t >= 0.0 && !std::isnan(t), "convolve_at requires t >= 0");
+  return conv_at_impl(f, g, t);
+}
+
+Curve convolve(const Curve& f, const Curve& g) {
+  // delta_T is the shift operator.
+  if (const double tf = pure_delay_latency(f); tf >= 0.0) {
+    return g.shift_right(tf);
+  }
+  if (const double tg = pure_delay_latency(g); tg >= 0.0) {
+    return f.shift_right(tg);
+  }
+  // Closed forms.
+  if (f.is_finite() && g.is_finite() && f.is_convex() && g.is_convex()) {
+    return convolve_convex(f, g);
+  }
+  if (f.is_concave_from_origin() && g.is_concave_from_origin()) {
+    return minimum(f, g);
+  }
+  // General exact algorithm. The infimum over the split point s is attained
+  // (or approached) where s or t - s sits at an operand breakpoint; each
+  // such anchoring yields a whole *branch curve* in t — a shifted copy of
+  // one operand plus a constant from the other. The convolution is the
+  // pointwise minimum of all branches, and minimum() finds the crossing
+  // kinks between branches exactly. Isolated point values are then repaired
+  // from the direct evaluator.
+  std::vector<Curve> branches;
+  const auto add_branches = [&branches](const Curve& anchor,
+                                        const Curve& shape) {
+    for (const Segment& s : anchor.segments()) {
+      branches.push_back(conv_branch(shape, s.x, s.value_at));
+      const double left = anchor.value_left(s.x);
+      if (left != s.value_at) {
+        branches.push_back(conv_branch(shape, s.x, left));
+      }
+    }
+  };
+  add_branches(f, g);
+  add_branches(g, f);
+  Curve env = branches.front();
+  for (std::size_t i = 1; i < branches.size(); ++i) {
+    env = minimum(env, branches[i]);
+  }
+  return repair_point_values(env,
+                             [&](double t) { return conv_at_impl(f, g, t); });
+}
+
+double deconvolve_at(const Curve& f, const Curve& g, double t) {
+  util::require(t >= 0.0 && !std::isnan(t), "deconvolve_at requires t >= 0");
+  if (f.tail_slope() > g.tail_slope()) return kInf;
+  return deconv_at_impl(f, g, t, /*right_limit=*/false);
+}
+
+Curve deconvolve(const Curve& f, const Curve& g) {
+  if (f.tail_slope() > g.tail_slope()) {
+    // The supremum diverges for every t: the deconvolution is +inf
+    // everywhere (the flow cannot be bounded by any arrival curve).
+    return Curve({Segment{0.0, kInf, kInf, 0.0}});
+  }
+  // Branch-envelope construction, dual to convolve(): the supremum over s
+  // is attained (or approached) where s sits at a breakpoint of g or where
+  // t + s sits at a breakpoint of f. Each anchoring is a whole curve in t;
+  // the deconvolution is their pointwise maximum (maximum() finds crossing
+  // kinks exactly), with isolated point values repaired afterwards.
+  std::vector<Curve> branches{Curve::zero()};
+  const auto add_g_anchor = [&](double s) {
+    for (double c : {g.value(s), g.value_left(s)}) {
+      if (c == kInf) continue;
+      branches.push_back(f.shift_left(s).minus_clamped(c));
+    }
+  };
+  for (const Segment& sg : g.segments()) add_g_anchor(sg.x);
+  // One anchor beyond all breakpoints: past it the difference decays (the
+  // unbounded case was excluded above), so the tail is fully covered.
+  add_g_anchor(std::max(f.last_breakpoint(), g.last_breakpoint()) + 1.0);
+  for (const Segment& sf : f.segments()) {
+    branches.push_back(
+        deconv_reflected_branch(g, sf.x, f.value_right(sf.x)));
+  }
+  Curve env = branches.front();
+  for (std::size_t i = 1; i < branches.size(); ++i) {
+    env = maximum(env, branches[i]);
+  }
+  return repair_point_values(env, [&](double t) {
+    return deconv_at_impl(f, g, t, /*right_limit=*/false);
+  });
+}
+
+Curve subadditive_closure(const Curve& f, int max_terms) {
+  util::require(max_terms >= 1, "subadditive_closure requires max_terms >= 1");
+  Curve closure = minimum(Curve::delta(0.0), f);
+  Curve power = f;
+  for (int i = 1; i < max_terms; ++i) {
+    power = convolve(power, f);
+    Curve next = minimum(closure, power);
+    if (next == closure) return closure;
+    closure = std::move(next);
+  }
+  return closure;
+}
+
+}  // namespace streamcalc::minplus

@@ -1,0 +1,99 @@
+#include "netcalc/bounds.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "minplus/deviation.hpp"
+#include "minplus/operations.hpp"
+#include "util/error.hpp"
+
+namespace streamcalc::netcalc {
+
+const char* to_string(Regime r) {
+  switch (r) {
+    case Regime::kUnderloaded:
+      return "underloaded";
+    case Regime::kCritical:
+      return "critical";
+    case Regime::kOverloaded:
+      return "overloaded";
+  }
+  return "?";
+}
+
+Regime regime(const minplus::Curve& alpha, const minplus::Curve& beta) {
+  const double ra = alpha.tail_slope();
+  const double rb = beta.tail_slope();
+  if (ra < rb) return Regime::kUnderloaded;
+  if (ra == rb) return Regime::kCritical;
+  return Regime::kOverloaded;
+}
+
+util::DataSize backlog_bound(const minplus::Curve& alpha,
+                             const minplus::Curve& beta) {
+  return util::DataSize::bytes(minplus::vertical_deviation(alpha, beta));
+}
+
+util::Duration delay_bound(const minplus::Curve& alpha,
+                           const minplus::Curve& beta) {
+  return util::Duration::seconds(minplus::horizontal_deviation(alpha, beta));
+}
+
+minplus::Curve output_bound(const minplus::Curve& alpha,
+                            const minplus::Curve& beta,
+                            const std::optional<minplus::Curve>& gamma) {
+  const minplus::Curve constrained =
+      gamma ? minplus::convolve(alpha, *gamma) : alpha;
+  return minplus::deconvolve(constrained, beta);
+}
+
+util::DataRate guaranteed_rate(const minplus::Curve& beta,
+                               util::Duration horizon) {
+  util::require(horizon > util::Duration::seconds(0) && horizon.is_finite(),
+                "guaranteed_rate requires a positive finite horizon");
+  const double h = horizon.in_seconds();
+  return util::DataRate::bytes_per_sec(beta.value(h) / h);
+}
+
+util::DataRate limiting_rate(const minplus::Curve& curve,
+                             util::Duration horizon) {
+  util::require(horizon > util::Duration::seconds(0) && horizon.is_finite(),
+                "limiting_rate requires a positive finite horizon");
+  const double h = horizon.in_seconds();
+  const double v = curve.value(h);
+  if (v == std::numeric_limits<double>::infinity()) {
+    return util::DataRate::infinite();
+  }
+  return util::DataRate::bytes_per_sec(v / h);
+}
+
+util::DataRate overload_growth_rate(const minplus::Curve& alpha,
+                                    const minplus::Curve& beta) {
+  const double excess = alpha.tail_slope() - beta.tail_slope();
+  return util::DataRate::bytes_per_sec(std::max(0.0, excess));
+}
+
+util::DataSize backlog_at(const minplus::Curve& alpha,
+                          const minplus::Curve& beta, util::Duration elapsed) {
+  util::require(elapsed >= util::Duration::seconds(0) && elapsed.is_finite(),
+                "backlog_at requires a finite elapsed time >= 0");
+  // sup over [0, elapsed] of alpha - beta: candidates are the breakpoints
+  // of either curve inside the window plus the window edge.
+  double best = 0.0;
+  const double h = elapsed.in_seconds();
+  auto consider = [&](double t) {
+    if (t < 0.0 || t > h) return;
+    const double a = alpha.value_right(t);
+    const double b = beta.value(t);
+    if (b == std::numeric_limits<double>::infinity()) return;
+    best = std::max(best, a - b);
+  };
+  consider(h);
+  for (const minplus::Segment& s : alpha.segments()) consider(s.x);
+  for (const minplus::Segment& s : beta.segments()) consider(s.x);
+  // Between breakpoints the difference is linear, so interior suprema occur
+  // only at the considered points or at the window edge (handled above).
+  return util::DataSize::bytes(best);
+}
+
+}  // namespace streamcalc::netcalc

@@ -1,0 +1,78 @@
+// Single-server network calculus bounds with physical units.
+//
+// Given a flow constrained by arrival curve alpha entering a server that
+// guarantees service curve beta (and optionally offers at most gamma):
+//
+//   backlog  x <= sup_t [alpha(t) - beta(t)]            (vertical deviation)
+//   delay    d <= sup_t inf{d : alpha(t) <= beta(t+d)}  (horizontal deviation)
+//   output   alpha* = (alpha (x) gamma) (/) beta
+//
+// All curves are in bytes over seconds. The bounds are finite only when the
+// sustained arrival rate R_alpha does not exceed the service rate R_beta;
+// the three regimes (R_alpha < = > R_beta) are classified by regime().
+#pragma once
+
+#include <optional>
+
+#include "minplus/curve.hpp"
+#include "util/units.hpp"
+
+namespace streamcalc::netcalc {
+
+/// Load regime of a server (paper, Section 3: the three scenarios of
+/// interest around the stability constraint R_alpha <= R_beta).
+enum class Regime {
+  kUnderloaded,  ///< R_alpha < R_beta: finite bounds, standard operation.
+  kCritical,     ///< R_alpha == R_beta: bounds finite but queues persist.
+  kOverloaded,   ///< R_alpha > R_beta: backlog/delay bounds are infinite.
+};
+
+const char* to_string(Regime r);
+
+/// Classifies by comparing sustained (tail) rates of alpha and beta.
+Regime regime(const minplus::Curve& alpha, const minplus::Curve& beta);
+
+/// Backlog bound: maximum data resident in the server. Infinite if
+/// overloaded.
+util::DataSize backlog_bound(const minplus::Curve& alpha,
+                             const minplus::Curve& beta);
+
+/// Virtual delay bound: maximum time for the server to emit as much data as
+/// it was sent. Infinite if overloaded.
+util::Duration delay_bound(const minplus::Curve& alpha,
+                           const minplus::Curve& beta);
+
+/// Output flow bound alpha* = (alpha (x) gamma) (/) beta. Pass nullopt for
+/// gamma when no maximum service curve is known (gamma = +infinity, so the
+/// convolution term is just alpha).
+minplus::Curve output_bound(const minplus::Curve& alpha,
+                            const minplus::Curve& beta,
+                            const std::optional<minplus::Curve>& gamma);
+
+/// Finite-horizon throughput guaranteed by a service curve: beta(h) / h —
+/// the least average output rate over a run of length `horizon` (this is
+/// how the paper turns curves into the single MiB/s numbers of its
+/// Tables 1 and 3). Requires horizon > 0.
+util::DataRate guaranteed_rate(const minplus::Curve& beta,
+                               util::Duration horizon);
+
+/// Finite-horizon throughput ceiling from a constraining curve:
+/// min(curve(h), h * tail considerations) / h = curve(h) / h.
+util::DataRate limiting_rate(const minplus::Curve& curve,
+                             util::Duration horizon);
+
+/// Backlog growth rate in the overloaded regime: R_alpha - R_beta. Returns
+/// zero when not overloaded. This is the quantity the paper's future-work
+/// section proposes for reasoning about queue sizing when the stability
+/// constraint is relaxed.
+util::DataRate overload_growth_rate(const minplus::Curve& alpha,
+                                    const minplus::Curve& beta);
+
+/// Estimated queue occupancy after running an overloaded server for
+/// `elapsed`: the deviation sup_{t <= elapsed} [alpha(t) - beta(t)],
+/// which stays finite on a finite horizon even when the long-run bound is
+/// infinite.
+util::DataSize backlog_at(const minplus::Curve& alpha,
+                          const minplus::Curve& beta, util::Duration elapsed);
+
+}  // namespace streamcalc::netcalc

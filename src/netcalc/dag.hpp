@@ -1,0 +1,116 @@
+// Network calculus over directed acyclic graphs of stages (paper,
+// Section 4: "streaming data applications are often modeled as a chain of
+// nodes interconnected into a directed acyclic graph").
+//
+// The DAG model generalizes PipelineModel: a node's output may be split
+// among several successors (a *proportional* splitter routing a fixed
+// fraction of each emitted block down each edge), and a node may join the
+// flows of several predecessors (its arrival curve is the sum of the
+// incoming edge envelopes). Analysis walks the graph in topological order:
+//
+//   * per-edge arrival envelopes, normalized to pipeline-input bytes,
+//     propagate through output bounds and splitter scaling;
+//   * per-node delay/backlog bounds come from (sum of incoming envelopes,
+//     node service curve);
+//   * per-path delay bounds concatenate service curves along the path,
+//     using *residual* service [beta - alpha_cross]^+ at nodes shared with
+//     cross-traffic from other paths (blind-multiplexing residual);
+//   * the end-to-end delay bound is the maximum over source-to-sink paths.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "minplus/curve.hpp"
+#include "netcalc/node.hpp"
+#include "netcalc/pipeline.hpp"
+
+namespace streamcalc::netcalc {
+
+/// A directed edge: `fraction` of node `from`'s output volume flows to
+/// node `to`. Fractions out of a node must sum to at most 1 (the
+/// remainder, if any, leaves the modeled system).
+struct DagEdge {
+  std::size_t from = 0;
+  std::size_t to = 0;
+  double fraction = 1.0;
+};
+
+/// A DAG of stages. `entries` lists the nodes fed by the source and the
+/// fraction of the source flow each receives (fractions sum to <= 1).
+struct DagSpec {
+  std::vector<NodeSpec> nodes;
+  std::vector<DagEdge> edges;
+  std::vector<DagEdge> entries;  ///< `from` ignored; `to` = entry node
+
+  /// Validates shape: indices in range, acyclic, fractions in (0, 1] with
+  /// per-node outgoing sums <= 1 (+eps). Throws PreconditionError.
+  void validate() const;
+
+  /// Node indices in a topological order (entries first).
+  std::vector<std::size_t> topological_order() const;
+
+  /// All source-to-sink paths (sequences of node indices). Exponential in
+  /// the worst case; intended for the small graphs of application models.
+  std::vector<std::vector<std::size_t>> paths() const;
+};
+
+/// Per-node results of the DAG analysis.
+struct DagNodeAnalysis {
+  std::string name;
+  Regime load_regime = Regime::kUnderloaded;
+  util::DataRate arrival_rate;      ///< summed sustained arrivals
+  util::DataRate service_rate;      ///< guaranteed rate (normalized)
+  util::Duration delay;             ///< per-node delay bound
+  util::DataSize backlog;           ///< per-node backlog bound (normalized)
+  util::DataSize buffer_bytes;      ///< recommended local buffer
+};
+
+/// Per-path results.
+struct DagPathAnalysis {
+  std::vector<std::size_t> nodes;   ///< node indices along the path
+  util::Duration delay;             ///< concatenated (residual) delay bound
+};
+
+/// Network-calculus model of a DAG pipeline.
+class DagModel {
+ public:
+  DagModel(DagSpec dag, SourceSpec source, ModelPolicy policy = {});
+
+  const DagSpec& dag() const { return dag_; }
+
+  /// Arrival envelope entering node i (sum of incoming edges), normalized.
+  const minplus::Curve& node_arrival(std::size_t i) const;
+  /// Service curve of node i (normalized to pipeline input).
+  const minplus::Curve& node_service(std::size_t i) const;
+
+  /// Per-node bounds in topological order of `dag().nodes`.
+  std::vector<DagNodeAnalysis> per_node_analysis() const;
+
+  /// Delay bound along every source-to-sink path (residual concatenation)
+  /// and the end-to-end maximum.
+  std::vector<DagPathAnalysis> per_path_analysis() const;
+  util::Duration delay_bound() const;
+
+  /// Total backlog bound: sum of per-node bounds (normalized bytes).
+  util::DataSize backlog_bound() const;
+
+ private:
+  void build();
+  util::Duration delay_bound_for(std::size_t i) const;
+  util::DataSize backlog_bound_for(std::size_t i) const;
+
+  DagSpec dag_;
+  SourceSpec source_;
+  ModelPolicy policy_;
+  std::vector<minplus::Curve> arrival_;      ///< per node
+  std::vector<minplus::Curve> service_;      ///< per node (normalized)
+  std::vector<minplus::Curve> max_service_;  ///< per node
+  std::vector<minplus::Curve> output_;       ///< per node output bound
+  std::vector<minplus::Curve> edge_curve_;   ///< per edge envelope
+  std::vector<minplus::Curve> entry_curve_;  ///< per entry envelope
+  std::vector<double> vol_in_;               ///< worst-case volume at input
+};
+
+}  // namespace streamcalc::netcalc

@@ -1,0 +1,151 @@
+// The extended network-calculus node of the paper: a stage of a streaming
+// application that may be a computation (CPU/GPU/FPGA kernel) or a
+// communication element (network link, PCIe bus).
+//
+// A node consumes data in blocks of `block_in` bytes, takes between
+// `time_min` and `time_max` to process one block, and emits `block_out`
+// bytes per block. The same description drives both the analytic
+// network-calculus model (src/netcalc/pipeline.hpp) and the discrete-event
+// simulation (src/streamsim), so the two models are parameterized by a
+// single source of truth — matching the paper's methodology of deriving
+// every model from the same isolated per-stage measurements.
+//
+// Data-volume changes are expressed separately from blocking:
+//   * job ratio      = block_in / block_out   (granularity change, Fig. 3)
+//   * volume ratio   = long-run bytes emitted per byte consumed
+//     (filtering stages < 1, seed enumeration > 1, compression with its
+//     min/avg/max observed ratios, Section 5).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "minplus/curve.hpp"
+#include "util/units.hpp"
+
+namespace streamcalc::netcalc {
+
+/// What a node physically is; affects nothing in the math but everything in
+/// how results are reported and which flow-graph shape is emitted.
+enum class NodeKind {
+  kCompute,      ///< computational stage (CPU/GPU/FPGA kernel)
+  kNetworkLink,  ///< network communication (e.g. 100G Ethernet between FPGAs)
+  kPcieLink,     ///< PCIe bus transfer between memory domains
+};
+
+const char* to_string(NodeKind k);
+
+/// Long-run bytes emitted per byte consumed, with the spread observed in
+/// isolated measurements (compression ratio uncertainty, Section 5 /
+/// Table 2). For deterministic stages all three coincide.
+struct VolumeRatio {
+  double min = 1.0;  ///< fewest bytes out per byte in (best compression)
+  double avg = 1.0;
+  double max = 1.0;  ///< most bytes out per byte in (worst compression)
+
+  static VolumeRatio exact(double v) { return {v, v, v}; }
+  /// From observed compression ratios (input bytes per output byte):
+  /// e.g. LZ4 with ratios min 1.0x, avg 2.2x, max 5.3x.
+  static VolumeRatio from_compression(double ratio_min, double ratio_avg,
+                                      double ratio_max) {
+    return {1.0 / ratio_max, 1.0 / ratio_avg, 1.0 / ratio_min};
+  }
+};
+
+/// One stage of a streaming pipeline. See file comment.
+struct NodeSpec {
+  std::string name;
+  NodeKind kind = NodeKind::kCompute;
+
+  util::DataSize block_in;   ///< bytes consumed per job
+  util::DataSize block_out;  ///< bytes emitted per job (before volume ratio)
+  util::Duration time_min;   ///< fastest per-job execution
+  util::Duration time_max;   ///< slowest per-job execution
+  /// Mean per-job execution time. Zero (the default) means the midpoint of
+  /// [time_min, time_max]; set explicitly when the measured average rate is
+  /// not the midpoint (as in the paper's Table 2).
+  util::Duration time_avg;
+
+  VolumeRatio volume;  ///< long-run bytes out per byte in
+
+  /// Whether the node must collect a full block_in before starting (the
+  /// paper's job-aggregation latency, T_n^tot recursion). True for
+  /// accelerator dispatch; false for cut-through elements.
+  bool aggregates = true;
+
+  /// Initial delay T_n of the node's rate-latency service curve. Zero (the
+  /// default) uses time_max — the worst-case whole-block time, appropriate
+  /// for batch kernels. Streaming kernels (HLS dataflow, cut-through
+  /// links) emit their first output long before a whole block is
+  /// processed; set this to the pipeline-fill latency instead.
+  util::Duration latency_override;
+
+  /// Marks a stage that *undoes* upstream volume changes (a decompressor):
+  /// in the discrete-event simulation its output volume is the data's
+  /// original input-normalized volume rather than an independently sampled
+  /// ratio — per-job compression and decompression stay correlated. The
+  /// analytic model still uses `volume` (the observed ratio spread).
+  bool restores_volume = false;
+
+  /// Throughput measured with the stage running *in isolation* (the input
+  /// to the M/M/1 queueing model of [12]). Zero (the default) falls back
+  /// to rate_avg(). Isolated measurements can exceed in-pipeline averages —
+  /// e.g. GPU stages lose SIMD occupancy inside the pipeline — which is
+  /// exactly why the paper finds the queueing roofline optimistic.
+  util::DataRate rate_isolated;
+
+  /// rate_isolated if set, else rate_avg().
+  util::DataRate effective_isolated_rate() const;
+
+  // --- Convenience constructors -------------------------------------------
+
+  /// A computational stage processing blocks.
+  static NodeSpec compute(std::string name, util::DataSize block_in,
+                          util::DataSize block_out, util::Duration time_min,
+                          util::Duration time_max);
+
+  /// A communication link moving packets of `packet` bytes at `bandwidth`
+  /// (cut-through: no aggregation). `propagation` is folded into the
+  /// per-packet service time — store-and-forward semantics, appropriate
+  /// for short hops where serialization dominates. For long pipelined
+  /// links (packets overlap in flight) pass zero here and set
+  /// latency_override to the propagation delay instead.
+  static NodeSpec link(std::string name, NodeKind kind,
+                       util::DataRate bandwidth, util::DataSize packet,
+                       util::Duration propagation);
+
+  // --- Derived quantities ---------------------------------------------------
+
+  /// block_in / block_out: the job ratio annotated under each node in the
+  /// paper's Fig. 3.
+  double job_ratio() const;
+
+  /// Raw service rates at the node (bytes of *its own input* per second).
+  util::DataRate rate_min() const;  ///< block_in / time_max
+  util::DataRate rate_avg() const;  ///< block_in / effective_time_avg()
+  util::DataRate rate_max() const;  ///< block_in / time_min
+
+  /// The mean execution time actually used: time_avg if set, else the
+  /// midpoint of [time_min, time_max].
+  util::Duration effective_time_avg() const;
+
+  /// A stage whose measured throughputs are `min`/`avg`/`max` for blocks of
+  /// `block` bytes (the form of the paper's Table 2). Rates must satisfy
+  /// min <= avg <= max.
+  static NodeSpec from_rates(std::string name, NodeKind kind,
+                             util::DataSize block, util::DataRate rate_min,
+                             util::DataRate rate_avg,
+                             util::DataRate rate_max);
+
+  /// Initial delay T of this node's rate-latency service curve:
+  /// latency_override if set, else the worst-case whole-block time.
+  util::Duration latency() const {
+    return latency_override > util::Duration::seconds(0) ? latency_override
+                                                         : time_max;
+  }
+
+  /// Validates the spec (positive blocks/times, ordered min <= avg <= max).
+  void validate() const;
+};
+
+}  // namespace streamcalc::netcalc

@@ -1,0 +1,49 @@
+#include "netcalc/shaper.hpp"
+
+#include "minplus/deviation.hpp"
+#include "minplus/operations.hpp"
+#include "netcalc/packetizer.hpp"
+#include "util/error.hpp"
+
+namespace streamcalc::netcalc {
+
+ShaperAnalysis analyze_shaper(const minplus::Curve& alpha,
+                              const minplus::Curve& sigma) {
+  util::require(sigma.is_concave_from_origin(),
+                "analyze_shaper requires a concave shaping curve with "
+                "sigma(0) = 0 (e.g. a leaky bucket)");
+  ShaperAnalysis a;
+  a.output_envelope = minplus::convolve(alpha, sigma);
+  a.delay_bound = util::Duration::seconds(
+      minplus::horizontal_deviation(alpha, sigma));
+  a.buffer_bound =
+      util::DataSize::bytes(minplus::vertical_deviation(alpha, sigma));
+  return a;
+}
+
+ShapedPipeline shape_source(std::vector<NodeSpec> nodes, SourceSpec source,
+                            ModelPolicy policy, util::DataRate sigma_rate,
+                            util::DataSize sigma_burst) {
+  util::require(sigma_rate > util::DataRate::bytes_per_sec(0),
+                "shape_source requires a positive shaping rate");
+  // The shaper sees the raw (packetized) offered flow.
+  minplus::Curve alpha = packetize_arrival(
+      minplus::Curve::affine(source.rate, source.burst), source.packet);
+  if (source.job_volume.is_finite()) {
+    alpha = minplus::minimum(
+        alpha, minplus::Curve::constant(source.job_volume.in_bytes()));
+  }
+  const minplus::Curve sigma =
+      minplus::Curve::affine(sigma_rate, sigma_burst);
+
+  ShaperAnalysis shaper = analyze_shaper(alpha, sigma);
+
+  // Downstream, the flow's sustained rate is the shaped one.
+  SourceSpec shaped = source;
+  shaped.rate = std::min(source.rate, sigma_rate);
+  PipelineModel model = PipelineModel::with_arrival(
+      std::move(nodes), shaped, policy, shaper.output_envelope);
+  return ShapedPipeline{std::move(model), std::move(shaper)};
+}
+
+}  // namespace streamcalc::netcalc

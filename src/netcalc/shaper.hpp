@@ -1,0 +1,52 @@
+// Greedy traffic shaping — the paper's future-work remedy for queues "at
+// risk of overflowing" (Section 6): when the offered flow exceeds what a
+// pipeline can sustain, a shaper delays data at the source until it
+// conforms to a shaping curve sigma.
+//
+// Classic results (Le Boudec & Thiran, ch. 1.5): a greedy shaper with a
+// (sub-additive, sigma(0)=0) shaping curve re-emits the flow with arrival
+// envelope alpha (x) sigma, buffers at most v(alpha, sigma), and delays
+// data at most h(alpha, sigma). Shaping is "free" downstream: it never
+// increases the end-to-end delay bound beyond the shaper's own.
+#pragma once
+
+#include "minplus/curve.hpp"
+#include "netcalc/pipeline.hpp"
+#include "util/units.hpp"
+
+namespace streamcalc::netcalc {
+
+/// What a greedy shaper does to a flow constrained by `alpha`.
+struct ShaperAnalysis {
+  minplus::Curve output_envelope;  ///< alpha (x) sigma
+  util::Duration delay_bound;      ///< h(alpha, sigma)
+  util::DataSize buffer_bound;     ///< v(alpha, sigma)
+};
+
+/// Analyzes a greedy shaper with shaping curve `sigma` applied to a flow
+/// with arrival curve `alpha`. `sigma` should be concave with
+/// sigma(0) = 0 (e.g. a leaky bucket); a PreconditionError is thrown
+/// otherwise.
+ShaperAnalysis analyze_shaper(const minplus::Curve& alpha,
+                              const minplus::Curve& sigma);
+
+/// A pipeline model whose source is shaped before entering the chain.
+struct ShapedPipeline {
+  PipelineModel model;          ///< pipeline fed by the shaped flow
+  ShaperAnalysis shaper;        ///< the shaper's own bounds
+  /// End-to-end delay bound including the shaper (shaper delay + pipeline
+  /// delay of the shaped flow).
+  util::Duration total_delay_bound() const {
+    return shaper.delay_bound + model.delay_bound();
+  }
+};
+
+/// Builds the model of `nodes` fed by `source` shaped through a leaky
+/// bucket (sigma_rate, sigma_burst). The typical use: sigma_rate slightly
+/// below the bottleneck turns an overloaded pipeline (infinite bounds)
+/// into an underloaded one with a finite, provisionable shaper buffer.
+ShapedPipeline shape_source(std::vector<NodeSpec> nodes, SourceSpec source,
+                            ModelPolicy policy, util::DataRate sigma_rate,
+                            util::DataSize sigma_burst);
+
+}  // namespace streamcalc::netcalc

@@ -1,0 +1,66 @@
+#include "netcalc/trace.hpp"
+
+#include "minplus/operations.hpp"
+#include "util/error.hpp"
+
+namespace streamcalc::netcalc {
+
+minplus::Curve trace_to_curve(
+    const std::vector<std::pair<double, double>>& cumulative) {
+  util::require(!cumulative.empty(), "trace_to_curve requires samples");
+  std::vector<minplus::Segment> segs;
+  segs.reserve(cumulative.size() + 1);
+  double prev_t = -1.0;
+  double prev_v = 0.0;
+  if (cumulative.front().first > 0.0) {
+    segs.push_back(minplus::Segment{0.0, 0.0, 0.0, 0.0});
+    prev_t = 0.0;
+  }
+  for (const auto& [t, v] : cumulative) {
+    util::require(t >= 0.0 && v >= 0.0,
+                  "trace_to_curve requires non-negative samples");
+    util::require(t > prev_t || segs.empty(),
+                  "trace_to_curve requires strictly increasing times");
+    util::require(v >= prev_v,
+                  "trace_to_curve requires non-decreasing values");
+    // Sample-and-hold: the value jumps to v at time t and holds.
+    segs.push_back(minplus::Segment{t, prev_v, v, 0.0});
+    prev_t = t;
+    prev_v = v;
+  }
+  return minplus::Curve(std::move(segs));
+}
+
+minplus::Curve minimal_arrival_curve(
+    const std::vector<std::pair<double, double>>& cumulative) {
+  const minplus::Curve r = trace_to_curve(cumulative);
+  return minplus::deconvolve(r, r);
+}
+
+minplus::Curve minimal_arrival_curve(const minplus::Curve& cumulative) {
+  return minplus::deconvolve(cumulative, cumulative);
+}
+
+minplus::Curve cumulative_from_rate_profile(
+    const std::vector<std::pair<double, double>>& profile) {
+  util::require(!profile.empty(),
+                "cumulative_from_rate_profile requires samples");
+  util::require(profile.front().first == 0.0,
+                "rate profile must start at time 0");
+  std::vector<minplus::Segment> segs;
+  segs.reserve(profile.size());
+  double value = 0.0;
+  for (std::size_t i = 0; i < profile.size(); ++i) {
+    const auto& [t, rate] = profile[i];
+    util::require(rate >= 0.0, "rate profile requires non-negative rates");
+    util::require(i == 0 || t > profile[i - 1].first,
+                  "rate profile times must be strictly increasing");
+    segs.push_back(minplus::Segment{t, value, value, rate});
+    if (i + 1 < profile.size()) {
+      value += rate * (profile[i + 1].first - t);
+    }
+  }
+  return minplus::Curve(std::move(segs));
+}
+
+}  // namespace streamcalc::netcalc

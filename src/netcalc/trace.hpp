@@ -1,0 +1,46 @@
+// Empirical arrival curves from recorded traffic traces — the bridge
+// between measurement and model the paper's future work gestures at
+// ("variable rate servers for arrival curves").
+//
+// Given a cumulative trace R(t) (monotone samples of bytes-by-time), the
+// *minimal arrival curve* that the trace conforms to is its min-plus
+// self-deconvolution:
+//
+//   alpha_min(t) = sup_s [R(s + t) - R(s)] = (R (/) R)(t)
+//
+// — the tightest envelope over every window of length t. Feeding
+// alpha_min into PipelineModel::with_arrival() yields bounds valid for
+// exactly the recorded workload (and any workload it envelopes).
+#pragma once
+
+#include <utility>
+#include <vector>
+
+#include "minplus/curve.hpp"
+
+namespace streamcalc::netcalc {
+
+/// Converts a cumulative trace — non-decreasing (time, bytes) samples with
+/// sample-and-hold semantics between points — into a piecewise-linear
+/// curve. Requires at least one sample and non-decreasing times/values.
+minplus::Curve trace_to_curve(
+    const std::vector<std::pair<double, double>>& cumulative);
+
+/// The minimal arrival curve of a cumulative trace: (R (/) R).
+/// Complexity is quadratic in the number of samples; thin long traces
+/// first (streamsim's traces already are).
+minplus::Curve minimal_arrival_curve(
+    const std::vector<std::pair<double, double>>& cumulative);
+
+/// Same, for an already-built cumulative curve.
+minplus::Curve minimal_arrival_curve(const minplus::Curve& cumulative);
+
+/// Integrates a piecewise-constant rate profile — (start_time, bytes/s)
+/// samples, each rate holding until the next start — into a cumulative
+/// curve. The profile repeats nothing: after the last sample its rate
+/// holds forever. Requires non-negative rates and strictly increasing
+/// times starting at 0.
+minplus::Curve cumulative_from_rate_profile(
+    const std::vector<std::pair<double, double>>& profile);
+
+}  // namespace streamcalc::netcalc

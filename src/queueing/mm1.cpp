@@ -1,0 +1,76 @@
+#include "queueing/mm1.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "util/error.hpp"
+
+namespace streamcalc::queueing {
+
+namespace {
+using util::DataRate;
+using util::Duration;
+}  // namespace
+
+QueueingReport analyze(const std::vector<netcalc::NodeSpec>& nodes,
+                       const netcalc::SourceSpec& source) {
+  util::require(!nodes.empty(), "queueing::analyze requires nodes");
+  util::require(source.rate > DataRate::bytes_per_sec(0),
+                "queueing::analyze requires a positive source rate");
+  for (const netcalc::NodeSpec& n : nodes) n.validate();
+
+  // Average-volume normalization: bytes at each stage per input byte.
+  std::vector<double> vol(nodes.size(), 1.0);
+  for (std::size_t i = 1; i < nodes.size(); ++i) {
+    vol[i] = vol[i - 1] * nodes[i - 1].volume.avg;
+  }
+
+  QueueingReport report;
+  report.stages.reserve(nodes.size());
+
+  // Normalized average service rates and the roofline.
+  std::vector<double> mu(nodes.size());
+  double roofline = std::numeric_limits<double>::infinity();
+  for (std::size_t i = 0; i < nodes.size(); ++i) {
+    mu[i] = nodes[i].effective_isolated_rate().in_bytes_per_sec() / vol[i];
+    if (mu[i] < roofline) {
+      roofline = mu[i];
+      report.bottleneck = i;
+    }
+  }
+  report.roofline_throughput = DataRate::bytes_per_sec(roofline);
+
+  // Offered load: the source rate, clipped to what the network can carry.
+  const double lambda =
+      std::min(source.rate.in_bytes_per_sec(), roofline);
+
+  report.stable = true;
+  double total_sojourn = 0.0;
+  for (std::size_t i = 0; i < nodes.size(); ++i) {
+    StageMetrics m;
+    m.name = nodes[i].name;
+    m.arrival_rate = DataRate::bytes_per_sec(lambda);
+    m.service_rate = DataRate::bytes_per_sec(mu[i]);
+    m.utilization = lambda / mu[i];
+    m.stable = m.utilization < 1.0;
+    if (m.stable) {
+      m.mean_jobs = m.utilization / (1.0 - m.utilization);
+      // Job-level M/M/1: with jobs of `job_norm` normalized bytes, the job
+      // rates are lambda/job_norm and mu/job_norm, so the mean sojourn is
+      // W = 1/(mu_jobs - lambda_jobs) = job_norm / (mu - lambda).
+      const double job_norm = nodes[i].block_in.in_bytes() / vol[i];
+      m.mean_sojourn = Duration::seconds(job_norm / (mu[i] - lambda));
+      total_sojourn += m.mean_sojourn.in_seconds();
+    } else {
+      report.stable = false;
+      m.mean_jobs = std::numeric_limits<double>::infinity();
+      m.mean_sojourn = Duration::infinite();
+      total_sojourn = std::numeric_limits<double>::infinity();
+    }
+    report.stages.push_back(std::move(m));
+  }
+  report.total_sojourn = Duration::seconds(total_sojourn);
+  return report;
+}
+
+}  // namespace streamcalc::queueing

@@ -1,0 +1,56 @@
+// M/M/1 queueing-network baseline model (Faber et al. [12], used by the
+// paper as its comparison model in Tables 1 and 3).
+//
+// Each pipeline stage is an M/M/1 queue with exponential service at the
+// stage's *average* measured rate, normalized to pipeline-input bytes with
+// the *average* volume ratios. Flow analysis over the open tandem network
+// yields a roofline throughput (the minimum normalized service rate) and
+// per-stage utilization/queue-length/waiting-time metrics at the offered
+// load. The model is intentionally optimistic — it assumes Markovian
+// behaviour at every stage, which is why the paper finds it over-predicts
+// relative to network calculus and simulation.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "netcalc/node.hpp"
+#include "netcalc/pipeline.hpp"
+#include "util/units.hpp"
+
+namespace streamcalc::queueing {
+
+/// Per-stage M/M/1 metrics (input-normalized rates).
+struct StageMetrics {
+  std::string name;
+  util::DataRate arrival_rate;  ///< lambda: offered load at the stage
+  util::DataRate service_rate;  ///< mu: normalized average service rate
+  double utilization = 0.0;     ///< rho = lambda / mu
+  bool stable = false;          ///< rho < 1
+  double mean_jobs = 0.0;       ///< L = rho / (1 - rho); inf if unstable
+  util::Duration mean_sojourn;  ///< W = 1 / (mu - lambda); inf if unstable
+};
+
+/// Whole-pipeline flow-analysis results.
+struct QueueingReport {
+  std::vector<StageMetrics> stages;
+  /// Roofline prediction: min over stages of the normalized average service
+  /// rate — the throughput number the paper quotes for "queueing theory
+  /// prediction".
+  util::DataRate roofline_throughput;
+  std::size_t bottleneck = 0;  ///< index of the roofline stage
+  /// Sum of per-stage sojourn times at the offered load (end-to-end mean
+  /// latency; infinite if any stage is unstable).
+  util::Duration total_sojourn;
+  /// True when every stage is stable at the offered load.
+  bool stable = false;
+};
+
+/// Runs the M/M/1 flow analysis for `nodes` fed by `source`. The offered
+/// load is min(source rate, roofline) — the flow the network can actually
+/// carry in steady state; utilizations at the bottleneck approach 1.
+QueueingReport analyze(const std::vector<netcalc::NodeSpec>& nodes,
+                       const netcalc::SourceSpec& source);
+
+}  // namespace streamcalc::queueing

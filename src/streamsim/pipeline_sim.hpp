@@ -1,0 +1,128 @@
+// Discrete-event simulation of a streaming pipeline (paper, Section 4.2).
+//
+// The simulator executes the same NodeSpec chain the network-calculus model
+// analyzes, reproducing the paper's SimPy methodology: each node has a
+// minimum and maximum execution time, a data packet size to consume and one
+// to emit; the events are packet arrival at a node, initiation of execution
+// when the node becomes free, and packet departure when execution
+// completes; execution times are drawn from a uniform distribution between
+// the measured bounds.
+//
+// All statistics are *input-normalized* (bytes referred to the pipeline
+// input, following Timcheck & Buhler) so they are directly comparable to
+// the network-calculus curves: cumulative output trace (the stairstep of
+// Figs. 4 and 10), end-to-end packet delays (shortest/longest observed),
+// and total data resident in the system (max backlog).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "netcalc/dag.hpp"
+#include "netcalc/node.hpp"
+#include "netcalc/pipeline.hpp"
+#include "util/rng.hpp"
+#include "util/units.hpp"
+
+namespace streamcalc::streamsim {
+
+/// Service-time (and source inter-arrival) distributions.
+enum class TimeDistribution {
+  kUniformMixture,  ///< in [min, max] with mean = avg (the paper's setup)
+  kExponential,     ///< exponential with mean = avg (M/M/1 validation)
+};
+
+/// How per-job volume ratios are chosen in the simulation.
+enum class VolumeMode {
+  kSampled,    ///< random in [min, max] with mean = avg (default)
+  kWorstCase,  ///< always volume.max (most data downstream)
+  kBestCase,   ///< always volume.min
+  kAverage,    ///< always volume.avg
+};
+
+/// Simulation parameters.
+struct SimConfig {
+  util::Duration horizon;     ///< simulated run length
+  /// Statistics (throughput, delays, max backlog) are collected only after
+  /// this much simulated time, excluding pipeline-fill transients; traces
+  /// still record the full run.
+  util::Duration warmup;
+  std::uint64_t seed = 1;     ///< RNG seed (split per node)
+  /// Inter-stage queue capacity in packets; kUnlimitedQueue = no
+  /// backpressure (the paper's base configuration).
+  std::size_t queue_capacity = kUnlimitedQueue;
+  /// Use mean execution times and volumes instead of sampling (for
+  /// variance-free regression tests).
+  bool deterministic = false;
+  /// Volume-ratio selection; the paper's BITW simulation corresponds to
+  /// kWorstCase (compression ratio 1.0).
+  VolumeMode volume_mode = VolumeMode::kSampled;
+  /// Service-time distribution (mean is always the node's time_avg).
+  TimeDistribution service_distribution = TimeDistribution::kUniformMixture;
+  /// Poisson packet arrivals (exponential inter-arrival with the source's
+  /// mean rate) instead of a deterministic period — pairs with
+  /// kExponential service for M/M/1 validation runs.
+  bool poisson_arrivals = false;
+  /// Cap on recorded trace samples (traces are thinned beyond this).
+  std::size_t max_trace_samples = 4096;
+  /// Optional piecewise-constant source-rate profile: (start_seconds,
+  /// bytes/s), each rate holding until the next entry (the last holds to
+  /// the horizon). Empty = the constant SourceSpec rate. Pair with
+  /// netcalc::cumulative_from_rate_profile() +
+  /// netcalc::minimal_arrival_curve() to model the same workload.
+  std::vector<std::pair<double, double>> rate_profile;
+
+  static constexpr std::size_t kUnlimitedQueue = SIZE_MAX;
+};
+
+/// Per-node observations.
+struct NodeStats {
+  std::string name;
+  double utilization = 0.0;       ///< busy time / horizon
+  util::DataSize max_queue;       ///< max input-normalized bytes queued
+  std::uint64_t jobs = 0;         ///< jobs executed
+};
+
+/// Whole-run observations.
+struct SimResult {
+  util::DataRate throughput;   ///< delivered input-normalized bytes / horizon
+  util::Duration min_delay;    ///< shortest end-to-end packet delay
+  util::Duration max_delay;    ///< longest end-to-end packet delay
+  util::Duration mean_delay;
+  util::DataSize max_backlog;  ///< max input-normalized bytes in the system
+  std::uint64_t packets_delivered = 0;
+  /// Cumulative delivered data over time (t seconds, normalized bytes) —
+  /// the stairstep curve plotted between the NC bounds in Figs. 4 and 10.
+  std::vector<std::pair<double, double>> output_trace;
+  /// System backlog over time (t seconds, normalized bytes).
+  std::vector<std::pair<double, double>> backlog_trace;
+  std::vector<NodeStats> node_stats;
+};
+
+/// Runs the discrete-event simulation of `nodes` fed by `source`.
+/// Deterministic for a fixed config (seeded RNG, deterministic event
+/// ordering).
+SimResult simulate(const std::vector<netcalc::NodeSpec>& nodes,
+                   const netcalc::SourceSpec& source, const SimConfig& config);
+
+/// Simulates a DAG pipeline (netcalc::DagSpec): splitters route each
+/// emitted packet along outgoing edges with deterministic weighted
+/// round-robin matching the edge fractions; fraction mass not covered by
+/// edges leaves the modeled system. Packets reaching nodes without
+/// outgoing edges are delivered to the sink. Statistics as in simulate().
+SimResult simulate_dag(const netcalc::DagSpec& dag,
+                       const netcalc::SourceSpec& source,
+                       const SimConfig& config);
+
+/// Samples from [lo, hi] with mean exactly `mid` (a two-piece uniform
+/// mixture over [lo, mid] and [mid, hi]). Requires lo <= mid <= hi.
+double sample_in_range(util::Xoshiro256& rng, double lo, double mid,
+                       double hi);
+
+/// Samples a per-job volume ratio whose mean matches `v.avg` exactly.
+double sample_volume_ratio(util::Xoshiro256& rng,
+                           const netcalc::VolumeRatio& v);
+
+}  // namespace streamcalc::streamsim

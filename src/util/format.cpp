@@ -1,0 +1,57 @@
+#include "util/format.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+namespace streamcalc::util {
+
+std::string format_significant(double value, int digits) {
+  if (std::isinf(value)) return value > 0 ? "inf" : "-inf";
+  if (std::isnan(value)) return "nan";
+  if (value == 0.0) return "0";
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*g", digits, value);
+  return buf;
+}
+
+namespace {
+
+struct Scaled {
+  double value;
+  const char* unit;
+};
+
+Scaled scale_binary(double bytes) {
+  constexpr double kKi = 1024.0;
+  const double mag = std::fabs(bytes);
+  if (mag >= kKi * kKi * kKi) return {bytes / (kKi * kKi * kKi), "GiB"};
+  if (mag >= kKi * kKi) return {bytes / (kKi * kKi), "MiB"};
+  if (mag >= kKi) return {bytes / kKi, "KiB"};
+  return {bytes, "B"};
+}
+
+}  // namespace
+
+std::string format_rate(DataRate rate, int digits) {
+  if (!rate.is_finite()) return "inf";
+  const auto [v, u] = scale_binary(rate.in_bytes_per_sec());
+  return format_significant(v, digits) + " " + u + "/s";
+}
+
+std::string format_size(DataSize size, int digits) {
+  if (!size.is_finite()) return "inf";
+  const auto [v, u] = scale_binary(size.in_bytes());
+  return format_significant(v, digits) + " " + u;
+}
+
+std::string format_duration(Duration d, int digits) {
+  if (!d.is_finite()) return "inf";
+  const double s = d.in_seconds();
+  const double mag = std::fabs(s);
+  if (mag >= 1.0 || mag == 0.0) return format_significant(s, digits) + " s";
+  if (mag >= 1e-3) return format_significant(s * 1e3, digits) + " ms";
+  if (mag >= 1e-6) return format_significant(s * 1e6, digits) + " us";
+  return format_significant(s * 1e9, digits) + " ns";
+}
+
+}  // namespace streamcalc::util

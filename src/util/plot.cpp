@@ -1,0 +1,126 @@
+#include "util/plot.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <set>
+#include <sstream>
+
+#include "util/error.hpp"
+#include "util/format.hpp"
+
+namespace streamcalc::util {
+
+Figure::Figure(std::string title, std::string x_label, std::string y_label)
+    : title_(std::move(title)),
+      x_label_(std::move(x_label)),
+      y_label_(std::move(y_label)) {}
+
+void Figure::add_series(Series s) {
+  require(s.x.size() == s.y.size(), "Series x/y size mismatch");
+  require(!s.x.empty(), "Series must be non-empty");
+  require(std::is_sorted(s.x.begin(), s.x.end()),
+          "Series x values must be non-decreasing");
+  series_.push_back(std::move(s));
+}
+
+double Figure::interpolate(const Series& s, double x) const {
+  if (x <= s.x.front()) return s.y.front();
+  if (x >= s.x.back()) return s.y.back();
+  const auto it = std::upper_bound(s.x.begin(), s.x.end(), x);
+  const auto i = static_cast<std::size_t>(it - s.x.begin());
+  // `it` points at the first x strictly greater than `x`, so i >= 1.
+  if (s.stairstep) return s.y[i - 1];
+  const double x0 = s.x[i - 1], x1 = s.x[i];
+  const double y0 = s.y[i - 1], y1 = s.y[i];
+  if (x1 == x0) return y1;
+  return y0 + (y1 - y0) * (x - x0) / (x1 - x0);
+}
+
+std::string Figure::to_csv(std::size_t max_rows) const {
+  require(!series_.empty(), "Figure has no series");
+  std::set<double> xs;
+  for (const Series& s : series_) xs.insert(s.x.begin(), s.x.end());
+  std::vector<double> grid(xs.begin(), xs.end());
+  if (grid.size() > max_rows && max_rows >= 2) {
+    // Resample onto a uniform grid to keep output bounded.
+    std::vector<double> coarse;
+    coarse.reserve(max_rows);
+    const double lo = grid.front(), hi = grid.back();
+    for (std::size_t i = 0; i < max_rows; ++i) {
+      coarse.push_back(lo + (hi - lo) * static_cast<double>(i) /
+                                static_cast<double>(max_rows - 1));
+    }
+    grid = std::move(coarse);
+  }
+
+  std::ostringstream os;
+  os << x_label_;
+  for (const Series& s : series_) os << ',' << s.name;
+  os << '\n';
+  for (double x : grid) {
+    os << format_significant(x, 6);
+    for (const Series& s : series_) {
+      os << ',' << format_significant(interpolate(s, x), 6);
+    }
+    os << '\n';
+  }
+  return os.str();
+}
+
+std::string Figure::to_ascii(std::size_t width, std::size_t height) const {
+  require(!series_.empty(), "Figure has no series");
+  require(width >= 16 && height >= 4, "Figure dimensions too small");
+
+  double xmin = std::numeric_limits<double>::infinity(), xmax = -xmin;
+  double ymin = std::numeric_limits<double>::infinity(), ymax = -ymin;
+  for (const Series& s : series_) {
+    xmin = std::min(xmin, s.x.front());
+    xmax = std::max(xmax, s.x.back());
+    for (double y : s.y) {
+      if (!std::isfinite(y)) continue;
+      ymin = std::min(ymin, y);
+      ymax = std::max(ymax, y);
+    }
+  }
+  if (!std::isfinite(ymin) || ymin == ymax) {
+    ymin -= 1.0;
+    ymax += 1.0;
+  }
+  if (xmin == xmax) xmax = xmin + 1.0;
+
+  static constexpr char kGlyphs[] = {'*', '+', 'o', 'x', '#', '@', '%', '&'};
+  std::vector<std::string> canvas(height, std::string(width, ' '));
+
+  for (std::size_t si = 0; si < series_.size(); ++si) {
+    const char glyph = kGlyphs[si % sizeof kGlyphs];
+    for (std::size_t col = 0; col < width; ++col) {
+      const double x =
+          xmin + (xmax - xmin) * static_cast<double>(col) /
+                     static_cast<double>(width - 1);
+      const double y = interpolate(series_[si], x);
+      if (!std::isfinite(y)) continue;
+      const double frac = (y - ymin) / (ymax - ymin);
+      if (frac < 0.0 || frac > 1.0) continue;
+      const auto row = static_cast<std::size_t>(std::lround(
+          (1.0 - frac) * static_cast<double>(height - 1)));
+      canvas[row][col] = glyph;
+    }
+  }
+
+  std::ostringstream os;
+  os << title_ << "\n";
+  os << format_significant(ymax, 4) << " " << y_label_ << "\n";
+  for (const std::string& line : canvas) os << '|' << line << "\n";
+  os << '+' << std::string(width, '-') << "> " << x_label_ << "\n";
+  os << format_significant(xmin, 4) << " .. " << format_significant(xmax, 4)
+     << "   (y min: " << format_significant(ymin, 4) << ")\n";
+  os << "legend:";
+  for (std::size_t si = 0; si < series_.size(); ++si) {
+    os << "  [" << kGlyphs[si % sizeof kGlyphs] << "] " << series_[si].name;
+  }
+  os << '\n';
+  return os.str();
+}
+
+}  // namespace streamcalc::util

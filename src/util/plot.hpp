@@ -1,0 +1,53 @@
+// ASCII and CSV emitters for the paper's figures.
+//
+// The benchmark harnesses regenerate each figure twice: once as CSV series
+// (for external plotting) and once as an ASCII chart so the figure's shape —
+// which curve bounds which, where the stairstep sits — is visible directly
+// in terminal output.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace streamcalc::util {
+
+/// One named series of (x, y) points.
+struct Series {
+  std::string name;
+  std::vector<double> x;
+  std::vector<double> y;
+  /// Stairstep series are drawn with sample-and-hold semantics (the DES
+  /// cumulative-output traces); smooth series are linearly interpolated.
+  bool stairstep = false;
+};
+
+/// A figure: several series over a shared x range.
+class Figure {
+ public:
+  Figure(std::string title, std::string x_label, std::string y_label);
+
+  void add_series(Series s);
+
+  /// Renders all series as CSV: header row `x,<name>,<name>,...` then one
+  /// row per distinct x, with linear interpolation (or hold, for stairstep
+  /// series) to align series on the union of x values.
+  std::string to_csv(std::size_t max_rows = 200) const;
+
+  /// Renders an ASCII chart of the given size. Each series gets a distinct
+  /// glyph; a legend is appended.
+  std::string to_ascii(std::size_t width = 78, std::size_t height = 24) const;
+
+  const std::string& title() const { return title_; }
+  const std::vector<Series>& series() const { return series_; }
+
+ private:
+  double interpolate(const Series& s, double x) const;
+
+  std::string title_;
+  std::string x_label_;
+  std::string y_label_;
+  std::vector<Series> series_;
+};
+
+}  // namespace streamcalc::util

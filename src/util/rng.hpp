@@ -1,0 +1,93 @@
+// Deterministic random number generation for the simulators.
+//
+// We use xoshiro256** seeded via splitmix64 rather than std::mt19937 because
+// (a) its state is 4 words, making independent per-node streams cheap, and
+// (b) its output sequence is specified exactly, so simulation results are
+// reproducible across standard libraries — std::uniform_real_distribution is
+// not guaranteed to produce identical sequences everywhere, so we implement
+// the uniform transforms ourselves.
+#pragma once
+
+#include <array>
+#include <cmath>
+#include <cstdint>
+
+#include "util/error.hpp"
+
+namespace streamcalc::util {
+
+/// splitmix64: used to expand a single seed into xoshiro state.
+class SplitMix64 {
+ public:
+  explicit constexpr SplitMix64(std::uint64_t seed) : state_(seed) {}
+
+  constexpr std::uint64_t next() {
+    std::uint64_t z = (state_ += 0x9E3779B97F4A7C15ULL);
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+/// xoshiro256** 1.0 (Blackman & Vigna), a fast, high-quality 64-bit PRNG.
+class Xoshiro256 {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit constexpr Xoshiro256(std::uint64_t seed) {
+    SplitMix64 sm(seed);
+    for (auto& word : state_) word = sm.next();
+  }
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~result_type{0}; }
+
+  constexpr result_type operator()() {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform double in [0, 1): 53 high bits scaled by 2^-53.
+  constexpr double uniform01() {
+    return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform double in [lo, hi). Requires lo <= hi.
+  double uniform(double lo, double hi) {
+    require(lo <= hi, "uniform(lo, hi) requires lo <= hi");
+    return lo + (hi - lo) * uniform01();
+  }
+
+  /// Exponentially distributed double with the given mean (> 0).
+  double exponential(double mean) {
+    require(mean > 0.0, "exponential(mean) requires mean > 0");
+    // 1 - uniform01() is in (0, 1], so the log is finite.
+    return -mean * std::log(1.0 - uniform01());
+  }
+
+  /// Creates an independent stream for substream `index`: re-seeds from a
+  /// hash of this generator's next output and the index. Used to give each
+  /// simulated node its own stream so adding a node does not perturb the
+  /// sequences seen by the others.
+  Xoshiro256 split(std::uint64_t index) {
+    return Xoshiro256((*this)() ^ (0x9E3779B97F4A7C15ULL * (index + 1)));
+  }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+  std::array<std::uint64_t, 4> state_{};
+};
+
+}  // namespace streamcalc::util

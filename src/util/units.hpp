@@ -1,0 +1,232 @@
+// Strongly-typed physical quantities used throughout the library.
+//
+// Network calculus mixes data volumes, times, and rates freely; confusing a
+// MiB with a MiB/s (or a millisecond with a microsecond) produces bounds that
+// are wrong by orders of magnitude yet look plausible. These wrapper types
+// make such mistakes type errors.
+//
+// Internal canonical units: bytes, seconds, bytes-per-second. All quantities
+// are doubles: network calculus curves are continuous fluid models, so
+// fractional bytes are meaningful (e.g. volumes normalized to pipeline
+// input, Section 4.2 of the paper).
+#pragma once
+
+#include <cmath>
+#include <compare>
+#include <limits>
+
+namespace streamcalc::util {
+
+class Duration;
+class DataRate;
+
+/// A data volume in bytes (fluid: fractional values are allowed).
+class DataSize {
+ public:
+  constexpr DataSize() = default;
+  constexpr static DataSize bytes(double b) { return DataSize{b}; }
+  constexpr static DataSize kib(double k) { return DataSize{k * 1024.0}; }
+  constexpr static DataSize mib(double m) {
+    return DataSize{m * 1024.0 * 1024.0};
+  }
+  constexpr static DataSize gib(double g) {
+    return DataSize{g * 1024.0 * 1024.0 * 1024.0};
+  }
+  constexpr static DataSize infinite() {
+    return DataSize{std::numeric_limits<double>::infinity()};
+  }
+
+  constexpr double in_bytes() const { return bytes_; }
+  constexpr double in_kib() const { return bytes_ / 1024.0; }
+  constexpr double in_mib() const { return bytes_ / (1024.0 * 1024.0); }
+  constexpr double in_gib() const {
+    return bytes_ / (1024.0 * 1024.0 * 1024.0);
+  }
+  constexpr bool is_finite() const { return std::isfinite(bytes_); }
+
+  constexpr DataSize operator+(DataSize o) const {
+    return DataSize{bytes_ + o.bytes_};
+  }
+  constexpr DataSize operator-(DataSize o) const {
+    return DataSize{bytes_ - o.bytes_};
+  }
+  constexpr DataSize operator*(double s) const { return DataSize{bytes_ * s}; }
+  constexpr DataSize operator/(double s) const { return DataSize{bytes_ / s}; }
+  constexpr double operator/(DataSize o) const { return bytes_ / o.bytes_; }
+  constexpr DataSize& operator+=(DataSize o) {
+    bytes_ += o.bytes_;
+    return *this;
+  }
+  constexpr DataSize& operator-=(DataSize o) {
+    bytes_ -= o.bytes_;
+    return *this;
+  }
+  constexpr auto operator<=>(const DataSize&) const = default;
+
+  /// Time to transfer this volume at the given rate.
+  constexpr Duration operator/(DataRate r) const;
+
+ private:
+  constexpr explicit DataSize(double b) : bytes_(b) {}
+  double bytes_ = 0.0;
+};
+
+/// A time span in seconds.
+class Duration {
+ public:
+  constexpr Duration() = default;
+  constexpr static Duration seconds(double s) { return Duration{s}; }
+  constexpr static Duration millis(double ms) { return Duration{ms * 1e-3}; }
+  constexpr static Duration micros(double us) { return Duration{us * 1e-6}; }
+  constexpr static Duration nanos(double ns) { return Duration{ns * 1e-9}; }
+  constexpr static Duration infinite() {
+    return Duration{std::numeric_limits<double>::infinity()};
+  }
+
+  constexpr double in_seconds() const { return secs_; }
+  constexpr double in_millis() const { return secs_ * 1e3; }
+  constexpr double in_micros() const { return secs_ * 1e6; }
+  constexpr double in_nanos() const { return secs_ * 1e9; }
+  constexpr bool is_finite() const { return std::isfinite(secs_); }
+
+  constexpr Duration operator+(Duration o) const {
+    return Duration{secs_ + o.secs_};
+  }
+  constexpr Duration operator-(Duration o) const {
+    return Duration{secs_ - o.secs_};
+  }
+  constexpr Duration operator*(double s) const { return Duration{secs_ * s}; }
+  constexpr Duration operator/(double s) const { return Duration{secs_ / s}; }
+  constexpr double operator/(Duration o) const { return secs_ / o.secs_; }
+  constexpr Duration& operator+=(Duration o) {
+    secs_ += o.secs_;
+    return *this;
+  }
+  constexpr Duration& operator-=(Duration o) {
+    secs_ -= o.secs_;
+    return *this;
+  }
+  constexpr auto operator<=>(const Duration&) const = default;
+
+ private:
+  constexpr explicit Duration(double s) : secs_(s) {}
+  double secs_ = 0.0;
+};
+
+/// A data rate in bytes per second.
+class DataRate {
+ public:
+  constexpr DataRate() = default;
+  constexpr static DataRate bytes_per_sec(double b) { return DataRate{b}; }
+  constexpr static DataRate kib_per_sec(double k) {
+    return DataRate{k * 1024.0};
+  }
+  constexpr static DataRate mib_per_sec(double m) {
+    return DataRate{m * 1024.0 * 1024.0};
+  }
+  constexpr static DataRate gib_per_sec(double g) {
+    return DataRate{g * 1024.0 * 1024.0 * 1024.0};
+  }
+  constexpr static DataRate infinite() {
+    return DataRate{std::numeric_limits<double>::infinity()};
+  }
+
+  constexpr double in_bytes_per_sec() const { return bps_; }
+  constexpr double in_mib_per_sec() const { return bps_ / (1024.0 * 1024.0); }
+  constexpr double in_gib_per_sec() const {
+    return bps_ / (1024.0 * 1024.0 * 1024.0);
+  }
+  constexpr bool is_finite() const { return std::isfinite(bps_); }
+
+  /// Data moved in the given time at this rate.
+  constexpr DataSize operator*(Duration t) const {
+    return DataSize::bytes(bps_ * t.in_seconds());
+  }
+  constexpr DataRate operator*(double s) const { return DataRate{bps_ * s}; }
+  constexpr DataRate operator/(double s) const { return DataRate{bps_ / s}; }
+  constexpr double operator/(DataRate o) const { return bps_ / o.bps_; }
+  constexpr DataRate operator+(DataRate o) const {
+    return DataRate{bps_ + o.bps_};
+  }
+  constexpr DataRate operator-(DataRate o) const {
+    return DataRate{bps_ - o.bps_};
+  }
+  constexpr auto operator<=>(const DataRate&) const = default;
+
+ private:
+  constexpr explicit DataRate(double b) : bps_(b) {}
+  double bps_ = 0.0;
+};
+
+constexpr Duration DataSize::operator/(DataRate r) const {
+  return Duration::seconds(bytes_ / r.in_bytes_per_sec());
+}
+
+constexpr DataSize operator*(double s, DataSize d) { return d * s; }
+constexpr Duration operator*(double s, Duration d) { return d * s; }
+constexpr DataRate operator*(double s, DataRate r) { return r * s; }
+constexpr DataSize operator*(Duration t, DataRate r) { return r * t; }
+
+/// Rate obtained by moving `d` in time `t`.
+constexpr DataRate operator/(DataSize d, Duration t) {
+  return DataRate::bytes_per_sec(d.in_bytes() / t.in_seconds());
+}
+
+namespace literals {
+constexpr DataSize operator""_B(long double v) {
+  return DataSize::bytes(static_cast<double>(v));
+}
+constexpr DataSize operator""_B(unsigned long long v) {
+  return DataSize::bytes(static_cast<double>(v));
+}
+constexpr DataSize operator""_KiB(long double v) {
+  return DataSize::kib(static_cast<double>(v));
+}
+constexpr DataSize operator""_KiB(unsigned long long v) {
+  return DataSize::kib(static_cast<double>(v));
+}
+constexpr DataSize operator""_MiB(long double v) {
+  return DataSize::mib(static_cast<double>(v));
+}
+constexpr DataSize operator""_MiB(unsigned long long v) {
+  return DataSize::mib(static_cast<double>(v));
+}
+constexpr DataSize operator""_GiB(long double v) {
+  return DataSize::gib(static_cast<double>(v));
+}
+constexpr DataSize operator""_GiB(unsigned long long v) {
+  return DataSize::gib(static_cast<double>(v));
+}
+constexpr Duration operator""_s(long double v) {
+  return Duration::seconds(static_cast<double>(v));
+}
+constexpr Duration operator""_s(unsigned long long v) {
+  return Duration::seconds(static_cast<double>(v));
+}
+constexpr Duration operator""_ms(long double v) {
+  return Duration::millis(static_cast<double>(v));
+}
+constexpr Duration operator""_ms(unsigned long long v) {
+  return Duration::millis(static_cast<double>(v));
+}
+constexpr Duration operator""_us(long double v) {
+  return Duration::micros(static_cast<double>(v));
+}
+constexpr Duration operator""_us(unsigned long long v) {
+  return Duration::micros(static_cast<double>(v));
+}
+constexpr DataRate operator""_MiBps(long double v) {
+  return DataRate::mib_per_sec(static_cast<double>(v));
+}
+constexpr DataRate operator""_MiBps(unsigned long long v) {
+  return DataRate::mib_per_sec(static_cast<double>(v));
+}
+constexpr DataRate operator""_GiBps(long double v) {
+  return DataRate::gib_per_sec(static_cast<double>(v));
+}
+constexpr DataRate operator""_GiBps(unsigned long long v) {
+  return DataRate::gib_per_sec(static_cast<double>(v));
+}
+}  // namespace literals
+
+}  // namespace streamcalc::util

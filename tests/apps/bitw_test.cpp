@@ -1,0 +1,128 @@
+// Regression tests pinning the bump-in-the-wire reproduction to the
+// paper's Tables 2-3 and Section-5 results.
+#include "apps/bitw.hpp"
+
+#include <gtest/gtest.h>
+
+#include "netcalc/pipeline.hpp"
+#include "queueing/mm1.hpp"
+#include "streamsim/pipeline_sim.hpp"
+
+namespace streamcalc::apps::bitw {
+namespace {
+
+TEST(BitwModel, Table2RatesVerbatim) {
+  const auto ns = nodes();
+  ASSERT_EQ(ns.size(), 6u);
+  const struct {
+    const char* name;
+    double min, avg, max;
+  } kRows[] = {
+      {"compress", 1181, 2662, 6386}, {"encrypt", 56, 68, 75},
+      {"decrypt", 77, 90, 113},       {"decompress", 1426, 1495, 1543},
+  };
+  for (const auto& row : kRows) {
+    bool found = false;
+    for (const auto& n : ns) {
+      if (n.name != row.name) continue;
+      found = true;
+      EXPECT_NEAR(n.rate_min().in_mib_per_sec(), row.min, 0.5) << row.name;
+      EXPECT_NEAR(n.rate_avg().in_mib_per_sec(), row.avg, 0.5) << row.name;
+      EXPECT_NEAR(n.rate_max().in_mib_per_sec(), row.max, 0.5) << row.name;
+    }
+    EXPECT_TRUE(found) << row.name;
+  }
+  // Links: 10 GiB/s network, 11 GiB/s PCIe.
+  EXPECT_NEAR(ns[2].rate_avg().in_gib_per_sec(), 10.0, 0.5);
+  EXPECT_NEAR(ns[5].rate_avg().in_gib_per_sec(), 11.0, 0.8);
+}
+
+TEST(BitwModel, CompressionRatiosMatchCaption) {
+  const auto ns = nodes();
+  EXPECT_DOUBLE_EQ(ns[0].volume.max, 1.0 / kCompressionMin);
+  EXPECT_DOUBLE_EQ(ns[0].volume.avg, 1.0 / kCompressionAvg);
+  EXPECT_DOUBLE_EQ(ns[0].volume.min, 1.0 / kCompressionMax);
+  EXPECT_TRUE(ns[4].restores_volume);
+}
+
+TEST(BitwModel, Table3ThroughputRelationships) {
+  const auto ns = nodes();
+  const netcalc::PipelineModel m(ns, streaming_source(), policy());
+  const auto tb = m.throughput_bounds(table3_horizon());
+  const auto q = queueing::analyze(ns, streaming_source());
+  const PaperNumbers p = paper();
+
+  EXPECT_NEAR(tb.lower.in_mib_per_sec(), p.nc_lower_mibps,
+              0.02 * p.nc_lower_mibps);
+  EXPECT_NEAR(tb.upper.in_mib_per_sec(), p.nc_upper_mibps,
+              0.02 * p.nc_upper_mibps);
+  EXPECT_NEAR(q.roofline_throughput.in_mib_per_sec(), p.queueing_mibps,
+              0.02 * p.queueing_mibps);
+
+  // The ordering the paper reports: lower < queueing < upper, with
+  // upper/lower close to the maximum compression ratio.
+  EXPECT_LT(tb.lower, q.roofline_throughput);
+  EXPECT_LT(q.roofline_throughput, tb.upper);
+  EXPECT_NEAR(tb.upper.in_mib_per_sec() / tb.lower.in_mib_per_sec(),
+              kCompressionMax, 0.3);
+}
+
+TEST(BitwModel, DelayAndBacklogBounds) {
+  const netcalc::PipelineModel m(nodes(), delay_study_source(), policy());
+  const PaperNumbers p = paper();
+  EXPECT_NEAR(m.delay_bound().in_micros(), p.delay_bound_us,
+              0.05 * p.delay_bound_us);
+  // Same order as the paper's 3 KiB (their value is rounded up; ours is
+  // the exact closed form b + R*T).
+  EXPECT_GT(m.backlog_bound().in_kib(), 1.5);
+  EXPECT_LT(m.backlog_bound().in_kib(), 3.5);
+}
+
+TEST(BitwSim, ThrottledSimulationMatchesPaperRow) {
+  const auto r =
+      streamsim::simulate(nodes(), throttled_source(), sim_config());
+  EXPECT_NEAR(r.throughput.in_mib_per_sec(), paper().des_mibps, 2.0);
+}
+
+TEST(BitwSim, DelayStudyBracketedByBounds) {
+  const auto ns = nodes();
+  const auto r = streamsim::simulate(ns, delay_study_source(), sim_config());
+  const netcalc::PipelineModel m(ns, delay_study_source(), policy());
+  EXPECT_LE(r.max_delay, m.delay_bound());
+  EXPECT_LE(r.max_backlog, m.backlog_bound());
+  // Observed delay band resembles the paper's 25.7-36.7 us.
+  EXPECT_GT(r.min_delay.in_micros(), 15.0);
+  EXPECT_LT(r.max_delay.in_micros(), 38.0);
+}
+
+TEST(BitwModel, BottleneckIsEncrypt) {
+  const netcalc::PipelineModel m(nodes(), streaming_source(), policy());
+  EXPECT_EQ(m.nodes()[m.bottleneck()].name, "encrypt");
+}
+
+TEST(BitwModel, TraditionalDeploymentAddsPcieHops) {
+  const auto trad = traditional_nodes();
+  const auto bump = nodes();
+  EXPECT_EQ(trad.size(), bump.size() + 2);
+  // The extra hops add latency: end-to-end delay bound grows.
+  const netcalc::PipelineModel mt(trad, delay_study_source(), policy());
+  const netcalc::PipelineModel mb(bump, delay_study_source(), policy());
+  EXPECT_GT(mt.delay_bound(), mb.delay_bound());
+  EXPECT_GT(mt.total_latency(), mb.total_latency());
+}
+
+TEST(BitwModel, SampledCompressionBeatsWorstCaseThroughput) {
+  // Extension beyond the paper: sampling actual LZ4 ratios raises
+  // deliverable (normalized) throughput well above the worst-case run.
+  auto cfg = sim_config();
+  cfg.volume_mode = streamsim::VolumeMode::kSampled;
+  const auto sampled =
+      streamsim::simulate(nodes(), streaming_source(), cfg);
+  const auto worst =
+      streamsim::simulate(nodes(), streaming_source(), sim_config());
+  EXPECT_GT(sampled.throughput.in_mib_per_sec(),
+            1.5 * worst.throughput.in_mib_per_sec());
+}
+
+}  // namespace
+}  // namespace streamcalc::apps::bitw

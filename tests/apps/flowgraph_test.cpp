@@ -1,0 +1,46 @@
+#include "apps/flowgraph.hpp"
+
+#include <gtest/gtest.h>
+
+#include "apps/bitw.hpp"
+#include "apps/blast.hpp"
+
+namespace streamcalc::apps {
+namespace {
+
+TEST(FlowGraph, DotContainsAllNodesAndEdges) {
+  const auto nodes = blast::nodes();
+  const std::string dot =
+      flow_graph_dot("blast", nodes, blast::streaming_source());
+  EXPECT_NE(dot.find("digraph \"blast\""), std::string::npos);
+  for (const auto& n : nodes) {
+    EXPECT_NE(dot.find('"' + n.name + '"'), std::string::npos) << n.name;
+  }
+  EXPECT_NE(dot.find("source ->"), std::string::npos);
+  EXPECT_NE(dot.find("-> sink"), std::string::npos);
+}
+
+TEST(FlowGraph, DotShapesEncodeNodeKinds) {
+  const std::string dot =
+      flow_graph_dot("bitw", bitw::nodes(), bitw::streaming_source());
+  EXPECT_NE(dot.find("shape=box"), std::string::npos);      // compute
+  EXPECT_NE(dot.find("shape=ellipse"), std::string::npos);  // network
+  EXPECT_NE(dot.find("shape=hexagon"), std::string::npos);  // pcie
+}
+
+TEST(FlowGraph, AsciiChainListsJobRatios) {
+  const std::string ascii = flow_graph_ascii(blast::nodes());
+  EXPECT_NE(ascii.find("[source]"), std::string::npos);
+  EXPECT_NE(ascii.find("[sink]"), std::string::npos);
+  EXPECT_NE(ascii.find("fa_2bit"), std::string::npos);
+  EXPECT_NE(ascii.find(":1"), std::string::npos);  // some ratio rendered
+}
+
+TEST(FlowGraph, RatioRendering) {
+  // fa_2bit: 1 MiB in, 128 KiB out -> "8:1".
+  const std::string ascii = flow_graph_ascii(blast::nodes());
+  EXPECT_NE(ascii.find("fa_2bit 8:1"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace streamcalc::apps

@@ -1,0 +1,299 @@
+#include "cli/spec.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace streamcalc::cli {
+namespace {
+
+TEST(ParseQuantities, Sizes) {
+  EXPECT_DOUBLE_EQ(parse_size("100 B").in_bytes(), 100.0);
+  EXPECT_DOUBLE_EQ(parse_size("64 KiB").in_kib(), 64.0);
+  EXPECT_DOUBLE_EQ(parse_size("1.5 MiB").in_mib(), 1.5);
+  EXPECT_DOUBLE_EQ(parse_size("2 GiB").in_gib(), 2.0);
+  EXPECT_DOUBLE_EQ(parse_size("  64KiB  ").in_kib(), 64.0);  // no space ok
+  EXPECT_THROW(parse_size("64 KB"), util::PreconditionError);
+  EXPECT_THROW(parse_size("lots"), util::PreconditionError);
+}
+
+TEST(ParseQuantities, Rates) {
+  EXPECT_DOUBLE_EQ(parse_rate("100 MiB/s").in_mib_per_sec(), 100.0);
+  EXPECT_DOUBLE_EQ(parse_rate("10 GiB/s").in_gib_per_sec(), 10.0);
+  EXPECT_DOUBLE_EQ(parse_rate("512 B/s").in_bytes_per_sec(), 512.0);
+  EXPECT_THROW(parse_rate("100 Mbps"), util::PreconditionError);
+}
+
+TEST(ParseQuantities, Durations) {
+  EXPECT_DOUBLE_EQ(parse_duration("5 us").in_micros(), 5.0);
+  EXPECT_DOUBLE_EQ(parse_duration("1.5 ms").in_millis(), 1.5);
+  EXPECT_DOUBLE_EQ(parse_duration("2 s").in_seconds(), 2.0);
+  EXPECT_DOUBLE_EQ(parse_duration("100 ns").in_nanos(), 100.0);
+  EXPECT_THROW(parse_duration("5 min"), util::PreconditionError);
+}
+
+constexpr const char* kMinimal = R"(
+[source]
+rate = 100 MiB/s
+burst = 256 KiB
+packet = 64 KiB
+
+[node stage]
+block_in = 64 KiB
+rate_min = 120 MiB/s
+rate_avg = 140 MiB/s
+rate_max = 165 MiB/s
+)";
+
+TEST(ParseSpec, MinimalPipeline) {
+  const Spec spec = parse_spec(kMinimal);
+  EXPECT_DOUBLE_EQ(spec.source.rate.in_mib_per_sec(), 100.0);
+  EXPECT_DOUBLE_EQ(spec.source.burst.in_kib(), 256.0);
+  ASSERT_EQ(spec.nodes.size(), 1u);
+  EXPECT_EQ(spec.nodes[0].name, "stage");
+  EXPECT_NEAR(spec.nodes[0].rate_min().in_mib_per_sec(), 120.0, 1e-9);
+  EXPECT_NEAR(spec.nodes[0].rate_avg().in_mib_per_sec(), 140.0, 1e-9);
+  EXPECT_NEAR(spec.nodes[0].rate_max().in_mib_per_sec(), 165.0, 1e-9);
+  // Defaults.
+  EXPECT_EQ(spec.policy.service_basis, netcalc::RateBasis::kMin);
+  EXPECT_FALSE(spec.analysis.simulate);
+}
+
+TEST(ParseSpec, LinkShorthandAndOverrides) {
+  const Spec spec = parse_spec(R"(
+[source]
+rate = 10 MiB/s
+[node wan]
+kind = network
+bandwidth = 1 GiB/s
+packet = 32 KiB
+propagation = 50 us
+latency = 2 ms
+)");
+  ASSERT_EQ(spec.nodes.size(), 1u);
+  const auto& n = spec.nodes[0];
+  EXPECT_EQ(n.kind, netcalc::NodeKind::kNetworkLink);
+  EXPECT_FALSE(n.aggregates);
+  EXPECT_DOUBLE_EQ(n.latency_override.in_millis(), 2.0);
+}
+
+TEST(ParseSpec, CompressionAndVolumeSpread) {
+  const Spec spec = parse_spec(R"(
+[source]
+rate = 10 MiB/s
+[node lz]
+block_in = 1 KiB
+rate_min = 100 MiB/s
+rate_avg = 200 MiB/s
+rate_max = 300 MiB/s
+compression = 1.0 2.2 5.3
+[node unlz]
+block_in = 1 KiB
+time_min = 1 us
+time_max = 2 us
+volume_min = 1.0
+volume_avg = 2.2
+volume_max = 5.3
+restores_volume = true
+)");
+  EXPECT_DOUBLE_EQ(spec.nodes[0].volume.min, 1.0 / 5.3);
+  EXPECT_DOUBLE_EQ(spec.nodes[0].volume.max, 1.0);
+  EXPECT_DOUBLE_EQ(spec.nodes[1].volume.max, 5.3);
+  EXPECT_TRUE(spec.nodes[1].restores_volume);
+}
+
+TEST(ParseSpec, PolicyAndAnalysis) {
+  const Spec spec = parse_spec(R"(
+[source]
+rate = 10 MiB/s
+[node a]
+block_in = 1 KiB
+time_min = 1 us
+time_max = 2 us
+[policy]
+service_basis = avg
+max_service_basis = avg
+max_service_latency = true
+packetize = false
+[analysis]
+horizon = 250 us
+simulate = true
+seed = 9
+queue_capacity = 2
+)");
+  EXPECT_EQ(spec.policy.service_basis, netcalc::RateBasis::kAvg);
+  EXPECT_TRUE(spec.policy.max_service_latency);
+  EXPECT_FALSE(spec.policy.packetize);
+  EXPECT_DOUBLE_EQ(spec.analysis.horizon.in_micros(), 250.0);
+  EXPECT_TRUE(spec.analysis.simulate);
+  EXPECT_EQ(spec.analysis.seed, 9u);
+  EXPECT_EQ(spec.analysis.queue_capacity, 2u);
+}
+
+TEST(ParseSpec, CommentsAndBlankLines) {
+  const Spec spec = parse_spec(R"(
+# a comment
+; another comment style
+
+[source]
+rate = 10 MiB/s
+
+[node a]
+block_in = 1 KiB
+time_min = 1 us
+time_max = 2 us
+)");
+  EXPECT_EQ(spec.nodes.size(), 1u);
+}
+
+TEST(ParseSpec, ErrorsAreLineNumbered) {
+  try {
+    parse_spec("[source]\nrate = 10 MiB/s\n[node a]\nblok_in = 1 KiB\n");
+    FAIL() << "expected throw";
+  } catch (const util::PreconditionError& e) {
+    EXPECT_NE(std::string(e.what()).find("line 4"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("blok_in"), std::string::npos);
+  }
+}
+
+TEST(ParseSpec, RejectsStructuralErrors) {
+  EXPECT_THROW(parse_spec(""), util::PreconditionError);  // no source
+  EXPECT_THROW(parse_spec("[source]\nrate = 10 MiB/s\n"),
+               util::PreconditionError);  // no nodes
+  EXPECT_THROW(parse_spec("rate = 10\n"), util::PreconditionError);
+  EXPECT_THROW(parse_spec("[unknown]\n"), util::PreconditionError);
+  EXPECT_THROW(parse_spec("[source\n"), util::PreconditionError);
+  EXPECT_THROW(parse_spec("[source]\nrate = 10 MiB/s\n[node]\n"),
+               util::PreconditionError);  // unnamed node
+  EXPECT_THROW(
+      parse_spec("[source]\nrate = 10 MiB/s\nrate = 20 MiB/s\n"),
+      util::PreconditionError);  // duplicate key
+}
+
+TEST(ParseSpec, RatesRequireAllThree) {
+  EXPECT_THROW(parse_spec(R"(
+[source]
+rate = 10 MiB/s
+[node a]
+block_in = 1 KiB
+rate_min = 100 MiB/s
+)"),
+               util::PreconditionError);
+}
+
+TEST(ParseSpec, FiniteJob) {
+  const Spec spec = parse_spec(R"(
+[source]
+rate = 10 MiB/s
+job = 25 MiB
+[node a]
+block_in = 1 KiB
+time_min = 1 us
+time_max = 2 us
+)");
+  EXPECT_DOUBLE_EQ(spec.source.job_volume.in_mib(), 25.0);
+}
+
+
+TEST(ParseSpec, TopologyBuildsDag) {
+  const Spec spec = parse_spec(R"(
+[source]
+rate = 100 MiB/s
+packet = 64 KiB
+[node a]
+block_in = 64 KiB
+time_min = 1 us
+time_max = 2 us
+[node b]
+block_in = 64 KiB
+time_min = 1 us
+time_max = 2 us
+[node c]
+block_in = 64 KiB
+time_min = 1 us
+time_max = 2 us
+[topology]
+entry = a 1.0
+edge = a b 0.7
+edge = a c 0.3
+)");
+  ASSERT_TRUE(spec.is_dag());
+  const netcalc::DagSpec d = spec.dag();
+  ASSERT_EQ(d.edges.size(), 2u);
+  EXPECT_EQ(d.edges[0].from, 0u);
+  EXPECT_EQ(d.edges[0].to, 1u);
+  EXPECT_DOUBLE_EQ(d.edges[0].fraction, 0.7);
+  ASSERT_EQ(d.entries.size(), 1u);
+  EXPECT_EQ(d.entries[0].to, 0u);
+}
+
+TEST(ParseSpec, TopologyRejectsUnknownNodesAndKeys) {
+  EXPECT_THROW(parse_spec(R"(
+[source]
+rate = 10 MiB/s
+[node a]
+block_in = 1 KiB
+time_min = 1 us
+time_max = 2 us
+[topology]
+entry = a
+edge = a nosuch 1.0
+)"),
+               util::PreconditionError);
+  EXPECT_THROW(parse_spec(R"(
+[source]
+rate = 10 MiB/s
+[node a]
+block_in = 1 KiB
+time_min = 1 us
+time_max = 2 us
+[topology]
+vertex = a
+)"),
+               util::PreconditionError);
+}
+
+TEST(ParseSpec, TopologyValidatedEagerly) {
+  // A cycle in the spec fails at parse time.
+  EXPECT_THROW(parse_spec(R"(
+[source]
+rate = 10 MiB/s
+[node a]
+block_in = 1 KiB
+time_min = 1 us
+time_max = 2 us
+[node b]
+block_in = 1 KiB
+time_min = 1 us
+time_max = 2 us
+[topology]
+entry = a
+edge = a b 1.0
+edge = b a 1.0
+)"),
+               util::PreconditionError);
+}
+
+TEST(ParseSpec, FuzzNeverCrashes) {
+  // Random garbage must throw PreconditionError (or parse), never crash.
+  util::Xoshiro256 rng(4242);
+  const std::string alphabet =
+      "[]=abcdefgh 0123456789.\n#;MiB/sKiB uszx";
+  for (int iter = 0; iter < 300; ++iter) {
+    std::string text;
+    const std::size_t len = rng() % 200;
+    for (std::size_t i = 0; i < len; ++i) {
+      text.push_back(alphabet[rng() % alphabet.size()]);
+    }
+    try {
+      (void)parse_spec(text);
+    } catch (const util::PreconditionError&) {
+      // expected for malformed input
+    }
+  }
+  SUCCEED();
+}
+
+}  // namespace
+}  // namespace streamcalc::cli

@@ -1,0 +1,57 @@
+#include "des/event.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace streamcalc::des {
+namespace {
+
+TEST(Event, TriggerWakesAllWaiters) {
+  Simulation sim;
+  Event ev(sim);
+  std::vector<std::pair<double, int>> woke;
+  auto waiter = [](Simulation& s, Event& e,
+                   std::vector<std::pair<double, int>>& log,
+                   int id) -> Process {
+    co_await e;
+    log.emplace_back(s.now(), id);
+  };
+  auto trigger = [](Simulation& s, Event& e) -> Process {
+    co_await s.timeout(3.0);
+    e.trigger();
+  };
+  sim.spawn(waiter(sim, ev, woke, 1));
+  sim.spawn(waiter(sim, ev, woke, 2));
+  sim.spawn(trigger(sim, ev));
+  sim.run();
+  const std::vector<std::pair<double, int>> expected{{3.0, 1}, {3.0, 2}};
+  EXPECT_EQ(woke, expected);
+  EXPECT_TRUE(ev.triggered());
+}
+
+TEST(Event, AwaitingTriggeredEventIsImmediate) {
+  Simulation sim;
+  Event ev(sim);
+  ev.trigger();
+  bool ran = false;
+  auto waiter = [](Simulation& s, Event& e, bool& flag) -> Process {
+    co_await e;
+    flag = true;
+    EXPECT_EQ(s.now(), 0.0);
+  };
+  sim.spawn(waiter(sim, ev, ran));
+  sim.run();
+  EXPECT_TRUE(ran);
+}
+
+TEST(Event, TriggerIsIdempotent) {
+  Simulation sim;
+  Event ev(sim);
+  ev.trigger();
+  ev.trigger();
+  EXPECT_TRUE(ev.triggered());
+}
+
+}  // namespace
+}  // namespace streamcalc::des

@@ -1,0 +1,72 @@
+#include "des/resource.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace streamcalc::des {
+namespace {
+
+TEST(Resource, CapacityAccounting) {
+  Simulation sim;
+  Resource res(sim, 2);
+  EXPECT_EQ(res.capacity(), 2u);
+  EXPECT_EQ(res.available(), 2u);
+}
+
+TEST(Resource, RejectsZeroCapacity) {
+  Simulation sim;
+  EXPECT_THROW(Resource(sim, 0), util::PreconditionError);
+}
+
+TEST(Resource, LimitsConcurrentHolders) {
+  Simulation sim;
+  Resource res(sim, 2);
+  std::vector<std::pair<double, int>> starts;
+  auto worker = [](Simulation& s, Resource& r,
+                   std::vector<std::pair<double, int>>& log,
+                   int id) -> Process {
+    co_await r.acquire();
+    log.emplace_back(s.now(), id);
+    co_await s.timeout(1.0);
+    r.release();
+  };
+  for (int i = 0; i < 4; ++i) sim.spawn(worker(sim, res, starts, i));
+  sim.run();
+  // Two run immediately; the next two start when units free at t=1.
+  const std::vector<std::pair<double, int>> expected{
+      {0.0, 0}, {0.0, 1}, {1.0, 2}, {1.0, 3}};
+  EXPECT_EQ(starts, expected);
+}
+
+TEST(Resource, ReleaseWithoutAcquireThrows) {
+  Simulation sim;
+  Resource res(sim, 1);
+  EXPECT_THROW(res.release(), util::PreconditionError);
+}
+
+TEST(Resource, WaitingCount) {
+  Simulation sim;
+  Resource res(sim, 1);
+  auto holder = [](Simulation& s, Resource& r) -> Process {
+    co_await r.acquire();
+    co_await s.timeout(10.0);
+    r.release();
+  };
+  auto waiter = [](Resource& r) -> Process {
+    co_await r.acquire();
+    r.release();
+  };
+  sim.spawn(holder(sim, res));
+  sim.spawn(waiter(res));
+  sim.run_until(5.0);
+  EXPECT_EQ(res.waiting(), 1u);
+  sim.run();
+  EXPECT_EQ(res.waiting(), 0u);
+  EXPECT_EQ(res.available(), 1u);
+}
+
+}  // namespace
+}  // namespace streamcalc::des

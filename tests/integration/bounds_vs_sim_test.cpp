@@ -1,0 +1,189 @@
+// The paper's central claim, as a property test: for a pipeline whose
+// stages respect their measured envelopes, the discrete-event simulation's
+// observed throughput trajectory, per-packet delays, and system backlog all
+// stay within the network-calculus bounds derived from the same NodeSpecs.
+//
+// The network-calculus model here uses its *sound* configuration
+// (worst-case rates, per-node packetizer adjustments, unlimited queues in
+// the simulation so service is never externally stalled).
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "netcalc/pipeline.hpp"
+#include "streamsim/pipeline_sim.hpp"
+#include "util/rng.hpp"
+
+namespace streamcalc {
+namespace {
+
+using netcalc::ModelPolicy;
+using netcalc::NodeKind;
+using netcalc::NodeSpec;
+using netcalc::PipelineModel;
+using netcalc::SourceSpec;
+using streamsim::SimConfig;
+using streamsim::SimResult;
+using util::DataRate;
+using util::DataSize;
+using util::Duration;
+using namespace util::literals;
+
+struct Scenario {
+  std::vector<NodeSpec> nodes;
+  SourceSpec source;
+};
+
+/// A random underloaded pipeline of 1-4 stages with a common block size
+/// (no aggregation or volume effects — those are covered by dedicated
+/// tests; here we isolate the bound-vs-trajectory property).
+Scenario random_scenario(std::uint64_t seed) {
+  util::Xoshiro256 rng(seed);
+  Scenario sc;
+  const int n = 1 + static_cast<int>(rng() % 4);
+  const DataSize block = 64_KiB;
+  double min_rate = 1e18;
+  for (int i = 0; i < n; ++i) {
+    const double avg = rng.uniform(80.0, 400.0);   // MiB/s
+    const double spread = rng.uniform(1.05, 1.6);  // max/min ratio around avg
+    const double lo = avg / spread;
+    const double hi = avg * spread;
+    sc.nodes.push_back(NodeSpec::from_rates(
+        "s" + std::to_string(i), NodeKind::kCompute, block,
+        DataRate::mib_per_sec(lo), DataRate::mib_per_sec(avg),
+        DataRate::mib_per_sec(hi)));
+    min_rate = std::min(min_rate, lo);
+  }
+  sc.source.rate = DataRate::mib_per_sec(rng.uniform(0.3, 0.85) * min_rate);
+  sc.source.burst = DataSize::bytes(0);
+  sc.source.packet = block;
+  return sc;
+}
+
+class BoundsVsSim : public ::testing::TestWithParam<int> {};
+
+TEST_P(BoundsVsSim, TrajectoryWithinBounds) {
+  const Scenario sc =
+      random_scenario(static_cast<std::uint64_t>(GetParam()) * 40503u + 17u);
+  ModelPolicy sound;  // kMin service basis, packetizer on
+  const PipelineModel model(sc.nodes, sc.source, sound);
+  ASSERT_EQ(model.load_regime(), netcalc::Regime::kUnderloaded);
+
+  SimConfig cfg;
+  cfg.horizon = Duration::seconds(1.0);
+  cfg.seed = static_cast<std::uint64_t>(GetParam()) + 1;
+  const SimResult r = streamsim::simulate(sc.nodes, sc.source, cfg);
+
+  // Delay: every observed per-packet delay below the NC bound.
+  EXPECT_LE(r.max_delay.in_seconds(),
+            model.delay_bound().in_seconds() + 1e-9)
+      << "seed " << GetParam();
+
+  // Backlog: peak system occupancy below the NC bound.
+  EXPECT_LE(r.max_backlog.in_bytes(),
+            model.backlog_bound().in_bytes() + 1.0)
+      << "seed " << GetParam();
+
+  // Trajectory: cumulative output R*(t) obeys
+  // (alpha' (x) beta)(t) <= R*(t) <= alpha'(t)
+  // (with one block of slack for the discrete final packet in flight).
+  const double slack = (64_KiB).in_bytes();
+  for (const auto& [t, out] : r.output_trace) {
+    EXPECT_GE(out + slack, model.guaranteed_output_curve().value(t))
+        << "seed " << GetParam() << " t=" << t;
+    EXPECT_LE(out, model.arrival_curve().value_right(t) + 1.0)
+        << "seed " << GetParam() << " t=" << t;
+  }
+}
+
+TEST_P(BoundsVsSim, ThroughputWithinFiniteHorizonBounds) {
+  const Scenario sc = random_scenario(
+      static_cast<std::uint64_t>(GetParam()) * 7177u + 3u);
+  ModelPolicy sound;
+  const PipelineModel model(sc.nodes, sc.source, sound);
+  SimConfig cfg;
+  cfg.horizon = Duration::seconds(1.0);
+  cfg.seed = static_cast<std::uint64_t>(GetParam()) + 11;
+  const SimResult r = streamsim::simulate(sc.nodes, sc.source, cfg);
+  const auto tb = model.throughput_bounds(cfg.horizon);
+  // One block may be in flight at every stage plus the sink when the
+  // horizon cuts the run.
+  const double block_rate_slack =
+      static_cast<double>(sc.nodes.size() + 1) * (64_KiB).in_bytes() /
+      cfg.horizon.in_seconds();
+  EXPECT_GE(r.throughput.in_bytes_per_sec() + block_rate_slack,
+            tb.lower.in_bytes_per_sec())
+      << "seed " << GetParam();
+  EXPECT_LE(r.throughput.in_bytes_per_sec(),
+            tb.upper.in_bytes_per_sec() + block_rate_slack)
+      << "seed " << GetParam();
+}
+
+
+/// Scenario with volume-changing stages and block aggregation, run in the
+/// simulator's deterministic mode so the model's aggregation-wait estimate
+/// (block / sustained rate) is exact rather than an average.
+Scenario random_rich_scenario(std::uint64_t seed) {
+  util::Xoshiro256 rng(seed);
+  Scenario sc;
+  const int n = 2 + static_cast<int>(rng() % 3);
+  double min_norm_rate = 1e18;
+  double vol = 1.0;
+  DataSize prev_out = 64_KiB;
+  for (int i = 0; i < n; ++i) {
+    const double avg = rng.uniform(80.0, 300.0);
+    const double spread = rng.uniform(1.05, 1.4);
+    NodeSpec node = NodeSpec::from_rates(
+        "s" + std::to_string(i), NodeKind::kCompute, 64_KiB,
+        DataRate::mib_per_sec(avg / spread), DataRate::mib_per_sec(avg),
+        DataRate::mib_per_sec(avg * spread));
+    if (rng.uniform01() < 0.4) {
+      // A filtering stage.
+      node.volume = netcalc::VolumeRatio::exact(rng.uniform(0.3, 0.9));
+    }
+    if (rng.uniform01() < 0.3 && i > 0) {
+      // An aggregating stage collecting a larger block.
+      node.block_in = prev_out * 4.0;
+      node.block_out = node.block_in;
+      node.time_min = node.block_in / DataRate::mib_per_sec(avg * spread);
+      node.time_avg = node.block_in / DataRate::mib_per_sec(avg);
+      node.time_max = node.block_in / DataRate::mib_per_sec(avg / spread);
+    }
+    prev_out = node.block_out;
+    min_norm_rate =
+        std::min(min_norm_rate, (avg / spread) * 1024 * 1024 / vol);
+    vol *= node.volume.max;
+    sc.nodes.push_back(std::move(node));
+  }
+  sc.source.rate =
+      DataRate::bytes_per_sec(rng.uniform(0.3, 0.8) * min_norm_rate);
+  sc.source.burst = DataSize::bytes(0);
+  sc.source.packet = 64_KiB;
+  return sc;
+}
+
+TEST_P(BoundsVsSim, RichScenarioWithinBoundsDeterministically) {
+  const Scenario sc = random_rich_scenario(
+      static_cast<std::uint64_t>(GetParam()) * 58111u + 29u);
+  ModelPolicy sound;
+  const PipelineModel model(sc.nodes, sc.source, sound);
+  if (model.load_regime() != netcalc::Regime::kUnderloaded) {
+    GTEST_SKIP() << "volume draw made the pipeline non-underloaded";
+  }
+  SimConfig cfg;
+  cfg.horizon = Duration::seconds(1.5);
+  cfg.deterministic = true;  // exact rates/volumes: the bounds are strict
+  cfg.seed = static_cast<std::uint64_t>(GetParam()) + 5;
+  const SimResult r = streamsim::simulate(sc.nodes, sc.source, cfg);
+  EXPECT_LE(r.max_delay.in_seconds(),
+            model.delay_bound().in_seconds() + 1e-9)
+      << "seed " << GetParam();
+  EXPECT_LE(r.max_backlog.in_bytes(),
+            model.backlog_bound().in_bytes() + 1.0)
+      << "seed " << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BoundsVsSim, ::testing::Range(0, 20));
+
+}  // namespace
+}  // namespace streamcalc

@@ -1,0 +1,149 @@
+// Cross-model consistency: the three models (network calculus, M/M/1
+// queueing, discrete-event simulation) are driven by the same NodeSpecs,
+// so structural relationships between their predictions must hold by
+// construction.
+#include <gtest/gtest.h>
+
+#include "apps/bitw.hpp"
+#include "apps/blast.hpp"
+#include "netcalc/pipeline.hpp"
+#include "queueing/mm1.hpp"
+#include "streamsim/pipeline_sim.hpp"
+#include "util/rng.hpp"
+
+namespace streamcalc {
+namespace {
+
+using netcalc::ModelPolicy;
+using netcalc::NodeKind;
+using netcalc::NodeSpec;
+using netcalc::PipelineModel;
+using netcalc::SourceSpec;
+using util::DataRate;
+using util::DataSize;
+using util::Duration;
+using namespace util::literals;
+
+std::vector<NodeSpec> random_nodes(std::uint64_t seed, int n) {
+  util::Xoshiro256 rng(seed);
+  std::vector<NodeSpec> nodes;
+  for (int i = 0; i < n; ++i) {
+    const double avg = rng.uniform(60.0, 500.0);
+    const double spread = rng.uniform(1.05, 1.8);
+    nodes.push_back(NodeSpec::from_rates(
+        "s" + std::to_string(i), NodeKind::kCompute, 64_KiB,
+        DataRate::mib_per_sec(avg / spread), DataRate::mib_per_sec(avg),
+        DataRate::mib_per_sec(avg * spread)));
+  }
+  return nodes;
+}
+
+SourceSpec source(double mibps) {
+  SourceSpec s;
+  s.rate = DataRate::mib_per_sec(mibps);
+  s.burst = 64_KiB;
+  return s;
+}
+
+class ModelConsistency : public ::testing::TestWithParam<int> {};
+
+TEST_P(ModelConsistency, QueueingRooflineAtLeastWorstCaseGuarantee) {
+  // The M/M/1 roofline uses average rates; the sound NC guarantee uses
+  // worst-case rates. The roofline must therefore dominate.
+  const auto nodes = random_nodes(
+      static_cast<std::uint64_t>(GetParam()) * 911u + 5u, 3);
+  const auto src = source(30);
+  const PipelineModel m(nodes, src, ModelPolicy{});
+  const auto q = queueing::analyze(nodes, src);
+  const auto tb = m.throughput_bounds(Duration::seconds(10));
+  EXPECT_GE(q.roofline_throughput.in_bytes_per_sec(),
+            tb.lower.in_bytes_per_sec());
+}
+
+TEST_P(ModelConsistency, AvgBasisTightensTowardQueueingRoofline) {
+  const auto nodes = random_nodes(
+      static_cast<std::uint64_t>(GetParam()) * 1543u + 9u, 3);
+  const auto src = source(30);
+  ModelPolicy avg;
+  avg.service_basis = netcalc::RateBasis::kAvg;
+  avg.packetize = false;
+  const PipelineModel m(nodes, src, avg);
+  const auto q = queueing::analyze(nodes, src);
+  // With average-rate service curves the NC sustained rate equals the
+  // queueing roofline (same inputs, same bottleneck arithmetic).
+  EXPECT_NEAR(m.service_curve().tail_slope(),
+              q.roofline_throughput.in_bytes_per_sec(),
+              1e-6 * q.roofline_throughput.in_bytes_per_sec());
+}
+
+TEST_P(ModelConsistency, SoundBoundsDominateAvgBasisBounds) {
+  const auto nodes = random_nodes(
+      static_cast<std::uint64_t>(GetParam()) * 6007u + 1u, 2);
+  const auto src = source(25);
+  ModelPolicy sound;  // kMin
+  ModelPolicy optimistic;
+  optimistic.service_basis = netcalc::RateBasis::kAvg;
+  const PipelineModel ms(nodes, src, sound);
+  const PipelineModel mo(nodes, src, optimistic);
+  EXPECT_GE(ms.delay_bound(), mo.delay_bound());
+  EXPECT_GE(ms.backlog_bound(), mo.backlog_bound());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ModelConsistency, ::testing::Range(0, 12));
+
+
+TEST(Mm1Validation, ExponentialSimulationMatchesTheory) {
+  // Close the model triangle: a single stage with exponential service and
+  // Poisson arrivals IS an M/M/1 queue, so the simulator's mean sojourn
+  // must match the queueing module's W = job/(mu - lambda).
+  using streamsim::SimConfig;
+  using streamsim::TimeDistribution;
+  const std::vector<NodeSpec> nodes{NodeSpec::from_rates(
+      "mm1", NodeKind::kCompute, 64_KiB, DataRate::mib_per_sec(100),
+      DataRate::mib_per_sec(100), DataRate::mib_per_sec(100))};
+  for (double rho : {0.4, 0.7}) {
+    SourceSpec src;
+    src.rate = DataRate::mib_per_sec(100.0 * rho);
+    src.burst = DataSize::bytes(0);
+    src.packet = 64_KiB;
+    SimConfig cfg;
+    cfg.horizon = Duration::seconds(40);
+    cfg.warmup = Duration::seconds(5);
+    cfg.seed = 17;
+    cfg.service_distribution = TimeDistribution::kExponential;
+    cfg.poisson_arrivals = true;
+    const auto sim = streamsim::simulate(nodes, src, cfg);
+    const auto q = queueing::analyze(nodes, src);
+    ASSERT_TRUE(q.stages[0].stable);
+    EXPECT_NEAR(sim.mean_delay.in_seconds(),
+                q.stages[0].mean_sojourn.in_seconds(),
+                0.12 * q.stages[0].mean_sojourn.in_seconds())
+        << "rho=" << rho;
+  }
+}
+
+TEST(PaperShapes, BothApplicationsShareTheReportedOrdering) {
+  // NC-lower <= DES-like <= queueing <= NC-upper for both applications
+  // (the qualitative finding of Tables 1 and 3).
+  {
+    const auto n = apps::blast::nodes();
+    const PipelineModel m(n, apps::blast::streaming_source(),
+                          apps::blast::policy());
+    const auto tb = m.throughput_bounds(apps::blast::table1_horizon());
+    const auto q = queueing::analyze(n, apps::blast::streaming_source());
+    EXPECT_LT(tb.lower, q.roofline_throughput);
+    EXPECT_LT(q.roofline_throughput, tb.upper);
+  }
+  {
+    const auto n = apps::bitw::nodes();
+    const PipelineModel m(n, apps::bitw::streaming_source(),
+                          apps::bitw::policy());
+    const auto tb = m.throughput_bounds(apps::bitw::table3_horizon());
+    const auto q = queueing::analyze(n, apps::bitw::streaming_source());
+    EXPECT_LT(tb.lower, q.roofline_throughput);
+    EXPECT_LT(q.roofline_throughput, tb.upper);
+  }
+}
+
+}  // namespace
+}  // namespace streamcalc

@@ -1,0 +1,128 @@
+#include "kernels/aes.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace streamcalc::kernels {
+namespace {
+
+std::vector<std::uint8_t> from_hex(const std::string& hex) {
+  std::vector<std::uint8_t> out;
+  for (std::size_t i = 0; i + 1 < hex.size(); i += 2) {
+    out.push_back(static_cast<std::uint8_t>(
+        std::stoi(hex.substr(i, 2), nullptr, 16)));
+  }
+  return out;
+}
+
+AesBlock block_from_hex(const std::string& hex) {
+  const auto v = from_hex(hex);
+  AesBlock b{};
+  std::copy(v.begin(), v.end(), b.begin());
+  return b;
+}
+
+// FIPS-197 Appendix C.1: AES-128 known-answer test.
+TEST(Aes, Fips197Aes128KnownAnswer) {
+  const auto key = from_hex("000102030405060708090a0b0c0d0e0f");
+  const Aes aes(key);
+  EXPECT_EQ(aes.rounds(), 10);
+  const AesBlock pt = block_from_hex("00112233445566778899aabbccddeeff");
+  const AesBlock expected =
+      block_from_hex("69c4e0d86a7b0430d8cdb78070b4c55a");
+  EXPECT_EQ(aes.encrypt_block(pt), expected);
+  EXPECT_EQ(aes.decrypt_block(expected), pt);
+}
+
+// FIPS-197 Appendix C.3: AES-256 known-answer test.
+TEST(Aes, Fips197Aes256KnownAnswer) {
+  const auto key = from_hex(
+      "000102030405060708090a0b0c0d0e0f101112131415161718191a1b1c1d1e1f");
+  const Aes aes(key);
+  EXPECT_EQ(aes.rounds(), 14);
+  const AesBlock pt = block_from_hex("00112233445566778899aabbccddeeff");
+  const AesBlock expected =
+      block_from_hex("8ea2b7ca516745bfeafc49904b496089");
+  EXPECT_EQ(aes.encrypt_block(pt), expected);
+  EXPECT_EQ(aes.decrypt_block(expected), pt);
+}
+
+// NIST SP 800-38A F.2.1/F.2.2: AES-128-CBC known-answer (first two blocks).
+TEST(Aes, Sp80038aCbcKnownAnswer) {
+  const auto key = from_hex("2b7e151628aed2a6abf7158809cf4f3c");
+  const AesBlock iv = block_from_hex("000102030405060708090a0b0c0d0e0f");
+  const auto pt = from_hex(
+      "6bc1bee22e409f96e93d7e117393172a"
+      "ae2d8a571e03ac9c9eb76fac45af8e51");
+  const auto expected = from_hex(
+      "7649abac8119b246cee98e9b12e9197d"
+      "5086cb9b507219ee95db113a917678b2");
+  const Aes aes(key);
+  EXPECT_EQ(aes.cbc_encrypt(pt, iv), expected);
+  EXPECT_EQ(aes.cbc_decrypt(expected, iv), pt);
+}
+
+// NIST SP 800-38A F.2.5: AES-256-CBC known-answer (first block).
+TEST(Aes, Sp80038aCbc256KnownAnswer) {
+  const auto key = from_hex(
+      "603deb1015ca71be2b73aef0857d7781"
+      "1f352c073b6108d72d9810a30914dff4");
+  const AesBlock iv = block_from_hex("000102030405060708090a0b0c0d0e0f");
+  const auto pt = from_hex("6bc1bee22e409f96e93d7e117393172a");
+  const auto expected = from_hex("f58c4c04d6e5f1ba779eabfb5f7bfbd6");
+  const Aes aes(key);
+  EXPECT_EQ(aes.cbc_encrypt(pt, iv), expected);
+}
+
+TEST(Aes, CbcRoundTripRandomData) {
+  util::Xoshiro256 rng(21);
+  std::vector<std::uint8_t> key(32);
+  for (auto& b : key) b = static_cast<std::uint8_t>(rng());
+  AesBlock iv{};
+  for (auto& b : iv) b = static_cast<std::uint8_t>(rng());
+  std::vector<std::uint8_t> data(16 * 257);
+  for (auto& b : data) b = static_cast<std::uint8_t>(rng());
+  const Aes aes(key);
+  const auto ct = aes.cbc_encrypt(data, iv);
+  EXPECT_NE(ct, data);
+  EXPECT_EQ(aes.cbc_decrypt(ct, iv), data);
+}
+
+TEST(Aes, CbcChainsAcrossBlocks) {
+  // Identical plaintext blocks must yield different ciphertext blocks.
+  const auto key = from_hex("2b7e151628aed2a6abf7158809cf4f3c");
+  const Aes aes(key);
+  AesBlock iv{};
+  std::vector<std::uint8_t> data(64, 0xAB);
+  const auto ct = aes.cbc_encrypt(data, iv);
+  EXPECT_NE(std::vector<std::uint8_t>(ct.begin(), ct.begin() + 16),
+            std::vector<std::uint8_t>(ct.begin() + 16, ct.begin() + 32));
+}
+
+TEST(Aes, SizePreserving) {
+  // The pipeline models AES with volume ratio 1.0: ciphertext bytes ==
+  // plaintext bytes.
+  const auto key = from_hex("2b7e151628aed2a6abf7158809cf4f3c");
+  const Aes aes(key);
+  const std::vector<std::uint8_t> data(1024, 0x5C);
+  EXPECT_EQ(aes.cbc_encrypt(data, AesBlock{}).size(), data.size());
+}
+
+TEST(Aes, RejectsBadKeyAndLength) {
+  const std::vector<std::uint8_t> short_key(8, 0);
+  EXPECT_THROW(Aes{short_key}, util::PreconditionError);
+  const auto key = from_hex("2b7e151628aed2a6abf7158809cf4f3c");
+  const Aes aes(key);
+  const std::vector<std::uint8_t> ragged(17, 0);
+  EXPECT_THROW(aes.cbc_encrypt(ragged, AesBlock{}),
+               util::PreconditionError);
+  EXPECT_THROW(aes.cbc_decrypt(ragged, AesBlock{}),
+               util::PreconditionError);
+}
+
+}  // namespace
+}  // namespace streamcalc::kernels

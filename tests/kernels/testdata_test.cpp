@@ -1,0 +1,83 @@
+#include "kernels/testdata.hpp"
+
+#include <gtest/gtest.h>
+
+#include <array>
+
+#include "util/error.hpp"
+
+namespace streamcalc::kernels {
+namespace {
+
+TEST(TestData, RandomDnaAlphabetAndLength) {
+  util::Xoshiro256 rng(31);
+  const std::string dna = random_dna(rng, 10000);
+  EXPECT_EQ(dna.size(), 10000u);
+  std::array<int, 4> counts{};
+  for (char c : dna) {
+    switch (c) {
+      case 'A':
+        ++counts[0];
+        break;
+      case 'C':
+        ++counts[1];
+        break;
+      case 'G':
+        ++counts[2];
+        break;
+      case 'T':
+        ++counts[3];
+        break;
+      default:
+        FAIL() << "unexpected character " << c;
+    }
+  }
+  for (int c : counts) EXPECT_GT(c, 2000);  // roughly uniform
+}
+
+TEST(TestData, PlantHomologiesCopiesQueryContent) {
+  util::Xoshiro256 rng(32);
+  const std::string query = random_dna(rng, 100);
+  std::string db = random_dna(rng, 1000);
+  const std::string before = db;
+  plant_homologies(db, query, rng, 3, 50, 0.0);
+  EXPECT_NE(db, before);
+  // With zero mutations, some 50-base window of db equals a query window.
+  bool found = false;
+  for (std::size_t d = 0; !found && d + 50 <= db.size(); ++d) {
+    for (std::size_t q = 0; !found && q + 50 <= query.size(); ++q) {
+      if (db.compare(d, 50, query, q, 50) == 0) found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(TestData, PlantHomologiesValidatesArgs) {
+  util::Xoshiro256 rng(33);
+  std::string db = random_dna(rng, 100);
+  const std::string query = random_dna(rng, 20);
+  EXPECT_THROW(plant_homologies(db, query, rng, 1, 50, 0.0),
+               util::PreconditionError);
+}
+
+TEST(TestData, TelemetryTextSizeAndShape) {
+  util::Xoshiro256 rng(34);
+  const auto text = telemetry_text(rng, 4096, 0.5);
+  EXPECT_EQ(text.size(), 4096u);
+  // Line-oriented printable content.
+  int newlines = 0;
+  for (std::uint8_t b : text) {
+    EXPECT_TRUE(b == '\n' || (b >= 0x20 && b < 0x7F));
+    if (b == '\n') ++newlines;
+  }
+  EXPECT_GT(newlines, 10);
+}
+
+TEST(TestData, TelemetryRejectsBadRedundancy) {
+  util::Xoshiro256 rng(35);
+  EXPECT_THROW(telemetry_text(rng, 100, -0.1), util::PreconditionError);
+  EXPECT_THROW(telemetry_text(rng, 100, 1.1), util::PreconditionError);
+}
+
+}  // namespace
+}  // namespace streamcalc::kernels

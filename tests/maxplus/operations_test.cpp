@@ -1,0 +1,184 @@
+#include "maxplus/operations.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "minplus/inverse.hpp"
+#include "minplus/operations.hpp"
+#include "reference.hpp"
+#include "util/rng.hpp"
+
+namespace streamcalc::maxplus {
+namespace {
+
+using minplus::testing::random_curve;
+
+/// Brute-force (f (+) g)(t) = sup over a dense split grid.
+double ref_maxconv(const Curve& f, const Curve& g, double t,
+                   int steps = 2000) {
+  double best = 0.0;
+  for (double s :
+       minplus::testing::dense_points(f, g, 0.0, t, steps)) {
+    s = std::min(s, t);
+    const double a = f.value(s);
+    const double b = g.value(t - s);
+    if (a == minplus::testing::kInf || b == minplus::testing::kInf) {
+      return minplus::testing::kInf;
+    }
+    best = std::max(best, a + b);
+  }
+  return best;
+}
+
+TEST(MaxConvolve, TwoRatesTakeTheSteeper) {
+  // sup_s [R1 s + R2 (t-s)] = max(R1, R2) * t.
+  const Curve c = maxplus::convolve(Curve::rate(2.0), Curve::rate(5.0));
+  for (double t : {0.0, 1.0, 3.0}) {
+    EXPECT_NEAR(c.value(t), 5.0 * t, 1e-9);
+  }
+}
+
+TEST(MaxConvolve, BurstsAdd) {
+  // At any t > 0 both bursts can be collected.
+  const Curve c = maxplus::convolve(Curve::affine(1.0, 3.0), Curve::affine(2.0, 4.0));
+  EXPECT_DOUBLE_EQ(c.value(0.0), 0.0);
+  EXPECT_NEAR(c.value_right(0.0), 7.0, 1e-9);
+  // For t > 0 the steeper rate wins the interior split.
+  EXPECT_NEAR(c.value(2.0), 7.0 + 2.0 * 2.0, 1e-9);
+}
+
+TEST(MaxConvolve, WithZeroIsIdentityForStartZeroCurves) {
+  // g = 0: sup_s f(s) + 0 = f(t) (f increasing).
+  const Curve f = Curve::affine(2.0, 1.0);
+  const Curve c = maxplus::convolve(f, Curve::zero());
+  for (double t : {0.0, 0.5, 2.0, 5.0}) {
+    EXPECT_NEAR(c.value(t), f.value(t), 1e-9) << t;
+  }
+}
+
+TEST(MaxConvolve, DeltaShiftsUpward) {
+  // f (+) delta_T: for t > T the split can place s beyond T where delta is
+  // +inf... delta is 0 on [0,T], +inf after, so the sup is +inf once t > T.
+  const Curve c = maxplus::convolve(Curve::rate(1.0), Curve::delta(2.0));
+  EXPECT_TRUE(std::isfinite(c.value(1.5)));
+  EXPECT_EQ(c.value(3.0), minplus::testing::kInf);
+}
+
+TEST(MaxConvolve, MatchesBruteForceOnRandomCurves) {
+  util::Xoshiro256 rng(91);
+  for (int iter = 0; iter < 16; ++iter) {
+    const Curve f = random_curve(rng, 1 + iter % 4);
+    const Curve g = random_curve(rng, 1 + (iter / 4) % 4);
+    const Curve c = maxplus::convolve(f, g);
+    const double hi = f.last_breakpoint() + g.last_breakpoint() + 2.0;
+    for (double t = 0.0; t <= hi; t += hi / 17.0) {
+      const double expected = ref_maxconv(f, g, t);
+      EXPECT_NEAR(c.value(t), expected, 1e-3 * (1.0 + std::fabs(expected)))
+          << "t=" << t << "\nf=" << f.describe() << "\ng=" << g.describe();
+    }
+  }
+}
+
+TEST(MaxConvolve, Commutative) {
+  util::Xoshiro256 rng(92);
+  for (int iter = 0; iter < 10; ++iter) {
+    const Curve f = random_curve(rng, 1 + iter % 4);
+    const Curve g = random_curve(rng, 1 + (iter / 2) % 4);
+    const Curve fg = maxplus::convolve(f, g);
+    const Curve gf = maxplus::convolve(g, f);
+    const double hi = f.last_breakpoint() + g.last_breakpoint() + 2.0;
+    for (double t = 0.0; t <= hi; t += hi / 13.0) {
+      EXPECT_NEAR(fg.value(t), gf.value(t), 1e-6 * (1.0 + fg.value(t)));
+    }
+  }
+}
+
+
+TEST(MaxConvolve, Associative) {
+  util::Xoshiro256 rng(95);
+  for (int iter = 0; iter < 8; ++iter) {
+    const Curve f = random_curve(rng, 1 + iter % 3);
+    const Curve g = random_curve(rng, 1 + (iter / 2) % 3);
+    const Curve h = random_curve(rng, 1 + (iter / 4) % 3);
+    const Curve lhs = maxplus::convolve(maxplus::convolve(f, g), h);
+    const Curve rhs = maxplus::convolve(f, maxplus::convolve(g, h));
+    const double hi = f.last_breakpoint() + g.last_breakpoint() +
+                      h.last_breakpoint() + 2.0;
+    for (double t = 0.0; t <= hi; t += hi / 13.0) {
+      EXPECT_NEAR(lhs.value(t), rhs.value(t),
+                  1e-5 * (1.0 + std::fabs(lhs.value(t))))
+          << "t=" << t;
+    }
+  }
+}
+
+TEST(MaxConvolve, ExchangeIdentityWithMinPlusThroughInverses) {
+  // (f (x) g)^{-1} = f^{-1} (+) g^{-1} for continuous strictly increasing
+  // f, g — check on two pure-rate-latency service curves.
+  const Curve f = Curve::rate_latency(4.0, 1.0);
+  const Curve g = Curve::rate_latency(2.0, 0.5);
+  const Curve lhs =
+      minplus::lower_inverse_curve(minplus::convolve(f, g));
+  const Curve rhs = maxplus::convolve(minplus::lower_inverse_curve(f),
+                             minplus::lower_inverse_curve(g));
+  for (double y = 0.1; y <= 10.0; y += 0.7) {
+    EXPECT_NEAR(lhs.value(y), rhs.value(y), 1e-9) << "y=" << y;
+  }
+}
+
+TEST(MaxDeconvolve, LowerEnvelopeOfAffine) {
+  // f = affine(2, 3), g = rate(2): inf_s [3 + 2(t+s) - 2s] = 3 + 2t
+  // (equal rates: the infimum is flat in s).
+  const Curve d = maxplus::deconvolve(Curve::affine(2.0, 3.0), Curve::rate(2.0));
+  for (double t : {0.0, 1.0, 4.0}) {
+    EXPECT_NEAR(d.value_right(t), 3.0 + 2.0 * t, 1e-6) << t;
+  }
+}
+
+TEST(MaxDeconvolve, DivergentCaseClampsToZero) {
+  // g outgrows f: the infimum runs to -inf; clamped result is zero.
+  const Curve d = maxplus::deconvolve(Curve::rate(1.0), Curve::rate(3.0));
+  EXPECT_TRUE(d.is_zero());
+}
+
+TEST(MaxDeconvolve, MatchesBruteForce) {
+  util::Xoshiro256 rng(93);
+  for (int iter = 0; iter < 12; ++iter) {
+    Curve f = random_curve(rng, 1 + iter % 3, 4.0);
+    f = minplus::add(f, Curve::rate(5.0));  // keep f's tail dominant
+    const Curve g = random_curve(rng, 1 + (iter / 3) % 3, 4.0);
+    const Curve d = maxplus::deconvolve(f, g);
+    const double hi = f.last_breakpoint() + g.last_breakpoint() + 2.0;
+    for (double t = 0.0; t <= hi; t += hi / 11.0) {
+      // Brute force over a dense s grid.
+      double expected = minplus::testing::kInf;
+      const double smax =
+          std::max(f.last_breakpoint(), g.last_breakpoint()) + 2.0;
+      for (double s = 0.0; s <= smax; s += smax / 4000.0) {
+        const double a = f.value(t + s);
+        const double b = g.value(s);
+        if (b == minplus::testing::kInf) continue;
+        expected = std::min(expected, a - b);
+      }
+      expected = std::max(0.0, expected);
+      EXPECT_NEAR(d.value(t), expected,
+                  2e-3 * (1.0 + std::fabs(expected)))
+          << "t=" << t << "\nf=" << f.describe() << "\ng=" << g.describe();
+      EXPECT_GE(d.value_right(t) + 1e-9, d.value(t));
+    }
+  }
+}
+
+TEST(MaxDeconvolve, AtMatchesCurve) {
+  const Curve f = minplus::add(Curve::affine(2.0, 3.0), Curve::rate(3.0));
+  const Curve g = Curve::rate_latency(4.0, 0.5);
+  const Curve d = maxplus::deconvolve(f, g);
+  for (double t = 0.1; t <= 5.0; t += 0.43) {
+    EXPECT_NEAR(maxplus::deconvolve_at(f, g, t), d.value_right(t),
+                1e-6 * (1.0 + d.value(t)));
+  }
+}
+
+}  // namespace
+}  // namespace streamcalc::maxplus

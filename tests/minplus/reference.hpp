@@ -1,0 +1,139 @@
+// Brute-force reference implementations of the min-plus operators, used to
+// validate the exact breakpoint algorithms in src/minplus against direct
+// evaluation of the defining inf/sup expressions on dense grids.
+#pragma once
+
+#include <algorithm>
+#include <limits>
+#include <vector>
+
+#include "minplus/curve.hpp"
+#include "util/rng.hpp"
+
+namespace streamcalc::minplus::testing {
+
+inline constexpr double kInf = std::numeric_limits<double>::infinity();
+
+/// Candidate split points for brute-force evaluation: a dense grid plus all
+/// breakpoints of both curves and epsilon-neighborhoods around them (to
+/// observe one-sided limits of curves with jumps).
+inline std::vector<double> dense_points(const Curve& f, const Curve& g,
+                                        double lo, double hi, int steps) {
+  std::vector<double> pts;
+  constexpr double kEps = 1e-7;
+  for (int i = 0; i <= steps; ++i) {
+    pts.push_back(lo + (hi - lo) * i / steps);
+  }
+  for (const Curve* c : {&f, &g}) {
+    for (const Segment& s : c->segments()) {
+      for (double x : {s.x - kEps, s.x, s.x + kEps}) {
+        if (x >= lo && x <= hi) pts.push_back(x);
+      }
+    }
+  }
+  std::sort(pts.begin(), pts.end());
+  return pts;
+}
+
+/// Direct evaluation of (f (x) g)(t) = inf_{0<=s<=t} f(s) + g(t-s).
+inline double ref_convolve(const Curve& f, const Curve& g, double t,
+                           int steps = 2000) {
+  double best = kInf;
+  for (double s : dense_points(f, g, 0.0, t, steps)) {
+    s = std::min(s, t);  // grid rounding can land just above t
+    const double a = f.value(s);
+    const double b = g.value(t - s);
+    if (a == kInf || b == kInf) continue;
+    best = std::min(best, a + b);
+  }
+  // Also probe t - s near g's breakpoints.
+  for (const Segment& seg : g.segments()) {
+    for (double u : {seg.x - 1e-7, seg.x, seg.x + 1e-7}) {
+      if (u < 0.0 || u > t) continue;
+      const double a = f.value(t - u);
+      const double b = g.value(u);
+      if (a == kInf || b == kInf) continue;
+      best = std::min(best, a + b);
+    }
+  }
+  return best;
+}
+
+/// Direct evaluation of (f (/) g)(t) = sup_{s>=0} f(t+s) - g(s), clamped
+/// at 0 like the library operator.
+inline double ref_deconvolve(const Curve& f, const Curve& g, double t,
+                             int steps = 2000) {
+  const double hi = std::max(f.last_breakpoint(), g.last_breakpoint()) + 2.0;
+  std::vector<double> ss = dense_points(f, g, 0.0, hi, steps);
+  // The supremum can sit where t + s hits a breakpoint of f, i.e. at
+  // s = x_i - t — not itself a breakpoint, so the dense grid misses it.
+  for (const Segment& seg : f.segments()) {
+    for (double s : {seg.x - t - 1e-7, seg.x - t, seg.x - t + 1e-7}) {
+      if (s >= 0.0) ss.push_back(s);
+    }
+  }
+  double best = 0.0;
+  for (double s : ss) {
+    const double a = f.value(t + s);
+    const double b = g.value(s);
+    if (b == kInf) continue;
+    if (a == kInf) return kInf;
+    best = std::max(best, a - b);
+  }
+  return best;
+}
+
+/// Direct sup_t [f(t) - g(t)] over a dense grid.
+inline double ref_vertical(const Curve& f, const Curve& g, int steps = 4000) {
+  const double hi = std::max(f.last_breakpoint(), g.last_breakpoint()) + 2.0;
+  double best = 0.0;
+  for (double t : dense_points(f, g, 0.0, hi, steps)) {
+    const double a = f.value(t);
+    const double b = g.value(t);
+    if (b == kInf) continue;
+    if (a == kInf) return kInf;
+    best = std::max(best, a - b);
+  }
+  return best;
+}
+
+/// Direct sup_t inf{d : f(t) <= g(t+d)} over a dense grid.
+inline double ref_horizontal(const Curve& f, const Curve& g,
+                             int steps = 2000) {
+  const double hi = std::max(f.last_breakpoint(), g.last_breakpoint()) + 2.0;
+  double best = 0.0;
+  for (double t : dense_points(f, g, 0.0, hi, steps)) {
+    for (double level : {f.value(t), f.value_right(t)}) {
+      if (level == kInf) return kInf;
+      if (level <= 0.0) continue;
+      const double reach = g.lower_inverse(level);
+      if (reach == kInf) return kInf;
+      best = std::max(best, reach - t);
+    }
+  }
+  return best;
+}
+
+/// Generates a random finite, wide-sense-increasing piecewise-linear curve
+/// with `n_segments` pieces, optional jumps, slopes in [0, max_slope].
+inline Curve random_curve(util::Xoshiro256& rng, int n_segments,
+                          double max_slope = 8.0, bool allow_jumps = true) {
+  std::vector<Segment> segs;
+  double x = 0.0;
+  double y = 0.0;
+  for (int i = 0; i < n_segments; ++i) {
+    const double value_at = y;
+    double value_after = y;
+    if (allow_jumps && rng.uniform01() < 0.3) {
+      value_after += rng.uniform(0.0, 3.0);
+    }
+    const double slope = rng.uniform(0.0, max_slope);
+    segs.push_back(Segment{x, value_at, value_after, slope});
+    const double dx = rng.uniform(0.2, 1.5);
+    y = value_after + slope * dx;
+    x += dx;
+  }
+  return Curve(std::move(segs));
+}
+
+}  // namespace streamcalc::minplus::testing

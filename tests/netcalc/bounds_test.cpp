@@ -1,0 +1,126 @@
+#include "netcalc/bounds.hpp"
+
+#include <gtest/gtest.h>
+
+#include "minplus/operations.hpp"
+#include "util/error.hpp"
+
+namespace streamcalc::netcalc {
+namespace {
+
+using minplus::Curve;
+using util::DataRate;
+using util::DataSize;
+using util::Duration;
+using namespace util::literals;
+
+// A canonical underloaded pair used across tests:
+// alpha = leaky bucket (rate 2 B/s, burst 3 B), beta = rate-latency
+// (rate 5 B/s, latency 1 s).
+Curve alpha() { return Curve::affine(2.0, 3.0); }
+Curve beta() { return Curve::rate_latency(5.0, 1.0); }
+
+TEST(Bounds, RegimeClassification) {
+  EXPECT_EQ(regime(alpha(), beta()), Regime::kUnderloaded);
+  EXPECT_EQ(regime(Curve::affine(5.0, 1.0), beta()), Regime::kCritical);
+  EXPECT_EQ(regime(Curve::affine(6.0, 1.0), beta()), Regime::kOverloaded);
+}
+
+TEST(Bounds, RegimeToString) {
+  EXPECT_STREQ(to_string(Regime::kUnderloaded), "underloaded");
+  EXPECT_STREQ(to_string(Regime::kCritical), "critical");
+  EXPECT_STREQ(to_string(Regime::kOverloaded), "overloaded");
+}
+
+TEST(Bounds, BacklogClosedForm) {
+  // x = b + R_a * T = 3 + 2*1.
+  EXPECT_DOUBLE_EQ(backlog_bound(alpha(), beta()).in_bytes(), 5.0);
+}
+
+TEST(Bounds, DelayClosedForm) {
+  // d = T + b / R_b = 1 + 3/5.
+  EXPECT_DOUBLE_EQ(delay_bound(alpha(), beta()).in_seconds(), 1.6);
+}
+
+TEST(Bounds, OverloadedBoundsAreInfinite) {
+  const Curve a = Curve::affine(6.0, 1.0);
+  EXPECT_FALSE(backlog_bound(a, beta()).is_finite());
+  EXPECT_FALSE(delay_bound(a, beta()).is_finite());
+}
+
+TEST(Bounds, OutputBoundWithoutGamma) {
+  // alpha* = alpha (/) beta = affine with burst b + R_a*T.
+  const Curve out = output_bound(alpha(), beta(), std::nullopt);
+  EXPECT_DOUBLE_EQ(out.value(0.0), 5.0);
+  EXPECT_DOUBLE_EQ(out.tail_slope(), 2.0);
+}
+
+TEST(Bounds, GammaTightensOutputBound) {
+  // A maximum service curve caps how fast data can exit.
+  const Curve gamma = Curve::rate(2.5);
+  const Curve with = output_bound(alpha(), beta(), gamma);
+  const Curve without = output_bound(alpha(), beta(), std::nullopt);
+  for (double t = 0.0; t <= 5.0; t += 0.5) {
+    EXPECT_LE(with.value(t), without.value(t) + 1e-9) << t;
+  }
+}
+
+TEST(Bounds, GuaranteedRateIsBetaOverHorizon) {
+  // beta(10)/10 = 5*(10-1)/10 = 4.5 B/s.
+  EXPECT_DOUBLE_EQ(
+      guaranteed_rate(beta(), Duration::seconds(10)).in_bytes_per_sec(),
+      4.5);
+}
+
+TEST(Bounds, GuaranteedRateApproachesRateAsHorizonGrows) {
+  const double r10 =
+      guaranteed_rate(beta(), Duration::seconds(10)).in_bytes_per_sec();
+  const double r100 =
+      guaranteed_rate(beta(), Duration::seconds(100)).in_bytes_per_sec();
+  EXPECT_LT(r10, r100);
+  EXPECT_LT(r100, 5.0);
+}
+
+TEST(Bounds, LimitingRateOfArrival) {
+  // alpha(10)/10 = (3 + 20)/10.
+  EXPECT_DOUBLE_EQ(
+      limiting_rate(alpha(), Duration::seconds(10)).in_bytes_per_sec(), 2.3);
+}
+
+TEST(Bounds, LimitingRateInfiniteCurve) {
+  EXPECT_FALSE(
+      limiting_rate(Curve::delta(1.0), Duration::seconds(2)).is_finite());
+}
+
+TEST(Bounds, RateQueriesRejectBadHorizon) {
+  EXPECT_THROW(guaranteed_rate(beta(), Duration::seconds(0)),
+               util::PreconditionError);
+  EXPECT_THROW(limiting_rate(alpha(), Duration::infinite()),
+               util::PreconditionError);
+}
+
+TEST(Bounds, OverloadGrowthRate) {
+  const Curve a = Curve::affine(8.0, 1.0);
+  EXPECT_DOUBLE_EQ(overload_growth_rate(a, beta()).in_bytes_per_sec(), 3.0);
+  EXPECT_DOUBLE_EQ(overload_growth_rate(alpha(), beta()).in_bytes_per_sec(),
+                   0.0);
+}
+
+TEST(Bounds, BacklogAtFiniteHorizonIsFiniteEvenWhenOverloaded) {
+  const Curve a = Curve::affine(8.0, 1.0);
+  // At t=11: alpha = 1 + 88 = 89; beta = 5*10 = 50; gap at the horizon.
+  const DataSize x = backlog_at(a, beta(), Duration::seconds(11));
+  EXPECT_DOUBLE_EQ(x.in_bytes(), 39.0);
+  // Growing the horizon grows the queue estimate.
+  EXPECT_GT(backlog_at(a, beta(), Duration::seconds(20)), x);
+}
+
+TEST(Bounds, BacklogAtMatchesAsymptoticBoundWhenStable) {
+  // For an underloaded server the windowed estimate saturates at the bound.
+  const DataSize asym = backlog_bound(alpha(), beta());
+  const DataSize windowed = backlog_at(alpha(), beta(), Duration::seconds(100));
+  EXPECT_DOUBLE_EQ(windowed.in_bytes(), asym.in_bytes());
+}
+
+}  // namespace
+}  // namespace streamcalc::netcalc

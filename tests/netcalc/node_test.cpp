@@ -1,0 +1,121 @@
+#include "netcalc/node.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+
+namespace streamcalc::netcalc {
+namespace {
+
+using util::DataRate;
+using util::DataSize;
+using util::Duration;
+using namespace util::literals;
+
+TEST(NodeSpec, ComputeConstructorDerivesRates) {
+  const NodeSpec n =
+      NodeSpec::compute("stage", 64_KiB, 32_KiB, 1_ms, 4_ms);
+  EXPECT_EQ(n.kind, NodeKind::kCompute);
+  EXPECT_DOUBLE_EQ(n.rate_max().in_bytes_per_sec(),
+                   (64_KiB).in_bytes() / 0.001);
+  EXPECT_DOUBLE_EQ(n.rate_min().in_bytes_per_sec(),
+                   (64_KiB).in_bytes() / 0.004);
+  // Default average: midpoint of times.
+  EXPECT_DOUBLE_EQ(n.rate_avg().in_bytes_per_sec(),
+                   (64_KiB).in_bytes() / 0.0025);
+  EXPECT_DOUBLE_EQ(n.job_ratio(), 2.0);
+}
+
+TEST(NodeSpec, ExplicitTimeAvgOverridesMidpoint) {
+  NodeSpec n = NodeSpec::compute("s", 64_KiB, 64_KiB, 1_ms, 4_ms);
+  n.time_avg = 2_ms;
+  n.validate();
+  EXPECT_DOUBLE_EQ(n.rate_avg().in_bytes_per_sec(),
+                   (64_KiB).in_bytes() / 0.002);
+}
+
+TEST(NodeSpec, FromRatesRoundTrips) {
+  const NodeSpec n = NodeSpec::from_rates(
+      "encrypt", NodeKind::kCompute, 1_KiB, DataRate::mib_per_sec(56),
+      DataRate::mib_per_sec(68), DataRate::mib_per_sec(75));
+  EXPECT_NEAR(n.rate_min().in_mib_per_sec(), 56.0, 1e-9);
+  EXPECT_NEAR(n.rate_avg().in_mib_per_sec(), 68.0, 1e-9);
+  EXPECT_NEAR(n.rate_max().in_mib_per_sec(), 75.0, 1e-9);
+}
+
+TEST(NodeSpec, FromRatesRejectsUnorderedRates) {
+  EXPECT_THROW(NodeSpec::from_rates("x", NodeKind::kCompute, 1_KiB,
+                                    DataRate::mib_per_sec(70),
+                                    DataRate::mib_per_sec(68),
+                                    DataRate::mib_per_sec(75)),
+               util::PreconditionError);
+}
+
+TEST(NodeSpec, LinkConstructorIsCutThrough) {
+  const NodeSpec n = NodeSpec::link("net", NodeKind::kNetworkLink,
+                                    DataRate::gib_per_sec(10), 64_KiB, 10_us);
+  EXPECT_FALSE(n.aggregates);
+  EXPECT_EQ(n.time_min, n.time_max);
+  const double serialization = (64_KiB).in_bytes() /
+                               DataRate::gib_per_sec(10).in_bytes_per_sec();
+  EXPECT_DOUBLE_EQ(n.time_max.in_seconds(), serialization + 10e-6);
+}
+
+TEST(NodeSpec, LatencyDefaultsToWorstBlockTime) {
+  NodeSpec n = NodeSpec::compute("s", 64_KiB, 64_KiB, 1_ms, 4_ms);
+  EXPECT_EQ(n.latency(), 4_ms);
+  n.latency_override = 100_us;
+  EXPECT_EQ(n.latency(), 100_us);
+}
+
+TEST(NodeSpec, IsolatedRateDefaultsToAverage) {
+  NodeSpec n = NodeSpec::compute("s", 64_KiB, 64_KiB, 1_ms, 4_ms);
+  EXPECT_EQ(n.effective_isolated_rate(), n.rate_avg());
+  n.rate_isolated = DataRate::mib_per_sec(123);
+  EXPECT_EQ(n.effective_isolated_rate(), DataRate::mib_per_sec(123));
+}
+
+TEST(VolumeRatioTest, FromCompressionInverts) {
+  const VolumeRatio v = VolumeRatio::from_compression(1.0, 2.2, 5.3);
+  EXPECT_DOUBLE_EQ(v.min, 1.0 / 5.3);
+  EXPECT_DOUBLE_EQ(v.avg, 1.0 / 2.2);
+  EXPECT_DOUBLE_EQ(v.max, 1.0);
+}
+
+TEST(VolumeRatioTest, ExactCollapsesSpread) {
+  const VolumeRatio v = VolumeRatio::exact(0.25);
+  EXPECT_EQ(v.min, 0.25);
+  EXPECT_EQ(v.avg, 0.25);
+  EXPECT_EQ(v.max, 0.25);
+}
+
+TEST(NodeSpec, ValidateRejectsBadSpecs) {
+  NodeSpec n = NodeSpec::compute("s", 1_KiB, 1_KiB, 1_ms, 2_ms);
+  n.block_in = DataSize::bytes(0);
+  EXPECT_THROW(n.validate(), util::PreconditionError);
+
+  n = NodeSpec::compute("s", 1_KiB, 1_KiB, 1_ms, 2_ms);
+  n.time_max = 0.5_ms;  // below time_min
+  EXPECT_THROW(n.validate(), util::PreconditionError);
+
+  n = NodeSpec::compute("s", 1_KiB, 1_KiB, 1_ms, 2_ms);
+  n.time_avg = 3_ms;  // outside [min, max]
+  EXPECT_THROW(n.validate(), util::PreconditionError);
+
+  n = NodeSpec::compute("s", 1_KiB, 1_KiB, 1_ms, 2_ms);
+  n.volume = VolumeRatio{0.5, 0.4, 0.6};  // avg below min
+  EXPECT_THROW(n.validate(), util::PreconditionError);
+
+  n = NodeSpec::compute("s", 1_KiB, 1_KiB, 1_ms, 2_ms);
+  n.name.clear();
+  EXPECT_THROW(n.validate(), util::PreconditionError);
+}
+
+TEST(NodeKindTest, Names) {
+  EXPECT_STREQ(to_string(NodeKind::kCompute), "compute");
+  EXPECT_STREQ(to_string(NodeKind::kNetworkLink), "network");
+  EXPECT_STREQ(to_string(NodeKind::kPcieLink), "pcie");
+}
+
+}  // namespace
+}  // namespace streamcalc::netcalc

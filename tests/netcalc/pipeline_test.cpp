@@ -1,0 +1,280 @@
+#include "netcalc/pipeline.hpp"
+
+#include <gtest/gtest.h>
+
+#include "minplus/deviation.hpp"
+#include "minplus/operations.hpp"
+#include "util/error.hpp"
+
+namespace streamcalc::netcalc {
+namespace {
+
+using minplus::Curve;
+using util::DataRate;
+using util::DataSize;
+using util::Duration;
+using namespace util::literals;
+
+NodeSpec simple_stage(const char* name, double mibps_min, double mibps_avg,
+                      double mibps_max) {
+  return NodeSpec::from_rates(name, NodeKind::kCompute, 64_KiB,
+                              DataRate::mib_per_sec(mibps_min),
+                              DataRate::mib_per_sec(mibps_avg),
+                              DataRate::mib_per_sec(mibps_max));
+}
+
+SourceSpec source(double mibps) {
+  SourceSpec s;
+  s.rate = DataRate::mib_per_sec(mibps);
+  s.burst = DataSize::bytes(0);
+  s.packet = 64_KiB;  // matches the stage block: no aggregation wait
+  return s;
+}
+
+TEST(PipelineModel, SingleNodeMatchesClosedForms) {
+  ModelPolicy pol;
+  pol.packetize = false;
+  PipelineModel m({simple_stage("s", 100, 150, 200)}, source(50), pol);
+  // beta = rate_latency(100 MiB/s, T = 64 KiB / 100 MiB/s).
+  const double T = (64_KiB).in_bytes() /
+                   DataRate::mib_per_sec(100).in_bytes_per_sec();
+  EXPECT_NEAR(m.delay_bound().in_seconds(),
+              T + (64_KiB).in_bytes() /
+                      DataRate::mib_per_sec(100).in_bytes_per_sec(),
+              1e-9);
+  // x = b + R_a * T.
+  EXPECT_NEAR(m.backlog_bound().in_bytes(),
+              (64_KiB).in_bytes() +
+                  DataRate::mib_per_sec(50).in_bytes_per_sec() * T,
+              1e-6);
+  EXPECT_EQ(m.load_regime(), Regime::kUnderloaded);
+}
+
+TEST(PipelineModel, ConcatenationPaysBurstsOnlyOnce) {
+  // End-to-end delay via the concatenated service curve must not exceed
+  // the sum of per-node delay bounds.
+  ModelPolicy pol;
+  pol.packetize = false;
+  std::vector<NodeSpec> nodes{simple_stage("a", 100, 120, 150),
+                              simple_stage("b", 110, 130, 160),
+                              simple_stage("c", 120, 140, 170)};
+  PipelineModel m(nodes, source(50), pol);
+  double sum_node_delays = 0.0;
+  for (const NodeAnalysis& a : m.per_node_analysis()) {
+    sum_node_delays += a.delay.in_seconds();
+  }
+  EXPECT_LT(m.delay_bound().in_seconds(), sum_node_delays);
+}
+
+TEST(PipelineModel, ConcatenatedRateIsBottleneckRate) {
+  ModelPolicy pol;
+  pol.packetize = false;
+  PipelineModel m({simple_stage("a", 300, 320, 350),
+                   simple_stage("slow", 90, 95, 120),
+                   simple_stage("c", 200, 220, 260)},
+                  source(50), pol);
+  EXPECT_NEAR(m.service_curve().tail_slope(),
+              DataRate::mib_per_sec(90).in_bytes_per_sec(), 1.0);
+  EXPECT_EQ(m.bottleneck(), 1u);
+}
+
+TEST(PipelineModel, VolumeNormalizationScalesDownstreamRates) {
+  // A 4:1 filter ahead of a slow stage makes the slow stage look 4x
+  // faster in input-normalized terms.
+  std::vector<NodeSpec> nodes{simple_stage("filter", 100, 110, 120),
+                              simple_stage("slow", 50, 55, 60)};
+  nodes[0].volume = VolumeRatio::exact(0.25);
+  ModelPolicy pol;
+  pol.packetize = false;
+  PipelineModel m(nodes, source(40), pol);
+  EXPECT_NEAR(m.node_service_curve(1).tail_slope(),
+              DataRate::mib_per_sec(200).in_bytes_per_sec(), 1.0);
+  EXPECT_DOUBLE_EQ(m.volume_in_worst(1), 0.25);
+  EXPECT_DOUBLE_EQ(m.volume_in_best(1), 0.25);
+}
+
+TEST(PipelineModel, CompressionSpreadSeparatesWorstAndBestVolumes) {
+  std::vector<NodeSpec> nodes{simple_stage("compress", 100, 110, 120),
+                              simple_stage("after", 50, 55, 60)};
+  nodes[0].volume = VolumeRatio::from_compression(1.0, 2.2, 5.3);
+  ModelPolicy pol;
+  pol.packetize = false;
+  PipelineModel m(nodes, source(40), pol);
+  EXPECT_DOUBLE_EQ(m.volume_in_worst(1), 1.0);        // no compression
+  EXPECT_DOUBLE_EQ(m.volume_in_best(1), 1.0 / 5.3);   // max compression
+}
+
+TEST(PipelineModel, AggregationAddsCollectionLatency) {
+  // A node that must collect 4x its predecessor's output block pays
+  // b_n / R_alpha extra latency (the paper's T^tot recursion).
+  std::vector<NodeSpec> small{simple_stage("a", 100, 120, 150),
+                              simple_stage("b", 100, 120, 150)};
+  std::vector<NodeSpec> agg = small;
+  agg[1].block_in = 256_KiB;
+  agg[1].block_out = 256_KiB;
+  // Keep the same rates despite the bigger block.
+  agg[1].time_min = agg[1].block_in / DataRate::mib_per_sec(150);
+  agg[1].time_avg = agg[1].block_in / DataRate::mib_per_sec(120);
+  agg[1].time_max = agg[1].block_in / DataRate::mib_per_sec(100);
+  ModelPolicy pol;
+  pol.packetize = false;
+  PipelineModel m_small(small, source(50), pol);
+  PipelineModel m_agg(agg, source(50), pol);
+  // The wait covers the block plus one upstream packet of phase slack.
+  const double extra_wait =
+      (256_KiB + 64_KiB).in_bytes() /
+      DataRate::mib_per_sec(50).in_bytes_per_sec();
+  const double extra_block_time =
+      m_agg.nodes()[1].time_max.in_seconds() -
+      m_small.nodes()[1].time_max.in_seconds();
+  EXPECT_NEAR(
+      m_agg.total_latency().in_seconds() -
+          m_small.total_latency().in_seconds(),
+      extra_wait + extra_block_time, 1e-9);
+  EXPECT_GT(m_agg.per_node_analysis()[1].aggregation_wait.in_seconds(),
+            0.0);
+  EXPECT_EQ(m_small.per_node_analysis()[1].aggregation_wait.in_seconds(),
+            0.0);
+}
+
+TEST(PipelineModel, PacketizerWorsensBounds) {
+  std::vector<NodeSpec> nodes{simple_stage("a", 100, 120, 150)};
+  ModelPolicy with, without;
+  with.packetize = true;
+  without.packetize = false;
+  PipelineModel mw(nodes, source(50), with);
+  PipelineModel mo(nodes, source(50), without);
+  EXPECT_GT(mw.delay_bound(), mo.delay_bound());
+  EXPECT_GT(mw.backlog_bound(), mo.backlog_bound());
+}
+
+TEST(PipelineModel, ThroughputBoundsOrdering) {
+  PipelineModel m({simple_stage("a", 100, 120, 150)}, source(50));
+  const ThroughputBounds tb = m.throughput_bounds(Duration::seconds(1));
+  EXPECT_LE(tb.lower, tb.upper);
+  // The loose upper (output-flow bound) is above the guaranteed lower.
+  EXPECT_LE(tb.lower, tb.loose_upper);
+}
+
+TEST(PipelineModel, GuaranteedRateGrowsWithHorizonThenSaturates) {
+  PipelineModel m({simple_stage("a", 100, 120, 150)}, source(50));
+  // Inside the latency region the guaranteed average rate is depressed;
+  // over long horizons it saturates at min(source, bottleneck) = 50 MiB/s.
+  EXPECT_LT(m.throughput_bounds(Duration::millis(2)).lower,
+            m.throughput_bounds(Duration::seconds(1)).lower);
+  EXPECT_NEAR(
+      m.throughput_bounds(Duration::seconds(100)).lower.in_mib_per_sec(),
+      50.0, 0.1);
+}
+
+TEST(PipelineModel, OverloadedRegimeReportsInfiniteBounds) {
+  PipelineModel m({simple_stage("slow", 30, 35, 40)}, source(100));
+  EXPECT_EQ(m.load_regime(), Regime::kOverloaded);
+  EXPECT_FALSE(m.delay_bound().is_finite());
+  EXPECT_FALSE(m.backlog_bound().is_finite());
+  // Finite-horizon throughput bounds remain finite and ordered.
+  const ThroughputBounds tb = m.throughput_bounds(Duration::seconds(1));
+  EXPECT_TRUE(tb.lower.is_finite());
+  EXPECT_TRUE(tb.upper.is_finite());
+}
+
+TEST(PipelineModel, FiniteJobKeepsBoundsFiniteUnderOverload) {
+  SourceSpec s = source(100);
+  s.job_volume = 10_MiB;
+  PipelineModel m({simple_stage("slow", 30, 35, 40)}, s);
+  EXPECT_TRUE(m.delay_bound().is_finite());
+  EXPECT_TRUE(m.backlog_bound().is_finite());
+  // Larger jobs take longer and occupy more.
+  SourceSpec s2 = s;
+  s2.job_volume = 20_MiB;
+  PipelineModel m2({simple_stage("slow", 30, 35, 40)}, s2);
+  EXPECT_GT(m2.delay_bound(), m.delay_bound());
+  EXPECT_GT(m2.backlog_bound(), m.backlog_bound());
+}
+
+TEST(PipelineModel, MaxServiceBasisAndLatencyPolicy) {
+  std::vector<NodeSpec> nodes{simple_stage("a", 100, 120, 150)};
+  ModelPolicy avg_gamma;
+  avg_gamma.max_service_basis = RateBasis::kAvg;
+  avg_gamma.max_service_latency = true;
+  avg_gamma.packetize = false;
+  PipelineModel m(nodes, source(50), avg_gamma);
+  EXPECT_NEAR(m.max_service_curve().tail_slope(),
+              DataRate::mib_per_sec(120).in_bytes_per_sec(), 1.0);
+  EXPECT_GT(m.max_service_curve().lower_inverse(1.0), 0.0);  // has latency
+}
+
+TEST(PipelineModel, PerNodeAnalysisPropagatesArrivals) {
+  ModelPolicy pol;
+  pol.packetize = false;
+  PipelineModel m({simple_stage("a", 100, 120, 150),
+                   simple_stage("b", 110, 130, 160)},
+                  source(50), pol);
+  const auto analysis = m.per_node_analysis();
+  ASSERT_EQ(analysis.size(), 2u);
+  EXPECT_EQ(analysis[0].name, "a");
+  EXPECT_NEAR(analysis[0].arrival_rate.in_mib_per_sec(), 50.0, 1e-6);
+  // Node b sees at most the source rate too (flow conservation).
+  EXPECT_NEAR(analysis[1].arrival_rate.in_mib_per_sec(), 50.0, 1e-6);
+  for (const NodeAnalysis& a : analysis) {
+    EXPECT_EQ(a.load_regime, Regime::kUnderloaded);
+    EXPECT_TRUE(a.delay.is_finite());
+    EXPECT_TRUE(a.backlog.is_finite());
+  }
+}
+
+TEST(PipelineModel, BufferBytesScaleWithLocalVolume) {
+  std::vector<NodeSpec> nodes{simple_stage("filter", 100, 110, 120),
+                              simple_stage("after", 50, 55, 60)};
+  nodes[0].volume = VolumeRatio::exact(0.25);
+  ModelPolicy pol;
+  pol.packetize = false;
+  PipelineModel m(nodes, source(40), pol);
+  const auto analysis = m.per_node_analysis();
+  // Node 1's local buffer is its normalized backlog scaled by 0.25.
+  EXPECT_NEAR(analysis[1].buffer_bytes.in_bytes(),
+              analysis[1].backlog.in_bytes() * 0.25, 1e-6);
+}
+
+TEST(PipelineModel, SubrangeModelsContiguousStages) {
+  ModelPolicy pol;
+  pol.packetize = false;
+  PipelineModel m({simple_stage("a", 100, 120, 150),
+                   simple_stage("b", 110, 130, 160),
+                   simple_stage("c", 120, 140, 170)},
+                  source(50), pol);
+  PipelineModel tail = m.subrange(1, 2);
+  EXPECT_EQ(tail.nodes().size(), 2u);
+  EXPECT_EQ(tail.nodes()[0].name, "b");
+  EXPECT_TRUE(tail.delay_bound().is_finite());
+  EXPECT_GT(tail.delay_bound().in_seconds(), 0.0);
+  // The subrange is fed by the prefix's output bound, which is burstier
+  // than the source, so its bounds need not be smaller than the full
+  // pipeline's — but its fixed latency component must be.
+  EXPECT_LT(tail.total_latency(), m.total_latency());
+  EXPECT_THROW(m.subrange(2, 2), util::PreconditionError);
+  EXPECT_THROW(m.subrange(0, 0), util::PreconditionError);
+}
+
+TEST(PipelineModel, OutputBoundDominatesConstrainedArrival) {
+  // alpha* = (alpha (x) gamma) (/) beta >= alpha (x) gamma pointwise,
+  // because deconvolving by a curve with beta(0) = 0 never lowers a curve.
+  PipelineModel m({simple_stage("a", 100, 120, 150)}, source(50));
+  const minplus::Curve constrained =
+      minplus::convolve(m.arrival_curve(), m.max_service_curve());
+  for (double t = 0.1; t <= 3.0; t += 0.3) {
+    EXPECT_GE(m.output_bound_curve().value(t) + 1e-6, constrained.value(t))
+        << t;
+  }
+}
+
+TEST(PipelineModel, RejectsInvalidConstruction) {
+  EXPECT_THROW(PipelineModel({}, source(50)), util::PreconditionError);
+  SourceSpec bad;
+  bad.rate = DataRate::bytes_per_sec(0);
+  EXPECT_THROW(PipelineModel({simple_stage("a", 1, 2, 3)}, bad),
+               util::PreconditionError);
+}
+
+}  // namespace
+}  // namespace streamcalc::netcalc

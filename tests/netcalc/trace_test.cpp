@@ -1,0 +1,129 @@
+#include "netcalc/trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include "minplus/operations.hpp"
+#include "netcalc/pipeline.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace streamcalc::netcalc {
+namespace {
+
+using minplus::Curve;
+
+TEST(Trace, CurveHoldsBetweenSamples) {
+  const Curve c = trace_to_curve({{1.0, 10.0}, {3.0, 25.0}});
+  EXPECT_EQ(c.value(0.5), 0.0);
+  EXPECT_EQ(c.value_right(1.0), 10.0);
+  EXPECT_EQ(c.value(2.0), 10.0);
+  EXPECT_EQ(c.value_right(3.0), 25.0);
+  EXPECT_EQ(c.value(10.0), 25.0);
+}
+
+TEST(Trace, FirstSampleAtZero) {
+  const Curve c = trace_to_curve({{0.0, 5.0}, {1.0, 8.0}});
+  EXPECT_EQ(c.value(0.0), 0.0);
+  EXPECT_EQ(c.value_right(0.0), 5.0);
+  EXPECT_EQ(c.value(0.5), 5.0);
+}
+
+TEST(Trace, RejectsBadTraces) {
+  EXPECT_THROW(trace_to_curve({}), util::PreconditionError);
+  EXPECT_THROW(trace_to_curve({{1.0, 5.0}, {1.0, 6.0}}),
+               util::PreconditionError);
+  EXPECT_THROW(trace_to_curve({{1.0, 5.0}, {2.0, 4.0}}),
+               util::PreconditionError);
+  EXPECT_THROW(trace_to_curve({{-1.0, 5.0}}), util::PreconditionError);
+}
+
+TEST(Trace, MinimalArrivalCurveEnvelopesEveryWindow) {
+  // A bursty trace: 10 bytes at t=0.1, 1, 1.1, 1.2, then 5 at t=4.
+  const std::vector<std::pair<double, double>> trace{
+      {0.1, 10.0}, {1.0, 20.0}, {1.1, 30.0}, {1.2, 40.0}, {4.0, 45.0}};
+  const Curve alpha = minimal_arrival_curve(trace);
+  const Curve r = trace_to_curve(trace);
+  // Envelope property: R(s+t) - R(s) <= alpha(t) for sampled s, t.
+  for (double s = 0.0; s <= 4.0; s += 0.05) {
+    for (double t = 0.0; t <= 4.0; t += 0.05) {
+      EXPECT_LE(r.value(s + t) - r.value(s), alpha.value(t) + 1e-9)
+          << "s=" << s << " t=" << t;
+    }
+  }
+  // Tightness at the worst window: 30 bytes arrive within [1.0, 1.2]
+  // (window 0.2 + epsilon).
+  EXPECT_GE(alpha.value_right(0.2), 30.0 - 1e-9);
+}
+
+TEST(Trace, ConstantRateTraceGivesNearLinearEnvelope) {
+  std::vector<std::pair<double, double>> trace;
+  for (int i = 1; i <= 50; ++i) {
+    trace.emplace_back(0.1 * i, 10.0 * i);
+  }
+  const Curve alpha = minimal_arrival_curve(trace);
+  // Long-run slope equals the trace rate (100 bytes/s).
+  EXPECT_NEAR(alpha.tail_slope(), 0.0, 1e-9);  // trace is finite
+  // Mid-range: one packet burst + ~100 B/s.
+  EXPECT_LE(alpha.value(1.0), 10.0 + 100.0 * 1.0 + 1e-6);
+}
+
+TEST(Trace, EnvelopeFeedsPipelineModel) {
+  // End-to-end: empirical envelope drives a model.
+  std::vector<std::pair<double, double>> trace;
+  util::Xoshiro256 rng(5);
+  double bytes = 0.0;
+  for (int i = 1; i <= 40; ++i) {
+    bytes += rng.uniform(500.0, 1500.0);
+    trace.emplace_back(0.05 * i, bytes);
+  }
+  const Curve alpha = minimal_arrival_curve(trace);
+  const std::vector<NodeSpec> nodes{NodeSpec::from_rates(
+      "stage", NodeKind::kCompute, util::DataSize::kib(1),
+      util::DataRate::kib_per_sec(60), util::DataRate::kib_per_sec(70),
+      util::DataRate::kib_per_sec(80))};
+  SourceSpec src;
+  src.rate = util::DataRate::kib_per_sec(30);
+  const PipelineModel m = PipelineModel::with_arrival(
+      nodes, src, ModelPolicy{}, alpha);
+  EXPECT_TRUE(m.delay_bound().is_finite());
+  EXPECT_TRUE(m.backlog_bound().is_finite());
+}
+
+
+TEST(RateProfile, CumulativeIntegratesPiecewiseRates) {
+  // 100 B/s for 2 s, idle for 1 s, 50 B/s after.
+  const Curve c = cumulative_from_rate_profile(
+      {{0.0, 100.0}, {2.0, 0.0}, {3.0, 50.0}});
+  EXPECT_DOUBLE_EQ(c.value(1.0), 100.0);
+  EXPECT_DOUBLE_EQ(c.value(2.0), 200.0);
+  EXPECT_DOUBLE_EQ(c.value(3.0), 200.0);
+  EXPECT_DOUBLE_EQ(c.value(5.0), 300.0);
+  EXPECT_DOUBLE_EQ(c.tail_slope(), 50.0);
+}
+
+TEST(RateProfile, MinimalArrivalCurveTracksBusiestWindow) {
+  // Busiest 2-second window carries 200 bytes; long-run rate is lower.
+  const Curve c = cumulative_from_rate_profile(
+      {{0.0, 100.0}, {2.0, 0.0}, {4.0, 100.0}, {6.0, 0.0}});
+  const Curve alpha = minimal_arrival_curve(c);
+  EXPECT_NEAR(alpha.value(2.0), 200.0, 1e-6);
+  // Envelope property over sampled windows.
+  for (double s = 0.0; s <= 6.0; s += 0.25) {
+    for (double t = 0.0; t <= 6.0; t += 0.25) {
+      EXPECT_LE(c.value(s + t) - c.value(s), alpha.value(t) + 1e-6);
+    }
+  }
+}
+
+TEST(RateProfile, RejectsBadProfiles) {
+  EXPECT_THROW(cumulative_from_rate_profile({}), util::PreconditionError);
+  EXPECT_THROW(cumulative_from_rate_profile({{1.0, 5.0}}),
+               util::PreconditionError);
+  EXPECT_THROW(cumulative_from_rate_profile({{0.0, 5.0}, {0.0, 6.0}}),
+               util::PreconditionError);
+  EXPECT_THROW(cumulative_from_rate_profile({{0.0, -5.0}}),
+               util::PreconditionError);
+}
+
+}  // namespace
+}  // namespace streamcalc::netcalc

@@ -1,0 +1,102 @@
+#include "queueing/mm1.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+
+namespace streamcalc::queueing {
+namespace {
+
+using netcalc::NodeKind;
+using netcalc::NodeSpec;
+using netcalc::SourceSpec;
+using netcalc::VolumeRatio;
+using util::DataRate;
+using util::DataSize;
+using namespace util::literals;
+
+NodeSpec stage(const char* name, double mibps_avg) {
+  return NodeSpec::from_rates(name, NodeKind::kCompute, 64_KiB,
+                              DataRate::mib_per_sec(mibps_avg * 0.8),
+                              DataRate::mib_per_sec(mibps_avg),
+                              DataRate::mib_per_sec(mibps_avg * 1.2));
+}
+
+SourceSpec source(double mibps) {
+  SourceSpec s;
+  s.rate = DataRate::mib_per_sec(mibps);
+  s.burst = 64_KiB;
+  return s;
+}
+
+TEST(Mm1, RooflineIsMinimumNormalizedServiceRate) {
+  const auto r = analyze({stage("a", 200), stage("b", 120), stage("c", 300)},
+                         source(50));
+  EXPECT_NEAR(r.roofline_throughput.in_mib_per_sec(), 120.0, 1e-6);
+  EXPECT_EQ(r.bottleneck, 1u);
+}
+
+TEST(Mm1, VolumeNormalizationRaisesDownstreamRoofline) {
+  // A 4:1 filter makes a 120 MiB/s stage look like 480 normalized.
+  std::vector<NodeSpec> nodes{stage("filter", 200), stage("slow", 120)};
+  nodes[0].volume = VolumeRatio::exact(0.25);
+  const auto r = analyze(nodes, source(50));
+  EXPECT_NEAR(r.roofline_throughput.in_mib_per_sec(), 200.0, 1e-6);
+  EXPECT_EQ(r.bottleneck, 0u);
+}
+
+TEST(Mm1, IsolatedRateOverridesAverage) {
+  std::vector<NodeSpec> nodes{stage("a", 200), stage("b", 120)};
+  nodes[1].rate_isolated = DataRate::mib_per_sec(250);
+  const auto r = analyze(nodes, source(50));
+  EXPECT_NEAR(r.roofline_throughput.in_mib_per_sec(), 200.0, 1e-6);
+}
+
+TEST(Mm1, UtilizationAndLittleLaw) {
+  const auto r = analyze({stage("a", 100)}, source(50));
+  ASSERT_EQ(r.stages.size(), 1u);
+  const StageMetrics& m = r.stages[0];
+  EXPECT_TRUE(m.stable);
+  EXPECT_NEAR(m.utilization, 0.5, 1e-9);
+  EXPECT_NEAR(m.mean_jobs, 1.0, 1e-9);  // rho/(1-rho) at rho=0.5
+  // W = job_size / (mu - lambda): L = lambda_jobs * W (Little's law).
+  const double lambda_jobs =
+      m.arrival_rate.in_bytes_per_sec() / (64_KiB).in_bytes();
+  EXPECT_NEAR(m.mean_jobs, lambda_jobs * m.mean_sojourn.in_seconds(), 1e-9);
+}
+
+TEST(Mm1, SojournGrowsTowardSaturation) {
+  const auto light = analyze({stage("a", 100)}, source(20));
+  const auto heavy = analyze({stage("a", 100)}, source(90));
+  EXPECT_LT(light.stages[0].mean_sojourn, heavy.stages[0].mean_sojourn);
+  EXPECT_LT(light.total_sojourn, heavy.total_sojourn);
+}
+
+TEST(Mm1, OfferedAboveRooflineSaturatesBottleneck) {
+  const auto r = analyze({stage("a", 100)}, source(500));
+  EXPECT_FALSE(r.stable);
+  EXPECT_FALSE(r.stages[0].stable);
+  EXPECT_NEAR(r.stages[0].utilization, 1.0, 1e-9);
+  EXPECT_FALSE(r.stages[0].mean_sojourn.is_finite());
+  EXPECT_FALSE(r.total_sojourn.is_finite());
+  // The roofline prediction itself stays finite.
+  EXPECT_NEAR(r.roofline_throughput.in_mib_per_sec(), 100.0, 1e-6);
+}
+
+TEST(Mm1, TandemSumsSojourns) {
+  const auto r = analyze({stage("a", 100), stage("b", 150)}, source(50));
+  EXPECT_NEAR(r.total_sojourn.in_seconds(),
+              r.stages[0].mean_sojourn.in_seconds() +
+                  r.stages[1].mean_sojourn.in_seconds(),
+              1e-12);
+}
+
+TEST(Mm1, RejectsBadInput) {
+  EXPECT_THROW(analyze({}, source(50)), util::PreconditionError);
+  SourceSpec bad;
+  bad.rate = DataRate::bytes_per_sec(0);
+  EXPECT_THROW(analyze({stage("a", 100)}, bad), util::PreconditionError);
+}
+
+}  // namespace
+}  // namespace streamcalc::queueing

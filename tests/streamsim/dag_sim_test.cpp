@@ -1,0 +1,121 @@
+#include <gtest/gtest.h>
+
+#include "netcalc/dag.hpp"
+#include "streamsim/pipeline_sim.hpp"
+#include "util/error.hpp"
+
+namespace streamcalc::streamsim {
+namespace {
+
+using netcalc::DagEdge;
+using netcalc::DagModel;
+using netcalc::DagSpec;
+using netcalc::NodeKind;
+using netcalc::NodeSpec;
+using netcalc::SourceSpec;
+using util::DataRate;
+using util::DataSize;
+using util::Duration;
+using namespace util::literals;
+
+NodeSpec stage(const char* name, double mibps_min, double mibps_avg,
+               double mibps_max) {
+  return NodeSpec::from_rates(name, NodeKind::kCompute, 64_KiB,
+                              DataRate::mib_per_sec(mibps_min),
+                              DataRate::mib_per_sec(mibps_avg),
+                              DataRate::mib_per_sec(mibps_max));
+}
+
+SourceSpec source(double mibps) {
+  SourceSpec s;
+  s.rate = DataRate::mib_per_sec(mibps);
+  s.burst = DataSize::bytes(0);
+  s.packet = 64_KiB;
+  return s;
+}
+
+SimConfig config(double seconds, std::uint64_t seed = 3) {
+  SimConfig c;
+  c.horizon = Duration::seconds(seconds);
+  c.warmup = Duration::seconds(seconds / 5);
+  c.seed = seed;
+  return c;
+}
+
+DagSpec fork_join() {
+  DagSpec d;
+  d.nodes = {stage("split", 400, 420, 440), stage("left", 100, 110, 120),
+             stage("right", 120, 130, 140), stage("join", 200, 210, 220)};
+  d.edges = {{0, 1, 0.5}, {0, 2, 0.5}, {1, 3, 1.0}, {2, 3, 1.0}};
+  d.entries = {{0, 0, 1.0}};
+  return d;
+}
+
+TEST(DagSim, ChainMatchesLinearSimulator) {
+  DagSpec d;
+  d.nodes = {stage("a", 200, 220, 240), stage("b", 100, 110, 120)};
+  d.edges = {{0, 1, 1.0}};
+  d.entries = {{0, 0, 1.0}};
+  const auto dag_result = simulate_dag(d, source(50), config(2.0));
+  const auto chain_result = simulate(d.nodes, source(50), config(2.0));
+  EXPECT_NEAR(dag_result.throughput.in_mib_per_sec(),
+              chain_result.throughput.in_mib_per_sec(), 2.0);
+  EXPECT_NEAR(dag_result.max_delay.in_seconds(),
+              chain_result.max_delay.in_seconds(),
+              0.5 * chain_result.max_delay.in_seconds() + 1e-6);
+}
+
+TEST(DagSim, ForkJoinConservesThroughput) {
+  const auto r = simulate_dag(fork_join(), source(80), config(2.0));
+  EXPECT_NEAR(r.throughput.in_mib_per_sec(), 80.0, 4.0);
+}
+
+TEST(DagSim, SplitSharesFollowFractions) {
+  DagSpec d = fork_join();
+  d.edges[0].fraction = 0.25;
+  d.edges[1].fraction = 0.75;
+  const auto r = simulate_dag(d, source(80), config(2.0));
+  ASSERT_EQ(r.node_stats.size(), 4u);
+  const double left = static_cast<double>(r.node_stats[1].jobs);
+  const double right = static_cast<double>(r.node_stats[2].jobs);
+  EXPECT_NEAR(left / (left + right), 0.25, 0.03);
+}
+
+TEST(DagSim, UncoveredFractionLeavesTheSystem) {
+  DagSpec d;
+  d.nodes = {stage("head", 400, 420, 440), stage("tail", 200, 210, 220)};
+  d.edges = {{0, 1, 0.5}};  // half the output leaves the modeled system
+  d.entries = {{0, 0, 1.0}};
+  const auto r = simulate_dag(d, source(80), config(2.0));
+  EXPECT_NEAR(r.throughput.in_mib_per_sec(), 40.0, 3.0);
+}
+
+TEST(DagSim, WithinDagModelBounds) {
+  const DagSpec d = fork_join();
+  const SourceSpec src = source(60);
+  const DagModel model(d, src, netcalc::ModelPolicy{});
+  auto cfg = config(2.0);
+  cfg.warmup = Duration::seconds(0);
+  const auto r = simulate_dag(d, src, cfg);
+  EXPECT_LE(r.max_delay.in_seconds(),
+            model.delay_bound().in_seconds() + 1e-9);
+  EXPECT_LE(r.max_backlog.in_bytes(),
+            model.backlog_bound().in_bytes() + 1.0);
+}
+
+TEST(DagSim, DeterministicForFixedSeed) {
+  const auto a = simulate_dag(fork_join(), source(70), config(1.0, 9));
+  const auto b = simulate_dag(fork_join(), source(70), config(1.0, 9));
+  EXPECT_EQ(a.throughput.in_bytes_per_sec(), b.throughput.in_bytes_per_sec());
+  EXPECT_EQ(a.packets_delivered, b.packets_delivered);
+}
+
+TEST(DagSim, RejectsBadInput) {
+  DagSpec d = fork_join();
+  d.edges.push_back({3, 0, 1.0});  // cycle
+  EXPECT_THROW(simulate_dag(d, source(50), config(1.0)),
+               util::PreconditionError);
+}
+
+}  // namespace
+}  // namespace streamcalc::streamsim

@@ -1,0 +1,41 @@
+#include "util/format.hpp"
+
+#include <gtest/gtest.h>
+
+namespace streamcalc::util {
+namespace {
+
+using namespace literals;
+
+TEST(Format, Significant) {
+  EXPECT_EQ(format_significant(46.93), "46.9");
+  EXPECT_EQ(format_significant(350.0), "350");
+  EXPECT_EQ(format_significant(0.0), "0");
+  EXPECT_EQ(format_significant(0.001234), "0.00123");
+  EXPECT_EQ(format_significant(1.0 / 0.0), "inf");
+}
+
+TEST(Format, Rate) {
+  EXPECT_EQ(format_rate(350_MiBps), "350 MiB/s");
+  EXPECT_EQ(format_rate(10_GiBps), "10 GiB/s");
+  EXPECT_EQ(format_rate(DataRate::bytes_per_sec(512)), "512 B/s");
+  EXPECT_EQ(format_rate(DataRate::kib_per_sec(1.5)), "1.5 KiB/s");
+  EXPECT_EQ(format_rate(DataRate::infinite()), "inf");
+}
+
+TEST(Format, Size) {
+  EXPECT_EQ(format_size(20.6_MiB), "20.6 MiB");
+  EXPECT_EQ(format_size(3_KiB), "3 KiB");
+  EXPECT_EQ(format_size(DataSize::bytes(100)), "100 B");
+}
+
+TEST(Format, Dur) {
+  EXPECT_EQ(format_duration(46.9_ms), "46.9 ms");
+  EXPECT_EQ(format_duration(38_us), "38 us");
+  EXPECT_EQ(format_duration(1.25_s), "1.25 s");
+  EXPECT_EQ(format_duration(Duration::nanos(12)), "12 ns");
+  EXPECT_EQ(format_duration(Duration::seconds(0)), "0 s");
+}
+
+}  // namespace
+}  // namespace streamcalc::util

@@ -1,0 +1,72 @@
+#include "util/plot.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+
+namespace streamcalc::util {
+namespace {
+
+Figure make_figure() {
+  Figure fig("test", "t", "y");
+  fig.add_series({"linear", {0.0, 1.0, 2.0}, {0.0, 1.0, 2.0}, false});
+  fig.add_series({"stairs", {0.0, 1.0, 2.0}, {0.0, 2.0, 2.0}, true});
+  return fig;
+}
+
+TEST(Figure, CsvHasHeaderAndRows) {
+  const std::string csv = make_figure().to_csv();
+  EXPECT_NE(csv.find("t,linear,stairs"), std::string::npos);
+  EXPECT_NE(csv.find("0,0,0"), std::string::npos);
+  EXPECT_NE(csv.find("2,2,2"), std::string::npos);
+}
+
+TEST(Figure, StairstepHoldsValue) {
+  Figure fig("f", "t", "y");
+  fig.add_series({"s", {0.0, 2.0}, {0.0, 10.0}, true});
+  const std::string csv = fig.to_csv();
+  // At t=0 the held value is 0 (stairstep holds the previous sample).
+  EXPECT_NE(csv.find("0,0"), std::string::npos);
+}
+
+TEST(Figure, CsvResamplesLongSeries) {
+  Figure fig("f", "t", "y");
+  std::vector<double> x, y;
+  for (int i = 0; i < 1000; ++i) {
+    x.push_back(i);
+    y.push_back(i);
+  }
+  fig.add_series({"s", x, y, false});
+  const std::string csv = fig.to_csv(50);
+  std::size_t lines = 0;
+  for (char c : csv) {
+    if (c == '\n') ++lines;
+  }
+  EXPECT_LE(lines, 52u);
+}
+
+TEST(Figure, AsciiContainsLegendAndAxes) {
+  const std::string art = make_figure().to_ascii(40, 10);
+  EXPECT_NE(art.find("legend:"), std::string::npos);
+  EXPECT_NE(art.find("[*] linear"), std::string::npos);
+  EXPECT_NE(art.find("[+] stairs"), std::string::npos);
+  EXPECT_NE(art.find('>'), std::string::npos);
+}
+
+TEST(Figure, RejectsBadSeries) {
+  Figure fig("f", "t", "y");
+  EXPECT_THROW(fig.add_series({"s", {0.0, 1.0}, {0.0}, false}),
+               PreconditionError);
+  EXPECT_THROW(fig.add_series({"s", {}, {}, false}), PreconditionError);
+  EXPECT_THROW(fig.add_series({"s", {1.0, 0.0}, {0.0, 1.0}, false}),
+               PreconditionError);
+}
+
+TEST(Figure, RejectsRenderWithoutSeries) {
+  Figure fig("f", "t", "y");
+  EXPECT_THROW(fig.to_csv(), PreconditionError);
+  EXPECT_THROW(fig.to_ascii(), PreconditionError);
+}
+
+}  // namespace
+}  // namespace streamcalc::util

@@ -1,0 +1,77 @@
+#include "util/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace streamcalc::util {
+namespace {
+
+TEST(Rng, Deterministic) {
+  Xoshiro256 a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Xoshiro256 a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a() == b()) ++same;
+  }
+  EXPECT_EQ(same, 0);
+}
+
+TEST(Rng, Uniform01InRange) {
+  Xoshiro256 rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform01();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformMeanIsCentered) {
+  Xoshiro256 rng(11);
+  double sum = 0.0;
+  constexpr int kN = 100000;
+  for (int i = 0; i < kN; ++i) sum += rng.uniform(2.0, 4.0);
+  EXPECT_NEAR(sum / kN, 3.0, 0.01);
+}
+
+TEST(Rng, UniformDegenerateRange) {
+  Xoshiro256 rng(3);
+  EXPECT_DOUBLE_EQ(rng.uniform(5.0, 5.0), 5.0);
+}
+
+TEST(Rng, UniformRejectsInvertedRange) {
+  Xoshiro256 rng(3);
+  EXPECT_THROW(rng.uniform(2.0, 1.0), PreconditionError);
+}
+
+TEST(Rng, ExponentialMeanMatches) {
+  Xoshiro256 rng(13);
+  double sum = 0.0;
+  constexpr int kN = 200000;
+  for (int i = 0; i < kN; ++i) sum += rng.exponential(2.5);
+  EXPECT_NEAR(sum / kN, 2.5, 0.03);
+}
+
+TEST(Rng, ExponentialRejectsNonPositiveMean) {
+  Xoshiro256 rng(3);
+  EXPECT_THROW(rng.exponential(0.0), PreconditionError);
+  EXPECT_THROW(rng.exponential(-1.0), PreconditionError);
+}
+
+TEST(Rng, SplitStreamsAreIndependent) {
+  Xoshiro256 base(99);
+  Xoshiro256 s0 = base.split(0);
+  Xoshiro256 s1 = base.split(1);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (s0() == s1()) ++same;
+  }
+  EXPECT_EQ(same, 0);
+}
+
+}  // namespace
+}  // namespace streamcalc::util

@@ -1,0 +1,62 @@
+#include "util/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+
+namespace streamcalc::util {
+namespace {
+
+TEST(Table, RendersAligned) {
+  Table t({"Source", "Value"}, {Align::kLeft, Align::kRight});
+  t.add_row({"Network calculus upper bound", "704 MiB/s"});
+  t.add_row({"Measured", "355 MiB/s"});
+  const std::string out = t.render();
+  EXPECT_NE(out.find("| Source                       |     Value |"),
+            std::string::npos);
+  EXPECT_NE(out.find("| Network calculus upper bound | 704 MiB/s |"),
+            std::string::npos);
+  EXPECT_NE(out.find("| Measured                     | 355 MiB/s |"),
+            std::string::npos);
+}
+
+TEST(Table, HeaderSeparatorPresent) {
+  Table t({"A"});
+  t.add_row({"x"});
+  const std::string out = t.render();
+  EXPECT_NE(out.find("|---|"), std::string::npos);
+}
+
+TEST(Table, ExplicitSeparatorRows) {
+  Table t({"A"});
+  t.add_row({"x"});
+  t.add_separator();
+  t.add_row({"y"});
+  const std::string out = t.render();
+  // Header separator + explicit one.
+  std::size_t count = 0;
+  for (std::size_t pos = out.find("|---|"); pos != std::string::npos;
+       pos = out.find("|---|", pos + 1)) {
+    ++count;
+  }
+  EXPECT_EQ(count, 2u);
+}
+
+TEST(Table, RejectsArityMismatch) {
+  Table t({"A", "B"});
+  EXPECT_THROW(t.add_row({"only one"}), PreconditionError);
+}
+
+TEST(Table, RejectsEmptyHeader) {
+  EXPECT_THROW(Table({}), PreconditionError);
+}
+
+TEST(Table, RowCount) {
+  Table t({"A"});
+  EXPECT_EQ(t.row_count(), 0u);
+  t.add_row({"x"});
+  EXPECT_EQ(t.row_count(), 1u);
+}
+
+}  // namespace
+}  // namespace streamcalc::util

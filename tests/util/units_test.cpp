@@ -1,0 +1,66 @@
+#include "util/units.hpp"
+
+#include <gtest/gtest.h>
+
+namespace streamcalc::util {
+namespace {
+
+using namespace literals;
+
+TEST(Units, DataSizeConversions) {
+  EXPECT_DOUBLE_EQ(DataSize::kib(1).in_bytes(), 1024.0);
+  EXPECT_DOUBLE_EQ(DataSize::mib(1).in_kib(), 1024.0);
+  EXPECT_DOUBLE_EQ(DataSize::gib(1).in_mib(), 1024.0);
+  EXPECT_DOUBLE_EQ((2.5_MiB).in_bytes(), 2.5 * 1024 * 1024);
+}
+
+TEST(Units, DataSizeArithmetic) {
+  EXPECT_EQ(1_KiB + 1_KiB, 2_KiB);
+  EXPECT_EQ(2_MiB - 1_MiB, 1_MiB);
+  EXPECT_EQ(2.0 * (3_KiB), 6_KiB);
+  EXPECT_DOUBLE_EQ((6_KiB) / (3_KiB), 2.0);
+  DataSize s = 1_KiB;
+  s += 1_KiB;
+  s -= 512_B;
+  EXPECT_DOUBLE_EQ(s.in_bytes(), 1536.0);
+}
+
+TEST(Units, DurationConversions) {
+  EXPECT_DOUBLE_EQ((1_ms).in_micros(), 1000.0);
+  EXPECT_DOUBLE_EQ((2_s).in_millis(), 2000.0);
+  EXPECT_DOUBLE_EQ(Duration::nanos(1500).in_micros(), 1.5);
+}
+
+TEST(Units, RateTimesDurationGivesSize) {
+  EXPECT_DOUBLE_EQ(((100_MiBps) * (2_s)).in_mib(), 200.0);
+  EXPECT_DOUBLE_EQ(((2_s) * (100_MiBps)).in_mib(), 200.0);
+}
+
+TEST(Units, SizeOverDurationGivesRate) {
+  EXPECT_DOUBLE_EQ(((200_MiB) / (2_s)).in_mib_per_sec(), 100.0);
+}
+
+TEST(Units, SizeOverRateGivesDuration) {
+  EXPECT_DOUBLE_EQ(((200_MiB) / (100_MiBps)).in_seconds(), 2.0);
+}
+
+TEST(Units, GibMibRateConversion) {
+  EXPECT_DOUBLE_EQ((10_GiBps).in_mib_per_sec(), 10240.0);
+}
+
+TEST(Units, Comparisons) {
+  EXPECT_LT(1_KiB, 1_MiB);
+  EXPECT_GT(1_s, 999_ms);
+  EXPECT_LE(100_MiBps, 100_MiBps);
+}
+
+TEST(Units, Infinities) {
+  EXPECT_FALSE(DataSize::infinite().is_finite());
+  EXPECT_FALSE(Duration::infinite().is_finite());
+  EXPECT_FALSE(DataRate::infinite().is_finite());
+  EXPECT_TRUE((1_KiB).is_finite());
+  EXPECT_GT(DataRate::infinite(), 10_GiBps);
+}
+
+}  // namespace
+}  // namespace streamcalc::util

@@ -1,0 +1,59 @@
+// streamcalc: analyze a streaming-pipeline specification file.
+//
+//   streamcalc pipeline.scspec      # analyze a file
+//   streamcalc -                    # read the spec from stdin
+//
+// The spec format is documented in src/cli/spec.hpp and the examples under
+// examples/specs/.
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "cli/report.hpp"
+#include "cli/spec.hpp"
+
+namespace {
+
+int usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s <spec-file | ->\n"
+               "Analyzes a streaming pipeline with network calculus (and\n"
+               "optionally simulates it). Spec format: see src/cli/spec.hpp\n"
+               "and examples/specs/.\n",
+               argv0);
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc != 2) return usage(argv[0]);
+  const std::string path = argv[1];
+
+  std::string text;
+  if (path == "-") {
+    std::ostringstream ss;
+    ss << std::cin.rdbuf();
+    text = ss.str();
+  } else {
+    std::ifstream in(path);
+    if (!in) {
+      std::fprintf(stderr, "error: cannot open '%s'\n", path.c_str());
+      return 1;
+    }
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    text = ss.str();
+  }
+
+  try {
+    const streamcalc::cli::Spec spec = streamcalc::cli::parse_spec(text);
+    std::fputs(streamcalc::cli::run_report(spec).c_str(), stdout);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+  return 0;
+}
