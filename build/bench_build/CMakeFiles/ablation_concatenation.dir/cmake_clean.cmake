@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_concatenation"
+  "../bench/ablation_concatenation.pdb"
+  "CMakeFiles/ablation_concatenation.dir/ablation_concatenation.cpp.o"
+  "CMakeFiles/ablation_concatenation.dir/ablation_concatenation.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_concatenation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

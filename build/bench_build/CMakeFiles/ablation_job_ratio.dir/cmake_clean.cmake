@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_job_ratio"
+  "../bench/ablation_job_ratio.pdb"
+  "CMakeFiles/ablation_job_ratio.dir/ablation_job_ratio.cpp.o"
+  "CMakeFiles/ablation_job_ratio.dir/ablation_job_ratio.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_job_ratio.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_packetization"
+  "../bench/ablation_packetization.pdb"
+  "CMakeFiles/ablation_packetization.dir/ablation_packetization.cpp.o"
+  "CMakeFiles/ablation_packetization.dir/ablation_packetization.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_packetization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bitw_delay_backlog"
+  "../bench/bitw_delay_backlog.pdb"
+  "CMakeFiles/bitw_delay_backlog.dir/bitw_delay_backlog.cpp.o"
+  "CMakeFiles/bitw_delay_backlog.dir/bitw_delay_backlog.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bitw_delay_backlog.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

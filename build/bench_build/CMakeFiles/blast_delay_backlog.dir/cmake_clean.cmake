@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/blast_delay_backlog"
+  "../bench/blast_delay_backlog.pdb"
+  "CMakeFiles/blast_delay_backlog.dir/blast_delay_backlog.cpp.o"
+  "CMakeFiles/blast_delay_backlog.dir/blast_delay_backlog.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/blast_delay_backlog.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

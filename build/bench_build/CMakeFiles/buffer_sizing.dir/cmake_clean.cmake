@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/buffer_sizing"
+  "../bench/buffer_sizing.pdb"
+  "CMakeFiles/buffer_sizing.dir/buffer_sizing.cpp.o"
+  "CMakeFiles/buffer_sizing.dir/buffer_sizing.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/buffer_sizing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

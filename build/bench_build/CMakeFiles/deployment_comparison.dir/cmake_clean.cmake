@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/deployment_comparison"
+  "../bench/deployment_comparison.pdb"
+  "CMakeFiles/deployment_comparison.dir/deployment_comparison.cpp.o"
+  "CMakeFiles/deployment_comparison.dir/deployment_comparison.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/deployment_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/empirical_envelope"
+  "../bench/empirical_envelope.pdb"
+  "CMakeFiles/empirical_envelope.dir/empirical_envelope.cpp.o"
+  "CMakeFiles/empirical_envelope.dir/empirical_envelope.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/empirical_envelope.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

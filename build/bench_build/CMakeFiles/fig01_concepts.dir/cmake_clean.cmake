@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig01_concepts"
+  "../bench/fig01_concepts.pdb"
+  "CMakeFiles/fig01_concepts.dir/fig01_concepts.cpp.o"
+  "CMakeFiles/fig01_concepts.dir/fig01_concepts.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig01_concepts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig04_blast_curves"
+  "../bench/fig04_blast_curves.pdb"
+  "CMakeFiles/fig04_blast_curves.dir/fig04_blast_curves.cpp.o"
+  "CMakeFiles/fig04_blast_curves.dir/fig04_blast_curves.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig04_blast_curves.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

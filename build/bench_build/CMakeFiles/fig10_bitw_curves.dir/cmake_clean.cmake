@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig10_bitw_curves"
+  "../bench/fig10_bitw_curves.pdb"
+  "CMakeFiles/fig10_bitw_curves.dir/fig10_bitw_curves.cpp.o"
+  "CMakeFiles/fig10_bitw_curves.dir/fig10_bitw_curves.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_bitw_curves.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/figs_flowgraphs"
+  "../bench/figs_flowgraphs.pdb"
+  "CMakeFiles/figs_flowgraphs.dir/figs_flowgraphs.cpp.o"
+  "CMakeFiles/figs_flowgraphs.dir/figs_flowgraphs.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/figs_flowgraphs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for figs_flowgraphs.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for figs_flowgraphs.
+# This may be replaced when dependencies are built.

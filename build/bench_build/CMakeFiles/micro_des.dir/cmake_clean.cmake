@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/micro_des"
+  "../bench/micro_des.pdb"
+  "CMakeFiles/micro_des.dir/micro_des.cpp.o"
+  "CMakeFiles/micro_des.dir/micro_des.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_des.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

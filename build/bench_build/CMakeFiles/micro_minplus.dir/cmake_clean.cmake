@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/micro_minplus"
+  "../bench/micro_minplus.pdb"
+  "CMakeFiles/micro_minplus.dir/micro_minplus.cpp.o"
+  "CMakeFiles/micro_minplus.dir/micro_minplus.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_minplus.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

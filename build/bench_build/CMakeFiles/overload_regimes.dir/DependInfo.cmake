@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/overload_regimes.cpp" "bench_build/CMakeFiles/overload_regimes.dir/overload_regimes.cpp.o" "gcc" "bench_build/CMakeFiles/overload_regimes.dir/overload_regimes.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/apps/CMakeFiles/sc_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/streamsim/CMakeFiles/sc_streamsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/des/CMakeFiles/sc_des.dir/DependInfo.cmake"
+  "/root/repo/build/src/queueing/CMakeFiles/sc_queueing.dir/DependInfo.cmake"
+  "/root/repo/build/src/netcalc/CMakeFiles/sc_netcalc.dir/DependInfo.cmake"
+  "/root/repo/build/src/minplus/CMakeFiles/sc_minplus.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/sc_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/overload_regimes"
+  "../bench/overload_regimes.pdb"
+  "CMakeFiles/overload_regimes.dir/overload_regimes.cpp.o"
+  "CMakeFiles/overload_regimes.dir/overload_regimes.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/overload_regimes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/subset_analysis"
+  "../bench/subset_analysis.pdb"
+  "CMakeFiles/subset_analysis.dir/subset_analysis.cpp.o"
+  "CMakeFiles/subset_analysis.dir/subset_analysis.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/subset_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

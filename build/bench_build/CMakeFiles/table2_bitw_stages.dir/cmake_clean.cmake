@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table2_bitw_stages"
+  "../bench/table2_bitw_stages.pdb"
+  "CMakeFiles/table2_bitw_stages.dir/table2_bitw_stages.cpp.o"
+  "CMakeFiles/table2_bitw_stages.dir/table2_bitw_stages.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_bitw_stages.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

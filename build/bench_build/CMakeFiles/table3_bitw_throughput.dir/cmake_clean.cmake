@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table3_bitw_throughput"
+  "../bench/table3_bitw_throughput.pdb"
+  "CMakeFiles/table3_bitw_throughput.dir/table3_bitw_throughput.cpp.o"
+  "CMakeFiles/table3_bitw_throughput.dir/table3_bitw_throughput.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_bitw_throughput.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

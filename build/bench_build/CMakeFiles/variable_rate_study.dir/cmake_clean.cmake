@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/variable_rate_study"
+  "../bench/variable_rate_study.pdb"
+  "CMakeFiles/variable_rate_study.dir/variable_rate_study.cpp.o"
+  "CMakeFiles/variable_rate_study.dir/variable_rate_study.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/variable_rate_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

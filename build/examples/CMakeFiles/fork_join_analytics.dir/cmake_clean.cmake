@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fork_join_analytics.dir/fork_join_analytics.cpp.o"
+  "CMakeFiles/fork_join_analytics.dir/fork_join_analytics.cpp.o.d"
+  "fork_join_analytics"
+  "fork_join_analytics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fork_join_analytics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/measured_bitw.dir/measured_bitw.cpp.o"
+  "CMakeFiles/measured_bitw.dir/measured_bitw.cpp.o.d"
+  "measured_bitw"
+  "measured_bitw.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/measured_bitw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for measured_bitw.
+# This may be replaced when dependencies are built.

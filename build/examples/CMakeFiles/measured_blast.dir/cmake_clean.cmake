@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/measured_blast.dir/measured_blast.cpp.o"
+  "CMakeFiles/measured_blast.dir/measured_blast.cpp.o.d"
+  "measured_blast"
+  "measured_blast.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/measured_blast.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sc_apps.dir/bitw.cpp.o"
+  "CMakeFiles/sc_apps.dir/bitw.cpp.o.d"
+  "CMakeFiles/sc_apps.dir/blast.cpp.o"
+  "CMakeFiles/sc_apps.dir/blast.cpp.o.d"
+  "CMakeFiles/sc_apps.dir/flowgraph.cpp.o"
+  "CMakeFiles/sc_apps.dir/flowgraph.cpp.o.d"
+  "libsc_apps.a"
+  "libsc_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sc_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sc_cli.dir/report.cpp.o"
+  "CMakeFiles/sc_cli.dir/report.cpp.o.d"
+  "CMakeFiles/sc_cli.dir/spec.cpp.o"
+  "CMakeFiles/sc_cli.dir/spec.cpp.o.d"
+  "libsc_cli.a"
+  "libsc_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sc_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sc_des.dir/simulation.cpp.o"
+  "CMakeFiles/sc_des.dir/simulation.cpp.o.d"
+  "libsc_des.a"
+  "libsc_des.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sc_des.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/kernels/aes.cpp" "src/kernels/CMakeFiles/sc_kernels.dir/aes.cpp.o" "gcc" "src/kernels/CMakeFiles/sc_kernels.dir/aes.cpp.o.d"
+  "/root/repo/src/kernels/arq_link.cpp" "src/kernels/CMakeFiles/sc_kernels.dir/arq_link.cpp.o" "gcc" "src/kernels/CMakeFiles/sc_kernels.dir/arq_link.cpp.o.d"
+  "/root/repo/src/kernels/blastn.cpp" "src/kernels/CMakeFiles/sc_kernels.dir/blastn.cpp.o" "gcc" "src/kernels/CMakeFiles/sc_kernels.dir/blastn.cpp.o.d"
+  "/root/repo/src/kernels/fa2bit.cpp" "src/kernels/CMakeFiles/sc_kernels.dir/fa2bit.cpp.o" "gcc" "src/kernels/CMakeFiles/sc_kernels.dir/fa2bit.cpp.o.d"
+  "/root/repo/src/kernels/lz4lite.cpp" "src/kernels/CMakeFiles/sc_kernels.dir/lz4lite.cpp.o" "gcc" "src/kernels/CMakeFiles/sc_kernels.dir/lz4lite.cpp.o.d"
+  "/root/repo/src/kernels/measure.cpp" "src/kernels/CMakeFiles/sc_kernels.dir/measure.cpp.o" "gcc" "src/kernels/CMakeFiles/sc_kernels.dir/measure.cpp.o.d"
+  "/root/repo/src/kernels/testdata.cpp" "src/kernels/CMakeFiles/sc_kernels.dir/testdata.cpp.o" "gcc" "src/kernels/CMakeFiles/sc_kernels.dir/testdata.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/netcalc/CMakeFiles/sc_netcalc.dir/DependInfo.cmake"
+  "/root/repo/build/src/des/CMakeFiles/sc_des.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/sc_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/minplus/CMakeFiles/sc_minplus.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

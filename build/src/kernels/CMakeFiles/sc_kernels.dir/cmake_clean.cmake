@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sc_kernels.dir/aes.cpp.o"
+  "CMakeFiles/sc_kernels.dir/aes.cpp.o.d"
+  "CMakeFiles/sc_kernels.dir/arq_link.cpp.o"
+  "CMakeFiles/sc_kernels.dir/arq_link.cpp.o.d"
+  "CMakeFiles/sc_kernels.dir/blastn.cpp.o"
+  "CMakeFiles/sc_kernels.dir/blastn.cpp.o.d"
+  "CMakeFiles/sc_kernels.dir/fa2bit.cpp.o"
+  "CMakeFiles/sc_kernels.dir/fa2bit.cpp.o.d"
+  "CMakeFiles/sc_kernels.dir/lz4lite.cpp.o"
+  "CMakeFiles/sc_kernels.dir/lz4lite.cpp.o.d"
+  "CMakeFiles/sc_kernels.dir/measure.cpp.o"
+  "CMakeFiles/sc_kernels.dir/measure.cpp.o.d"
+  "CMakeFiles/sc_kernels.dir/testdata.cpp.o"
+  "CMakeFiles/sc_kernels.dir/testdata.cpp.o.d"
+  "libsc_kernels.a"
+  "libsc_kernels.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sc_kernels.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sc_maxplus.dir/operations.cpp.o"
+  "CMakeFiles/sc_maxplus.dir/operations.cpp.o.d"
+  "libsc_maxplus.a"
+  "libsc_maxplus.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sc_maxplus.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sc_minplus.dir/curve.cpp.o"
+  "CMakeFiles/sc_minplus.dir/curve.cpp.o.d"
+  "CMakeFiles/sc_minplus.dir/deviation.cpp.o"
+  "CMakeFiles/sc_minplus.dir/deviation.cpp.o.d"
+  "CMakeFiles/sc_minplus.dir/inverse.cpp.o"
+  "CMakeFiles/sc_minplus.dir/inverse.cpp.o.d"
+  "CMakeFiles/sc_minplus.dir/operations.cpp.o"
+  "CMakeFiles/sc_minplus.dir/operations.cpp.o.d"
+  "libsc_minplus.a"
+  "libsc_minplus.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sc_minplus.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/netcalc/bounds.cpp" "src/netcalc/CMakeFiles/sc_netcalc.dir/bounds.cpp.o" "gcc" "src/netcalc/CMakeFiles/sc_netcalc.dir/bounds.cpp.o.d"
+  "/root/repo/src/netcalc/dag.cpp" "src/netcalc/CMakeFiles/sc_netcalc.dir/dag.cpp.o" "gcc" "src/netcalc/CMakeFiles/sc_netcalc.dir/dag.cpp.o.d"
+  "/root/repo/src/netcalc/node.cpp" "src/netcalc/CMakeFiles/sc_netcalc.dir/node.cpp.o" "gcc" "src/netcalc/CMakeFiles/sc_netcalc.dir/node.cpp.o.d"
+  "/root/repo/src/netcalc/packetizer.cpp" "src/netcalc/CMakeFiles/sc_netcalc.dir/packetizer.cpp.o" "gcc" "src/netcalc/CMakeFiles/sc_netcalc.dir/packetizer.cpp.o.d"
+  "/root/repo/src/netcalc/pipeline.cpp" "src/netcalc/CMakeFiles/sc_netcalc.dir/pipeline.cpp.o" "gcc" "src/netcalc/CMakeFiles/sc_netcalc.dir/pipeline.cpp.o.d"
+  "/root/repo/src/netcalc/shaper.cpp" "src/netcalc/CMakeFiles/sc_netcalc.dir/shaper.cpp.o" "gcc" "src/netcalc/CMakeFiles/sc_netcalc.dir/shaper.cpp.o.d"
+  "/root/repo/src/netcalc/trace.cpp" "src/netcalc/CMakeFiles/sc_netcalc.dir/trace.cpp.o" "gcc" "src/netcalc/CMakeFiles/sc_netcalc.dir/trace.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/minplus/CMakeFiles/sc_minplus.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/sc_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

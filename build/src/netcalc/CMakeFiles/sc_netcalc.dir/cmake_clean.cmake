@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sc_netcalc.dir/bounds.cpp.o"
+  "CMakeFiles/sc_netcalc.dir/bounds.cpp.o.d"
+  "CMakeFiles/sc_netcalc.dir/dag.cpp.o"
+  "CMakeFiles/sc_netcalc.dir/dag.cpp.o.d"
+  "CMakeFiles/sc_netcalc.dir/node.cpp.o"
+  "CMakeFiles/sc_netcalc.dir/node.cpp.o.d"
+  "CMakeFiles/sc_netcalc.dir/packetizer.cpp.o"
+  "CMakeFiles/sc_netcalc.dir/packetizer.cpp.o.d"
+  "CMakeFiles/sc_netcalc.dir/pipeline.cpp.o"
+  "CMakeFiles/sc_netcalc.dir/pipeline.cpp.o.d"
+  "CMakeFiles/sc_netcalc.dir/shaper.cpp.o"
+  "CMakeFiles/sc_netcalc.dir/shaper.cpp.o.d"
+  "CMakeFiles/sc_netcalc.dir/trace.cpp.o"
+  "CMakeFiles/sc_netcalc.dir/trace.cpp.o.d"
+  "libsc_netcalc.a"
+  "libsc_netcalc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sc_netcalc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

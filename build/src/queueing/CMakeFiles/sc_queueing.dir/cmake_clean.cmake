@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sc_queueing.dir/mm1.cpp.o"
+  "CMakeFiles/sc_queueing.dir/mm1.cpp.o.d"
+  "libsc_queueing.a"
+  "libsc_queueing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sc_queueing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sc_streamsim.dir/pipeline_sim.cpp.o"
+  "CMakeFiles/sc_streamsim.dir/pipeline_sim.cpp.o.d"
+  "libsc_streamsim.a"
+  "libsc_streamsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sc_streamsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for sc_streamsim.
+# This may be replaced when dependencies are built.

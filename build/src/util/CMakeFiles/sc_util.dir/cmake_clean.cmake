@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sc_util.dir/format.cpp.o"
+  "CMakeFiles/sc_util.dir/format.cpp.o.d"
+  "CMakeFiles/sc_util.dir/plot.cpp.o"
+  "CMakeFiles/sc_util.dir/plot.cpp.o.d"
+  "CMakeFiles/sc_util.dir/table.cpp.o"
+  "CMakeFiles/sc_util.dir/table.cpp.o.d"
+  "libsc_util.a"
+  "libsc_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sc_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

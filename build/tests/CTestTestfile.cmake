@@ -1,0 +1,17 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("util")
+subdirs("minplus")
+subdirs("maxplus")
+subdirs("netcalc")
+subdirs("des")
+subdirs("streamsim")
+subdirs("queueing")
+subdirs("kernels")
+subdirs("apps")
+subdirs("cli")
+subdirs("integration")

@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cli_test.dir/golden_specs_test.cpp.o"
+  "CMakeFiles/cli_test.dir/golden_specs_test.cpp.o.d"
+  "CMakeFiles/cli_test.dir/report_test.cpp.o"
+  "CMakeFiles/cli_test.dir/report_test.cpp.o.d"
+  "CMakeFiles/cli_test.dir/spec_test.cpp.o"
+  "CMakeFiles/cli_test.dir/spec_test.cpp.o.d"
+  "cli_test"
+  "cli_test.pdb"
+  "cli_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cli_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/des/event_test.cpp" "tests/des/CMakeFiles/des_test.dir/event_test.cpp.o" "gcc" "tests/des/CMakeFiles/des_test.dir/event_test.cpp.o.d"
+  "/root/repo/tests/des/monitor_test.cpp" "tests/des/CMakeFiles/des_test.dir/monitor_test.cpp.o" "gcc" "tests/des/CMakeFiles/des_test.dir/monitor_test.cpp.o.d"
+  "/root/repo/tests/des/resource_test.cpp" "tests/des/CMakeFiles/des_test.dir/resource_test.cpp.o" "gcc" "tests/des/CMakeFiles/des_test.dir/resource_test.cpp.o.d"
+  "/root/repo/tests/des/simulation_test.cpp" "tests/des/CMakeFiles/des_test.dir/simulation_test.cpp.o" "gcc" "tests/des/CMakeFiles/des_test.dir/simulation_test.cpp.o.d"
+  "/root/repo/tests/des/store_test.cpp" "tests/des/CMakeFiles/des_test.dir/store_test.cpp.o" "gcc" "tests/des/CMakeFiles/des_test.dir/store_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/des/CMakeFiles/sc_des.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/sc_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/des_test.dir/event_test.cpp.o"
+  "CMakeFiles/des_test.dir/event_test.cpp.o.d"
+  "CMakeFiles/des_test.dir/monitor_test.cpp.o"
+  "CMakeFiles/des_test.dir/monitor_test.cpp.o.d"
+  "CMakeFiles/des_test.dir/resource_test.cpp.o"
+  "CMakeFiles/des_test.dir/resource_test.cpp.o.d"
+  "CMakeFiles/des_test.dir/simulation_test.cpp.o"
+  "CMakeFiles/des_test.dir/simulation_test.cpp.o.d"
+  "CMakeFiles/des_test.dir/store_test.cpp.o"
+  "CMakeFiles/des_test.dir/store_test.cpp.o.d"
+  "des_test"
+  "des_test.pdb"
+  "des_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/des_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

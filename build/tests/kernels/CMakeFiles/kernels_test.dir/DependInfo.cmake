@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/kernels/aes_test.cpp" "tests/kernels/CMakeFiles/kernels_test.dir/aes_test.cpp.o" "gcc" "tests/kernels/CMakeFiles/kernels_test.dir/aes_test.cpp.o.d"
+  "/root/repo/tests/kernels/arq_link_test.cpp" "tests/kernels/CMakeFiles/kernels_test.dir/arq_link_test.cpp.o" "gcc" "tests/kernels/CMakeFiles/kernels_test.dir/arq_link_test.cpp.o.d"
+  "/root/repo/tests/kernels/blastn_test.cpp" "tests/kernels/CMakeFiles/kernels_test.dir/blastn_test.cpp.o" "gcc" "tests/kernels/CMakeFiles/kernels_test.dir/blastn_test.cpp.o.d"
+  "/root/repo/tests/kernels/fa2bit_test.cpp" "tests/kernels/CMakeFiles/kernels_test.dir/fa2bit_test.cpp.o" "gcc" "tests/kernels/CMakeFiles/kernels_test.dir/fa2bit_test.cpp.o.d"
+  "/root/repo/tests/kernels/lz4lite_test.cpp" "tests/kernels/CMakeFiles/kernels_test.dir/lz4lite_test.cpp.o" "gcc" "tests/kernels/CMakeFiles/kernels_test.dir/lz4lite_test.cpp.o.d"
+  "/root/repo/tests/kernels/measure_test.cpp" "tests/kernels/CMakeFiles/kernels_test.dir/measure_test.cpp.o" "gcc" "tests/kernels/CMakeFiles/kernels_test.dir/measure_test.cpp.o.d"
+  "/root/repo/tests/kernels/testdata_test.cpp" "tests/kernels/CMakeFiles/kernels_test.dir/testdata_test.cpp.o" "gcc" "tests/kernels/CMakeFiles/kernels_test.dir/testdata_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/kernels/CMakeFiles/sc_kernels.dir/DependInfo.cmake"
+  "/root/repo/build/src/netcalc/CMakeFiles/sc_netcalc.dir/DependInfo.cmake"
+  "/root/repo/build/src/minplus/CMakeFiles/sc_minplus.dir/DependInfo.cmake"
+  "/root/repo/build/src/des/CMakeFiles/sc_des.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/sc_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kernels_test.dir/aes_test.cpp.o"
+  "CMakeFiles/kernels_test.dir/aes_test.cpp.o.d"
+  "CMakeFiles/kernels_test.dir/arq_link_test.cpp.o"
+  "CMakeFiles/kernels_test.dir/arq_link_test.cpp.o.d"
+  "CMakeFiles/kernels_test.dir/blastn_test.cpp.o"
+  "CMakeFiles/kernels_test.dir/blastn_test.cpp.o.d"
+  "CMakeFiles/kernels_test.dir/fa2bit_test.cpp.o"
+  "CMakeFiles/kernels_test.dir/fa2bit_test.cpp.o.d"
+  "CMakeFiles/kernels_test.dir/lz4lite_test.cpp.o"
+  "CMakeFiles/kernels_test.dir/lz4lite_test.cpp.o.d"
+  "CMakeFiles/kernels_test.dir/measure_test.cpp.o"
+  "CMakeFiles/kernels_test.dir/measure_test.cpp.o.d"
+  "CMakeFiles/kernels_test.dir/testdata_test.cpp.o"
+  "CMakeFiles/kernels_test.dir/testdata_test.cpp.o.d"
+  "kernels_test"
+  "kernels_test.pdb"
+  "kernels_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kernels_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

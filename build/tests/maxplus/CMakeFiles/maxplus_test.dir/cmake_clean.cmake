@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/maxplus_test.dir/operations_test.cpp.o"
+  "CMakeFiles/maxplus_test.dir/operations_test.cpp.o.d"
+  "maxplus_test"
+  "maxplus_test.pdb"
+  "maxplus_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/maxplus_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

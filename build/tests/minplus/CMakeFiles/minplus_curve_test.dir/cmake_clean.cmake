@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/minplus_curve_test.dir/curve_test.cpp.o"
+  "CMakeFiles/minplus_curve_test.dir/curve_test.cpp.o.d"
+  "minplus_curve_test"
+  "minplus_curve_test.pdb"
+  "minplus_curve_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/minplus_curve_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/minplus_deviation_test.dir/deviation_test.cpp.o"
+  "CMakeFiles/minplus_deviation_test.dir/deviation_test.cpp.o.d"
+  "minplus_deviation_test"
+  "minplus_deviation_test.pdb"
+  "minplus_deviation_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/minplus_deviation_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/minplus_inverse_test.dir/inverse_test.cpp.o"
+  "CMakeFiles/minplus_inverse_test.dir/inverse_test.cpp.o.d"
+  "minplus_inverse_test"
+  "minplus_inverse_test.pdb"
+  "minplus_inverse_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/minplus_inverse_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

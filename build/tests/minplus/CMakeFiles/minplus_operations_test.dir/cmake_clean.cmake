@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/minplus_operations_test.dir/operations_test.cpp.o"
+  "CMakeFiles/minplus_operations_test.dir/operations_test.cpp.o.d"
+  "minplus_operations_test"
+  "minplus_operations_test.pdb"
+  "minplus_operations_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/minplus_operations_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,10 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests/minplus
+# Build directory: /root/repo/build/tests/minplus
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/minplus/minplus_curve_test[1]_include.cmake")
+include("/root/repo/build/tests/minplus/minplus_operations_test[1]_include.cmake")
+include("/root/repo/build/tests/minplus/minplus_deviation_test[1]_include.cmake")
+include("/root/repo/build/tests/minplus/minplus_inverse_test[1]_include.cmake")

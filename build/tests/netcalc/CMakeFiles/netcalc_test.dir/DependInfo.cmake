@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/netcalc/bounds_test.cpp" "tests/netcalc/CMakeFiles/netcalc_test.dir/bounds_test.cpp.o" "gcc" "tests/netcalc/CMakeFiles/netcalc_test.dir/bounds_test.cpp.o.d"
+  "/root/repo/tests/netcalc/dag_test.cpp" "tests/netcalc/CMakeFiles/netcalc_test.dir/dag_test.cpp.o" "gcc" "tests/netcalc/CMakeFiles/netcalc_test.dir/dag_test.cpp.o.d"
+  "/root/repo/tests/netcalc/node_test.cpp" "tests/netcalc/CMakeFiles/netcalc_test.dir/node_test.cpp.o" "gcc" "tests/netcalc/CMakeFiles/netcalc_test.dir/node_test.cpp.o.d"
+  "/root/repo/tests/netcalc/packetizer_test.cpp" "tests/netcalc/CMakeFiles/netcalc_test.dir/packetizer_test.cpp.o" "gcc" "tests/netcalc/CMakeFiles/netcalc_test.dir/packetizer_test.cpp.o.d"
+  "/root/repo/tests/netcalc/pipeline_test.cpp" "tests/netcalc/CMakeFiles/netcalc_test.dir/pipeline_test.cpp.o" "gcc" "tests/netcalc/CMakeFiles/netcalc_test.dir/pipeline_test.cpp.o.d"
+  "/root/repo/tests/netcalc/shaper_test.cpp" "tests/netcalc/CMakeFiles/netcalc_test.dir/shaper_test.cpp.o" "gcc" "tests/netcalc/CMakeFiles/netcalc_test.dir/shaper_test.cpp.o.d"
+  "/root/repo/tests/netcalc/trace_test.cpp" "tests/netcalc/CMakeFiles/netcalc_test.dir/trace_test.cpp.o" "gcc" "tests/netcalc/CMakeFiles/netcalc_test.dir/trace_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/netcalc/CMakeFiles/sc_netcalc.dir/DependInfo.cmake"
+  "/root/repo/build/src/minplus/CMakeFiles/sc_minplus.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/sc_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/netcalc_test.dir/bounds_test.cpp.o"
+  "CMakeFiles/netcalc_test.dir/bounds_test.cpp.o.d"
+  "CMakeFiles/netcalc_test.dir/dag_test.cpp.o"
+  "CMakeFiles/netcalc_test.dir/dag_test.cpp.o.d"
+  "CMakeFiles/netcalc_test.dir/node_test.cpp.o"
+  "CMakeFiles/netcalc_test.dir/node_test.cpp.o.d"
+  "CMakeFiles/netcalc_test.dir/packetizer_test.cpp.o"
+  "CMakeFiles/netcalc_test.dir/packetizer_test.cpp.o.d"
+  "CMakeFiles/netcalc_test.dir/pipeline_test.cpp.o"
+  "CMakeFiles/netcalc_test.dir/pipeline_test.cpp.o.d"
+  "CMakeFiles/netcalc_test.dir/shaper_test.cpp.o"
+  "CMakeFiles/netcalc_test.dir/shaper_test.cpp.o.d"
+  "CMakeFiles/netcalc_test.dir/trace_test.cpp.o"
+  "CMakeFiles/netcalc_test.dir/trace_test.cpp.o.d"
+  "netcalc_test"
+  "netcalc_test.pdb"
+  "netcalc_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/netcalc_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

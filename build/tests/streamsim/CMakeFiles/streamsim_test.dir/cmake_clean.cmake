@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/streamsim_test.dir/dag_sim_test.cpp.o"
+  "CMakeFiles/streamsim_test.dir/dag_sim_test.cpp.o.d"
+  "CMakeFiles/streamsim_test.dir/pipeline_sim_test.cpp.o"
+  "CMakeFiles/streamsim_test.dir/pipeline_sim_test.cpp.o.d"
+  "streamsim_test"
+  "streamsim_test.pdb"
+  "streamsim_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/streamsim_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

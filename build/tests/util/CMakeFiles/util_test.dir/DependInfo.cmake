@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/util/format_test.cpp" "tests/util/CMakeFiles/util_test.dir/format_test.cpp.o" "gcc" "tests/util/CMakeFiles/util_test.dir/format_test.cpp.o.d"
+  "/root/repo/tests/util/plot_test.cpp" "tests/util/CMakeFiles/util_test.dir/plot_test.cpp.o" "gcc" "tests/util/CMakeFiles/util_test.dir/plot_test.cpp.o.d"
+  "/root/repo/tests/util/rng_test.cpp" "tests/util/CMakeFiles/util_test.dir/rng_test.cpp.o" "gcc" "tests/util/CMakeFiles/util_test.dir/rng_test.cpp.o.d"
+  "/root/repo/tests/util/table_test.cpp" "tests/util/CMakeFiles/util_test.dir/table_test.cpp.o" "gcc" "tests/util/CMakeFiles/util_test.dir/table_test.cpp.o.d"
+  "/root/repo/tests/util/units_test.cpp" "tests/util/CMakeFiles/util_test.dir/units_test.cpp.o" "gcc" "tests/util/CMakeFiles/util_test.dir/units_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/sc_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

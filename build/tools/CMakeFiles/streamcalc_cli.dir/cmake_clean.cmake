@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/streamcalc_cli.dir/streamcalc.cpp.o"
+  "CMakeFiles/streamcalc_cli.dir/streamcalc.cpp.o.d"
+  "streamcalc"
+  "streamcalc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/streamcalc_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
