@@ -1,0 +1,47 @@
+// Glue between google-benchmark and the JsonReport emitter: a console
+// reporter that also captures every run as a name/value/unit row, and a
+// shared main() body for the micro benches supporting `--json <path>`.
+#pragma once
+
+#include <benchmark/benchmark.h>
+
+#include <string>
+#include <vector>
+
+#include "report.hpp"
+
+namespace streamcalc::bench {
+
+/// Console reporter that tees each benchmark run into a JsonReport
+/// (per-iteration real time in the benchmark's time unit).
+class JsonTeeReporter : public benchmark::ConsoleReporter {
+ public:
+  void ReportRuns(const std::vector<Run>& runs) override {
+    for (const Run& run : runs) {
+      if (run.error_occurred) continue;
+      report.add(run.benchmark_name(), run.GetAdjustedRealTime(),
+                 benchmark::GetTimeUnitString(run.time_unit));
+    }
+    ConsoleReporter::ReportRuns(runs);
+  }
+
+  JsonReport report;
+};
+
+/// main() body for the micro benches: strips `--json <path>`, runs the
+/// registered benchmarks, and (when requested) writes the captured rows.
+inline int run_benchmarks_main(int argc, char** argv) {
+  const std::string json_path = extract_json_flag(argc, argv);
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  if (json_path.empty()) {
+    benchmark::RunSpecifiedBenchmarks();
+  } else {
+    JsonTeeReporter reporter;
+    benchmark::RunSpecifiedBenchmarks(&reporter);
+    reporter.report.write(json_path);
+  }
+  return 0;
+}
+
+}  // namespace streamcalc::bench

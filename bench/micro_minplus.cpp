@@ -1,7 +1,13 @@
 // Microbenchmarks of the min-plus engine: evaluation, pointwise minimum,
 // convolution (closed-form and general branch-envelope paths),
 // deconvolution, and the deviation bounds, across curve sizes.
+//
+// Supports `--json <path>` to emit machine-readable name/value/unit rows
+// (see benchmark_json.hpp); BENCH_micro_minplus.json is the checked-in perf
+// baseline.
 #include <benchmark/benchmark.h>
+
+#include "benchmark_json.hpp"
 
 #include "minplus/curve.hpp"
 #include "minplus/deviation.hpp"
@@ -25,7 +31,7 @@ Curve concave_curve(int n, std::uint64_t seed) {
     const double dx = rng.uniform(0.5, 1.5);
     y += slope * dx;
     x += dx;
-    slope *= rng.uniform(0.6, 0.95);  // decreasing slopes: concave
+    slope *= rng.uniform(0.97, 0.995);  // decreasing slopes: concave
   }
   return Curve(std::move(segs));
 }
@@ -40,7 +46,7 @@ Curve convex_curve(int n, std::uint64_t seed) {
     const double dx = rng.uniform(0.5, 1.5);
     y += slope * dx;
     x += dx;
-    slope *= rng.uniform(1.05, 1.5);
+    slope *= rng.uniform(1.002, 1.012);
   }
   return Curve(std::move(segs));
 }
@@ -84,7 +90,13 @@ void BM_ConvolveGeneral(benchmark::State& state) {
     benchmark::DoNotOptimize(streamcalc::minplus::convolve(a, b));
   }
 }
-BENCHMARK(BM_ConvolveGeneral)->Arg(2)->Arg(8)->Arg(24);
+BENCHMARK(BM_ConvolveGeneral)
+    ->Arg(2)
+    ->Arg(8)
+    ->Arg(24)
+    ->Arg(128)
+    ->Arg(512)
+    ->Unit(benchmark::kMillisecond);
 
 void BM_Deconvolve(benchmark::State& state) {
   const int n = static_cast<int>(state.range(0));
@@ -95,7 +107,13 @@ void BM_Deconvolve(benchmark::State& state) {
     benchmark::DoNotOptimize(streamcalc::minplus::deconvolve(a, b));
   }
 }
-BENCHMARK(BM_Deconvolve)->Arg(2)->Arg(8)->Arg(24);
+BENCHMARK(BM_Deconvolve)
+    ->Arg(2)
+    ->Arg(8)
+    ->Arg(24)
+    ->Arg(128)
+    ->Arg(512)
+    ->Unit(benchmark::kMillisecond);
 
 void BM_DelayBound(benchmark::State& state) {
   const int n = static_cast<int>(state.range(0));
@@ -140,3 +158,7 @@ void BM_PseudoInverseCurve(benchmark::State& state) {
 BENCHMARK(BM_PseudoInverseCurve)->Arg(4)->Arg(16)->Arg(64);
 
 }  // namespace
+
+int main(int argc, char** argv) {
+  return streamcalc::bench::run_benchmarks_main(argc, argv);
+}

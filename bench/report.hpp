@@ -1,10 +1,13 @@
 // Shared output helpers for the paper-artifact benches: a banner per
-// artifact and paper-vs-reproduction comparison rows.
+// artifact, paper-vs-reproduction comparison rows, replication-summary
+// formatting, and a machine-readable JSON result emitter (--json <path>).
 #pragma once
 
 #include <cmath>
 #include <cstdio>
+#include <cstring>
 #include <string>
+#include <vector>
 
 #include "util/format.hpp"
 #include "util/table.hpp"
@@ -25,6 +28,90 @@ inline std::string versus(double ours, double published) {
   char buf[64];
   std::snprintf(buf, sizeof buf, "%+.1f%%", rel * 100.0);
   return buf;
+}
+
+/// "mean ± ci" cell for replication-summary tables.
+inline std::string mean_ci(double mean, double ci95_half) {
+  char buf[96];
+  std::snprintf(buf, sizeof buf, "%s ± %s",
+                util::format_significant(mean).c_str(),
+                util::format_significant(ci95_half).c_str());
+  return buf;
+}
+
+/// Machine-readable benchmark results: name/value/unit rows serialized as a
+/// JSON array, so perf trajectories can be tracked across commits.
+class JsonReport {
+ public:
+  void add(std::string name, double value, std::string unit) {
+    rows_.push_back(Row{std::move(name), value, std::move(unit)});
+  }
+
+  /// Writes `[{"name": ..., "value": ..., "unit": ...}, ...]` to `path`.
+  /// Returns false (after printing a warning) when the file cannot be
+  /// opened.
+  bool write(const std::string& path) const {
+    std::FILE* out = std::fopen(path.c_str(), "w");
+    if (out == nullptr) {
+      std::fprintf(stderr, "warning: cannot write JSON results to %s\n",
+                   path.c_str());
+      return false;
+    }
+    std::fputs("[\n", out);
+    for (std::size_t i = 0; i < rows_.size(); ++i) {
+      const Row& r = rows_[i];
+      std::fprintf(out,
+                   "  {\"name\": \"%s\", \"value\": %.17g, \"unit\": "
+                   "\"%s\"}%s\n",
+                   escape(r.name).c_str(), r.value, escape(r.unit).c_str(),
+                   i + 1 < rows_.size() ? "," : "");
+    }
+    std::fputs("]\n", out);
+    std::fclose(out);
+    std::printf("wrote %zu JSON result rows to %s\n", rows_.size(),
+                path.c_str());
+    return true;
+  }
+
+  std::size_t size() const { return rows_.size(); }
+
+ private:
+  struct Row {
+    std::string name;
+    double value;
+    std::string unit;
+  };
+
+  static std::string escape(const std::string& s) {
+    std::string out;
+    out.reserve(s.size());
+    for (const char c : s) {
+      if (c == '"' || c == '\\') out.push_back('\\');
+      out.push_back(c);
+    }
+    return out;
+  }
+
+  std::vector<Row> rows_;
+};
+
+/// Extracts a `--json <path>` (or `--json=<path>`) argument from argv,
+/// compacting argv in place so downstream flag parsers never see it.
+/// Returns the path, or "" when the flag is absent.
+inline std::string extract_json_flag(int& argc, char** argv) {
+  std::string path;
+  int w = 1;
+  for (int r = 1; r < argc; ++r) {
+    if (std::strcmp(argv[r], "--json") == 0 && r + 1 < argc) {
+      path = argv[++r];
+    } else if (std::strncmp(argv[r], "--json=", 7) == 0) {
+      path = argv[r] + 7;
+    } else {
+      argv[w++] = argv[r];
+    }
+  }
+  argc = w;
+  return path;
 }
 
 }  // namespace streamcalc::bench

@@ -54,10 +54,19 @@ double sup_at_impl(const Curve& f, const Curve& g, double t) {
 }
 
 /// Replaces point values of an envelope with the exact evaluator's values
-/// (see the min-plus twin in minplus/operations.cpp).
+/// (see the min-plus twin in minplus/operations.cpp). Exact evaluations
+/// are per-breakpoint independent and fan out to the pool on large
+/// envelopes; the clamp chain stays serial.
 template <typename AtFn>
 Curve repair_point_values(const Curve& env, const AtFn& at) {
   std::vector<Segment> segs = env.segments();
+  std::vector<double> exact(segs.size());
+  minplus::detail::maybe_parallel_for(
+      segs.size(), minplus::detail::kParallelGridThreshold,
+      minplus::detail::kParallelGridGrain,
+      [&](std::size_t lo, std::size_t hi) {
+        for (std::size_t i = lo; i < hi; ++i) exact[i] = at(segs[i].x);
+      });
   for (std::size_t i = 0; i < segs.size(); ++i) {
     Segment& s = segs[i];
     double lo = 0.0;
@@ -66,7 +75,14 @@ Curve repair_point_values(const Curve& env, const AtFn& at) {
       lo = p.value_after == kInf ? kInf
                                  : p.value_after + p.slope * (s.x - p.x);
     }
-    s.value_at = std::min(std::max(at(s.x), lo), s.value_after);
+    if (lo != kInf && s.value_after < lo - 1e-9 * (1.0 + lo)) {
+      // Degenerate envelope piece (see the min-plus twin): lift the point
+      // to the left limit so the curve stays wide-sense increasing.
+      s.value_at = lo;
+      s.value_after = lo;
+      continue;
+    }
+    s.value_at = std::min(std::max(exact[i], lo), s.value_after);
   }
   return Curve(std::move(segs));
 }
@@ -110,10 +126,13 @@ Curve convolve(const Curve& f, const Curve& g) {
   };
   add_branches(f, g);
   add_branches(g, f);
-  Curve env = branches.front();
-  for (std::size_t i = 1; i < branches.size(); ++i) {
-    env = minplus::maximum(env, branches[i]);
-  }
+  // Deterministic pairwise reduction (see minplus::detail::reduce_envelope):
+  // the merge tree depends only on the branch count, so parallel and serial
+  // runs produce bit-identical envelopes.
+  const Curve env = minplus::detail::reduce_envelope(
+      std::move(branches), [](const Curve& a, const Curve& b) {
+        return minplus::maximum(a, b);
+      });
   return repair_point_values(env,
                              [&](double t) { return sup_at_impl(f, g, t); });
 }
@@ -183,16 +202,30 @@ Curve deconvolve(const Curve& f, const Curve& g) {
   };
   std::vector<double> grid = minplus::detail::canonical_candidates(ts);
   for (int round = 0; round < 40; ++round) {
+    // Each interval's chord test needs the evaluator at both endpoints and
+    // the midpoint; evaluate all points of the round concurrently (each
+    // slot independent), then assemble the refined grid serially so the
+    // result is independent of thread count.
+    const std::size_t n = grid.size();
+    std::vector<double> vals(n);
+    std::vector<double> mid_vals(n - 1);
+    minplus::detail::maybe_parallel_for(
+        n, minplus::detail::kParallelGridThreshold,
+        minplus::detail::kParallelGridGrain,
+        [&](std::size_t lo, std::size_t hi) {
+          for (std::size_t i = lo; i < hi; ++i) {
+            vals[i] = at(grid[i]);
+            if (i + 1 < n) mid_vals[i] = at(0.5 * (grid[i] + grid[i + 1]));
+          }
+        });
     std::vector<double> refined;
     bool changed = false;
-    for (std::size_t i = 0; i + 1 < grid.size(); ++i) {
+    for (std::size_t i = 0; i + 1 < n; ++i) {
       refined.push_back(grid[i]);
       const double mid = 0.5 * (grid[i] + grid[i + 1]);
       // Linear between neighbours? Compare the evaluator with the chord.
-      const double va = at(grid[i]);
-      const double vb = at(grid[i + 1]);
-      const double vm = at(mid);
-      const double chord = 0.5 * (va + vb);
+      const double vm = mid_vals[i];
+      const double chord = 0.5 * (vals[i] + vals[i + 1]);
       if (std::isfinite(vm) && std::isfinite(chord) &&
           std::fabs(vm - chord) > 1e-9 * (1.0 + std::fabs(vm))) {
         refined.push_back(mid);

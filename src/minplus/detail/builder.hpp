@@ -5,15 +5,70 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstddef>
 #include <limits>
 #include <vector>
 
 #include "minplus/curve.hpp"
 #include "util/error.hpp"
+#include "util/thread_pool.hpp"
 
 namespace streamcalc::minplus::detail {
 
 inline constexpr double kInf = std::numeric_limits<double>::infinity();
+
+// Size thresholds above which the exact kernels fan work out to the global
+// thread pool. Work partitioning depends only on the input (never on the
+// thread count or scheduling), so crossing a threshold changes *where* a
+// chunk runs but not *what* it computes: parallel results are bit-identical
+// to serial-mode results.
+inline constexpr std::size_t kParallelGridThreshold = 192;
+inline constexpr std::size_t kParallelGridGrain = 64;
+inline constexpr std::size_t kParallelBranchThreshold = 64;
+inline constexpr std::size_t kParallelBranchGrain = 16;
+inline constexpr std::size_t kParallelMergeSegments = 512;
+
+/// Runs fn(lo, hi) over [0, n), on the global pool when n >= threshold and
+/// inline otherwise. Chunking is identical either way.
+template <typename Fn>
+void maybe_parallel_for(std::size_t n, std::size_t threshold,
+                        std::size_t grain, const Fn& fn) {
+  if (n >= threshold) {
+    util::ThreadPool::global().parallel_for(
+        0, n, grain, [&fn](std::size_t lo, std::size_t hi) { fn(lo, hi); });
+  } else {
+    fn(0, n);
+  }
+}
+
+/// Deterministic balanced pairwise reduction of a branch envelope: level k
+/// merges neighbours (2i, 2i+1), carrying an odd tail element through. The
+/// tree shape depends only on curves.size(), so the result is independent
+/// of thread count; levels whose total segment count is large are merged in
+/// parallel (each pair writes its own slot).
+template <typename Merge>
+Curve reduce_envelope(std::vector<Curve> level, const Merge& merge) {
+  SC_ASSERT(!level.empty());
+  while (level.size() > 1) {
+    const std::size_t pairs = level.size() / 2;
+    std::vector<Curve> next(pairs + level.size() % 2);
+    std::size_t total_segments = 0;
+    for (const Curve& c : level) total_segments += c.segments().size();
+    const auto merge_range = [&](std::size_t lo, std::size_t hi) {
+      for (std::size_t i = lo; i < hi; ++i) {
+        next[i] = merge(level[2 * i], level[2 * i + 1]);
+      }
+    };
+    if (pairs >= 2 && total_segments >= kParallelMergeSegments) {
+      util::ThreadPool::global().parallel_for(0, pairs, 1, merge_range);
+    } else {
+      merge_range(0, pairs);
+    }
+    if (level.size() % 2 != 0) next.back() = std::move(level.back());
+    level = std::move(next);
+  }
+  return std::move(level.front());
+}
 
 /// Sorts, dedups (with a relative tolerance so candidate points computed
 /// with rounding error collapse onto true breakpoints), drops negatives,
@@ -42,28 +97,48 @@ inline std::vector<double> canonical_candidates(std::vector<double> xs) {
 template <typename AtFn, typename RightFn>
 Curve build_from_evaluators(const std::vector<double>& candidates,
                             const AtFn& at, const RightFn& right) {
+  const std::size_t n = candidates.size();
+  // Phase 1 — per-candidate evaluation: value, right limit, and the slope
+  // recovered from a midpoint probe. Every slot depends only on the
+  // candidate grid and the evaluators, so large grids fan out to the pool.
+  std::vector<double> v_at(n), v_after(n), v_slope(n);
+  maybe_parallel_for(
+      n, kParallelGridThreshold, kParallelGridGrain,
+      [&](std::size_t lo, std::size_t hi) {
+        for (std::size_t i = lo; i < hi; ++i) {
+          const double x = candidates[i];
+          const double value_at = at(x);
+          const double value_after = std::max(right(x), value_at);
+          double slope = 0.0;
+          if (value_after != kInf) {
+            double probe_x;
+            if (i + 1 < n) {
+              probe_x = 0.5 * (x + candidates[i + 1]);
+            } else {
+              probe_x = x + std::max(1.0, x);
+            }
+            const double probe = at(probe_x);
+            if (probe == kInf) {
+              // The function reaches +inf strictly inside what we assumed
+              // was a linear piece; candidates were supposed to cover all
+              // breakpoints.
+              SC_ASSERT(false);
+            }
+            slope = std::max(0.0, (probe - value_after) / (probe_x - x));
+          }
+          v_at[i] = value_at;
+          v_after[i] = value_after;
+          v_slope[i] = slope;
+        }
+      });
+  // Phase 2 — serial assembly with the monotonicity guard, which chains
+  // each breakpoint to its predecessor and therefore stays sequential.
   std::vector<Segment> segs;
-  segs.reserve(candidates.size());
-  for (std::size_t i = 0; i < candidates.size(); ++i) {
+  segs.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
     const double x = candidates[i];
-    double value_at = at(x);
-    double value_after = std::max(right(x), value_at);
-    double slope = 0.0;
-    if (value_after != kInf) {
-      double probe_x;
-      if (i + 1 < candidates.size()) {
-        probe_x = 0.5 * (x + candidates[i + 1]);
-      } else {
-        probe_x = x + std::max(1.0, x);
-      }
-      const double probe = at(probe_x);
-      if (probe == kInf) {
-        // The function reaches +inf strictly inside what we assumed was a
-        // linear piece; candidates were supposed to cover all breakpoints.
-        SC_ASSERT(false);
-      }
-      slope = std::max(0.0, (probe - value_after) / (probe_x - x));
-    }
+    double value_at = v_at[i];
+    double value_after = v_after[i];
     // Guard against rounding-induced monotonicity violations.
     if (!segs.empty()) {
       const Segment& p = segs.back();
@@ -75,7 +150,7 @@ Curve build_from_evaluators(const std::vector<double>& candidates,
         value_after = std::max(value_after, value_at);
       }
     }
-    segs.push_back(Segment{x, value_at, value_after, slope});
+    segs.push_back(Segment{x, value_at, value_after, v_slope[i]});
   }
   return Curve(std::move(segs));
 }

@@ -184,10 +184,19 @@ Curve conv_branch(const Curve& g, double T, double c) {
 /// (clamped into [left limit, right limit] so rounding noise cannot break
 /// monotonicity). The envelope construction is exact on open intervals and
 /// at right limits, but at isolated breakpoints the true value can differ
-/// from the branch minimum/maximum; this repairs those points.
+/// from the branch minimum/maximum; this repairs those points. The exact
+/// evaluations are independent per breakpoint and fan out to the pool on
+/// large envelopes (each writes its own slot; the clamp chain stays
+/// serial).
 template <typename AtFn>
 Curve repair_point_values(const Curve& env, const AtFn& at) {
   std::vector<Segment> segs = env.segments();
+  std::vector<double> exact(segs.size());
+  detail::maybe_parallel_for(
+      segs.size(), detail::kParallelGridThreshold, detail::kParallelGridGrain,
+      [&](std::size_t lo, std::size_t hi) {
+        for (std::size_t i = lo; i < hi; ++i) exact[i] = at(segs[i].x);
+      });
   for (std::size_t i = 0; i < segs.size(); ++i) {
     Segment& s = segs[i];
     double lo = 0.0;
@@ -196,7 +205,18 @@ Curve repair_point_values(const Curve& env, const AtFn& at) {
       lo = p.value_after == kInf ? kInf
                                  : p.value_after + p.slope * (s.x - p.x);
     }
-    s.value_at = std::min(std::max(at(s.x), lo), s.value_after);
+    if (lo != kInf && s.value_after < lo - 1e-9 * (1.0 + lo)) {
+      // Degenerate envelope piece: the previous segment's extrapolation
+      // overshoots this breakpoint's right limit by more than the curve
+      // tolerance (normalize() merges collinear pieces with a tolerance,
+      // so the stored slope can drift over long near-flat spans). Lift
+      // the point to the left limit to keep the curve wide-sense
+      // increasing; the bump stays within the merge tolerance.
+      s.value_at = lo;
+      s.value_after = lo;
+      continue;
+    }
+    s.value_at = std::min(std::max(exact[i], lo), s.value_after);
   }
   return Curve(std::move(segs));
 }
@@ -379,23 +399,41 @@ Curve convolve(const Curve& f, const Curve& g) {
   // pointwise minimum of all branches, and minimum() finds the crossing
   // kinks between branches exactly. Isolated point values are then repaired
   // from the direct evaluator.
-  std::vector<Curve> branches;
-  const auto add_branches = [&branches](const Curve& anchor,
-                                        const Curve& shape) {
+  //
+  // Parallel structure: anchors are enumerated serially (cheap, and fixes
+  // the branch order), branch curves are built concurrently into their own
+  // slots, and the envelope is folded by a balanced pairwise reduction
+  // whose shape depends only on the branch count — so the result is
+  // bit-identical whatever the thread count.
+  struct BranchDesc {
+    const Curve* shape;
+    double T;
+    double c;
+  };
+  std::vector<BranchDesc> descs;
+  const auto add_branches = [&descs](const Curve& anchor,
+                                     const Curve& shape) {
     for (const Segment& s : anchor.segments()) {
-      branches.push_back(conv_branch(shape, s.x, s.value_at));
+      descs.push_back(BranchDesc{&shape, s.x, s.value_at});
       const double left = anchor.value_left(s.x);
       if (left != s.value_at) {
-        branches.push_back(conv_branch(shape, s.x, left));
+        descs.push_back(BranchDesc{&shape, s.x, left});
       }
     }
   };
   add_branches(f, g);
   add_branches(g, f);
-  Curve env = branches.front();
-  for (std::size_t i = 1; i < branches.size(); ++i) {
-    env = minimum(env, branches[i]);
-  }
+  std::vector<Curve> branches(descs.size());
+  detail::maybe_parallel_for(
+      descs.size(), detail::kParallelBranchThreshold,
+      detail::kParallelBranchGrain, [&](std::size_t lo, std::size_t hi) {
+        for (std::size_t i = lo; i < hi; ++i) {
+          branches[i] = conv_branch(*descs[i].shape, descs[i].T, descs[i].c);
+        }
+      });
+  const Curve env = detail::reduce_envelope(
+      std::move(branches),
+      [](const Curve& a, const Curve& b) { return minimum(a, b); });
   return repair_point_values(env,
                              [&](double t) { return conv_at_impl(f, g, t); });
 }
@@ -417,11 +455,20 @@ Curve deconvolve(const Curve& f, const Curve& g) {
   // t + s sits at a breakpoint of f. Each anchoring is a whole curve in t;
   // the deconvolution is their pointwise maximum (maximum() finds crossing
   // kinks exactly), with isolated point values repaired afterwards.
-  std::vector<Curve> branches{Curve::zero()};
+  //
+  // Same parallel structure as convolve(): serial anchor enumeration fixes
+  // the branch order, branch curves build concurrently, and the envelope
+  // folds through the deterministic pairwise reduction.
+  struct BranchDesc {
+    double s;     ///< g-anchor abscissa (shift), or f-anchor abscissa
+    double c;     ///< constant contribution
+    bool from_f;  ///< true: reflected branch anchored at an f breakpoint
+  };
+  std::vector<BranchDesc> descs;
   const auto add_g_anchor = [&](double s) {
     for (double c : {g.value(s), g.value_left(s)}) {
       if (c == kInf) continue;
-      branches.push_back(f.shift_left(s).minus_clamped(c));
+      descs.push_back(BranchDesc{s, c, /*from_f=*/false});
     }
   };
   for (const Segment& sg : g.segments()) add_g_anchor(sg.x);
@@ -429,13 +476,23 @@ Curve deconvolve(const Curve& f, const Curve& g) {
   // unbounded case was excluded above), so the tail is fully covered.
   add_g_anchor(std::max(f.last_breakpoint(), g.last_breakpoint()) + 1.0);
   for (const Segment& sf : f.segments()) {
-    branches.push_back(
-        deconv_reflected_branch(g, sf.x, f.value_right(sf.x)));
+    descs.push_back(BranchDesc{sf.x, f.value_right(sf.x), /*from_f=*/true});
   }
-  Curve env = branches.front();
-  for (std::size_t i = 1; i < branches.size(); ++i) {
-    env = maximum(env, branches[i]);
-  }
+  std::vector<Curve> branches(descs.size() + 1);
+  branches.front() = Curve::zero();
+  detail::maybe_parallel_for(
+      descs.size(), detail::kParallelBranchThreshold,
+      detail::kParallelBranchGrain, [&](std::size_t lo, std::size_t hi) {
+        for (std::size_t i = lo; i < hi; ++i) {
+          const BranchDesc& d = descs[i];
+          branches[i + 1] =
+              d.from_f ? deconv_reflected_branch(g, d.s, d.c)
+                       : f.shift_left(d.s).minus_clamped(d.c);
+        }
+      });
+  const Curve env = detail::reduce_envelope(
+      std::move(branches),
+      [](const Curve& a, const Curve& b) { return maximum(a, b); });
   return repair_point_values(env, [&](double t) {
     return deconv_at_impl(f, g, t, /*right_limit=*/false);
   });

@@ -7,6 +7,7 @@
 #include <queue>
 
 #include "minplus/deviation.hpp"
+#include "minplus/cache.hpp"
 #include "minplus/operations.hpp"
 #include "netcalc/bounds.hpp"
 #include "netcalc/packetizer.hpp"
@@ -320,7 +321,7 @@ std::vector<DagPathAnalysis> DagModel::per_path_analysis() const {
           break;
         }
       }
-      path_service = minplus::convolve(path_service, residual);
+      path_service = minplus::cached_convolve(path_service, residual);
     }
     pa.delay = valid ? util::Duration::seconds(minplus::horizontal_deviation(
                            flow, path_service))

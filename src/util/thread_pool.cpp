@@ -1,0 +1,178 @@
+#include "util/thread_pool.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <string>
+
+namespace streamcalc::util {
+
+namespace {
+
+std::atomic<bool> g_force_serial{false};
+thread_local bool t_on_worker = false;
+
+unsigned hardware_threads() {
+  return std::max(1u, std::thread::hardware_concurrency());
+}
+
+}  // namespace
+
+unsigned configured_thread_count() {
+  const char* env = std::getenv("STREAMCALC_THREADS");
+  if (env == nullptr || *env == '\0') return hardware_threads();
+  const std::string value(env);
+  if (value == "serial") return 1;
+  char* end = nullptr;
+  const long parsed = std::strtol(value.c_str(), &end, 10);
+  if (end == value.c_str() || *end != '\0' || parsed < 0) {
+    return hardware_threads();
+  }
+  if (parsed == 0) return hardware_threads();
+  return static_cast<unsigned>(parsed);
+}
+
+ThreadPool::ThreadPool(unsigned threads) {
+  workers_.reserve(threads);
+  for (unsigned i = 0; i < threads; ++i) {
+    workers_.emplace_back(
+        [this](std::stop_token stop) { worker_loop(stop); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stopping_ = true;
+  }
+  work_available_.notify_all();
+  // std::jthread joins on destruction; workers drain the queue first so no
+  // submitted task (whose state may live on a submitter's stack) is lost.
+}
+
+void ThreadPool::worker_loop(std::stop_token /*stop*/) {
+  t_on_worker = true;
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      work_available_.wait(
+          lock, [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stopping_ and nothing left to drain
+      task = std::move(queue_.front());
+      queue_.pop_front();
+      ++active_;
+    }
+    task();
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      --active_;
+      if (queue_.empty() && active_ == 0) idle_.notify_all();
+    }
+  }
+}
+
+void ThreadPool::submit(std::function<void()> task) {
+  if (serial()) {
+    task();
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    queue_.push_back(std::move(task));
+  }
+  work_available_.notify_one();
+}
+
+void ThreadPool::wait_idle() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  idle_.wait(lock, [this] { return queue_.empty() && active_ == 0; });
+}
+
+void ThreadPool::parallel_for(
+    std::size_t begin, std::size_t end, std::size_t grain,
+    const std::function<void(std::size_t, std::size_t)>& fn) {
+  if (end <= begin) return;
+  grain = std::max<std::size_t>(grain, 1);
+  const std::size_t count = end - begin;
+  const std::size_t chunks = (count + grain - 1) / grain;
+  // Chunk boundaries are fully determined by (begin, end, grain); running
+  // inline therefore executes the exact same chunks in index order, which
+  // is what makes serial mode the bit-identical reference for parallel
+  // runs (callers write per-chunk results to per-index slots).
+  if (chunks < 2 || serial() || force_serial() || on_worker_thread()) {
+    for (std::size_t c = 0; c < chunks; ++c) {
+      const std::size_t lo = begin + c * grain;
+      fn(lo, std::min(end, lo + grain));
+    }
+    return;
+  }
+
+  struct State {
+    std::mutex m;
+    std::condition_variable done_cv;
+    std::size_t next = 0;       ///< next chunk index to claim
+    std::size_t pending;        ///< chunks not yet finished
+    std::size_t live_tasks = 0; ///< queued runner tasks not yet returned
+    std::exception_ptr error;
+  } state;
+  state.pending = chunks;
+
+  const auto run_chunks = [&]() {
+    for (;;) {
+      std::size_t c;
+      {
+        std::lock_guard<std::mutex> lock(state.m);
+        if (state.next >= chunks) return;
+        c = state.next++;
+      }
+      const std::size_t lo = begin + c * grain;
+      try {
+        fn(lo, std::min(end, lo + grain));
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(state.m);
+        if (!state.error) state.error = std::current_exception();
+      }
+      {
+        std::lock_guard<std::mutex> lock(state.m);
+        if (--state.pending == 0) state.done_cv.notify_all();
+      }
+    }
+  };
+
+  const std::size_t helpers =
+      std::min<std::size_t>(workers_.size(), chunks - 1);
+  {
+    std::lock_guard<std::mutex> lock(state.m);
+    state.live_tasks = helpers;
+  }
+  for (std::size_t i = 0; i < helpers; ++i) {
+    submit([&state, run_chunks] {
+      run_chunks();
+      std::lock_guard<std::mutex> lock(state.m);
+      if (--state.live_tasks == 0) state.done_cv.notify_all();
+    });
+  }
+  run_chunks();
+  std::unique_lock<std::mutex> lock(state.m);
+  state.done_cv.wait(lock, [&state] {
+    return state.pending == 0 && state.live_tasks == 0;
+  });
+  if (state.error) std::rethrow_exception(state.error);
+}
+
+ThreadPool& ThreadPool::global() {
+  // Lazily constructed; a configured count of 1 (or "serial") means no
+  // workers at all, so the pool degenerates to inline execution.
+  static ThreadPool pool(configured_thread_count() <= 1
+                             ? 0u
+                             : configured_thread_count());
+  return pool;
+}
+
+void ThreadPool::set_force_serial(bool on) { g_force_serial.store(on); }
+
+bool ThreadPool::force_serial() { return g_force_serial.load(); }
+
+bool ThreadPool::on_worker_thread() { return t_on_worker; }
+
+}  // namespace streamcalc::util

@@ -1,0 +1,101 @@
+// Fixed-size thread pool with a deterministic parallel_for primitive.
+//
+// Design goals, in order:
+//
+//   1. *Determinism.* Callers split work into chunks whose boundaries depend
+//      only on the input size and grain — never on the number of threads or
+//      on scheduling. Each chunk writes to its own output slot; the caller
+//      merges slots in index order. Any algorithm written this way produces
+//      bit-identical results with 1 thread, N threads, or in serial mode.
+//   2. *Safety under nesting.* Library code (min-plus kernels) and user code
+//      (replication runners) may both use the pool; a parallel_for issued
+//      from inside a pool worker runs inline on that worker instead of
+//      deadlocking on the queue.
+//   3. *Small surface.* A fixed set of std::jthread workers, a mutex-guarded
+//      task queue, parallel_for + submit. No work stealing, no futures-heavy
+//      API — the kernels need fork/join over index ranges, nothing more.
+//
+// The global() instance is lazily initialized from the STREAMCALC_THREADS
+// environment variable: unset or "0" = hardware concurrency, "1" or
+// "serial" = serial mode (no workers; everything runs inline — useful for
+// reproducibility debugging and as the reference side of determinism
+// tests). set_force_serial() lets tests flip the same global pool between
+// parallel and inline execution at runtime.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace streamcalc::util {
+
+class ThreadPool {
+ public:
+  /// A pool with `threads` workers; 0 = serial mode (no worker threads,
+  /// all work runs inline on the calling thread).
+  explicit ThreadPool(unsigned threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Number of worker threads (0 in serial mode).
+  unsigned size() const { return static_cast<unsigned>(workers_.size()); }
+
+  /// True when no workers exist and every call runs inline.
+  bool serial() const { return workers_.empty(); }
+
+  /// Runs fn(lo, hi) over [begin, end) split into chunks of at least
+  /// `grain` indices. Chunk boundaries depend only on (begin, end, grain),
+  /// not on thread count; the calling thread participates. Blocks until
+  /// every chunk completes; the first exception thrown by any chunk is
+  /// rethrown on the caller (remaining chunks still run to completion).
+  ///
+  /// Runs entirely inline when: the pool is serial, force-serial is set,
+  /// the range has fewer than 2 chunks, or the caller is itself a pool
+  /// worker (nested parallelism runs inline rather than deadlocking).
+  void parallel_for(std::size_t begin, std::size_t end, std::size_t grain,
+                    const std::function<void(std::size_t, std::size_t)>& fn);
+
+  /// Enqueues a task for a worker (runs inline in serial mode). Fire and
+  /// forget; use parallel_for for fork/join work.
+  void submit(std::function<void()> task);
+
+  /// Blocks until the queue is empty and all workers are idle.
+  void wait_idle();
+
+  /// Process-wide pool, lazily created on first use and sized from the
+  /// STREAMCALC_THREADS environment variable (see file comment).
+  static ThreadPool& global();
+
+  /// When true, parallel_for on every pool runs inline on the caller.
+  /// Intended for tests and reproducibility debugging; thread-safe.
+  static void set_force_serial(bool on);
+  static bool force_serial();
+
+  /// True while the current thread is executing inside a pool worker.
+  static bool on_worker_thread();
+
+ private:
+  void worker_loop(std::stop_token stop);
+
+  std::vector<std::jthread> workers_;
+  std::deque<std::function<void()>> queue_;
+  mutable std::mutex mutex_;
+  std::condition_variable work_available_;
+  std::condition_variable idle_;
+  std::size_t active_ = 0;  ///< tasks currently executing on workers
+  bool stopping_ = false;
+};
+
+/// Number of threads the global pool was (or would be) configured with:
+/// the STREAMCALC_THREADS value, defaulting to hardware concurrency.
+unsigned configured_thread_count();
+
+}  // namespace streamcalc::util

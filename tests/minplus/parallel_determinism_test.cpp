@@ -1,0 +1,107 @@
+// Determinism contract of the parallel min-plus / max-plus kernels: with
+// any pool size, every operation must produce bit-identical curves to the
+// serial path. parallel_for chunking depends only on (range, grain), each
+// chunk writes its own slots, and the envelope reduction tree's shape
+// depends only on the branch count — so this must hold exactly, not
+// approximately.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <vector>
+
+#include "maxplus/operations.hpp"
+#include "minplus/operations.hpp"
+#include "util/rng.hpp"
+#include "util/thread_pool.hpp"
+
+namespace streamcalc::minplus {
+namespace {
+
+// Force the lazily-created global pool to have workers even when the test
+// host is single-core (the pool is sized from STREAMCALC_THREADS at first
+// use, which happens after static initialization).
+const bool g_env_pinned = [] {
+  setenv("STREAMCALC_THREADS", "4", /*overwrite=*/1);
+  return true;
+}();
+
+/// Piecewise-linear concave-ish curve with n segments (decreasing slopes).
+Curve concave_curve(int n, std::uint64_t seed) {
+  util::Xoshiro256 rng(seed);
+  std::vector<Segment> segs;
+  double x = 0.0, y = 0.0, slope = 64.0;
+  for (int i = 0; i < n; ++i) {
+    segs.push_back(Segment{x, y, y, slope});
+    const double dx = rng.uniform(0.5, 1.5);
+    y += slope * dx;
+    x += dx;
+    slope *= rng.uniform(0.97, 0.995);
+  }
+  return Curve(std::move(segs));
+}
+
+/// Convex curve with n segments (increasing slopes).
+Curve convex_curve(int n, std::uint64_t seed) {
+  util::Xoshiro256 rng(seed);
+  std::vector<Segment> segs;
+  double x = 0.0, y = 0.0, slope = 1.0;
+  for (int i = 0; i < n; ++i) {
+    segs.push_back(Segment{x, y, y, slope});
+    const double dx = rng.uniform(0.5, 1.5);
+    y += slope * dx;
+    x += dx;
+    slope *= rng.uniform(1.002, 1.012);
+  }
+  return Curve(std::move(segs));
+}
+
+/// Evaluates op twice — once inline on the calling thread, once through the
+/// pool — and requires exact equality.
+template <typename OpFn>
+void expect_parallel_matches_serial(const OpFn& op) {
+  ASSERT_TRUE(g_env_pinned);
+  ASSERT_FALSE(util::ThreadPool::global().serial())
+      << "global pool must have workers for this test to mean anything";
+  util::ThreadPool::set_force_serial(true);
+  const Curve serial = op();
+  util::ThreadPool::set_force_serial(false);
+  const Curve parallel = op();
+  EXPECT_EQ(serial, parallel);
+}
+
+TEST(ParallelDeterminism, GeneralConvolveMatchesSerialExactly) {
+  for (int n : {8, 48, 200}) {
+    const Curve a = concave_curve(n, 6).plus_step(2.0);  // general path
+    const Curve b = convex_curve(n, 7);
+    expect_parallel_matches_serial([&] { return convolve(a, b); });
+  }
+}
+
+TEST(ParallelDeterminism, DeconvolveMatchesSerialExactly) {
+  for (int n : {8, 48, 200}) {
+    const Curve a = concave_curve(n, 8);
+    const Curve b = add(convex_curve(n, 9), Curve::rate(80.0));
+    expect_parallel_matches_serial([&] { return deconvolve(a, b); });
+  }
+}
+
+TEST(ParallelDeterminism, PointwiseMinimumMatchesSerialExactly) {
+  const Curve a = concave_curve(300, 10);
+  const Curve b = convex_curve(300, 11);
+  expect_parallel_matches_serial([&] { return minimum(a, b); });
+}
+
+TEST(ParallelDeterminism, MaxPlusConvolveMatchesSerialExactly) {
+  const Curve a = concave_curve(40, 12);
+  const Curve b = convex_curve(40, 13);
+  expect_parallel_matches_serial([&] { return maxplus::convolve(a, b); });
+}
+
+TEST(ParallelDeterminism, MaxPlusDeconvolveMatchesSerialExactly) {
+  const Curve a = add(convex_curve(24, 14), Curve::rate(90.0));
+  const Curve b = concave_curve(24, 15);
+  expect_parallel_matches_serial([&] { return maxplus::deconvolve(a, b); });
+}
+
+}  // namespace
+}  // namespace streamcalc::minplus
