@@ -1,0 +1,122 @@
+// Microbenchmarks of the verification harness itself: curve-generator
+// throughput per shape kind, the tolerant curve comparator, counterexample
+// shrinking, and the end-to-end per-case cost of a representative
+// algebraic-law property. These size the fuzz budget: the CI default
+// (STREAMCALC_FUZZ_CASES=500 per property, ~10k cases total) should stay
+// well under a minute on a release build.
+//
+// Supports `--json <path>` to emit machine-readable name/value/unit rows
+// (see benchmark_json.hpp).
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "benchmark_json.hpp"
+
+#include "minplus/curve.hpp"
+#include "minplus/operations.hpp"
+#include "testing/compare.hpp"
+#include "testing/generator.hpp"
+#include "testing/shrink.hpp"
+
+namespace {
+
+using streamcalc::minplus::Curve;
+using streamcalc::testing::CurveGenConfig;
+using streamcalc::testing::CurveGenerator;
+using streamcalc::testing::CurveKind;
+
+void BM_GenerateCurve(benchmark::State& state) {
+  const auto kind = static_cast<CurveKind>(state.range(0));
+  CurveGenerator gen(CurveGenConfig{}, 0xbe9c);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(gen.next(kind));
+  }
+}
+BENCHMARK(BM_GenerateCurve)
+    ->Arg(static_cast<int>(CurveKind::kAny))
+    ->Arg(static_cast<int>(CurveKind::kFinite))
+    ->Arg(static_cast<int>(CurveKind::kArrival))
+    ->Arg(static_cast<int>(CurveKind::kService));
+
+void BM_GenerateScenario(benchmark::State& state) {
+  streamcalc::testing::ScenarioGenerator gen(
+      streamcalc::testing::ScenarioGenConfig{}, 0xbe9d);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(gen.next());
+  }
+}
+BENCHMARK(BM_GenerateScenario);
+
+void BM_FirstGap(benchmark::State& state) {
+  CurveGenConfig cfg;
+  cfg.max_segments = static_cast<int>(state.range(0));
+  CurveGenerator gen(cfg, 0xbe9e);
+  const Curve a = gen.next(CurveKind::kFinite);
+  const Curve b = streamcalc::minplus::add(a, Curve::constant(1e-12));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(streamcalc::testing::first_gap(a, b));
+  }
+}
+BENCHMARK(BM_FirstGap)->Arg(4)->Arg(16)->Arg(64);
+
+void BM_ShrinkCandidates(benchmark::State& state) {
+  CurveGenConfig cfg;
+  cfg.max_segments = static_cast<int>(state.range(0));
+  CurveGenerator gen(cfg, 0xbe9f);
+  const Curve c = gen.next(CurveKind::kAny);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(streamcalc::testing::shrink_candidates(c));
+  }
+}
+BENCHMARK(BM_ShrinkCandidates)->Arg(4)->Arg(16);
+
+void BM_ShrinkTuple(benchmark::State& state) {
+  // Shrink against a property that always fails: the worst case, where the
+  // shrinker spends its whole budget walking the candidate lattice.
+  CurveGenerator gen(CurveGenConfig{}, 0xbea0);
+  const std::vector<Curve> inputs{gen.next(CurveKind::kAny),
+                                  gen.next(CurveKind::kAny)};
+  const auto always_fails = [](const std::vector<Curve>&) { return true; };
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        streamcalc::testing::shrink_tuple(inputs, always_fails, 100));
+  }
+}
+BENCHMARK(BM_ShrinkTuple)->Unit(benchmark::kMillisecond);
+
+void BM_PropertyCaseCommutativity(benchmark::State& state) {
+  // End-to-end per-case cost of the cheapest law: generate two operands,
+  // convolve both ways, compare. Multiply by the case budget for the
+  // suite-level cost of one such property.
+  CurveGenerator gen(CurveGenConfig{}, 0xbea1);
+  for (auto _ : state) {
+    const Curve f = gen.next(CurveKind::kAny);
+    const Curve g = gen.next(CurveKind::kAny);
+    benchmark::DoNotOptimize(streamcalc::testing::approx_equal(
+        streamcalc::minplus::convolve(f, g),
+        streamcalc::minplus::convolve(g, f)));
+  }
+}
+BENCHMARK(BM_PropertyCaseCommutativity)->Unit(benchmark::kMicrosecond);
+
+void BM_PropertyCaseGalois(benchmark::State& state) {
+  // Per-case cost of the most numerically demanding law in the suite:
+  // deconvolve(convolve(f, g), g) <= f.
+  CurveGenerator gen(CurveGenConfig{}, 0xbea2);
+  for (auto _ : state) {
+    const Curve f = gen.next(CurveKind::kFinite);
+    const Curve g = gen.next(CurveKind::kAny);
+    benchmark::DoNotOptimize(streamcalc::testing::approx_leq(
+        streamcalc::minplus::deconvolve(streamcalc::minplus::convolve(f, g),
+                                        g),
+        f, 1e-7, 1e-6));
+  }
+}
+BENCHMARK(BM_PropertyCaseGalois)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return streamcalc::bench::run_benchmarks_main(argc, argv);
+}

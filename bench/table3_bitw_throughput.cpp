@@ -4,11 +4,13 @@
 //   | NC lower bound               |  59 MiB/s |
 //   | Discrete-event simulation    |  61 MiB/s |
 //   | Queueing theory prediction   | 151 MiB/s |
+//
+// The headline numbers come from apps::bitw::reproduce(), the same entry
+// point the golden regression test pins, so this report and the test
+// cannot drift.
 #include <cstdio>
 
 #include "apps/bitw.hpp"
-#include "netcalc/pipeline.hpp"
-#include "queueing/mm1.hpp"
 #include "report.hpp"
 #include "streamsim/pipeline_sim.hpp"
 #include "util/format.hpp"
@@ -21,16 +23,7 @@ int main() {
   bench::banner("Table 3",
                 "Bump-in-the-wire streaming data application throughput");
 
-  const auto nodes = bitw::nodes();
-  const netcalc::PipelineModel model(nodes, bitw::streaming_source(),
-                                     bitw::policy());
-  const auto tb = model.throughput_bounds(bitw::table3_horizon());
-  const auto queueing = queueing::analyze(nodes, bitw::streaming_source());
-  // The simulated row: chunks offered at the sustained pipeline rate, with
-  // worst-case (ratio 1.0) compression accounting — the paper's simulator
-  // configuration [34].
-  const auto sim = streamsim::simulate(nodes, bitw::throttled_source(),
-                                       bitw::sim_config());
+  const bitw::Reproduced r = bitw::reproduce();
   const bitw::PaperNumbers p = bitw::paper();
 
   util::Table t({"Source", "Paper", "This reproduction", "vs paper"},
@@ -42,31 +35,26 @@ int main() {
                util::format_significant(ours_mibps) + " MiB/s",
                bench::versus(ours_mibps, paper_mibps)});
   };
-  row("Network calculus upper bound", p.nc_upper_mibps,
-      tb.upper.in_mib_per_sec());
-  row("Network calculus lower bound", p.nc_lower_mibps,
-      tb.lower.in_mib_per_sec());
-  row("Discrete-event simulation model [34]", p.des_mibps,
-      sim.throughput.in_mib_per_sec());
-  row("Queueing theory prediction", p.queueing_mibps,
-      queueing.roofline_throughput.in_mib_per_sec());
+  row("Network calculus upper bound", p.nc_upper_mibps, r.nc_upper_mibps);
+  row("Network calculus lower bound", p.nc_lower_mibps, r.nc_lower_mibps);
+  row("Discrete-event simulation model [34]", p.des_mibps, r.des_mibps);
+  row("Queueing theory prediction", p.queueing_mibps, r.queueing_mibps);
   std::fputs(t.render().c_str(), stdout);
 
   std::printf("\nShape checks: upper/lower ratio %.2f (max compression "
               "%.1f); lower <= DES <= queueing <= upper: %s\n",
-              tb.upper.in_mib_per_sec() / tb.lower.in_mib_per_sec(),
-              bitw::kCompressionMax,
-              (tb.lower.in_mib_per_sec() <=
-                   sim.throughput.in_mib_per_sec() + 1.0 &&
-               sim.throughput < queueing.roofline_throughput &&
-               queueing.roofline_throughput < tb.upper)
+              r.nc_upper_mibps / r.nc_lower_mibps, bitw::kCompressionMax,
+              (r.nc_lower_mibps <= r.des_mibps + 1.0 &&
+               r.des_mibps < r.queueing_mibps &&
+               r.queueing_mibps < r.nc_upper_mibps)
                   ? "yes"
                   : "NO");
 
   // Extension beyond the paper: what sampled LZ4 ratios would deliver.
   auto sampled_cfg = bitw::sim_config();
   sampled_cfg.volume_mode = streamsim::VolumeMode::kSampled;
-  const auto sampled = streamsim::simulate(nodes, bitw::streaming_source(),
+  const auto sampled = streamsim::simulate(bitw::nodes(),
+                                           bitw::streaming_source(),
                                            sampled_cfg);
   std::printf("extension: simulation with sampled compression ratios "
               "(mean 2.2x): %s normalized throughput\n",

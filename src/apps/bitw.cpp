@@ -1,5 +1,7 @@
 #include "apps/bitw.hpp"
 
+#include "queueing/mm1.hpp"
+
 namespace streamcalc::apps::bitw {
 
 using netcalc::NodeKind;
@@ -134,5 +136,30 @@ streamsim::SimConfig sim_config() {
 util::Duration table3_horizon() { return Duration::micros(181); }
 
 PaperNumbers paper() { return {}; }
+
+Reproduced reproduce() {
+  const auto ns = nodes();
+  const netcalc::PipelineModel model(ns, streaming_source(), policy());
+  const auto tb = model.throughput_bounds(table3_horizon());
+  const auto q = queueing::analyze(ns, streaming_source());
+  const auto sim = streamsim::simulate(ns, throttled_source(), sim_config());
+  const netcalc::PipelineModel delay_model(ns, delay_study_source(), policy());
+
+  Reproduced r;
+  r.nc_upper_mibps = tb.upper.in_mib_per_sec();
+  r.nc_lower_mibps = tb.lower.in_mib_per_sec();
+  r.des_mibps = sim.throughput.in_mib_per_sec();
+  r.queueing_mibps = q.roofline_throughput.in_mib_per_sec();
+  r.delay_bound_us = delay_model.delay_bound().in_micros();
+  r.backlog_bound_kib = delay_model.backlog_bound().in_kib();
+  for (const netcalc::NodeAnalysis& a : delay_model.per_node_analysis()) {
+    StageBound s;
+    s.name = a.name;
+    s.service_mibps = a.service_rate.in_mib_per_sec();
+    s.delay_us = a.delay.in_micros();
+    r.stages.push_back(std::move(s));
+  }
+  return r;
+}
 
 }  // namespace streamcalc::apps::bitw

@@ -10,6 +10,7 @@
 // 2.2x average, 5.3x maximum.
 #pragma once
 
+#include <string>
 #include <vector>
 
 #include "netcalc/node.hpp"
@@ -75,5 +76,29 @@ struct PaperNumbers {
   double sim_backlog_kib = 2.0;
 };
 PaperNumbers paper();
+
+/// One stage's bounds as derived from the Table 2 rates: the
+/// input-normalized guaranteed service rate and the stage's delay-bound
+/// contribution at the delay-study load.
+struct StageBound {
+  std::string name;
+  double service_mibps = 0.0;  ///< input-normalized guaranteed rate
+  double delay_us = 0.0;       ///< per-stage delay bound
+};
+
+/// Headline numbers this reproduction computes from the three models
+/// (Table 3 and the Section 5 delay/backlog study) plus the Table 2-derived
+/// per-stage bounds. Bench executables and the golden regression test both
+/// call reproduce() so they can never drift apart.
+struct Reproduced {
+  double nc_upper_mibps = 0.0;     ///< NC throughput bound, upper
+  double nc_lower_mibps = 0.0;     ///< NC throughput bound, lower
+  double des_mibps = 0.0;          ///< single-run DES throughput (throttled)
+  double queueing_mibps = 0.0;     ///< M/M/1 roofline prediction
+  double delay_bound_us = 0.0;     ///< delay bound at the delay-study load
+  double backlog_bound_kib = 0.0;  ///< backlog bound at the delay-study load
+  std::vector<StageBound> stages;  ///< Table 2-derived per-stage bounds
+};
+Reproduced reproduce();
 
 }  // namespace streamcalc::apps::bitw

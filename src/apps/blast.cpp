@@ -1,5 +1,7 @@
 #include "apps/blast.hpp"
 
+#include "queueing/mm1.hpp"
+
 namespace streamcalc::apps::blast {
 
 using netcalc::NodeKind;
@@ -126,5 +128,30 @@ streamsim::SimConfig sim_config() {
 util::Duration table1_horizon() { return Duration::seconds(1.4); }
 
 PaperNumbers paper() { return {}; }
+
+Reproduced reproduce() {
+  const auto ns = nodes();
+  const netcalc::PipelineModel model(ns, streaming_source(), policy());
+  const auto tb = model.throughput_bounds(table1_horizon());
+  const auto q = queueing::analyze(ns, streaming_source());
+  const auto sim = streamsim::simulate(ns, streaming_source(), sim_config());
+  const netcalc::PipelineModel job_model(ns, job_source(), policy());
+  // The paper's backlog number includes the per-node packetizer terms while
+  // its delay number does not (see bench/blast_delay_backlog.cpp).
+  netcalc::ModelPolicy packetized = policy();
+  packetized.packetize = true;
+  const netcalc::PipelineModel pk_model(ns, job_source(), packetized);
+
+  Reproduced r;
+  r.nc_upper_mibps = tb.upper.in_mib_per_sec();
+  r.nc_lower_mibps = tb.lower.in_mib_per_sec();
+  r.des_mibps = sim.throughput.in_mib_per_sec();
+  r.queueing_mibps = q.roofline_throughput.in_mib_per_sec();
+  r.delay_bound_ms = job_model.delay_bound().in_millis();
+  r.backlog_bound_mib = pk_model.backlog_bound().in_mib();
+  r.bound_over_measured = r.nc_lower_mibps / paper().measured_mibps;
+  r.bottleneck = ns[model.bottleneck()].name;
+  return r;
+}
 
 }  // namespace streamcalc::apps::blast

@@ -13,6 +13,7 @@
 // Section-4 delay/backlog numbers). See DESIGN.md ("Calibration").
 #pragma once
 
+#include <string>
 #include <vector>
 
 #include "netcalc/node.hpp"
@@ -60,5 +61,23 @@ struct PaperNumbers {
                                   // EXPERIMENTS.md for the discrepancy note
 };
 PaperNumbers paper();
+
+/// Headline numbers this reproduction computes from the three models
+/// (Table 1 and the Section 4 delay/backlog study), evaluated from the
+/// shared NodeSpecs. Bench executables and the golden regression test both
+/// call reproduce() so they can never drift apart.
+struct Reproduced {
+  double nc_upper_mibps = 0.0;      ///< NC throughput bound, upper
+  double nc_lower_mibps = 0.0;      ///< NC throughput bound, lower
+  double des_mibps = 0.0;           ///< single-run DES throughput
+  double queueing_mibps = 0.0;      ///< M/M/1 roofline prediction
+  double delay_bound_ms = 0.0;      ///< job-source delay bound (collapsed)
+  double backlog_bound_mib = 0.0;   ///< job-source backlog bound (packetized)
+  /// End-to-end NC lower bound over the published measured throughput
+  /// (355 MiB/s): the paper's headline "bound within 1.4% of measurement".
+  double bound_over_measured = 0.0;
+  std::string bottleneck;           ///< bottleneck stage name
+};
+Reproduced reproduce();
 
 }  // namespace streamcalc::apps::blast

@@ -5,6 +5,7 @@
 #include <limits>
 #include <sstream>
 
+#include "minplus/detail/builder.hpp"
 #include "util/error.hpp"
 #include "util/format.hpp"
 
@@ -28,6 +29,20 @@ double extend(double value_after, double slope, double dt) {
 
 bool valid_value(double v) { return !std::isnan(v) && v >= 0.0; }
 
+/// Full-precision point values of piece `i`, for validation diagnostics:
+/// a rejected curve is only debuggable if the message pinpoints the piece
+/// and reproduces the exact numbers that broke the invariant.
+std::string piece_str(const std::vector<Segment>& segs, std::size_t i) {
+  const Segment& s = segs[i];
+  std::ostringstream os;
+  os << "piece " << i << " of " << segs.size() << ": {x="
+     << util::format_significant(s.x, 17)
+     << ", value_at=" << util::format_significant(s.value_at, 17)
+     << ", value_after=" << util::format_significant(s.value_after, 17)
+     << ", slope=" << util::format_significant(s.slope, 17) << "}";
+  return os.str();
+}
+
 /// Relative closeness used for structural classification and segment
 /// merging (values synthesized by chained operations carry rounding noise).
 bool nearly_equal(double a, double b) {
@@ -47,39 +62,52 @@ Curve::Curve(std::vector<Segment> segments) : segs_(std::move(segments)) {
 
 void Curve::validate() const {
   util::require(!segs_.empty(), "Curve requires at least one segment");
-  util::require(segs_.front().x == 0.0, "Curve must start at x = 0");
+  util::require(segs_.front().x == 0.0,
+                "Curve must start at x = 0 (" + piece_str(segs_, 0) + ")");
   bool seen_inf = false;
   for (std::size_t i = 0; i < segs_.size(); ++i) {
     const Segment& s = segs_[i];
     util::require(!std::isnan(s.x) && std::isfinite(s.x) && s.x >= 0.0,
-                  "Curve breakpoint x must be finite and >= 0");
+                  "Curve breakpoint x must be finite and >= 0 (" +
+                      piece_str(segs_, i) + ")");
     util::require(valid_value(s.value_at) && valid_value(s.value_after),
-                  "Curve values must be >= 0 and not NaN");
+                  "Curve values must be >= 0 and not NaN (" +
+                      piece_str(segs_, i) + ")");
     util::require(std::isfinite(s.slope) && s.slope >= 0.0,
                   "Curve slopes must be finite and >= 0 (+inf is expressed "
-                  "through values, not slopes)");
+                  "through values, not slopes) (" +
+                      piece_str(segs_, i) + ")");
     util::require(s.value_at <= s.value_after,
-                  "Curve jumps must be upward (value_at <= value_after)");
+                  "Curve jumps must be upward (value_at <= value_after) (" +
+                      piece_str(segs_, i) + ")");
     if (i > 0) {
       const Segment& p = segs_[i - 1];
       util::require(s.x > p.x,
-                    "Curve breakpoints must be strictly increasing (x[" +
-                        std::to_string(i - 1) + "]=" + std::to_string(p.x) +
-                        ", x[" + std::to_string(i) + "]=" +
-                        std::to_string(s.x) + " of " +
-                        std::to_string(segs_.size()) + ")");
+                    "Curve breakpoints must be strictly increasing (" +
+                        piece_str(segs_, i - 1) + "; " + piece_str(segs_, i) +
+                        ")");
       const double left_limit = extend(p.value_after, p.slope, s.x - p.x);
-      util::require(s.value_at >= left_limit - 1e-9 * (1.0 + left_limit) ||
-                        left_limit == kInf,
-                    "Curve must be wide-sense increasing across breakpoints");
+      util::require(
+          s.value_at >= left_limit - 1e-9 * (1.0 + left_limit) ||
+              left_limit == kInf,
+          "Curve must be wide-sense increasing across breakpoints "
+          "(left limit " +
+              util::format_significant(left_limit, 17) + " from " +
+              piece_str(segs_, i - 1) + " exceeds " + piece_str(segs_, i) +
+              ")");
       util::require(left_limit != kInf || s.value_at == kInf,
-                    "Curve cannot return from +inf");
+                    "Curve cannot return from +inf (" + piece_str(segs_, i) +
+                        ")");
     }
     if (seen_inf) {
-      util::require(s.value_at == kInf, "Curve cannot return from +inf");
+      util::require(s.value_at == kInf,
+                    "Curve cannot return from +inf (" + piece_str(segs_, i) +
+                        ")");
     }
     if (s.value_at == kInf) {
-      util::require(s.value_after == kInf, "Curve cannot return from +inf");
+      util::require(s.value_after == kInf,
+                    "Curve cannot return from +inf (" + piece_str(segs_, i) +
+                        ")");
     }
     if (s.value_after == kInf) seen_inf = true;
   }
@@ -381,6 +409,9 @@ Curve Curve::shift_right(double T) const {
     out.push_back(Segment{s.x + T, s.value_at, s.value_after, s.slope});
   }
   // Seam: value at T is f(0) = segs_[0].value_at, which must be >= 0 — fine.
+  // Each x + T rounds independently, perturbing gaps between close
+  // breakpoints; restore slope consistency.
+  detail::rechord_translated(out);
   return Curve(std::move(out));
 }
 
@@ -402,6 +433,7 @@ Curve Curve::shift_left(double T) const {
     const Segment& s = segs_[i];
     out.push_back(Segment{s.x - T, s.value_at, s.value_after, s.slope});
   }
+  detail::rechord_translated(out);
   return Curve(std::move(out));
 }
 

@@ -5,6 +5,7 @@
 #include <limits>
 #include <vector>
 
+#include "minplus/detail/builder.hpp"
 #include "util/error.hpp"
 
 namespace streamcalc::minplus {
@@ -33,10 +34,18 @@ std::vector<double> shared_candidates(const Curve& f, const Curve& g) {
   return ts;
 }
 
+/// Slope of the piece governing f immediately to the right of t.
+double right_slope(const Curve& f, double t) {
+  const std::vector<Segment>& segs = f.segments();
+  std::size_t i = 0;
+  while (i + 1 < segs.size() && segs[i + 1].x <= t) ++i;
+  return segs[i].slope;
+}
+
 }  // namespace
 
 double vertical_deviation(const Curve& f, const Curve& g) {
-  if (f.tail_slope() > g.tail_slope()) return kInf;
+  if (detail::tail_diverges(f, g)) return kInf;
   double best = 0.0;
   for (double t : shared_candidates(f, g)) {
     best = std::max(best, sub_inf(f.value(t), g.value(t)));
@@ -50,7 +59,7 @@ double vertical_deviation(const Curve& f, const Curve& g) {
 }
 
 double horizontal_deviation(const Curve& f, const Curve& g) {
-  if (f.tail_slope() > g.tail_slope()) return kInf;
+  if (detail::tail_diverges(f, g)) return kInf;
 
   // Candidate abscissae where the delay d(t) = g^{-1}(f(t)) - t can peak:
   // breakpoints of f, instants where f crosses the value levels of g's
@@ -73,6 +82,20 @@ double horizontal_deviation(const Curve& f, const Curve& g) {
       if (level == kInf) return kInf;  // f demands more than g ever serves
       if (level <= 0.0) continue;
       const double reach = g.lower_inverse(level);
+      if (reach == kInf) return kInf;
+      best = std::max(best, reach - t);
+    }
+    // The supremum can be approached without being attained: where f
+    // strictly rises past a level at which g is flat, the delay jumps to
+    // the *end* of g's flat piece as soon as t leaves the crossing
+    // (classically: f(t) demands level+, and g only exceeds the level
+    // past the flat). The right-limit candidate is inf{d : g(d) > f(t+)},
+    // taken whenever f actually rises to the right of t.
+    const double lr = f.value_right(t);
+    if (lr != kInf && right_slope(f, t) > 0.0) {
+      const double reach = g.upper_inverse(lr);
+      // f exceeds lr immediately right of t while g never does: the
+      // demand f(t') > lr is unmet for every d, so the delay diverges.
       if (reach == kInf) return kInf;
       best = std::max(best, reach - t);
     }

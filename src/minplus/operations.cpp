@@ -67,7 +67,11 @@ void add_crossings(const Curve& f, const Curve& g, std::vector<double>& xs) {
     // A crossing at (or within rounding distance of) an interval endpoint
     // adds nothing — and keeping it would make the later dedup drop the
     // true breakpoint (losing any jump there) in favour of the crossing.
-    const double tol = 1e-9 * (1.0 + std::fabs(t));
+    // The margin sits just above canonical_candidates' dedup tolerance
+    // (1e-12 relative): any coarser and steep pieces lose real kinks that
+    // sit barely inside the interval (slope ~1e9 turns an 1e-10 abscissa
+    // gap into an O(1) value change).
+    const double tol = 4e-12 * (1.0 + std::fabs(t));
     if (t <= x1 + tol) return;
     if (std::isfinite(x2_or_inf) && t >= x2_or_inf - tol) return;
     xs.push_back(t);
@@ -78,9 +82,23 @@ void add_crossings(const Curve& f, const Curve& g, std::vector<double>& xs) {
   crossing_in(grid.back(), kInf);
 }
 
+/// Finite slopes a min/max of f and g can take: every piece of the result
+/// lies on a piece of one operand.
+std::vector<double> operand_slopes(const Curve& f, const Curve& g) {
+  std::vector<double> ms;
+  ms.reserve(f.segments().size() + g.segments().size());
+  for (const Curve* c : {&f, &g}) {
+    for (const Segment& s : c->segments()) {
+      if (s.slope != kInf) ms.push_back(s.slope);
+    }
+  }
+  return ms;
+}
+
 template <typename Op>
 Curve pointwise(const Curve& f, const Curve& g, const Op& op,
-                bool needs_crossings) {
+                bool needs_crossings,
+                const std::vector<double>* slope_set = nullptr) {
   std::vector<double> xs = breakpoints(f);
   const std::vector<double> gx = breakpoints(g);
   xs.insert(xs.end(), gx.begin(), gx.end());
@@ -88,7 +106,8 @@ Curve pointwise(const Curve& f, const Curve& g, const Op& op,
   const std::vector<double> grid = detail::canonical_candidates(std::move(xs));
   return detail::build_from_evaluators(
       grid, [&](double t) { return op(f.value(t), g.value(t)); },
-      [&](double t) { return op(f.value_right(t), g.value_right(t)); });
+      [&](double t) { return op(f.value_right(t), g.value_right(t)); },
+      slope_set);
 }
 
 /// Returns the latency T if the curve is exactly delta_T, else a negative
@@ -177,6 +196,7 @@ Curve conv_branch(const Curve& g, double T, double c) {
     out.push_back(Segment{x, add_inf(s.value_at, c),
                           add_inf(s.value_after, c), s.slope});
   }
+  detail::rechord_translated(out);
   return Curve(std::move(out));
 }
 
@@ -205,6 +225,18 @@ Curve repair_point_values(const Curve& env, const AtFn& at) {
       lo = p.value_after == kInf ? kInf
                                  : p.value_after + p.slope * (s.x - p.x);
     }
+    if (i > 0 && lo != kInf && exact[i] < lo &&
+        exact[i] >= segs[i - 1].value_after) {
+      // The previous piece overextends past this breakpoint's exact
+      // value: its abscissa rounded beyond the true crossing, so the
+      // stored slope's extrapolation overshoots. Rechord the previous
+      // piece down to the exact value rather than clamping the exact
+      // value up to the stale extrapolation (which would bake the
+      // overshoot into the entire tail).
+      Segment& p = segs[i - 1];
+      p.slope = (exact[i] - p.value_after) / (s.x - p.x);
+      lo = exact[i];
+    }
     if (lo != kInf && s.value_after < lo - 1e-9 * (1.0 + lo)) {
       // Degenerate envelope piece: the previous segment's extrapolation
       // overshoots this breakpoint's right limit by more than the curve
@@ -224,45 +256,128 @@ Curve repair_point_values(const Curve& env, const AtFn& at) {
 /// Branch of the deconvolution supremum anchored at t + s = X with
 /// f-contribution c: max(0, c - g(X - t)) on [0, X], constant after (safe
 /// because deconv(t) >= f(t) - g(0) >= c - g(0) for t >= X).
+///
+/// Built directly from g's segments. Re-evaluating g at fl(X - t) for a
+/// candidate t = fl(X - x_j) rounds twice and can land an ulp past the
+/// jump at x_j, which both misses the jump value and lets the midpoint
+/// probe fabricate a wrong slope; carrying g's exact values to the
+/// reflected breakpoints avoids re-evaluation entirely.
 Curve deconv_reflected_branch(const Curve& g, double X, double c) {
-  std::vector<double> ts{0.0, X};
-  for (const Segment& s : g.segments()) {
-    if (s.x <= X) ts.push_back(X - s.x);
+  const std::vector<Segment>& gs = g.segments();
+  // Raw (unclamped) reflected breakpoints, ascending in t. t_j = X - x_j
+  // reverses g's pieces: the slope right of t_j is the slope of g's piece
+  // left of x_j, and the right limit in t is g's left limit in u.
+  struct Raw {
+    double t, at, after, slope;
+  };
+  std::vector<Raw> raw;
+  raw.reserve(gs.size() + 1);
+  std::size_t m = 0;  // last segment whose abscissa lies in [0, X]
+  while (m + 1 < gs.size() && gs[m + 1].x <= X) ++m;
+  {
+    const double at = sub_inf(c, g.value(X));
+    const double after = X > 0.0 ? sub_inf(c, g.value_left(X)) : at;
+    double slope = 0.0;  // X == 0: the branch is constant
+    if (X > gs[m].x) {
+      slope = gs[m].slope;  // u = X - t starts inside segment m
+    } else if (m > 0) {
+      slope = gs[m - 1].slope;  // X == x_m: u immediately enters piece m-1
+    }
+    raw.push_back(Raw{0.0, at, after, slope});
   }
-  if (c != kInf) {
-    // The max(0, .) clamp introduces one kink where g(X - t) crosses c.
-    const double u_cross = g.lower_inverse(c);
-    if (std::isfinite(u_cross) && u_cross <= X) ts.push_back(X - u_cross);
+  for (std::size_t jj = m + 1; jj-- > 0;) {
+    const Segment& sj = gs[jj];
+    const double tj = X - sj.x;
+    if (tj <= 0.0) continue;  // coincides with the start point
+    const double at = sub_inf(c, sj.value_at);
+    double after, slope;
+    if (jj > 0) {
+      after = sub_inf(c, g.value_left(sj.x));
+      slope = gs[jj - 1].slope;
+    } else {
+      after = at;  // constant plateau past t = X
+      slope = 0.0;
+    }
+    if (tj <= raw.back().t) {
+      // Micro-gap breakpoints collapsed by abscissa rounding: merge.
+      raw.back().after = std::max(raw.back().after, after);
+      raw.back().slope = slope;
+      continue;
+    }
+    raw.push_back(Raw{tj, at, after, slope});
   }
-  std::sort(ts.begin(), ts.end());
-  ts.erase(std::unique(ts.begin(), ts.end()), ts.end());
-  const auto arg = [X](double t) { return std::max(0.0, X - t); };
-  return detail::build_from_evaluators(
-      ts,
-      [&](double t) { return std::max(0.0, sub_inf(c, g.value(arg(t)))); },
-      [&](double t) {
-        return std::max(0.0, sub_inf(c, g.value_left(arg(t))));
-      });
+  // Clamp at 0. A piece whose raw line starts below zero stays flat at 0
+  // up to the crossing and only then takes g's slope.
+  std::vector<Segment> out;
+  out.reserve(raw.size() + 1);
+  for (std::size_t i = 0; i < raw.size(); ++i) {
+    const Raw& r = raw[i];
+    const double at = std::max(0.0, r.at);
+    double slope = r.slope;
+    if (r.after == kInf) slope = 0.0;
+    if (r.after < 0.0) {
+      out.push_back(Segment{r.t, at, 0.0, 0.0});
+      if (std::isfinite(r.after) && slope > 0.0 && slope != kInf) {
+        const double t_cross = r.t - r.after / slope;
+        const double next_t = i + 1 < raw.size() ? raw[i + 1].t : kInf;
+        if (t_cross > r.t && t_cross < next_t) {
+          out.push_back(Segment{t_cross, 0.0, 0.0, slope});
+        }
+      }
+      continue;
+    }
+    out.push_back(Segment{r.t, at, r.after, slope});
+  }
+  detail::rechord_translated(out);
+  return Curve(std::move(out));
 }
 
 double conv_at_impl(const Curve& f, const Curve& g, double t) {
-  std::vector<double> ss{0.0, t};
-  for (const Segment& s : f.segments()) {
-    if (s.x <= t) ss.push_back(s.x);
+  // Candidate splits (s, u) with s + u == t up to one rounding. Each split
+  // keeps the anchoring operand's breakpoint abscissa EXACT and rounds
+  // only the complement: recomputing u = t - s after s = t - b.x already
+  // rounded can land one ulp past b.x and miss the operand's pre-jump
+  // point value there.
+  struct Split {
+    double s, u;
+  };
+  std::vector<Split> ss{{0.0, t}, {t, 0.0}};
+  for (const Segment& a : f.segments()) {
+    if (a.x <= t) ss.push_back(Split{a.x, t - a.x});
   }
-  for (const Segment& s : g.segments()) {
-    if (s.x <= t) ss.push_back(t - s.x);
+  for (const Segment& b : g.segments()) {
+    if (b.x <= t) ss.push_back(Split{t - b.x, b.x});
   }
   double best = kInf;
-  for (double s : ss) {
-    if (s < 0.0 || s > t) continue;
-    const double u = t - s;
-    best = std::min(best, add_inf(f.value(s), g.value(u)));
-    if (s < t) {
-      best = std::min(best, add_inf(f.value_right(s), g.value_left(u)));
+  for (const Split& sp : ss) {
+    if (sp.s < 0.0 || sp.u < 0.0) continue;
+    best = std::min(best, add_inf(f.value(sp.s), g.value(sp.u)));
+    if (sp.u > 0.0) {
+      best = std::min(best, add_inf(f.value_right(sp.s), g.value_left(sp.u)));
     }
-    if (s > 0.0) {
-      best = std::min(best, add_inf(f.value_left(s), g.value_right(u)));
+    if (sp.s > 0.0) {
+      best = std::min(best, add_inf(f.value_left(sp.s), g.value_right(sp.u)));
+    }
+  }
+  // Breakpoint pairs whose rounded sum lands exactly on t. The envelope
+  // construction places result breakpoints at fl(x_f + x_g); the split
+  // candidates above recompute t - x, which can round one ulp past the
+  // other operand's jump and miss its point value — and does so
+  // differently for (f, g) and (g, f). Evaluating the pair directly is
+  // symmetric in the operands and anchors the jump at the representable
+  // breakpoint.
+  for (const Segment& a : f.segments()) {
+    if (a.x > t) break;
+    for (const Segment& b : g.segments()) {
+      if (b.x > t) break;
+      if (a.x + b.x != t) continue;
+      best = std::min(best, add_inf(f.value(a.x), g.value(b.x)));
+      if (a.x > 0.0) {
+        best = std::min(best, add_inf(f.value_left(a.x), g.value_right(b.x)));
+      }
+      if (b.x > 0.0) {
+        best = std::min(best, add_inf(f.value_right(a.x), g.value_left(b.x)));
+      }
     }
   }
   return best;
@@ -300,24 +415,54 @@ double deconv_at_impl(const Curve& f, const Curve& g, double t,
     }
     if (best == kInf) break;
   }
+  if (best == kInf) return best;
+  // Dual of the pair scan in conv_at_impl: result breakpoints sit at
+  // fl(x_f - x_g), and recomputing t + s can round past a jump of f.
+  // Evaluate pairs whose rounded difference is exactly t directly.
+  for (const Segment& a : f.segments()) {
+    for (const Segment& b : g.segments()) {
+      if (b.x > a.x) break;
+      if (a.x - b.x != t) continue;
+      best = std::max(best, sub_inf(f.value(a.x), g.value(b.x)));
+      best = std::max(best, sub_inf(f.value_right(a.x), g.value_right(b.x)));
+      if (right_limit) {
+        best = std::max(best, sub_inf(f.value_right(a.x), g.value(b.x)));
+        if (b.x > 0.0) {
+          best = std::max(best, sub_inf(f.value(a.x), g.value_left(b.x)));
+        }
+      } else if (b.x > 0.0) {
+        best = std::max(best, sub_inf(f.value_left(a.x), g.value_left(b.x)));
+      }
+    }
+  }
   return best;
 }
 
 }  // namespace
 
 Curve add(const Curve& f, const Curve& g) {
+  // A piece of f + g lies on the sum of one piece of each operand.
+  std::vector<double> slopes;
+  for (const Segment& a : f.segments()) {
+    if (a.slope == kInf) continue;
+    for (const Segment& b : g.segments()) {
+      if (b.slope != kInf) slopes.push_back(a.slope + b.slope);
+    }
+  }
   return pointwise(f, g, [](double a, double b) { return add_inf(a, b); },
-                   /*needs_crossings=*/false);
+                   /*needs_crossings=*/false, &slopes);
 }
 
 Curve minimum(const Curve& f, const Curve& g) {
+  const std::vector<double> slopes = operand_slopes(f, g);
   return pointwise(f, g, [](double a, double b) { return std::min(a, b); },
-                   /*needs_crossings=*/true);
+                   /*needs_crossings=*/true, &slopes);
 }
 
 Curve maximum(const Curve& f, const Curve& g) {
+  const std::vector<double> slopes = operand_slopes(f, g);
   return pointwise(f, g, [](double a, double b) { return std::max(a, b); },
-                   /*needs_crossings=*/true);
+                   /*needs_crossings=*/true, &slopes);
 }
 
 Curve subtract_clamped(const Curve& f, const Curve& g) {
@@ -378,12 +523,14 @@ double convolve_at(const Curve& f, const Curve& g, double t) {
 }
 
 Curve convolve(const Curve& f, const Curve& g) {
-  // delta_T is the shift operator.
+  // delta_T is the shift operator — but only for curves that start at 0:
+  // delta_T (x) g equals g(0) on [0, T), not 0, so a curve with g(0) > 0
+  // must take the general path (whose T-anchored branch produces exactly
+  // that plateau).
   if (const double tf = pure_delay_latency(f); tf >= 0.0) {
-    return g.shift_right(tf);
-  }
-  if (const double tg = pure_delay_latency(g); tg >= 0.0) {
-    return f.shift_right(tg);
+    if (g.value(0.0) == 0.0) return g.shift_right(tf);
+  } else if (const double tg = pure_delay_latency(g); tg >= 0.0) {
+    if (f.value(0.0) == 0.0) return f.shift_right(tg);
   }
   // Closed forms.
   if (f.is_finite() && g.is_finite() && f.is_convex() && g.is_convex()) {
@@ -440,12 +587,12 @@ Curve convolve(const Curve& f, const Curve& g) {
 
 double deconvolve_at(const Curve& f, const Curve& g, double t) {
   util::require(t >= 0.0 && !std::isnan(t), "deconvolve_at requires t >= 0");
-  if (f.tail_slope() > g.tail_slope()) return kInf;
+  if (detail::tail_diverges(f, g)) return kInf;
   return deconv_at_impl(f, g, t, /*right_limit=*/false);
 }
 
 Curve deconvolve(const Curve& f, const Curve& g) {
-  if (f.tail_slope() > g.tail_slope()) {
+  if (detail::tail_diverges(f, g)) {
     // The supremum diverges for every t: the deconvolution is +inf
     // everywhere (the flow cannot be bounded by any arrival curve).
     return Curve({Segment{0.0, kInf, kInf, 0.0}});

@@ -1,6 +1,7 @@
 #include "netcalc/node.hpp"
 
 #include "util/error.hpp"
+#include "util/format.hpp"
 
 namespace streamcalc::netcalc {
 
@@ -92,23 +93,42 @@ util::Duration NodeSpec::effective_time_avg() const {
 void NodeSpec::validate() const {
   util::require(!name.empty(), "node name must not be empty");
   util::require(block_in > util::DataSize::bytes(0) && block_in.is_finite(),
-                "node '" + name + "': block_in must be positive and finite");
+                "node '" + name + "': block_in must be positive and finite "
+                "(block_in=" +
+                    util::format_significant(block_in.in_bytes(), 17) + " B)");
   util::require(block_out > util::DataSize::bytes(0) && block_out.is_finite(),
-                "node '" + name + "': block_out must be positive and finite");
+                "node '" + name + "': block_out must be positive and finite "
+                "(block_out=" +
+                    util::format_significant(block_out.in_bytes(), 17) + " B)");
   util::require(
       time_min > util::Duration::seconds(0) && time_min.is_finite(),
-      "node '" + name + "': time_min must be positive and finite");
+      "node '" + name + "': time_min must be positive and finite (time_min=" +
+          util::format_significant(time_min.in_seconds(), 17) + " s)");
   util::require(time_max >= time_min && time_max.is_finite(),
-                "node '" + name + "': time_max must be >= time_min");
+                "node '" + name + "': time_max must be >= time_min (time_min=" +
+                    util::format_significant(time_min.in_seconds(), 17) +
+                    " s, time_max=" +
+                    util::format_significant(time_max.in_seconds(), 17) +
+                    " s)");
   if (time_avg > util::Duration::seconds(0)) {
     util::require(time_avg >= time_min && time_avg <= time_max,
                   "node '" + name +
-                      "': time_avg must lie within [time_min, time_max]");
+                      "': time_avg must lie within [time_min, time_max] "
+                      "(time_avg=" +
+                      util::format_significant(time_avg.in_seconds(), 17) +
+                      " s, time_min=" +
+                      util::format_significant(time_min.in_seconds(), 17) +
+                      " s, time_max=" +
+                      util::format_significant(time_max.in_seconds(), 17) +
+                      " s)");
   }
   util::require(volume.min > 0.0 && volume.min <= volume.avg &&
                     volume.avg <= volume.max,
                 "node '" + name + "': volume ratios must satisfy "
-                "0 < min <= avg <= max");
+                "0 < min <= avg <= max (min=" +
+                    util::format_significant(volume.min, 17) + ", avg=" +
+                    util::format_significant(volume.avg, 17) + ", max=" +
+                    util::format_significant(volume.max, 17) + ")");
 }
 
 }  // namespace streamcalc::netcalc

@@ -60,11 +60,15 @@ QueueingReport analyze(const std::vector<netcalc::NodeSpec>& nodes,
       // W = 1/(mu_jobs - lambda_jobs) = job_norm / (mu - lambda).
       const double job_norm = nodes[i].block_in.in_bytes() / vol[i];
       m.mean_sojourn = Duration::seconds(job_norm / (mu[i] - lambda));
+      // Wq = W - E[S] = W - job_norm/mu = rho * W.
+      m.mean_waiting =
+          Duration::seconds(m.utilization * m.mean_sojourn.in_seconds());
       total_sojourn += m.mean_sojourn.in_seconds();
     } else {
       report.stable = false;
       m.mean_jobs = std::numeric_limits<double>::infinity();
       m.mean_sojourn = Duration::infinite();
+      m.mean_waiting = Duration::infinite();
       total_sojourn = std::numeric_limits<double>::infinity();
     }
     report.stages.push_back(std::move(m));

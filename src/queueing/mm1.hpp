@@ -30,6 +30,8 @@ struct StageMetrics {
   bool stable = false;          ///< rho < 1
   double mean_jobs = 0.0;       ///< L = rho / (1 - rho); inf if unstable
   util::Duration mean_sojourn;  ///< W = 1 / (mu - lambda); inf if unstable
+  /// Wq = rho * W: time in queue before service starts; inf if unstable.
+  util::Duration mean_waiting;
 };
 
 /// Whole-pipeline flow-analysis results.

@@ -103,6 +103,24 @@ ReplicationSummary ReplicationRunner::run_impl(const RunOne& run_one) const {
   summary.max_delay_seconds = summarize(dmax);
   summary.max_backlog_bytes = summarize(backlog);
   summary.packets_delivered = summarize(packets);
+
+  // Per-node utilization summaries, when every replication simulated the
+  // same node sequence (always true for the chain runner).
+  const std::size_t node_count = results.front().node_stats.size();
+  bool uniform = true;
+  for (const SimResult& r : results) {
+    if (r.node_stats.size() != node_count) uniform = false;
+  }
+  if (uniform) {
+    std::vector<double> util(n);
+    for (std::size_t j = 0; j < node_count; ++j) {
+      for (std::size_t i = 0; i < n; ++i) {
+        util[i] = results[i].node_stats[j].utilization;
+      }
+      summary.node_utilization.push_back(summarize(util));
+      summary.node_names.push_back(results.front().node_stats[j].name);
+    }
+  }
   summary.worst_delay = util::Duration::seconds(summary.max_delay_seconds.max);
   summary.worst_backlog =
       util::DataSize::bytes(summary.max_backlog_bytes.max);

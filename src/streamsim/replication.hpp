@@ -18,6 +18,7 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "netcalc/dag.hpp"
@@ -58,6 +59,10 @@ struct ReplicationSummary {
   SummaryStat max_delay_seconds;
   SummaryStat max_backlog_bytes;
   SummaryStat packets_delivered;
+  /// Per-node busy-fraction summaries, in pipeline order (empty for DAG
+  /// runs whose replications disagree on node count).
+  std::vector<SummaryStat> node_utilization;
+  std::vector<std::string> node_names;  ///< parallel to node_utilization
   /// Extremes across all replications, for bracketing against NC bounds
   /// (a sound bound must dominate every replication, not just the mean).
   util::Duration worst_delay;

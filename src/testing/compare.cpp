@@ -1,0 +1,132 @@
+#include "testing/compare.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <sstream>
+
+#include "util/format.hpp"
+
+namespace streamcalc::testing {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+bool above(double a, double b, double rtol, double atol) {
+  if (a == kInf) return b != kInf;
+  if (b == kInf) return false;
+  return a > b + atol + rtol * std::max(std::fabs(a), std::fabs(b));
+}
+
+struct ValueRange {
+  double lo, hi;
+};
+
+/// Every value the curve can take at t under a breakpoint-abscissa
+/// perturbation of a few ulps. Constructed breakpoints (operand sums,
+/// crossing abscissae) are not exactly representable, so two curves that
+/// are equal as functions may place the same breakpoint one ulp apart;
+/// near a steep piece the pointwise difference is then O(slope * ulp(t)),
+/// and at a jump it is the full jump height. Comparing value *ranges* over
+/// the ulp neighbourhood absorbs exactly that placement freedom while
+/// still flagging any divergence wider than a few ulps.
+ValueRange value_range(const minplus::Curve& c, double t, bool right_limit) {
+  const double xtol =
+      4.0 * std::numeric_limits<double>::epsilon() * (1.0 + std::fabs(t));
+  const double lo_t = std::max(0.0, t - xtol);
+  const double hi_t = t + xtol;
+  if (right_limit) return {c.value_right(lo_t), c.value_right(hi_t)};
+  return {c.value(lo_t), c.value(hi_t)};
+}
+
+double max_finite_slope(const minplus::Curve& c) {
+  double m = 0.0;
+  for (const minplus::Segment& s : c.segments()) {
+    if (s.slope != kInf) m = std::max(m, s.slope);
+  }
+  return m;
+}
+
+template <typename Bad>
+std::optional<CurveGap> first_probe(const minplus::Curve& a,
+                                    const minplus::Curve& b,
+                                    const Bad& bad) {
+  // Conditioning-aware slack: a crossing against a piece of slope m cannot
+  // be located better than one ulp in the abscissa, so its breakpoint
+  // value — and, through the monotonicity chain, the whole tail after
+  // it — carries an inherent O(m * ulp(t)) offset. Any algorithm storing
+  // breakpoints as doubles has this error floor; the comparator must not
+  // flag it.
+  const double mslope = std::max(max_finite_slope(a), max_finite_slope(b));
+  for (const double t : probe_times(a, b)) {
+    const double slack = 8.0 * std::numeric_limits<double>::epsilon() *
+                         (1.0 + std::fabs(t)) * mslope;
+    for (const bool right_limit : {false, true}) {
+      const ValueRange ra = value_range(a, t, right_limit);
+      const ValueRange rb = value_range(b, t, right_limit);
+      if (bad(ra, rb, slack)) {
+        const double va = right_limit ? a.value_right(t) : a.value(t);
+        const double vb = right_limit ? b.value_right(t) : b.value(t);
+        return CurveGap{t, va, vb, right_limit};
+      }
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace
+
+std::vector<double> probe_times(const minplus::Curve& a,
+                                const minplus::Curve& b) {
+  std::vector<double> xs;
+  for (const minplus::Curve* c : {&a, &b}) {
+    for (const minplus::Segment& s : c->segments()) xs.push_back(s.x);
+  }
+  std::sort(xs.begin(), xs.end());
+  xs.erase(std::unique(xs.begin(), xs.end()), xs.end());
+
+  std::vector<double> probes;
+  probes.reserve(xs.size() * 2 + 3);
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    probes.push_back(xs[i]);
+    if (i + 1 < xs.size()) probes.push_back(0.5 * (xs[i] + xs[i + 1]));
+  }
+  // Past the joint last breakpoint both curves are affine; two distinct
+  // probes pin both tail value and tail slope.
+  const double last = xs.empty() ? 0.0 : xs.back();
+  const double unit = 1.0 + std::fabs(last);
+  probes.push_back(last + 0.5 * unit);
+  probes.push_back(last + 2.0 * unit);
+  return probes;
+}
+
+std::optional<CurveGap> first_gap(const minplus::Curve& a,
+                                  const minplus::Curve& b, double rtol,
+                                  double atol) {
+  return first_probe(
+      a, b, [&](const ValueRange& x, const ValueRange& y, double slack) {
+        return above(x.lo, y.hi, rtol, atol + slack) ||
+               above(y.lo, x.hi, rtol, atol + slack);
+      });
+}
+
+std::optional<CurveGap> first_above(const minplus::Curve& a,
+                                    const minplus::Curve& b, double rtol,
+                                    double atol) {
+  return first_probe(
+      a, b, [&](const ValueRange& x, const ValueRange& y, double slack) {
+        return above(x.lo, y.hi, rtol, atol + slack);
+      });
+}
+
+std::string gap_str(const CurveGap& gap) {
+  std::ostringstream os;
+  os << "at t=" << util::format_significant(gap.t, 17)
+     << (gap.right_limit ? " (right limit)" : "") << ": lhs="
+     << util::format_significant(gap.a_value, 17)
+     << ", rhs=" << util::format_significant(gap.b_value, 17);
+  return os.str();
+}
+
+}  // namespace streamcalc::testing

@@ -1,0 +1,237 @@
+#include "testing/oracle.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "queueing/mm1.hpp"
+#include "streamsim/replication.hpp"
+#include "util/error.hpp"
+#include "util/format.hpp"
+
+namespace streamcalc::testing {
+
+namespace {
+
+using netcalc::NodeSpec;
+using netcalc::PipelineModel;
+using util::format_significant;
+
+/// "name=value" context line helper.
+std::string kv(const std::string& name, double value) {
+  return name + "=" + format_significant(value, 9);
+}
+
+}  // namespace
+
+std::string OracleReport::summary() const {
+  std::ostringstream os;
+  if (violations.empty()) {
+    os << "all invariants hold\n";
+  } else {
+    os << violations.size() << " violation(s):\n";
+    for (const std::string& v : violations) os << "  VIOLATION: " << v << "\n";
+  }
+  for (const std::string& c : context) os << "  " << c << "\n";
+  return os.str();
+}
+
+OracleReport check_bounds_dominate(const std::vector<NodeSpec>& nodes,
+                                   const netcalc::SourceSpec& source,
+                                   const netcalc::ModelPolicy& policy,
+                                   const OracleConfig& config) {
+  OracleReport report;
+  const PipelineModel model(nodes, source, policy);
+  const auto analysis = model.per_node_analysis();
+
+  // Largest input-normalized block anywhere in the chain: the granularity
+  // slack separating the fluid model from the packetized simulation.
+  double max_norm_block = source.packet.in_bytes();
+  for (std::size_t i = 0; i < nodes.size(); ++i) {
+    max_norm_block =
+        std::max(max_norm_block,
+                 nodes[i].block_in.in_bytes() / model.volume_in_worst(i));
+  }
+  const double burst_norm = source.burst.in_bytes();
+
+  streamsim::ReplicationConfig rc;
+  rc.replications = config.replications;
+  rc.base_seed = config.base_seed;
+  streamsim::SimConfig sim;
+  sim.horizon = config.horizon;
+  sim.deterministic = config.deterministic_sim;
+  const streamsim::ReplicationSummary summary =
+      streamsim::ReplicationRunner(rc).run(nodes, source, sim);
+
+  const netcalc::Regime regime = model.load_regime();
+  report.context.push_back(std::string("regime=") + to_string(regime));
+
+  if (regime == netcalc::Regime::kUnderloaded) {
+    // Delay: the bound must dominate the worst replication's worst packet.
+    const double bound_d = model.delay_bound().in_seconds();
+    const double worst_d = summary.worst_delay.in_seconds();
+    report.context.push_back(kv("delay_bound_s", bound_d) + " " +
+                             kv("worst_sim_delay_s", worst_d));
+    if (worst_d > bound_d + config.delay_slack) {
+      report.violations.push_back(
+          "simulated delay exceeds NC delay bound: " +
+          format_significant(worst_d, 9) + " s > " +
+          format_significant(bound_d, 9) + " s");
+    }
+
+    // Backlog: same, against peak system occupancy.
+    const double bound_b = model.backlog_bound().in_bytes();
+    const double worst_b = summary.worst_backlog.in_bytes();
+    report.context.push_back(kv("backlog_bound_B", bound_b) + " " +
+                             kv("worst_sim_backlog_B", worst_b));
+    if (worst_b > bound_b + config.backlog_slack) {
+      report.violations.push_back(
+          "simulated backlog exceeds NC backlog bound: " +
+          format_significant(worst_b, 9) + " B > " +
+          format_significant(bound_b, 9) + " B");
+    }
+
+    // Per-stage utilization: observed busy fraction must stay below the
+    // worst-case load ratio (plus packet-granularity edge effects).
+    for (std::size_t i = 0; i < analysis.size(); ++i) {
+      const double rho_worst =
+          std::min(1.0, analysis[i].arrival_rate.in_bytes_per_sec() /
+                            analysis[i].service_rate.in_bytes_per_sec());
+      const double edge =
+          nodes[i].time_max.in_seconds() *
+          (2.0 + burst_norm / std::max(1.0, nodes[i].block_in.in_bytes())) /
+          config.horizon.in_seconds();
+      for (const streamsim::SimResult& r : summary.results) {
+        if (r.node_stats[i].utilization > rho_worst + edge + 1e-9) {
+          report.violations.push_back(
+              "stage " + nodes[i].name + " utilization " +
+              format_significant(r.node_stats[i].utilization, 9) +
+              " exceeds worst-case load ratio " +
+              format_significant(rho_worst, 9));
+          break;
+        }
+      }
+    }
+  } else {
+    report.context.push_back(
+        "asymptotic delay/backlog bounds are infinite in this regime; "
+        "domination checks limited to the arrival envelope");
+  }
+
+  // Output trajectory: every replication's cumulative delivery must stay
+  // inside [guaranteed - granularity, arrival envelope]. The arrival side
+  // holds in every regime; the guaranteed side needs the service bound.
+  const minplus::Curve& arrival = model.arrival_curve();
+  const minplus::Curve& guaranteed = model.guaranteed_output_curve();
+  const double trace_slack = max_norm_block + burst_norm;
+  for (std::size_t rep = 0; rep < summary.results.size(); ++rep) {
+    for (const auto& [t, out] : summary.results[rep].output_trace) {
+      if (out > arrival.value_right(t) + 1.0) {
+        report.violations.push_back(
+            "replication " + std::to_string(rep) + " output " +
+            format_significant(out, 9) + " B at t=" +
+            format_significant(t, 9) + " exceeds the arrival envelope " +
+            format_significant(arrival.value_right(t), 9) + " B");
+        break;
+      }
+      if (regime == netcalc::Regime::kUnderloaded &&
+          out + trace_slack < guaranteed.value(t)) {
+        report.violations.push_back(
+            "replication " + std::to_string(rep) + " output " +
+            format_significant(out, 9) + " B at t=" +
+            format_significant(t, 9) + " falls below the guaranteed curve " +
+            format_significant(guaranteed.value(t), 9) + " B");
+        break;
+      }
+    }
+  }
+
+  // Finite-horizon throughput brackets (with per-stage in-flight slack).
+  const auto tb = model.throughput_bounds(config.horizon);
+  const double slack_rate = static_cast<double>(nodes.size() + 1) *
+                            max_norm_block / config.horizon.in_seconds();
+  report.context.push_back(
+      kv("tp_lower_Bps", tb.lower.in_bytes_per_sec()) + " " +
+      kv("tp_upper_Bps", tb.upper.in_bytes_per_sec()) + " " +
+      kv("tp_sim_mean_Bps", summary.throughput_bytes_per_sec.mean));
+  for (std::size_t rep = 0; rep < summary.results.size(); ++rep) {
+    const double tp = summary.results[rep].throughput.in_bytes_per_sec();
+    if (regime == netcalc::Regime::kUnderloaded &&
+        tp + slack_rate < tb.lower.in_bytes_per_sec()) {
+      report.violations.push_back(
+          "replication " + std::to_string(rep) + " throughput " +
+          format_significant(tp, 9) + " B/s below the guaranteed rate " +
+          format_significant(tb.lower.in_bytes_per_sec(), 9) + " B/s");
+    }
+    if (tp > tb.upper.in_bytes_per_sec() + slack_rate) {
+      report.violations.push_back(
+          "replication " + std::to_string(rep) + " throughput " +
+          format_significant(tp, 9) + " B/s above the achievable bound " +
+          format_significant(tb.upper.in_bytes_per_sec(), 9) + " B/s");
+    }
+  }
+  return report;
+}
+
+OracleReport check_mm1_agreement(const std::vector<NodeSpec>& nodes,
+                                 const netcalc::SourceSpec& source,
+                                 const OracleConfig& config) {
+  OracleReport report;
+  const queueing::QueueingReport q = queueing::analyze(nodes, source);
+  if (!q.stable) {
+    report.violations.push_back(
+        "M/M/1 model unstable at the offered load; the agreement check "
+        "requires a stable operating point");
+    return report;
+  }
+
+  streamsim::ReplicationConfig rc;
+  rc.replications = config.replications;
+  rc.base_seed = config.base_seed;
+  streamsim::SimConfig sim;
+  sim.horizon = config.mm1_horizon;
+  sim.warmup = config.mm1_warmup;
+  sim.poisson_arrivals = true;
+  sim.service_distribution = streamsim::TimeDistribution::kExponential;
+  sim.volume_mode = streamsim::VolumeMode::kAverage;
+  const streamsim::ReplicationSummary summary =
+      streamsim::ReplicationRunner(rc).run(nodes, source, sim);
+
+  // Mean end-to-end sojourn: theory within the replication CI (plus a
+  // relative guard band for finite-horizon bias).
+  const double theory = q.total_sojourn.in_seconds();
+  const auto& observed = summary.mean_delay_seconds;
+  const double tolerance = std::max(3.0 * observed.ci95_half,
+                                    config.mm1_rel_tol * theory);
+  report.context.push_back(kv("mm1_sojourn_theory_s", theory) + " " +
+                           kv("sim_mean_sojourn_s", observed.mean) + " " +
+                           kv("ci95_half", observed.ci95_half));
+  if (std::fabs(observed.mean - theory) > tolerance) {
+    report.violations.push_back(
+        "simulated mean sojourn " + format_significant(observed.mean, 9) +
+        " s disagrees with M/M/1 theory " + format_significant(theory, 9) +
+        " s beyond tolerance " + format_significant(tolerance, 9) + " s");
+  }
+
+  // Per-stage utilization: rho = lambda/mu, against the cross-replication
+  // mean busy fraction.
+  for (std::size_t i = 0; i < q.stages.size(); ++i) {
+    const auto& stat = summary.node_utilization[i];
+    const double rho = q.stages[i].utilization;
+    const double tol =
+        std::max({3.0 * stat.ci95_half, config.mm1_rel_tol * rho, 0.02});
+    report.context.push_back("stage " + q.stages[i].name + ": " +
+                             kv("rho", rho) + " " +
+                             kv("sim_util_mean", stat.mean));
+    if (std::fabs(stat.mean - rho) > tol) {
+      report.violations.push_back(
+          "stage " + q.stages[i].name + " utilization " +
+          format_significant(stat.mean, 9) + " disagrees with rho=" +
+          format_significant(rho, 9) + " beyond tolerance " +
+          format_significant(tol, 9));
+    }
+  }
+  return report;
+}
+
+}  // namespace streamcalc::testing

@@ -1,0 +1,80 @@
+// Differential oracle: the paper's soundness relationships, checkable on
+// any pipeline spec.
+//
+// All three models — the network-calculus PipelineModel, the discrete-event
+// streamsim, and the M/M/1 queueing baseline — consume the same NodeSpecs,
+// so the relationships the paper relies on are machine-checkable:
+//
+//   * every simulated observation (per-packet delay, system backlog,
+//     cumulative output trajectory, finite-horizon throughput) must lie
+//     within the sound network-calculus bounds, replication by replication;
+//   * per-stage utilizations observed in simulation must not exceed the
+//     worst-case load ratio the analytic model assigns the stage;
+//   * in the Markovian regime (Poisson arrivals, exponential service,
+//     volume-preserving stages) the tandem is a product-form network, so
+//     the M/M/1 model's sojourn times and utilizations must match the
+//     simulation within its replication confidence interval.
+//
+// Checks return an OracleReport listing violations as human-readable
+// strings (empty = all invariants hold) plus the numbers that were
+// compared, so a failing property prints a complete replayable diagnosis.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "netcalc/node.hpp"
+#include "netcalc/pipeline.hpp"
+#include "util/units.hpp"
+
+namespace streamcalc::testing {
+
+struct OracleConfig {
+  int replications = 4;
+  std::uint64_t base_seed = 1;
+  util::Duration horizon = util::Duration::seconds(1.0);
+  /// Exact rates/volumes in the DES (no sampling): the NC bounds must then
+  /// hold with only numeric slack. Used for scenarios with aggregation,
+  /// whose analytic wait estimate assumes the sustained rate.
+  bool deterministic_sim = false;
+  /// Numeric slack on the delay bound (seconds).
+  double delay_slack = 1e-9;
+  /// Slack on the backlog bound (bytes).
+  double backlog_slack = 1.0;
+  /// Relative tolerance of the M/M/1 agreement check (on top of the
+  /// replication CI).
+  double mm1_rel_tol = 0.15;
+  /// Horizon of the (statistics-hungry) Markovian agreement run.
+  util::Duration mm1_horizon = util::Duration::seconds(30.0);
+  util::Duration mm1_warmup = util::Duration::seconds(3.0);
+};
+
+struct OracleReport {
+  std::vector<std::string> violations;  ///< empty = all invariants hold
+  std::vector<std::string> context;     ///< the numbers that were compared
+
+  bool ok() const { return violations.empty(); }
+  /// Violations (if any) followed by the context lines.
+  std::string summary() const;
+};
+
+/// Checks that the sound NC bounds dominate every replication of the DES:
+/// delay, backlog, output-trajectory envelope, finite-horizon throughput,
+/// and per-stage utilization. In non-underloaded regimes only the checks
+/// that remain meaningful (arrival envelope, throughput ceiling) run.
+OracleReport check_bounds_dominate(const std::vector<netcalc::NodeSpec>& nodes,
+                                   const netcalc::SourceSpec& source,
+                                   const netcalc::ModelPolicy& policy,
+                                   const OracleConfig& config);
+
+/// Checks M/M/1 agreement in its validity regime: runs the DES with
+/// Poisson arrivals and exponential service and compares mean sojourn and
+/// per-stage utilization against queueing::analyze. The pipeline should be
+/// Markov-compatible (uniform blocks, unit volume ratios); stages outside
+/// the stable region are reported as violations.
+OracleReport check_mm1_agreement(const std::vector<netcalc::NodeSpec>& nodes,
+                                 const netcalc::SourceSpec& source,
+                                 const OracleConfig& config);
+
+}  // namespace streamcalc::testing

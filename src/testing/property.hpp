@@ -1,0 +1,67 @@
+// Property-based fuzzing driver for curve operators.
+//
+// A property is a pure function from a tuple of curves to a failure
+// message ("" = holds). The driver generates `cases` input tuples from a
+// seeded CurveGenerator, evaluates the property on each, and on the first
+// failure shrinks the tuple (testing/shrink.hpp) and returns a replayable
+// report carrying the base seed, the case index, the original inputs, and
+// the shrunk counterexample.
+//
+// Budgets: every suite sizes itself through scaled_cases(), so the
+// STREAMCALC_FUZZ_CASES environment variable scales the whole harness at
+// once. The default (500) keeps the full property suite around a 10k-case
+// budget — the fixed CI configuration; raise it locally for deeper runs
+// (e.g. STREAMCALC_FUZZ_CASES=50000 for a ~1M-case soak).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "testing/generator.hpp"
+
+namespace streamcalc::testing {
+
+/// Per-property base case count: STREAMCALC_FUZZ_CASES if set (>= 1), else
+/// 500.
+int base_cases();
+
+/// `default_cases` scaled by base_cases()/500 (at least 1): suites with
+/// expensive properties pass smaller defaults and still scale with the
+/// environment knob.
+int scaled_cases(int default_cases);
+
+/// A falsified property, shrunk and ready to print.
+struct Failure {
+  std::uint64_t seed = 0;        ///< base seed of the fuzz run
+  int case_index = 0;            ///< which generated tuple failed first
+  std::vector<minplus::Curve> original;  ///< inputs as generated
+  std::vector<minplus::Curve> shrunk;    ///< minimized counterexample
+  std::string message;           ///< property message on the shrunk tuple
+
+  /// Multi-line report: seed/case for replay, the shrunk operands (both
+  /// describe() and exact segment listings), and the failure message.
+  std::string report() const;
+};
+
+/// "" = property holds for this tuple; anything else = failure message.
+using PropertyFn =
+    std::function<std::string(const std::vector<minplus::Curve>&)>;
+
+struct FuzzSpec {
+  /// One entry per operand; the arity of the property.
+  std::vector<CurveKind> operands;
+  CurveGenConfig gen;
+  std::uint64_t seed = 0x5eedcafe;
+  int cases = 0;  ///< 0 = scaled_cases(500)
+  int shrink_budget = 400;
+};
+
+/// Runs the property over `spec.cases` generated tuples. Returns the first
+/// failure (shrunk), or nullopt when every case passes. A property that
+/// throws fails with the exception text as its message.
+std::optional<Failure> fuzz(const FuzzSpec& spec, const PropertyFn& property);
+
+}  // namespace streamcalc::testing

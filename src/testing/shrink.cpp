@@ -1,0 +1,127 @@
+#include "testing/shrink.hpp"
+
+#include <cmath>
+#include <limits>
+#include <utility>
+
+#include "util/error.hpp"
+
+namespace streamcalc::testing {
+
+namespace {
+
+using minplus::Curve;
+using minplus::Segment;
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+/// Appends Curve(segs) to out when the segments form a valid curve that
+/// differs from the original.
+void try_push(std::vector<Curve>& out, std::vector<Segment> segs,
+              const Curve& original) {
+  if (segs.empty()) return;
+  try {
+    Curve c(std::move(segs));
+    if (!(c == original)) out.push_back(std::move(c));
+  } catch (const util::PreconditionError&) {
+    // Candidate broke a curve invariant; skip it.
+  }
+}
+
+double round_to(double v, double unit) {
+  if (v == kInf || unit <= 0.0) return v;
+  return std::round(v / unit) * unit;
+}
+
+}  // namespace
+
+std::vector<Curve> shrink_candidates(const Curve& c) {
+  const std::vector<Segment>& segs = c.segments();
+  std::vector<Curve> out;
+
+  // Canonical tiny curves first: if one of these still fails, the property
+  // is broken in its simplest possible setting.
+  for (const Curve& tiny :
+       {Curve::zero(), Curve::rate(1.0), Curve::affine(1.0, 1.0)}) {
+    if (!(tiny == c)) out.push_back(tiny);
+  }
+
+  // Prefixes: keep only the first k pieces.
+  for (std::size_t k = 1; k < segs.size(); ++k) {
+    try_push(out, {segs.begin(), segs.begin() + static_cast<std::ptrdiff_t>(k)},
+             c);
+  }
+
+  // Drop one interior piece at a time.
+  for (std::size_t i = 1; i < segs.size(); ++i) {
+    std::vector<Segment> dropped = segs;
+    dropped.erase(dropped.begin() + static_cast<std::ptrdiff_t>(i));
+    try_push(out, std::move(dropped), c);
+  }
+
+  // Remove one jump (fuse the right limit down onto the point value).
+  for (std::size_t i = 0; i < segs.size(); ++i) {
+    if (segs[i].value_after == segs[i].value_at) continue;
+    if (segs[i].value_after == kInf) continue;
+    std::vector<Segment> fused = segs;
+    fused[i].value_after = fused[i].value_at;
+    try_push(out, std::move(fused), c);
+  }
+
+  // Zero one slope.
+  for (std::size_t i = 0; i < segs.size(); ++i) {
+    if (segs[i].slope == 0.0) continue;
+    std::vector<Segment> flat = segs;
+    flat[i].slope = 0.0;
+    try_push(out, std::move(flat), c);
+  }
+
+  // Round every number to progressively coarser grids: long decimals in a
+  // counterexample are almost never essential, and integer breakpoints make
+  // the report legible.
+  for (const double unit : {1.0, 0.25, 1.0 / 1024.0}) {
+    std::vector<Segment> rounded = segs;
+    for (Segment& s : rounded) {
+      s.x = round_to(s.x, unit);
+      s.value_at = round_to(s.value_at, unit);
+      s.value_after = round_to(s.value_after, unit);
+      s.slope = round_to(s.slope, unit);
+    }
+    try_push(out, std::move(rounded), c);
+  }
+
+  return out;
+}
+
+std::vector<Curve> shrink_tuple(
+    std::vector<Curve> inputs,
+    const std::function<bool(const std::vector<Curve>&)>& fails,
+    int budget) {
+  bool progress = true;
+  while (progress && budget > 0) {
+    progress = false;
+    for (std::size_t slot = 0; slot < inputs.size() && budget > 0; ++slot) {
+      for (Curve& candidate : shrink_candidates(inputs[slot])) {
+        if (budget-- <= 0) break;
+        std::vector<Curve> trial = inputs;
+        trial[slot] = candidate;
+        bool still_fails = false;
+        try {
+          still_fails = fails(trial);
+        } catch (...) {
+          // A property that *throws* on the simplified input still counts
+          // as failing: the shrunk tuple reproduces a defect.
+          still_fails = true;
+        }
+        if (still_fails) {
+          inputs[slot] = std::move(candidate);
+          progress = true;
+          break;  // restart candidate enumeration from the smaller curve
+        }
+      }
+    }
+  }
+  return inputs;
+}
+
+}  // namespace streamcalc::testing

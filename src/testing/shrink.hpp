@@ -1,0 +1,34 @@
+// Counterexample shrinking for the curve fuzzer.
+//
+// When a generated input tuple falsifies a property, the raw curves are
+// usually noisy (many segments, long decimals, irrelevant operands). The
+// shrinker greedily replaces one tuple element at a time with a structurally
+// simpler variant — fewer segments, rounded numbers, removed jumps — and
+// keeps the replacement whenever the property still fails, until no
+// candidate makes progress or the evaluation budget runs out. The result is
+// the small, readable counterexample printed in the failure report.
+//
+// Everything is deterministic: candidates are enumerated in a fixed order,
+// so the same failing input always shrinks to the same counterexample.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "minplus/curve.hpp"
+
+namespace streamcalc::testing {
+
+/// Structurally simpler variants of `c`, most aggressive first. Every
+/// candidate is a valid Curve; candidates equal to `c` are omitted.
+std::vector<minplus::Curve> shrink_candidates(const minplus::Curve& c);
+
+/// Greedily shrinks `inputs` under the invariant fails(inputs) == true.
+/// `fails` must be pure; it is called at most `budget` times. Returns the
+/// shrunk tuple (== the original when nothing simpler still fails).
+std::vector<minplus::Curve> shrink_tuple(
+    std::vector<minplus::Curve> inputs,
+    const std::function<bool(const std::vector<minplus::Curve>&)>& fails,
+    int budget = 400);
+
+}  // namespace streamcalc::testing

@@ -1,0 +1,233 @@
+// Differential fuzzing of the exact min-plus operators against brute-force
+// evaluation of their defining inf/sup expressions (tests/minplus/
+// reference.hpp), plus structural checks on the curve generator itself.
+//
+// The generator's pathological mode reproduces the shapes that have broken
+// curve code before — micro-segments with nearly-equal slopes, huge
+// magnitudes, squeezed time axes — so these properties double as a
+// regression net for the normalize()/repair path.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "minplus/deviation.hpp"
+#include "minplus/operations.hpp"
+#include "minplus/reference.hpp"
+#include "testing/compare.hpp"
+#include "testing/property.hpp"
+#include "util/error.hpp"
+#include "util/format.hpp"
+
+namespace streamcalc::testing {
+namespace {
+
+using minplus::Curve;
+using minplus::testing::ref_convolve;
+using minplus::testing::ref_deconvolve;
+using minplus::testing::ref_horizontal;
+using minplus::testing::ref_vertical;
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+void expect_holds(FuzzSpec spec, const PropertyFn& property) {
+  const auto failure = fuzz(spec, property);
+  EXPECT_FALSE(failure.has_value()) << failure->report();
+}
+
+/// |a - b| within a relative-plus-absolute envelope; infinities must agree.
+bool close(double a, double b, double rtol = 1e-6, double atol = 1e-9) {
+  if (a == kInf || b == kInf) return a == b;
+  return std::fabs(a - b) <= atol + rtol * std::max(std::fabs(a),
+                                                    std::fabs(b));
+}
+
+/// Deterministic evaluation points spanning a curve pair.
+std::vector<double> sample_ts(const Curve& f, const Curve& g) {
+  const double hi =
+      std::max(f.last_breakpoint(), g.last_breakpoint()) + 1.0;
+  return {0.0, hi * 0.17, hi * 0.43, hi * 0.71, hi};
+}
+
+TEST(GeneratorFuzz, GeneratedCurvesAreValidAndNormalized) {
+  expect_holds(FuzzSpec{{CurveKind::kAny}, {}, 0xb001},
+               [](const std::vector<Curve>& c) {
+                 // Re-running the constructor on the segments must accept
+                 // them and reproduce the identical (already-normalized)
+                 // curve.
+                 const Curve rebuilt(
+                     std::vector<minplus::Segment>(c[0].segments()));
+                 if (!(rebuilt == c[0])) {
+                   return std::string(
+                       "generated curve is not a normalize() fixpoint");
+                 }
+                 return std::string();
+               });
+}
+
+TEST(GeneratorFuzz, GeneratedCurvesAreWideSenseIncreasing) {
+  expect_holds(FuzzSpec{{CurveKind::kAny}, {}, 0xb002},
+               [](const std::vector<Curve>& c) {
+                 const auto pts = probe_times(c[0], c[0]);
+                 double prev = 0.0;
+                 for (const double t : pts) {
+                   const double v = c[0].value(t);
+                   if (v + 1e-9 < prev) {
+                     return "curve decreases at t=" +
+                            util::format_significant(t, 17);
+                   }
+                   prev = std::max(prev, c[0].value_right(t));
+                 }
+                 return std::string();
+               });
+}
+
+TEST(GeneratorFuzz, ArrivalAndServiceKindsMatchTheirContracts) {
+  expect_holds(
+      FuzzSpec{{CurveKind::kArrival, CurveKind::kService}, {}, 0xb003},
+      [](const std::vector<Curve>& c) {
+        if (c[0].value(0.0) != 0.0) {
+          return std::string("arrival curve not 0 at t=0");
+        }
+        if (!c[0].is_finite()) {
+          return std::string("arrival curve has an infinite tail");
+        }
+        if (!c[1].is_finite()) {
+          return std::string("service curve has an infinite tail");
+        }
+        const minplus::Segment& tail = c[1].segments().back();
+        if (tail.slope <= 0.0) {
+          return std::string("service curve does not eventually grow");
+        }
+        return std::string();
+      });
+}
+
+TEST(OperatorFuzz, ConvolveMatchesBruteForce) {
+  FuzzSpec spec{{CurveKind::kFinite, CurveKind::kFinite}, {}, 0xb004};
+  spec.cases = scaled_cases(150);  // the dense-grid reference is expensive
+  spec.gen.pathological_bias = 0.0;  // grid probing can't resolve 1e-12 gaps
+  expect_holds(spec, [](const std::vector<Curve>& c) {
+    const Curve result = convolve(c[0], c[1]);
+    for (const double t : sample_ts(c[0], c[1])) {
+      const double exact = result.value(t);
+      const double ref = ref_convolve(c[0], c[1], t);
+      // The exact algorithm takes a true infimum; the grid reference can
+      // only overshoot it.
+      if (exact > ref + 1e-9 + 1e-6 * std::fabs(ref)) {
+        return "convolve(t=" + util::format_significant(t, 17) +
+               ") = " + util::format_significant(exact, 17) +
+               " exceeds brute-force " + util::format_significant(ref, 17);
+      }
+      if (ref > exact + 0.05 * (1.0 + std::fabs(exact))) {
+        return "convolve(t=" + util::format_significant(t, 17) +
+               ") = " + util::format_significant(exact, 17) +
+               " far below brute-force " + util::format_significant(ref, 17);
+      }
+    }
+    return std::string();
+  });
+}
+
+TEST(OperatorFuzz, ConvolveAtMatchesFullCurve) {
+  FuzzSpec spec{{CurveKind::kAny, CurveKind::kAny}, {}, 0xb005};
+  expect_holds(spec, [](const std::vector<Curve>& c) {
+    const Curve result = convolve(c[0], c[1]);
+    for (const double t : sample_ts(c[0], c[1])) {
+      const double full = result.value(t);
+      const double direct = convolve_at(c[0], c[1], t);
+      if (!close(full, direct)) {
+        return "convolve_at(t=" + util::format_significant(t, 17) +
+               ") = " + util::format_significant(direct, 17) +
+               " != curve value " + util::format_significant(full, 17);
+      }
+    }
+    return std::string();
+  });
+}
+
+TEST(OperatorFuzz, DeconvolveMatchesBruteForce) {
+  FuzzSpec spec{{CurveKind::kFinite, CurveKind::kFinite}, {}, 0xb006};
+  spec.cases = scaled_cases(150);
+  spec.gen.pathological_bias = 0.0;
+  expect_holds(spec, [](const std::vector<Curve>& c) {
+    const Curve result = deconvolve(c[0], c[1]);
+    for (const double t : sample_ts(c[0], c[1])) {
+      const double exact = result.value(t);
+      const double ref = ref_deconvolve(c[0], c[1], t);
+      // The exact algorithm takes a true supremum; the grid can only
+      // undershoot it.
+      if (ref > exact + 1e-9 + 1e-6 * std::fabs(exact)) {
+        return "deconvolve(t=" + util::format_significant(t, 17) +
+               ") = " + util::format_significant(exact, 17) +
+               " below brute-force " + util::format_significant(ref, 17);
+      }
+      if (exact != kInf && exact > ref + 0.05 * (1.0 + std::fabs(ref))) {
+        return "deconvolve(t=" + util::format_significant(t, 17) +
+               ") = " + util::format_significant(exact, 17) +
+               " far above brute-force " + util::format_significant(ref, 17);
+      }
+    }
+    return std::string();
+  });
+}
+
+TEST(OperatorFuzz, DeviationsMatchBruteForce) {
+  FuzzSpec spec{{CurveKind::kArrival, CurveKind::kService}, {}, 0xb007};
+  spec.cases = scaled_cases(150);
+  spec.gen.pathological_bias = 0.0;
+  expect_holds(spec, [](const std::vector<Curve>& c) {
+    const double v = minplus::vertical_deviation(c[0], c[1]);
+    const double v_ref = ref_vertical(c[0], c[1]);
+    // Exact supremum vs grid: the grid can only undershoot.
+    if (v_ref > v + 1e-9 + 1e-6 * std::fabs(v)) {
+      return "vertical deviation " + util::format_significant(v, 17) +
+             " below brute-force " + util::format_significant(v_ref, 17);
+    }
+    if (v != kInf && v > v_ref + 0.05 * (1.0 + std::fabs(v_ref))) {
+      return "vertical deviation " + util::format_significant(v, 17) +
+             " far above brute-force " + util::format_significant(v_ref, 17);
+    }
+    const double h = minplus::horizontal_deviation(c[0], c[1]);
+    const double h_ref = ref_horizontal(c[0], c[1]);
+    if (h_ref > h + 1e-6 + 1e-6 * std::fabs(h)) {
+      return "horizontal deviation " + util::format_significant(h, 17) +
+             " below brute-force " + util::format_significant(h_ref, 17);
+    }
+    if (h != kInf && h > h_ref + 0.05 * (1.0 + std::fabs(h_ref))) {
+      return "horizontal deviation " + util::format_significant(h, 17) +
+             " far above brute-force " +
+             util::format_significant(h_ref, 17);
+    }
+    return std::string();
+  });
+}
+
+TEST(OperatorFuzz, PathologicalCurvesSurviveTheFullOperatorSet) {
+  FuzzSpec spec{{CurveKind::kAny, CurveKind::kAny}, {}, 0xb008};
+  spec.gen.pathological_bias = 1.0;  // every draw perturbed
+  expect_holds(spec, [](const std::vector<Curve>& c) {
+    // Success = no operator throws or produces an invalid curve; each
+    // result re-validates via the Curve constructor inside the operator.
+    (void)convolve(c[0], c[1]);
+    (void)deconvolve(c[0], c[1]);
+    (void)minimum(c[0], c[1]);
+    (void)maximum(c[0], c[1]);
+    (void)add(c[0], c[1]);
+    try {
+      (void)minplus::subtract_clamped(c[0], c[1]);
+    } catch (const util::PreconditionError&) {
+      // Documented contract: [f - g]^+ that is not wide-sense increasing
+      // is not a valid residual service curve and must be rejected (not
+      // silently repaired). Any other exception still fails the property.
+    }
+    (void)minplus::vertical_deviation(c[0], c[1]);
+    (void)minplus::horizontal_deviation(c[0], c[1]);
+    return std::string();
+  });
+}
+
+}  // namespace
+}  // namespace streamcalc::testing

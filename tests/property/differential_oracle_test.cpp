@@ -1,0 +1,127 @@
+// Differential verification: for generated pipeline scenarios and for the
+// two paper applications, the three models built from the same NodeSpecs
+// must satisfy the soundness relationships the paper depends on —
+// network-calculus bounds dominate every DES replication (delay, backlog,
+// output trajectory, throughput, per-stage utilization), and the M/M/1
+// model agrees with the simulation in its Markovian validity regime.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "apps/bitw.hpp"
+#include "apps/blast.hpp"
+#include "testing/generator.hpp"
+#include "testing/oracle.hpp"
+#include "testing/property.hpp"
+
+namespace streamcalc::testing {
+namespace {
+
+/// Sound modeling policy: worst-case service rates, per-node packetizer
+/// off (the oracle's slack terms account for packet granularity).
+netcalc::ModelPolicy sound_policy() { return netcalc::ModelPolicy{}; }
+
+TEST(DifferentialOracle, BoundsDominateSimulationOnPlainChains) {
+  // Volume-preserving, non-aggregating chains under stochastic service
+  // times: the worst-case NC bounds must dominate every replication.
+  ScenarioGenConfig gen;
+  gen.volume_changes = false;
+  gen.aggregation = false;
+  ScenarioGenerator scenarios(gen, 0xd001);
+  const int n = scaled_cases(8);
+  for (int i = 0; i < n; ++i) {
+    const Scenario s = scenarios.next();
+    OracleConfig cfg;
+    cfg.base_seed = 0xd001u + static_cast<std::uint64_t>(i);
+    const OracleReport report =
+        check_bounds_dominate(s.nodes, s.source, sound_policy(), cfg);
+    EXPECT_TRUE(report.ok())
+        << "scenario " << i << ": " << s.describe() << "\n"
+        << report.summary();
+  }
+}
+
+TEST(DifferentialOracle, BoundsDominateSimulationWithVolumeAndAggregation) {
+  // Filters, expanders and block aggregation; the deterministic simulator
+  // isolates the model relationships from volume-sampling noise (the
+  // analytic aggregation wait assumes the sustained rate).
+  ScenarioGenConfig gen;  // volume_changes and aggregation on by default
+  ScenarioGenerator scenarios(gen, 0xd002);
+  const int n = scaled_cases(6);
+  for (int i = 0; i < n; ++i) {
+    const Scenario s = scenarios.next();
+    OracleConfig cfg;
+    cfg.base_seed = 0xd002u + static_cast<std::uint64_t>(i);
+    cfg.deterministic_sim = true;
+    const OracleReport report =
+        check_bounds_dominate(s.nodes, s.source, sound_policy(), cfg);
+    EXPECT_TRUE(report.ok())
+        << "scenario " << i << ": " << s.describe() << "\n"
+        << report.summary();
+  }
+}
+
+TEST(DifferentialOracle, MM1AgreesWithSimulationInItsValidityRegime) {
+  // Markov-compatible pipelines (uniform blocks, unit volume ratios,
+  // Poisson arrivals, exponential service): the tandem is product-form, so
+  // queueing::analyze must match the simulation within its replication CI.
+  ScenarioGenConfig gen;
+  gen.markovian = true;
+  ScenarioGenerator scenarios(gen, 0xd003);
+  const int n = scaled_cases(3);
+  for (int i = 0; i < n; ++i) {
+    const Scenario s = scenarios.next();
+    OracleConfig cfg;
+    cfg.base_seed = 0xd003u + static_cast<std::uint64_t>(i);
+    const OracleReport report = check_mm1_agreement(s.nodes, s.source, cfg);
+    EXPECT_TRUE(report.ok())
+        << "scenario " << i << ": " << s.describe() << "\n"
+        << report.summary();
+  }
+}
+
+TEST(DifferentialOracle, BlastTopologyBoundsDominateSimulation) {
+  // The BLAST chain at a stable offered load (the job-source rate study
+  // runs the streaming source overloaded, where the asymptotic bounds are
+  // infinite; here the point is bound soundness, so feed it just under the
+  // worst-case bottleneck).
+  const auto nodes = apps::blast::nodes();
+  netcalc::SourceSpec source = apps::blast::streaming_source();
+  const netcalc::PipelineModel probe(nodes, source, sound_policy());
+  source.rate = probe.throughput_bounds(util::Duration::seconds(1.0)).lower *
+                0.85;
+  OracleConfig cfg;
+  cfg.deterministic_sim = true;  // the BLAST chain aggregates blocks
+  const OracleReport report =
+      check_bounds_dominate(nodes, source, sound_policy(), cfg);
+  EXPECT_TRUE(report.ok()) << report.summary();
+}
+
+TEST(DifferentialOracle, BlastStreamingRegimeStillSatisfiesEnvelopes) {
+  // At the paper's full offered rate the pipeline is overloaded; the
+  // arrival-envelope and throughput-ceiling checks must still hold.
+  const OracleReport report = check_bounds_dominate(
+      apps::blast::nodes(), apps::blast::streaming_source(), sound_policy(),
+      OracleConfig{});
+  EXPECT_TRUE(report.ok()) << report.summary();
+}
+
+TEST(DifferentialOracle, BitwTopologyBoundsDominateSimulation) {
+  // The bump-in-the-wire chain at the paper's delay-study load (stable
+  // even under worst-case service).
+  const OracleReport report = check_bounds_dominate(
+      apps::bitw::nodes(), apps::bitw::delay_study_source(), sound_policy(),
+      OracleConfig{});
+  EXPECT_TRUE(report.ok()) << report.summary();
+}
+
+TEST(DifferentialOracle, BitwTraditionalDeploymentAlsoDominated) {
+  const auto nodes = apps::bitw::traditional_nodes();
+  const OracleReport report = check_bounds_dominate(
+      nodes, apps::bitw::delay_study_source(), sound_policy(),
+      OracleConfig{});
+  EXPECT_TRUE(report.ok()) << report.summary();
+}
+
+}  // namespace
+}  // namespace streamcalc::testing

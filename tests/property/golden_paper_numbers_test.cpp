@@ -1,0 +1,104 @@
+// Golden-file regression pinning the reproduced paper numbers. The values
+// come from apps::{blast,bitw}::reproduce() — the same entry points the
+// bench executables report — formatted to 6 significant digits so benign
+// last-bit drift doesn't trip the pin while any modeling change does.
+//
+// To regenerate after an intentional model change:
+//   STREAMCALC_UPDATE_GOLDEN=1 ctest -R GoldenPaperNumbers
+// then review the diff of tests/property/golden/paper_numbers.golden.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "apps/bitw.hpp"
+#include "apps/blast.hpp"
+#include "util/format.hpp"
+
+namespace streamcalc::testing {
+namespace {
+
+std::string golden_path() {
+  return std::string(STREAMCALC_GOLDEN_DIR) + "/paper_numbers.golden";
+}
+
+/// The pinned quantities, one "key = value" line each, 6 significant
+/// digits.
+std::string render_current() {
+  const apps::blast::Reproduced blast = apps::blast::reproduce();
+  const apps::bitw::Reproduced bitw = apps::bitw::reproduce();
+  std::ostringstream os;
+  const auto line = [&os](const std::string& key, double v) {
+    os << key << " = " << util::format_significant(v, 6) << "\n";
+  };
+  os << "# Reproduced paper numbers (6 significant digits).\n";
+  os << "# Regenerate: STREAMCALC_UPDATE_GOLDEN=1 ctest -R "
+        "GoldenPaperNumbers\n";
+  line("blast.nc_upper_mibps", blast.nc_upper_mibps);
+  line("blast.nc_lower_mibps", blast.nc_lower_mibps);
+  line("blast.des_mibps", blast.des_mibps);
+  line("blast.queueing_mibps", blast.queueing_mibps);
+  line("blast.delay_bound_ms", blast.delay_bound_ms);
+  line("blast.backlog_bound_mib", blast.backlog_bound_mib);
+  line("blast.bound_over_measured", blast.bound_over_measured);
+  os << "blast.bottleneck = " << blast.bottleneck << "\n";
+  line("bitw.nc_upper_mibps", bitw.nc_upper_mibps);
+  line("bitw.nc_lower_mibps", bitw.nc_lower_mibps);
+  line("bitw.des_mibps", bitw.des_mibps);
+  line("bitw.queueing_mibps", bitw.queueing_mibps);
+  line("bitw.delay_bound_us", bitw.delay_bound_us);
+  line("bitw.backlog_bound_kib", bitw.backlog_bound_kib);
+  for (const apps::bitw::StageBound& s : bitw.stages) {
+    line("bitw.stage." + s.name + ".service_mibps", s.service_mibps);
+    line("bitw.stage." + s.name + ".delay_us", s.delay_us);
+  }
+  return os.str();
+}
+
+TEST(GoldenPaperNumbers, ReproducedNumbersMatchGoldenFile) {
+  const std::string current = render_current();
+
+  if (std::getenv("STREAMCALC_UPDATE_GOLDEN")) {
+    std::ofstream out(golden_path(), std::ios::trunc);
+    ASSERT_TRUE(out.good()) << "cannot write " << golden_path();
+    out << current;
+    GTEST_SKIP() << "golden file regenerated at " << golden_path();
+  }
+
+  std::ifstream in(golden_path());
+  ASSERT_TRUE(in.good())
+      << "missing golden file " << golden_path()
+      << "; run once with STREAMCALC_UPDATE_GOLDEN=1 to create it";
+  std::ostringstream stored;
+  stored << in.rdbuf();
+  EXPECT_EQ(stored.str(), current)
+      << "reproduced paper numbers drifted from the pinned golden values; "
+         "if the model change is intentional, regenerate with "
+         "STREAMCALC_UPDATE_GOLDEN=1 and review the diff";
+}
+
+TEST(GoldenPaperNumbers, HeadlineRatiosStayInPaperRange) {
+  // Looser semantic pins that hold regardless of golden regeneration: the
+  // relationships the paper reports, as acceptance ranges.
+  const apps::blast::Reproduced blast = apps::blast::reproduce();
+  // Paper: NC lower bound within ~1.4% of the measured 355 MiB/s.
+  EXPECT_GT(blast.bound_over_measured, 0.93);
+  EXPECT_LT(blast.bound_over_measured, 1.05);
+  // Ordering lower <= DES <= queueing <= upper (small DES slack).
+  EXPECT_LE(blast.nc_lower_mibps, blast.des_mibps + 2.0);
+  EXPECT_LT(blast.des_mibps, blast.queueing_mibps);
+  EXPECT_LT(blast.queueing_mibps, blast.nc_upper_mibps);
+
+  const apps::bitw::Reproduced bitw = apps::bitw::reproduce();
+  EXPECT_LE(bitw.nc_lower_mibps, bitw.des_mibps + 1.0);
+  EXPECT_LT(bitw.des_mibps, bitw.queueing_mibps);
+  EXPECT_LT(bitw.queueing_mibps, bitw.nc_upper_mibps);
+  // The upper/lower spread is driven by the max compression ratio.
+  EXPECT_NEAR(bitw.nc_upper_mibps / bitw.nc_lower_mibps,
+              apps::bitw::kCompressionMax, 0.75);
+}
+
+}  // namespace
+}  // namespace streamcalc::testing

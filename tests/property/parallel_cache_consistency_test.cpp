@@ -1,0 +1,157 @@
+// Bit-identity contracts of the execution machinery, fuzzed over generated
+// curves: the parallel min-plus/max-plus kernels must produce *exactly*
+// the curves the serial path produces (same segments, same bit patterns),
+// and the memoization cache must serve exactly what the underlying
+// operator computes. These are equality contracts, not approximations —
+// any drift would break the replication runner's byte-identical summaries.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "maxplus/operations.hpp"
+#include "minplus/cache.hpp"
+#include "minplus/operations.hpp"
+#include "testing/property.hpp"
+#include "util/thread_pool.hpp"
+
+namespace streamcalc::testing {
+namespace {
+
+using minplus::Curve;
+
+// Give the lazily-created global pool workers even on single-core hosts
+// (it is sized from STREAMCALC_THREADS at first use).
+const bool g_env_pinned = [] {
+  setenv("STREAMCALC_THREADS", "4", /*overwrite=*/1);
+  return true;
+}();
+
+void expect_holds(FuzzSpec spec, const PropertyFn& property) {
+  const auto failure = fuzz(spec, property);
+  EXPECT_FALSE(failure.has_value()) << failure->report();
+}
+
+/// Evaluates op twice — forced serial, then through the pool — and reports
+/// any segment-level difference.
+template <typename OpFn>
+std::string serial_matches_parallel(const OpFn& op, const char* what) {
+  util::ThreadPool::set_force_serial(true);
+  const Curve serial = op();
+  util::ThreadPool::set_force_serial(false);
+  const Curve parallel = op();
+  if (!(serial == parallel)) {
+    return std::string(what) +
+           ": parallel result differs from serial bit-for-bit";
+  }
+  return "";
+}
+
+TEST(ParallelConsistencyFuzz, MinPlusOperatorsMatchSerialExactly) {
+  ASSERT_TRUE(g_env_pinned);
+  ASSERT_FALSE(util::ThreadPool::global().serial());
+  FuzzSpec spec{{CurveKind::kAny, CurveKind::kAny}, {}, 0xc001};
+  spec.gen.max_segments = 12;  // larger operands actually engage the pool
+  expect_holds(spec, [](const std::vector<Curve>& c) {
+    std::string err = serial_matches_parallel(
+        [&] { return convolve(c[0], c[1]); }, "convolve");
+    if (err.empty()) {
+      err = serial_matches_parallel(
+          [&] { return deconvolve(c[0], c[1]); }, "deconvolve");
+    }
+    if (err.empty()) {
+      err = serial_matches_parallel(
+          [&] { return minimum(c[0], c[1]); }, "minimum");
+    }
+    return err;
+  });
+}
+
+TEST(ParallelConsistencyFuzz, MaxPlusOperatorsMatchSerialExactly) {
+  ASSERT_TRUE(g_env_pinned);
+  FuzzSpec spec{{CurveKind::kFinite, CurveKind::kFinite}, {}, 0xc002};
+  spec.gen.max_segments = 12;
+  expect_holds(spec, [](const std::vector<Curve>& c) {
+    std::string err = serial_matches_parallel(
+        [&] { return maxplus::convolve(c[0], c[1]); }, "max-plus convolve");
+    if (err.empty()) {
+      err = serial_matches_parallel(
+          [&] { return maxplus::deconvolve(c[0], c[1]); },
+          "max-plus deconvolve");
+    }
+    return err;
+  });
+}
+
+TEST(CacheConsistencyFuzz, CachedResultsAreBitIdenticalToUncached) {
+  // A private cache per case: the first call computes and inserts, the
+  // second must hit and both must equal the direct operator result exactly.
+  FuzzSpec spec{{CurveKind::kAny, CurveKind::kAny}, {}, 0xc003};
+  expect_holds(spec, [](const std::vector<Curve>& c) {
+    minplus::CurveOpCache cache(64);
+    const auto compute = [](const Curve& f, const Curve& g) {
+      return convolve(f, g);
+    };
+    const Curve direct = convolve(c[0], c[1]);
+    const Curve first = cache.get_or_compute(minplus::CacheOp::kConvolve,
+                                             c[0], c[1], compute);
+    const Curve second = cache.get_or_compute(minplus::CacheOp::kConvolve,
+                                              c[0], c[1], compute);
+    if (!(first == direct)) {
+      return std::string("cache miss path differs from direct convolve");
+    }
+    if (!(second == direct)) {
+      return std::string("cache hit path differs from direct convolve");
+    }
+    const auto stats = cache.stats();
+    if (stats.hits < 1) {
+      return std::string("second identical lookup did not hit the cache");
+    }
+    return std::string();
+  });
+}
+
+TEST(CacheConsistencyFuzz, OperationTagSeparatesEntries) {
+  // The same operand pair under different ops must never alias.
+  FuzzSpec spec{{CurveKind::kFinite, CurveKind::kFinite}, {}, 0xc004};
+  expect_holds(spec, [](const std::vector<Curve>& c) {
+    minplus::CurveOpCache cache(64);
+    const Curve conv = cache.get_or_compute(
+        minplus::CacheOp::kConvolve, c[0], c[1],
+        [](const Curve& f, const Curve& g) { return convolve(f, g); });
+    const Curve mini = cache.get_or_compute(
+        minplus::CacheOp::kMinimum, c[0], c[1],
+        [](const Curve& f, const Curve& g) { return minimum(f, g); });
+    if (!(conv == convolve(c[0], c[1]))) {
+      return std::string("kConvolve entry corrupted by kMinimum insert");
+    }
+    if (!(mini == minimum(c[0], c[1]))) {
+      return std::string("kMinimum lookup aliased the kConvolve entry");
+    }
+    return std::string();
+  });
+}
+
+TEST(CacheConsistencyFuzz, GlobalCachedWrappersMatchDirectOperators) {
+  FuzzSpec spec{{CurveKind::kAny, CurveKind::kAny}, {}, 0xc005};
+  expect_holds(spec, [](const std::vector<Curve>& c) {
+    if (!(minplus::cached_convolve(c[0], c[1]) == convolve(c[0], c[1]))) {
+      return std::string("cached_convolve != convolve");
+    }
+    if (!(minplus::cached_deconvolve(c[0], c[1]) ==
+          deconvolve(c[0], c[1]))) {
+      return std::string("cached_deconvolve != deconvolve");
+    }
+    if (!(minplus::cached_minimum(c[0], c[1]) == minimum(c[0], c[1]))) {
+      return std::string("cached_minimum != minimum");
+    }
+    if (!(minplus::cached_maximum(c[0], c[1]) == maximum(c[0], c[1]))) {
+      return std::string("cached_maximum != maximum");
+    }
+    return std::string();
+  });
+}
+
+}  // namespace
+}  // namespace streamcalc::testing
