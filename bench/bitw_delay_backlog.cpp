@@ -4,6 +4,7 @@
 #include <cstdio>
 
 #include "apps/bitw.hpp"
+#include "diagnostics/lint.hpp"
 #include "netcalc/pipeline.hpp"
 #include "report.hpp"
 #include "streamsim/pipeline_sim.hpp"
@@ -11,7 +12,9 @@
 #include "util/format.hpp"
 #include "util/table.hpp"
 
-int main() {
+namespace {
+
+int run() {
   using namespace streamcalc;
   namespace bitw = apps::bitw;
 
@@ -19,6 +22,8 @@ int main() {
                 "Bump-in-the-wire delay and backlog bounds vs simulation");
 
   const auto nodes = bitw::nodes();
+  diagnostics::preflight_pipeline("bitw_delay_backlog", nodes,
+                                  bitw::delay_study_source(), bitw::policy());
   const netcalc::PipelineModel model(nodes, bitw::delay_study_source(),
                                      bitw::policy());
   const auto sim = streamsim::simulate(nodes, bitw::delay_study_source(),
@@ -100,4 +105,17 @@ int main() {
               reps.worst_delay <= model.delay_bound() ? "yes" : "NO",
               reps.worst_backlog <= model.backlog_bound() ? "yes" : "NO");
   return 0;
+}
+
+}  // namespace
+
+// Surface configuration errors (strict lint, bad STREAMCALC_* settings)
+// as a one-line message and exit code 1 rather than std::terminate.
+int main() {
+  try {
+    return run();
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
 }

@@ -11,6 +11,7 @@
 #include <cstdio>
 
 #include "apps/blast.hpp"
+#include "diagnostics/lint.hpp"
 #include "netcalc/pipeline.hpp"
 #include "report.hpp"
 #include "streamsim/pipeline_sim.hpp"
@@ -18,7 +19,9 @@
 #include "util/format.hpp"
 #include "util/table.hpp"
 
-int main() {
+namespace {
+
+int run() {
   using namespace streamcalc;
   namespace blast = apps::blast;
 
@@ -26,6 +29,12 @@ int main() {
                 "BLAST virtual delay and backlog bounds vs simulation");
 
   const auto nodes = blast::nodes();
+  // Pre-flight lint: the streaming source intentionally overloads the
+  // bottleneck (the paper's regime), so warn mode reports NC101 for the
+  // streaming study while the finite-job model below stays quiet about
+  // asymptotics it never uses.
+  diagnostics::preflight_pipeline("blast_delay_backlog", nodes,
+                                  blast::job_source(), blast::policy());
   const netcalc::PipelineModel job_model(nodes, blast::job_source(),
                                          blast::policy());
   const auto sim = streamsim::simulate(nodes, blast::streaming_source(),
@@ -125,4 +134,17 @@ int main() {
               reps.worst_delay <= job_model.delay_bound() ? "yes" : "NO",
               reps.worst_backlog <= job_model.backlog_bound() ? "yes" : "NO");
   return 0;
+}
+
+}  // namespace
+
+// Surface configuration errors (strict lint, bad STREAMCALC_* settings)
+// as a one-line message and exit code 1 rather than std::terminate.
+int main() {
+  try {
+    return run();
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
 }

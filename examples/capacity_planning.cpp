@@ -11,8 +11,11 @@
 #include "streamsim/pipeline_sim.hpp"
 #include "util/format.hpp"
 #include "util/table.hpp"
+#include "diagnostics/lint.hpp"
 
-int main() {
+namespace {
+
+int run() {
   using namespace streamcalc;
   namespace blast = apps::blast;
 
@@ -27,6 +30,8 @@ int main() {
   for (double offered : {150.0, 250.0, 330.0, 352.0, 500.0, 704.0}) {
     netcalc::SourceSpec src = blast::streaming_source();
     src.rate = util::DataRate::mib_per_sec(offered);
+    diagnostics::preflight_pipeline("capacity_planning", nodes, src,
+                                    blast::policy());
     const netcalc::PipelineModel m(nodes, src, blast::policy());
 
     auto cfg = blast::sim_config();
@@ -51,4 +56,17 @@ int main() {
       "rate while per-job delays grow with queue depth. Provision the FPGA "
       "feed a few percent below the bottleneck for stable latency.\n");
   return 0;
+}
+
+}  // namespace
+
+// Surface configuration errors (strict lint, bad STREAMCALC_* settings)
+// as a one-line message and exit code 1 rather than std::terminate.
+int main() {
+  try {
+    return run();
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
 }

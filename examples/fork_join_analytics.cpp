@@ -16,8 +16,11 @@
 #include "streamsim/pipeline_sim.hpp"
 #include "util/format.hpp"
 #include "util/table.hpp"
+#include "diagnostics/lint.hpp"
 
-int main() {
+namespace {
+
+int run() {
   using namespace streamcalc;
   using namespace util::literals;
   using netcalc::DagSpec;
@@ -56,6 +59,7 @@ int main() {
   src.packet = 64_KiB;
 
   std::printf("== Fork-join media pipeline (DAG model) ==\n\n");
+  diagnostics::preflight_dag("fork_join_analytics", dag, src);
   const netcalc::DagModel model(dag, src);
 
   util::Table t({"node", "regime", "arrival", "service", "delay", "backlog",
@@ -106,4 +110,17 @@ int main() {
   std::printf("video share of demuxed jobs: %.1f%% (configured 60%%)\n",
               100.0 * video_jobs / (video_jobs + audio_jobs));
   return 0;
+}
+
+}  // namespace
+
+// Surface configuration errors (strict lint, bad STREAMCALC_* settings)
+// as a one-line message and exit code 1 rather than std::terminate.
+int main() {
+  try {
+    return run();
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
 }

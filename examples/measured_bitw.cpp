@@ -24,8 +24,11 @@
 #include "streamsim/pipeline_sim.hpp"
 #include "util/format.hpp"
 #include "util/table.hpp"
+#include "diagnostics/lint.hpp"
 
-int main() {
+namespace {
+
+int run() {
   using namespace streamcalc;
   using namespace util::literals;
   namespace k = kernels;
@@ -156,6 +159,7 @@ int main() {
   source.packet = 64_KiB;
 
   // --- Three models, one spec -------------------------------------------
+  diagnostics::preflight_pipeline("measured_bitw", pipeline, source);
   const netcalc::PipelineModel model(pipeline, source);
   const auto tb = model.throughput_bounds(util::Duration::millis(100));
   const auto q = queueing::analyze(pipeline, source);
@@ -189,4 +193,17 @@ int main() {
                   ? "ok"
                   : "VIOLATED");
   return 0;
+}
+
+}  // namespace
+
+// Surface configuration errors (strict lint, bad STREAMCALC_* settings)
+// as a one-line message and exit code 1 rather than std::terminate.
+int main() {
+  try {
+    return run();
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
 }

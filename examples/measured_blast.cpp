@@ -21,8 +21,11 @@
 #include "streamsim/pipeline_sim.hpp"
 #include "util/format.hpp"
 #include "util/table.hpp"
+#include "diagnostics/lint.hpp"
 
-int main() {
+namespace {
+
+int run() {
   using namespace streamcalc;
   using namespace util::literals;
   namespace k = kernels;
@@ -135,6 +138,7 @@ int main() {
   src.burst = util::DataSize::bytes(0);
   src.packet = m_fa2bit.block;
 
+  diagnostics::preflight_pipeline("measured_blast", pipeline, src);
   const netcalc::PipelineModel model(pipeline, src);
   const auto tb = model.throughput_bounds(util::Duration::millis(500));
   const auto q = queueing::analyze(pipeline, src);
@@ -167,4 +171,17 @@ int main() {
   std::printf("\nBLASTN found %zu alignments over the planted homologies\n",
               alignments.size());
   return 0;
+}
+
+}  // namespace
+
+// Surface configuration errors (strict lint, bad STREAMCALC_* settings)
+// as a one-line message and exit code 1 rather than std::terminate.
+int main() {
+  try {
+    return run();
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
 }

@@ -9,8 +9,11 @@
 #include "netcalc/pipeline.hpp"
 #include "streamsim/pipeline_sim.hpp"
 #include "util/format.hpp"
+#include "diagnostics/lint.hpp"
 
-int main() {
+namespace {
+
+int run() {
   using namespace streamcalc;
   using namespace util::literals;
   using netcalc::NodeKind;
@@ -37,7 +40,10 @@ int main() {
   source.burst = 256_KiB;
   source.packet = 64_KiB;
 
-  // 3. Build the network-calculus model and read off the bounds.
+  // 3. Pre-flight lint (nclint), then build the model and read off
+  //    the bounds. In the default warn mode findings go to stderr;
+  //    STREAMCALC_LINT=strict turns them into hard errors.
+  diagnostics::preflight_pipeline("quickstart", pipeline, source);
   const netcalc::PipelineModel model(pipeline, source);
   std::printf("regime:        %s\n", to_string(model.load_regime()));
   std::printf("delay bound:   %s\n",
@@ -65,4 +71,17 @@ int main() {
               sim.max_delay <= model.delay_bound() ? "yes" : "no",
               sim.max_backlog <= model.backlog_bound() ? "yes" : "no");
   return 0;
+}
+
+}  // namespace
+
+// Surface configuration errors (strict lint, bad STREAMCALC_* settings)
+// as a one-line message and exit code 1 rather than std::terminate.
+int main() {
+  try {
+    return run();
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
 }

@@ -10,8 +10,11 @@
 #include "netcalc/pipeline.hpp"
 #include "streamsim/pipeline_sim.hpp"
 #include "util/format.hpp"
+#include "diagnostics/lint.hpp"
 
-int main() {
+namespace {
+
+int run() {
   using namespace streamcalc;
   using namespace util::literals;
   using netcalc::NodeKind;
@@ -63,6 +66,9 @@ int main() {
       util::DataRate::mib_per_sec(300)));
 
   std::printf("== Sensor aggregation with compression offload ==\n\n");
+  // The lint pre-flight flags the worst-case overload below (NC101) —
+  // exactly the situation this example studies.
+  diagnostics::preflight_pipeline("sensor_compression", pipeline, sensors);
   const netcalc::PipelineModel model(pipeline, sensors);
   // The WAN carries compressed bytes: worst case (1.5x) it must move 40/1.5
   // = 26.7 MiB/s > 25 — overloaded! Best case (6x) only 6.7 MiB/s.
@@ -109,4 +115,17 @@ int main() {
               util::format_rate(sim.throughput).c_str(),
               util::format_size(sim.max_backlog).c_str());
   return 0;
+}
+
+}  // namespace
+
+// Surface configuration errors (strict lint, bad STREAMCALC_* settings)
+// as a one-line message and exit code 1 rather than std::terminate.
+int main() {
+  try {
+    return run();
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
 }

@@ -13,8 +13,11 @@
 #include "streamsim/pipeline_sim.hpp"
 #include "util/format.hpp"
 #include "util/table.hpp"
+#include "diagnostics/lint.hpp"
 
-int main() {
+namespace {
+
+int run() {
   using namespace streamcalc;
   using namespace util::literals;
   using netcalc::NodeKind;
@@ -59,6 +62,7 @@ int main() {
                                     util::DataRate::gib_per_sec(1), 64_KiB,
                                     100_us));
 
+  diagnostics::preflight_pipeline("video_analytics", pipeline, cameras);
   const netcalc::PipelineModel model(pipeline, cameras);
 
   std::printf("== Video analytics deployment study ==\n\n");
@@ -101,4 +105,17 @@ int main() {
               util::format_size(sim.max_backlog).c_str(),
               util::format_size(model.backlog_bound()).c_str());
   return 0;
+}
+
+}  // namespace
+
+// Surface configuration errors (strict lint, bad STREAMCALC_* settings)
+// as a one-line message and exit code 1 rather than std::terminate.
+int main() {
+  try {
+    return run();
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
 }

@@ -1,0 +1,76 @@
+#include "cli/lint.hpp"
+
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+
+#include "diagnostics/lint.hpp"
+#include "util/error.hpp"
+
+namespace streamcalc::cli {
+
+diagnostics::LintReport lint_spec(const Spec& spec) {
+  if (spec.is_dag()) {
+    // Assemble the DagSpec without DagSpec::validate(): the lint passes
+    // re-derive every validation failure as a structured diagnostic.
+    netcalc::DagSpec dag;
+    dag.nodes = spec.nodes;
+    dag.edges = spec.edges;
+    dag.entries = spec.entries;
+    return diagnostics::lint_dag(dag, spec.source, spec.policy);
+  }
+  return diagnostics::lint_pipeline(spec.nodes, spec.source, spec.policy);
+}
+
+diagnostics::LintReport lint_spec_text(std::string_view text) {
+  return lint_spec(parse_spec_lenient(text));
+}
+
+namespace {
+
+bool read_input(const std::string& path, std::string& text) {
+  std::ostringstream ss;
+  if (path == "-") {
+    ss << std::cin.rdbuf();
+  } else {
+    std::ifstream in(path);
+    if (!in) return false;
+    ss << in.rdbuf();
+  }
+  text = ss.str();
+  return true;
+}
+
+}  // namespace
+
+int run_lint(const std::vector<std::string>& paths) {
+  bool all_clean = true;
+  for (const std::string& path : paths) {
+    std::string text;
+    if (!read_input(path, text)) {
+      std::fprintf(stderr, "error: cannot open '%s'\n", path.c_str());
+      all_clean = false;
+      continue;
+    }
+    diagnostics::LintReport report;
+    try {
+      report = lint_spec_text(text);
+    } catch (const util::Error& e) {
+      // Syntax-level failure: there is no model to lint.
+      std::fprintf(stderr, "%s: error: %s\n", path.c_str(), e.what());
+      all_clean = false;
+      continue;
+    }
+    std::fputs(report.render(path).c_str(), stdout);
+    if (report.clean()) {
+      std::printf("%s: clean (%zu info)\n", path.c_str(),
+                  report.count(diagnostics::Severity::kInfo));
+    } else {
+      all_clean = false;
+    }
+  }
+  return all_clean ? 0 : 1;
+}
+
+}  // namespace streamcalc::cli

@@ -209,7 +209,7 @@ netcalc::RateBasis parse_basis(const std::string& text, int line) {
        "' (use min, avg, max)");
 }
 
-netcalc::NodeSpec parse_node(const Section& s) {
+netcalc::NodeSpec parse_node(const Section& s, bool validate) {
   if (s.name.empty()) {
     fail("line " + std::to_string(s.line) + ": node sections need a name "
          "([node myname])");
@@ -293,7 +293,7 @@ netcalc::NodeSpec parse_node(const Section& s) {
     n.rate_isolated = parse_rate(*v);
   }
   keys.finish();
-  n.validate();
+  if (validate) n.validate();
   return n;
 }
 
@@ -347,7 +347,9 @@ netcalc::DagEdge parse_topology_edge(
 
 }  // namespace
 
-Spec parse_spec(std::string_view text) {
+namespace {
+
+Spec parse_spec_impl(std::string_view text, bool validate) {
   Spec spec;
   bool have_source = false;
   // Topology lines are resolved after all nodes are known.
@@ -362,7 +364,7 @@ Spec parse_spec(std::string_view text) {
       if (auto v = keys.take("job")) spec.source.job_volume = parse_size(*v);
       keys.finish();
     } else if (s.kind == "node") {
-      spec.nodes.push_back(parse_node(s));
+      spec.nodes.push_back(parse_node(s, validate));
     } else if (s.kind == "policy") {
       Keys keys(s);
       if (auto v = keys.take("service_basis")) {
@@ -419,10 +421,22 @@ Spec parse_spec(std::string_view text) {
           parse_topology_edge(value, line, /*entry=*/false, spec.nodes));
     }
   }
-  if (spec.is_dag()) spec.dag();  // validate the topology eagerly
-  util::require(spec.source.rate > DataRate::bytes_per_sec(0),
-                "spec: [source] rate must be positive");
+  if (validate) {
+    if (spec.is_dag()) spec.dag();  // validate the topology eagerly
+    util::require(spec.source.rate > DataRate::bytes_per_sec(0),
+                  "spec: [source] rate must be positive");
+  }
   return spec;
+}
+
+}  // namespace
+
+Spec parse_spec(std::string_view text) {
+  return parse_spec_impl(text, /*validate=*/true);
+}
+
+Spec parse_spec_lenient(std::string_view text) {
+  return parse_spec_impl(text, /*validate=*/false);
 }
 
 }  // namespace streamcalc::cli

@@ -98,4 +98,11 @@ util::Duration parse_duration(std::string_view text);
 /// line-numbered message on any syntax or semantic error.
 Spec parse_spec(std::string_view text);
 
+/// Like parse_spec, but skips the semantic validation (node specs, DAG
+/// shape, positive source rate) — syntax errors still throw. Used by
+/// `streamcalc lint`, which wants to load a semantically-broken model and
+/// report *all* of its problems as structured diagnostics instead of
+/// stopping at the first PreconditionError.
+Spec parse_spec_lenient(std::string_view text);
+
 }  // namespace streamcalc::cli

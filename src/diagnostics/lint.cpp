@@ -1,0 +1,478 @@
+#include "diagnostics/lint.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <iostream>
+#include <limits>
+
+#include "util/env.hpp"
+#include "util/error.hpp"
+#include "util/format.hpp"
+#include "util/units.hpp"
+
+namespace streamcalc::diagnostics {
+
+namespace {
+
+using netcalc::DagEdge;
+using netcalc::DagSpec;
+using netcalc::ModelPolicy;
+using netcalc::NodeSpec;
+using netcalc::RateBasis;
+using netcalc::SourceSpec;
+using util::DataRate;
+using util::DataSize;
+using util::Duration;
+
+// Load thresholds for NC101/NC102. A node at rho in [kNearCritical, 1) is
+// stable but its bounds blow up as 1/(1 - rho); worth a heads-up.
+constexpr double kNearCritical = 0.95;
+
+// Unit-plausibility thresholds (NC4xx, info only). Generous on purpose:
+// these exist to catch a forgotten unit suffix (bytes where MiB was meant,
+// a per-cycle count where a per-second rate was meant), not to police
+// unusual-but-real hardware.
+constexpr double kTinyBlockBytes = 64.0;
+constexpr double kHugeBlockBytes = 1024.0 * 1024.0 * 1024.0;  // 1 GiB
+constexpr double kTinyRate = 1024.0;                          // 1 KiB/s
+constexpr double kHugeRate = 1024.0 * 1024.0 * 1024.0 * 1024.0;  // 1 TiB/s
+constexpr double kHugeTimeSeconds = 100.0;
+
+double pick_rate(const NodeSpec& node, RateBasis basis) {
+  switch (basis) {
+    case RateBasis::kMin:
+      return node.rate_min().in_bytes_per_sec();
+    case RateBasis::kAvg:
+      return node.rate_avg().in_bytes_per_sec();
+    case RateBasis::kMax:
+      return node.rate_max().in_bytes_per_sec();
+  }
+  return node.rate_min().in_bytes_per_sec();
+}
+
+const char* basis_name(RateBasis basis) {
+  switch (basis) {
+    case RateBasis::kMin:
+      return "min";
+    case RateBasis::kAvg:
+      return "avg";
+    case RateBasis::kMax:
+      return "max";
+  }
+  return "?";
+}
+
+/// NC001/NC002 + NC4xx for one node. Returns false when the spec is
+/// structurally invalid (downstream passes that divide by its fields must
+/// skip the model).
+bool lint_node(const NodeSpec& node, LintReport& report) {
+  bool ok = true;
+  try {
+    node.validate();
+  } catch (const util::Error& e) {
+    report.add({"NC001", Severity::kError, node.name, e.what(),
+                "fix the node measurements; see NodeSpec::validate"});
+    ok = false;
+  }
+  if (node.latency_override < Duration::seconds(0)) {
+    report.add({"NC002", Severity::kError, node.name,
+                "latency override " +
+                    util::format_duration(node.latency_override) +
+                    " is negative: a service curve cannot promise output "
+                    "before input (non-causal)",
+                "set latency >= 0, or omit it to use time_max"});
+    ok = false;
+  }
+  if (!ok) return false;
+
+  // Unit-coherence heuristics. Info only: they must never dirty a valid
+  // model (the generator lint-clean property depends on that).
+  if (node.block_in.in_bytes() < kTinyBlockBytes ||
+      node.block_in.in_bytes() > kHugeBlockBytes) {
+    report.add({"NC401", Severity::kInfo, node.name,
+                "block_in = " + util::format_size(node.block_in) +
+                    " is outside the plausible range [64 B, 1 GiB]",
+                "check the unit suffix (B vs KiB vs MiB)"});
+  }
+  if (node.rate_min().in_bytes_per_sec() < kTinyRate ||
+      node.rate_max().in_bytes_per_sec() > kHugeRate) {
+    report.add({"NC402", Severity::kInfo, node.name,
+                "service rate range " + util::format_rate(node.rate_min()) +
+                    " .. " + util::format_rate(node.rate_max()) +
+                    " is outside the plausible range [1 KiB/s, 1 TiB/s]",
+                "check the rate unit (per second, not per cycle or per "
+                "block)"});
+  }
+  if (node.time_max.in_seconds() > kHugeTimeSeconds) {
+    report.add({"NC403", Severity::kInfo, node.name,
+                "time_max = " + util::format_duration(node.time_max) +
+                    " exceeds 100 s per block",
+                "check the duration unit (us vs ms vs s)"});
+  }
+  return true;
+}
+
+/// NC003 + NC4xx for the source. Returns false when unusable.
+bool lint_source(const SourceSpec& source, LintReport& report) {
+  bool ok = true;
+  if (!(source.rate > DataRate::bytes_per_sec(0)) ||
+      !source.rate.is_finite()) {
+    report.add({"NC003", Severity::kError, "source",
+                "source rate must be positive and finite",
+                "set [source] rate to the sustained input rate"});
+    ok = false;
+  }
+  if (source.burst < DataSize::bytes(0) || !source.burst.is_finite()) {
+    report.add({"NC003", Severity::kError, "source",
+                "source burst must be non-negative and finite", ""});
+    ok = false;
+  }
+  if (source.job_volume.is_finite() &&
+      !(source.job_volume > DataSize::bytes(0))) {
+    report.add({"NC003", Severity::kError, "source",
+                "finite job volume must be positive", ""});
+    ok = false;
+  }
+  if (ok && (source.rate.in_bytes_per_sec() < kTinyRate ||
+             source.rate.in_bytes_per_sec() > kHugeRate)) {
+    report.add({"NC402", Severity::kInfo, "source",
+                "source rate " + util::format_rate(source.rate) +
+                    " is outside the plausible range [1 KiB/s, 1 TiB/s]",
+                "check the rate unit"});
+  }
+  return ok;
+}
+
+/// NC501/NC502: rate-basis sanity.
+void lint_policy(const ModelPolicy& policy, LintReport& report) {
+  if (policy.service_basis == RateBasis::kMax) {
+    report.add({"NC501", Severity::kWarning, "policy",
+                "service_basis = max builds the guarantee from best-case "
+                "rates; the resulting delay/backlog bounds are not "
+                "worst-case bounds",
+                "use service_basis = min (sound) or avg (the paper's BITW "
+                "study)"});
+  }
+  const auto rank = [](RateBasis b) {
+    return b == RateBasis::kMin ? 0 : b == RateBasis::kAvg ? 1 : 2;
+  };
+  if (rank(policy.max_service_basis) < rank(policy.service_basis)) {
+    report.add({"NC502", Severity::kInfo, "policy",
+                std::string("max_service_basis = ") +
+                    basis_name(policy.max_service_basis) +
+                    " lies below service_basis = " +
+                    basis_name(policy.service_basis) +
+                    ": the ceiling curve can undercut the guarantee",
+                "use a max_service_basis at or above the service basis"});
+  }
+}
+
+/// NC101/NC102 for one node given its sustained (upstream-clipped)
+/// normalized arrival rate and its normalized guaranteed rate.
+void lint_load(const NodeSpec& node, double sustained_norm, double rate_norm,
+               bool finite_job, LintReport& report) {
+  if (rate_norm <= 0.0 || !std::isfinite(rate_norm)) return;
+  const double rho = sustained_norm / rate_norm;
+  if (rho >= 1.0) {
+    std::string msg =
+        "sustained arrival rate " +
+        util::format_rate(DataRate::bytes_per_sec(sustained_norm)) +
+        " reaches guaranteed service rate " +
+        util::format_rate(DataRate::bytes_per_sec(rate_norm)) +
+        " (rho = " + util::format_significant(rho) +
+        ", input-normalized): asymptotic delay/backlog bounds are infinite";
+    if (finite_job) {
+      msg += "; the finite job volume keeps finite-horizon bounds usable";
+    }
+    report.add({"NC101", Severity::kWarning, node.name, std::move(msg),
+                "lower the source rate below the bottleneck, speed up the "
+                "stage, or set a finite [source] job volume"});
+  } else if (rho >= kNearCritical) {
+    report.add({"NC102", Severity::kInfo, node.name,
+                "rho = " + util::format_significant(rho) +
+                    " is near critical load; bounds grow as 1/(1 - rho)",
+                ""});
+  }
+}
+
+}  // namespace
+
+LintReport lint_pipeline(const std::vector<NodeSpec>& nodes,
+                         const SourceSpec& source,
+                         const ModelPolicy& policy) {
+  LintReport report;
+  if (nodes.empty()) {
+    report.add({"NC001", Severity::kError, "model",
+                "pipeline has no nodes", "declare at least one [node]"});
+    return report;
+  }
+  bool structural_ok = lint_source(source, report);
+  for (const NodeSpec& n : nodes) {
+    structural_ok &= lint_node(n, report);
+  }
+  lint_policy(policy, report);
+  if (!structural_ok) return report;
+
+  // Stability: the same scalar recurrence PipelineModel::build uses —
+  // worst-case volume normalization, then the sustained rate reaching each
+  // node is the source rate clipped by every upstream guaranteed rate.
+  const bool finite_job = source.job_volume.is_finite();
+  double vol_worst = 1.0;
+  double sustained = source.rate.in_bytes_per_sec();
+  for (std::size_t i = 0; i < nodes.size(); ++i) {
+    if (i > 0) vol_worst *= nodes[i - 1].volume.max;
+    const double rate_norm =
+        pick_rate(nodes[i], policy.service_basis) / vol_worst;
+    lint_load(nodes[i], sustained, rate_norm, finite_job, report);
+    sustained = std::min(sustained, rate_norm);
+  }
+  return report;
+}
+
+LintReport lint_dag(const DagSpec& dag, const SourceSpec& source,
+                    const ModelPolicy& policy) {
+  LintReport report;
+  const std::size_t n = dag.nodes.size();
+  if (n == 0) {
+    report.add({"NC001", Severity::kError, "model", "DAG has no nodes",
+                "declare at least one [node]"});
+    return report;
+  }
+  bool structural_ok = lint_source(source, report);
+  for (const NodeSpec& node : dag.nodes) {
+    structural_ok &= lint_node(node, report);
+  }
+  lint_policy(policy, report);
+
+  // Topology shape. Any indexing error makes the graph passes meaningless,
+  // so bail out after reporting.
+  bool indices_ok = true;
+  for (const DagEdge& e : dag.edges) {
+    if (e.from >= n || e.to >= n) {
+      report.add({"NC301", Severity::kError, "topology",
+                  "edge references a node index out of range", ""});
+      indices_ok = false;
+    } else if (e.from == e.to) {
+      report.add({"NC303", Severity::kError, dag.nodes[e.from].name,
+                  "self-loop edge", "remove the edge"});
+      indices_ok = false;
+    }
+  }
+  for (const DagEdge& e : dag.entries) {
+    if (e.to >= n) {
+      report.add({"NC301", Severity::kError, "topology",
+                  "entry references a node index out of range", ""});
+      indices_ok = false;
+    }
+  }
+  if (dag.entries.empty()) {
+    report.add({"NC301", Severity::kError, "topology",
+                "DAG has no entries: no node is fed by the source",
+                "add an 'entry = <node> [fraction]' line"});
+    indices_ok = false;
+  }
+  if (!indices_ok) return report;
+
+  // Flow conservation at fan-out (NC301/NC302) and at the source.
+  std::vector<double> out_sum(n, 0.0);
+  std::vector<bool> has_out(n, false);
+  for (const DagEdge& e : dag.edges) {
+    if (e.fraction <= 0.0 || e.fraction > 1.0) {
+      report.add({"NC301", Severity::kError, dag.nodes[e.from].name,
+                  "edge fraction " + util::format_significant(e.fraction) +
+                      " is outside (0, 1]",
+                  "route a positive share of the output, at most all of "
+                  "it"});
+      structural_ok = false;
+    }
+    out_sum[e.from] += e.fraction;
+    has_out[e.from] = true;
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    if (out_sum[i] > 1.0 + 1e-9) {
+      report.add({"NC301", Severity::kError, dag.nodes[i].name,
+                  "outgoing edge fractions sum to " +
+                      util::format_significant(out_sum[i]) +
+                      " > 1: the node would emit more flow than it "
+                      "produces",
+                  "scale the outgoing fractions to sum to at most 1"});
+      structural_ok = false;
+    } else if (has_out[i] && out_sum[i] < 1.0 - 1e-9) {
+      report.add({"NC302", Severity::kInfo, dag.nodes[i].name,
+                  "outgoing edge fractions sum to " +
+                      util::format_significant(out_sum[i]) +
+                      ": fraction " +
+                      util::format_significant(1.0 - out_sum[i]) +
+                      " of the output leaves the modeled system",
+                  "intentional for filtered/dropped flow; otherwise add "
+                  "the missing edge"});
+    }
+  }
+  double entry_sum = 0.0;
+  for (const DagEdge& e : dag.entries) {
+    if (e.fraction <= 0.0 || e.fraction > 1.0) {
+      report.add({"NC301", Severity::kError, "topology",
+                  "entry fraction " + util::format_significant(e.fraction) +
+                      " is outside (0, 1]",
+                  ""});
+      structural_ok = false;
+    }
+    entry_sum += e.fraction;
+  }
+  if (entry_sum > 1.0 + 1e-9) {
+    report.add({"NC301", Severity::kError, "topology",
+                "entry fractions sum to " +
+                    util::format_significant(entry_sum) +
+                    " > 1: more flow enters than the source produces",
+                "scale the entry fractions to sum to at most 1"});
+    structural_ok = false;
+  }
+
+  // Cycles (NC303) and unfed nodes (NC304) via Kahn's algorithm — the
+  // builder's topological_order, but reporting *which* nodes are stuck
+  // instead of throwing a blanket error. An unfed node (no entry, no
+  // incoming edge) passes the builder's validation yet crashes its volume
+  // propagation, so it is an error here.
+  std::vector<std::size_t> indegree(n, 0);
+  std::vector<bool> entry_fed(n, false);
+  for (const DagEdge& e : dag.edges) ++indegree[e.to];
+  for (const DagEdge& e : dag.entries) entry_fed[e.to] = true;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (indegree[i] == 0 && !entry_fed[i]) {
+      report.add({"NC304", Severity::kError, dag.nodes[i].name,
+                  "node is not an entry and has no incoming edges: it "
+                  "receives no flow",
+                  "add an entry or an edge feeding it, or remove the "
+                  "node"});
+      structural_ok = false;
+    }
+  }
+  const auto order = dag.topological_order();
+  if (order.size() < n) {
+    std::vector<bool> placed(n, false);
+    for (std::size_t i : order) placed[i] = true;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (!placed[i]) {
+        report.add({"NC303", Severity::kError, dag.nodes[i].name,
+                    "node lies on a cycle: network calculus over this "
+                    "graph requires a DAG",
+                    "break the cycle (feedback flows need a different "
+                    "model)"});
+        structural_ok = false;
+      }
+    }
+  }
+  if (!structural_ok) return report;
+
+  // Stability in topological order (NC101/NC102), mirroring DagModel's
+  // volume propagation: vol_in[i] is the worst-case bytes at node i's
+  // input per source byte; throughput propagates source-normalized, each
+  // node clipping its output at its own guaranteed rate. NC305 adds the
+  // path-level consequence at fan-in nodes: once cross-traffic can absorb
+  // the whole service rate, every per-path bound through the node is
+  // infinite (the residual [beta - alpha_cross]^+ vanishes).
+  const bool finite_job = source.job_volume.is_finite();
+  std::vector<double> vol_in(n, 0.0);
+  std::vector<double> vol_out(n, 0.0);
+  std::vector<double> thru_in(n, 0.0);
+  std::vector<double> thru_out(n, 0.0);
+  std::vector<std::size_t> fan_in(n, 0);
+  const double source_rate = source.rate.in_bytes_per_sec();
+  for (const DagEdge& e : dag.entries) {
+    vol_in[e.to] += e.fraction;
+    thru_in[e.to] += e.fraction * source_rate;
+    ++fan_in[e.to];
+  }
+  for (std::size_t i : order) {
+    for (const DagEdge& e : dag.edges) {
+      if (e.to == i) {
+        vol_in[i] += e.fraction * vol_out[e.from];
+        thru_in[i] += e.fraction * thru_out[e.from];
+        ++fan_in[i];
+      }
+    }
+    if (vol_in[i] <= 0.0) continue;  // unreachable; NC304 already fired
+    vol_out[i] = vol_in[i] * dag.nodes[i].volume.max;
+    const double rate_norm =
+        pick_rate(dag.nodes[i], policy.service_basis) / vol_in[i];
+    lint_load(dag.nodes[i], thru_in[i], rate_norm, finite_job, report);
+    if (fan_in[i] >= 2 && thru_in[i] >= rate_norm) {
+      report.add({"NC305", Severity::kWarning, dag.nodes[i].name,
+                  "combined cross-traffic at this fan-in absorbs the "
+                  "entire guaranteed rate: residual service for each "
+                  "joining path vanishes and per-path delay bounds are "
+                  "infinite",
+                  "reduce upstream load or serve the joining flows from "
+                  "separate resources"});
+    }
+    thru_out[i] = std::min(thru_in[i], rate_norm);
+  }
+  return report;
+}
+
+LintReport lint_flow(const minplus::Curve& arrival,
+                     const minplus::Curve& service,
+                     const std::string& location) {
+  LintReport report;
+  if (arrival.value(0.0) > 0.0) {
+    report.add({"NC201", Severity::kWarning, location,
+                "arrival envelope is positive at t = 0 (alpha(0) = " +
+                    util::format_significant(arrival.value(0.0)) +
+                    "): cumulative arrivals must start at 0 (causality); "
+                    "bursts belong in the right limit alpha(0+)",
+                "use Curve::affine(rate, burst), which places the burst "
+                "at 0+"});
+  }
+  const double as = arrival.tail_slope();
+  const double bs = service.tail_slope();
+  if (as > bs + 1e-9 * (1.0 + std::fabs(bs))) {
+    report.add({"NC202", Severity::kWarning, location,
+                "arrival tail slope " +
+                    util::format_rate(DataRate::bytes_per_sec(as)) +
+                    " exceeds the service tail slope " +
+                    util::format_rate(DataRate::bytes_per_sec(bs)) +
+                    ": the deconvolution alpha (/) beta diverges, so "
+                    "output and backlog bounds do not converge",
+                "shape the arrival below the long-term service rate"});
+  }
+  return report;
+}
+
+LintMode lint_mode_from_env() {
+  const auto raw = util::env_raw("STREAMCALC_LINT");
+  if (!raw || *raw == "warn") return LintMode::kWarn;
+  if (*raw == "strict") return LintMode::kStrict;
+  if (*raw == "off") return LintMode::kOff;
+  throw util::PreconditionError(
+      "STREAMCALC_LINT=\"" + *raw +
+      "\" is not a valid setting: expected \"warn\", \"strict\", or "
+      "\"off\"");
+}
+
+void preflight(const std::string& context, const LintReport& report) {
+  const LintMode mode = lint_mode_from_env();
+  if (mode == LintMode::kOff) return;
+  const std::string rendered = report.render(context);
+  if (!rendered.empty()) std::cerr << rendered;
+  if (mode == LintMode::kStrict && !report.clean()) {
+    throw util::PreconditionError(
+        context + ": model failed lint with " +
+        std::to_string(report.count(Severity::kError)) + " error(s) and " +
+        std::to_string(report.count(Severity::kWarning)) +
+        " warning(s) (STREAMCALC_LINT=strict)");
+  }
+}
+
+void preflight_pipeline(const std::string& context,
+                        const std::vector<NodeSpec>& nodes,
+                        const SourceSpec& source,
+                        const ModelPolicy& policy) {
+  preflight(context, lint_pipeline(nodes, source, policy));
+}
+
+void preflight_dag(const std::string& context, const DagSpec& dag,
+                   const SourceSpec& source, const ModelPolicy& policy) {
+  preflight(context, lint_dag(dag, source, policy));
+}
+
+}  // namespace streamcalc::diagnostics

@@ -1,0 +1,87 @@
+// nclint: static analysis passes over network-calculus models.
+//
+// Every pass runs *before* numeric evaluation and costs O(nodes + edges) —
+// no curve algebra — so it is cheap enough to run unconditionally as a
+// pre-flight check in every driver. The passes catch the model-level
+// mistakes that otherwise surface as infinite bounds, non-convergent
+// closures, or exceptions thrown deep inside the curve kernels:
+//
+//   * structural validity (NC0xx): node/source specs a build would reject,
+//     plus non-causal latency overrides a build would only reject deep
+//     inside Curve::rate_latency;
+//   * stability (NC1xx): the paper's rho < 1 condition, checked per node
+//     with the same scalar volume-normalization and upstream-clipping
+//     recurrence the model builder uses;
+//   * curve shape (NC2xx): causality of supplied arrival envelopes and the
+//     tail-slope compatibility that predicts whether deconvolution-based
+//     output bounds converge;
+//   * topology (NC3xx): flow conservation at fan-out, cycles, nodes that
+//     receive no flow (which crash the DAG builder), vanishing residual
+//     service on shared paths;
+//   * unit coherence (NC4xx, always info): magnitudes that suggest a
+//     bytes-vs-MiB or per-second-vs-per-cycle mixup;
+//   * policy sanity (NC5xx): rate-basis choices that make the "guarantee"
+//     unsound.
+//
+// Entry points mirror the two model shapes (chain, DAG) plus a curve-level
+// check for callers supplying custom arrival envelopes. preflight() wires
+// a report into a driver: print findings in warn mode (the default), throw
+// in strict mode (STREAMCALC_LINT=strict), do nothing when off.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "diagnostics/diagnostic.hpp"
+#include "minplus/curve.hpp"
+#include "netcalc/dag.hpp"
+#include "netcalc/node.hpp"
+#include "netcalc/pipeline.hpp"
+
+namespace streamcalc::diagnostics {
+
+/// Lints a chain pipeline (the PipelineModel input form).
+LintReport lint_pipeline(const std::vector<netcalc::NodeSpec>& nodes,
+                         const netcalc::SourceSpec& source,
+                         const netcalc::ModelPolicy& policy = {});
+
+/// Lints a DAG (the DagModel input form).
+LintReport lint_dag(const netcalc::DagSpec& dag,
+                    const netcalc::SourceSpec& source,
+                    const netcalc::ModelPolicy& policy = {});
+
+/// Lints a caller-supplied arrival envelope against a service curve
+/// (PipelineModel::with_arrival users): causality at t = 0 and tail-slope
+/// compatibility of the deconvolution alpha (/) beta.
+LintReport lint_flow(const minplus::Curve& arrival,
+                     const minplus::Curve& service,
+                     const std::string& location = "flow");
+
+// --- Pre-flight wiring ----------------------------------------------------
+
+enum class LintMode {
+  kOff,    ///< skip linting entirely
+  kWarn,   ///< print findings to stderr, continue (default)
+  kStrict  ///< print findings and throw when the model is not clean
+};
+
+/// STREAMCALC_LINT: unset/"warn" = kWarn, "strict" = kStrict,
+/// "off" = kOff. Anything else throws PreconditionError naming the
+/// variable (see util/env.hpp).
+LintMode lint_mode_from_env();
+
+/// Applies the mode policy to a finished report: renders findings to
+/// stderr (prefixed with `context`) unless off, and throws
+/// PreconditionError in strict mode when the report is not clean.
+void preflight(const std::string& context, const LintReport& report);
+
+/// Convenience: lint + preflight in one call.
+void preflight_pipeline(const std::string& context,
+                        const std::vector<netcalc::NodeSpec>& nodes,
+                        const netcalc::SourceSpec& source,
+                        const netcalc::ModelPolicy& policy = {});
+void preflight_dag(const std::string& context, const netcalc::DagSpec& dag,
+                   const netcalc::SourceSpec& source,
+                   const netcalc::ModelPolicy& policy = {});
+
+}  // namespace streamcalc::diagnostics

@@ -1,13 +1,14 @@
 #include "minplus/cache.hpp"
 
-#include <cstdlib>
 #include <cstring>
 #include <list>
-#include <mutex>
 #include <unordered_map>
 #include <vector>
 
 #include "minplus/operations.hpp"
+#include "util/env.hpp"
+#include "util/sync.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace streamcalc::minplus {
 
@@ -28,12 +29,11 @@ std::uint64_t hash_combine(std::uint64_t h, double v) {
 }
 
 std::size_t global_capacity_from_env() {
-  const char* env = std::getenv("STREAMCALC_CURVE_CACHE");
-  if (env == nullptr || *env == '\0') return 4096;
-  char* end = nullptr;
-  const long parsed = std::strtol(env, &end, 10);
-  if (end == env || *end != '\0' || parsed < 0) return 4096;
-  return static_cast<std::size_t>(parsed);
+  // Strict parse: a typoed value must not silently fall back to the
+  // default capacity (see util/env.hpp). 0 disables caching.
+  const auto parsed =
+      util::env_uint("STREAMCALC_CURVE_CACHE", 1u << 24);
+  return parsed ? static_cast<std::size_t>(*parsed) : 4096;
 }
 
 }  // namespace
@@ -60,12 +60,13 @@ struct CurveOpCache::Impl {
   explicit Impl(std::size_t cap) : capacity(cap) {}
 
   const std::size_t capacity;
-  mutable std::mutex mutex;
+  mutable util::Mutex mutex;
   /// Front = most recently used.
-  std::list<Entry> lru;
-  std::unordered_map<std::uint64_t, std::list<Entry>::iterator> index;
-  std::uint64_t hits = 0;
-  std::uint64_t misses = 0;
+  std::list<Entry> lru SC_GUARDED_BY(mutex);
+  std::unordered_map<std::uint64_t, std::list<Entry>::iterator> index
+      SC_GUARDED_BY(mutex);
+  std::uint64_t hits SC_GUARDED_BY(mutex) = 0;
+  std::uint64_t misses SC_GUARDED_BY(mutex) = 0;
 };
 
 CurveOpCache::CurveOpCache(std::size_t capacity)
@@ -82,7 +83,7 @@ Curve CurveOpCache::get_or_compute(
           (structural_hash(g) + 0x9E3779B97F4A7C15ULL) ^
           (static_cast<std::uint64_t>(op) << 56));
   {
-    std::lock_guard<std::mutex> lock(impl_->mutex);
+    util::MutexLock lock(impl_->mutex);
     const auto it = impl_->index.find(key);
     if (it != impl_->index.end() && it->second->f == f &&
         it->second->g == g) {
@@ -98,7 +99,7 @@ Curve CurveOpCache::get_or_compute(
   // threads produce the identical result; the insert below keeps one.
   Curve result = compute(f, g);
   {
-    std::lock_guard<std::mutex> lock(impl_->mutex);
+    util::MutexLock lock(impl_->mutex);
     const auto it = impl_->index.find(key);
     if (it != impl_->index.end()) {
       // Either a concurrent computation of the same pair landed first, or
@@ -120,13 +121,13 @@ Curve CurveOpCache::get_or_compute(
 }
 
 CurveOpCache::Stats CurveOpCache::stats() const {
-  std::lock_guard<std::mutex> lock(impl_->mutex);
+  util::MutexLock lock(impl_->mutex);
   return Stats{impl_->hits, impl_->misses, impl_->lru.size(),
                impl_->capacity};
 }
 
 void CurveOpCache::clear() {
-  std::lock_guard<std::mutex> lock(impl_->mutex);
+  util::MutexLock lock(impl_->mutex);
   impl_->index.clear();
   impl_->lru.clear();
 }

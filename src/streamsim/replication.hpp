@@ -15,6 +15,14 @@
 //   * Per-replication results land in index-addressed slots and are merged
 //     in index order, so the summary statistics are byte-identical whatever
 //     the thread count — including a 1-thread (serial) run.
+//
+// The runner deliberately holds no mutex-guarded state of its own: the
+// only memory shared across threads is the slot vectors, which workers
+// touch at disjoint indices handed out by ThreadPool::parallel_for (whose
+// internal queue/claim state carries the Clang thread-safety annotations —
+// see util/thread_annotations.hpp and DESIGN.md §8). Keep it that way: any
+// future cross-replication accumulator must either stay slot-addressed or
+// be guarded by an annotated util::Mutex.
 #pragma once
 
 #include <cstdint>

@@ -1,11 +1,11 @@
 #include "testing/property.hpp"
 
-#include <cstdlib>
 #include <exception>
 #include <sstream>
 #include <utility>
 
 #include "testing/shrink.hpp"
+#include "util/env.hpp"
 #include "util/error.hpp"
 
 namespace streamcalc::testing {
@@ -28,11 +28,11 @@ std::string eval_property(const PropertyFn& property,
 }  // namespace
 
 int base_cases() {
-  if (const char* env = std::getenv("STREAMCALC_FUZZ_CASES")) {
-    const long v = std::strtol(env, nullptr, 10);
-    if (v >= 1) return static_cast<int>(v);
-  }
-  return 500;
+  // Strict parse: a garbled budget must not silently revert to 500 cases
+  // (see util/env.hpp). At least 1; capped well below INT_MAX so the
+  // scaled_cases multiplication cannot overflow.
+  const auto v = util::env_uint_in("STREAMCALC_FUZZ_CASES", 1, 100000000);
+  return v ? static_cast<int>(*v) : 500;
 }
 
 int scaled_cases(int default_cases) {

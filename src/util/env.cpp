@@ -1,0 +1,54 @@
+#include "util/env.hpp"
+
+#include <cctype>
+#include <charconv>
+#include <cstdlib>
+
+#include "util/error.hpp"
+
+namespace streamcalc::util {
+
+std::optional<std::string> env_raw(const std::string& name) {
+  const char* value = std::getenv(name.c_str());
+  if (value == nullptr || *value == '\0') return std::nullopt;
+  return std::string(value);
+}
+
+std::optional<std::uint64_t> env_uint(const std::string& name,
+                                      std::uint64_t max) {
+  const auto raw = env_raw(name);
+  if (!raw) return std::nullopt;
+  const std::string& text = *raw;
+  // from_chars accepts only an optional minus sign plus digits — no
+  // leading whitespace, no "+", no hex — which is exactly the strictness
+  // we want. Reject the minus sign up front for a clearer message.
+  std::uint64_t parsed = 0;
+  const char* first = text.data();
+  const char* last = text.data() + text.size();
+  const auto result = std::from_chars(first, last, parsed, 10);
+  if (result.ec != std::errc{} || result.ptr != last ||
+      !std::isdigit(static_cast<unsigned char>(text.front()))) {
+    throw PreconditionError(
+        name + "=\"" + text +
+        "\" is not a valid setting: expected a non-negative integer");
+  }
+  if (parsed > max) {
+    throw PreconditionError(name + "=" + text + " is out of range (max " +
+                            std::to_string(max) + ")");
+  }
+  return parsed;
+}
+
+std::optional<std::uint64_t> env_uint_in(const std::string& name,
+                                         std::uint64_t min,
+                                         std::uint64_t max) {
+  const auto parsed = env_uint(name, max);
+  if (parsed && *parsed < min) {
+    throw PreconditionError(name + "=" + std::to_string(*parsed) +
+                            " is out of range (min " + std::to_string(min) +
+                            ")");
+  }
+  return parsed;
+}
+
+}  // namespace streamcalc::util

@@ -1,0 +1,36 @@
+// Strict environment-variable parsing.
+//
+// The tuning knobs (STREAMCALC_THREADS, STREAMCALC_CURVE_CACHE,
+// STREAMCALC_FUZZ_CASES, STREAMCALC_LINT) used to fall back to defaults on
+// garbage input — `STREAMCALC_THREADS=fast` silently meant "hardware
+// concurrency", which is exactly the wrong behavior for a reproducibility
+// knob. These helpers reject malformed values with an error that names the
+// variable and the accepted forms, so a typo fails loudly at startup
+// instead of silently changing what the run measures.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+namespace streamcalc::util {
+
+/// Raw value of `name`, or nullopt when unset or set to the empty string
+/// (both conventionally mean "use the default").
+std::optional<std::string> env_raw(const std::string& name);
+
+/// Parses `name` as a non-negative decimal integer <= `max`. Returns
+/// nullopt when unset/empty. Throws PreconditionError naming the variable
+/// on any other input: non-numeric text, trailing junk ("8x"), signs,
+/// whitespace, or out-of-range values.
+std::optional<std::uint64_t> env_uint(const std::string& name,
+                                      std::uint64_t max = UINT64_MAX);
+
+/// Like env_uint but with a lower bound: values below `min` are rejected
+/// with the same variable-naming error. Used by knobs where 0 is not a
+/// meaningful setting (e.g. STREAMCALC_FUZZ_CASES).
+std::optional<std::uint64_t> env_uint_in(const std::string& name,
+                                         std::uint64_t min,
+                                         std::uint64_t max = UINT64_MAX);
+
+}  // namespace streamcalc::util

@@ -1,8 +1,11 @@
 #include "util/thread_pool.hpp"
 
 #include <algorithm>
-#include <cstdlib>
-#include <string>
+#include <atomic>
+#include <exception>
+
+#include "util/env.hpp"
+#include "util/error.hpp"
 
 namespace streamcalc::util {
 
@@ -15,20 +18,28 @@ unsigned hardware_threads() {
   return std::max(1u, std::thread::hardware_concurrency());
 }
 
+// Upper bound on an explicit thread count; values past this are resource
+// exhaustion bugs (typoed exponents), not tuning.
+constexpr std::uint64_t kMaxThreads = 4096;
+
 }  // namespace
 
 unsigned configured_thread_count() {
-  const char* env = std::getenv("STREAMCALC_THREADS");
-  if (env == nullptr || *env == '\0') return hardware_threads();
-  const std::string value(env);
-  if (value == "serial") return 1;
-  char* end = nullptr;
-  const long parsed = std::strtol(value.c_str(), &end, 10);
-  if (end == value.c_str() || *end != '\0' || parsed < 0) {
-    return hardware_threads();
+  const auto raw = env_raw("STREAMCALC_THREADS");
+  if (!raw) return hardware_threads();
+  if (*raw == "serial") return 1;
+  std::optional<std::uint64_t> parsed;
+  try {
+    parsed = env_uint("STREAMCALC_THREADS", kMaxThreads);
+  } catch (const PreconditionError&) {
+    throw PreconditionError(
+        "STREAMCALC_THREADS=\"" + *raw +
+        "\" is not a valid setting: expected a non-negative thread count "
+        "(0 = hardware concurrency, max " +
+        std::to_string(kMaxThreads) + ") or \"serial\"");
   }
-  if (parsed == 0) return hardware_threads();
-  return static_cast<unsigned>(parsed);
+  if (*parsed == 0) return hardware_threads();
+  return static_cast<unsigned>(*parsed);
 }
 
 ThreadPool::ThreadPool(unsigned threads) {
@@ -41,7 +52,7 @@ ThreadPool::ThreadPool(unsigned threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     stopping_ = true;
   }
   work_available_.notify_all();
@@ -54,9 +65,8 @@ void ThreadPool::worker_loop(std::stop_token /*stop*/) {
   for (;;) {
     std::function<void()> task;
     {
-      std::unique_lock<std::mutex> lock(mutex_);
-      work_available_.wait(
-          lock, [this] { return stopping_ || !queue_.empty(); });
+      MutexLock lock(mutex_);
+      while (!stopping_ && queue_.empty()) work_available_.wait(mutex_);
       if (queue_.empty()) return;  // stopping_ and nothing left to drain
       task = std::move(queue_.front());
       queue_.pop_front();
@@ -64,7 +74,7 @@ void ThreadPool::worker_loop(std::stop_token /*stop*/) {
     }
     task();
     {
-      std::lock_guard<std::mutex> lock(mutex_);
+      MutexLock lock(mutex_);
       --active_;
       if (queue_.empty() && active_ == 0) idle_.notify_all();
     }
@@ -77,15 +87,15 @@ void ThreadPool::submit(std::function<void()> task) {
     return;
   }
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     queue_.push_back(std::move(task));
   }
   work_available_.notify_one();
 }
 
 void ThreadPool::wait_idle() {
-  std::unique_lock<std::mutex> lock(mutex_);
-  idle_.wait(lock, [this] { return queue_.empty() && active_ == 0; });
+  MutexLock lock(mutex_);
+  while (!queue_.empty() || active_ != 0) idle_.wait(mutex_);
 }
 
 void ThreadPool::parallel_for(
@@ -108,20 +118,24 @@ void ThreadPool::parallel_for(
   }
 
   struct State {
-    std::mutex m;
-    std::condition_variable done_cv;
-    std::size_t next = 0;       ///< next chunk index to claim
-    std::size_t pending;        ///< chunks not yet finished
-    std::size_t live_tasks = 0; ///< queued runner tasks not yet returned
-    std::exception_ptr error;
+    Mutex m;
+    CondVar done_cv;
+    std::size_t next SC_GUARDED_BY(m) = 0;  ///< next chunk index to claim
+    std::size_t pending SC_GUARDED_BY(m) = 0;  ///< chunks not yet finished
+    std::size_t live_tasks SC_GUARDED_BY(m) =
+        0;  ///< queued runner tasks not yet returned
+    std::exception_ptr error SC_GUARDED_BY(m);
   } state;
-  state.pending = chunks;
+  {
+    MutexLock lock(state.m);
+    state.pending = chunks;
+  }
 
   const auto run_chunks = [&]() {
     for (;;) {
       std::size_t c;
       {
-        std::lock_guard<std::mutex> lock(state.m);
+        MutexLock lock(state.m);
         if (state.next >= chunks) return;
         c = state.next++;
       }
@@ -129,11 +143,11 @@ void ThreadPool::parallel_for(
       try {
         fn(lo, std::min(end, lo + grain));
       } catch (...) {
-        std::lock_guard<std::mutex> lock(state.m);
+        MutexLock lock(state.m);
         if (!state.error) state.error = std::current_exception();
       }
       {
-        std::lock_guard<std::mutex> lock(state.m);
+        MutexLock lock(state.m);
         if (--state.pending == 0) state.done_cv.notify_all();
       }
     }
@@ -142,27 +156,29 @@ void ThreadPool::parallel_for(
   const std::size_t helpers =
       std::min<std::size_t>(workers_.size(), chunks - 1);
   {
-    std::lock_guard<std::mutex> lock(state.m);
+    MutexLock lock(state.m);
     state.live_tasks = helpers;
   }
   for (std::size_t i = 0; i < helpers; ++i) {
     submit([&state, run_chunks] {
       run_chunks();
-      std::lock_guard<std::mutex> lock(state.m);
+      MutexLock lock(state.m);
       if (--state.live_tasks == 0) state.done_cv.notify_all();
     });
   }
   run_chunks();
-  std::unique_lock<std::mutex> lock(state.m);
-  state.done_cv.wait(lock, [&state] {
-    return state.pending == 0 && state.live_tasks == 0;
-  });
+  MutexLock lock(state.m);
+  while (state.pending != 0 || state.live_tasks != 0) {
+    state.done_cv.wait(state.m);
+  }
   if (state.error) std::rethrow_exception(state.error);
 }
 
 ThreadPool& ThreadPool::global() {
   // Lazily constructed; a configured count of 1 (or "serial") means no
-  // workers at all, so the pool degenerates to inline execution.
+  // workers at all, so the pool degenerates to inline execution. A
+  // malformed STREAMCALC_THREADS throws out of the initializer — failing
+  // the run loudly is the point (see util/env.hpp).
   static ThreadPool pool(configured_thread_count() <= 1
                              ? 0u
                              : configured_thread_count());

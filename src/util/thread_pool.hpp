@@ -15,23 +15,27 @@
 //      task queue, parallel_for + submit. No work stealing, no futures-heavy
 //      API — the kernels need fork/join over index ranges, nothing more.
 //
+// All shared state is guarded by an annotated util::Mutex and checked by
+// Clang's thread-safety analysis (-Werror=thread-safety in CI); see
+// util/thread_annotations.hpp and DESIGN.md §8.
+//
 // The global() instance is lazily initialized from the STREAMCALC_THREADS
 // environment variable: unset or "0" = hardware concurrency, "1" or
 // "serial" = serial mode (no workers; everything runs inline — useful for
 // reproducibility debugging and as the reference side of determinism
-// tests). set_force_serial() lets tests flip the same global pool between
-// parallel and inline execution at runtime.
+// tests). Any other non-numeric value is rejected with an error (see
+// util/env.hpp). set_force_serial() lets tests flip the same global pool
+// between parallel and inline execution at runtime.
 #pragma once
 
-#include <atomic>
-#include <condition_variable>
 #include <cstddef>
 #include <deque>
-#include <exception>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "util/sync.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace streamcalc::util {
 
@@ -61,14 +65,15 @@ class ThreadPool {
   /// the range has fewer than 2 chunks, or the caller is itself a pool
   /// worker (nested parallelism runs inline rather than deadlocking).
   void parallel_for(std::size_t begin, std::size_t end, std::size_t grain,
-                    const std::function<void(std::size_t, std::size_t)>& fn);
+                    const std::function<void(std::size_t, std::size_t)>& fn)
+      SC_EXCLUDES(mutex_);
 
   /// Enqueues a task for a worker (runs inline in serial mode). Fire and
   /// forget; use parallel_for for fork/join work.
-  void submit(std::function<void()> task);
+  void submit(std::function<void()> task) SC_EXCLUDES(mutex_);
 
   /// Blocks until the queue is empty and all workers are idle.
-  void wait_idle();
+  void wait_idle() SC_EXCLUDES(mutex_);
 
   /// Process-wide pool, lazily created on first use and sized from the
   /// STREAMCALC_THREADS environment variable (see file comment).
@@ -83,19 +88,22 @@ class ThreadPool {
   static bool on_worker_thread();
 
  private:
-  void worker_loop(std::stop_token stop);
+  void worker_loop(std::stop_token stop) SC_EXCLUDES(mutex_);
 
   std::vector<std::jthread> workers_;
-  std::deque<std::function<void()>> queue_;
-  mutable std::mutex mutex_;
-  std::condition_variable work_available_;
-  std::condition_variable idle_;
-  std::size_t active_ = 0;  ///< tasks currently executing on workers
-  bool stopping_ = false;
+  mutable Mutex mutex_;
+  std::deque<std::function<void()>> queue_ SC_GUARDED_BY(mutex_);
+  CondVar work_available_;
+  CondVar idle_;
+  std::size_t active_ SC_GUARDED_BY(mutex_) =
+      0;  ///< tasks currently executing on workers
+  bool stopping_ SC_GUARDED_BY(mutex_) = false;
 };
 
 /// Number of threads the global pool was (or would be) configured with:
 /// the STREAMCALC_THREADS value, defaulting to hardware concurrency.
+/// Throws PreconditionError on a malformed value (anything other than a
+/// non-negative integer or the word "serial").
 unsigned configured_thread_count();
 
 }  // namespace streamcalc::util

@@ -1,0 +1,98 @@
+// Fixture tests over real spec files: the acceptance models of the paper's
+// two applications (BLAST, BITW) with seeded defects must be flagged, and
+// every shipped example spec must lint clean.
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "cli/lint.hpp"
+#include "diagnostics/diagnostic.hpp"
+#include "util/error.hpp"
+
+namespace streamcalc::cli {
+namespace {
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) ADD_FAILURE() << "cannot open fixture " << path;
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+diagnostics::LintReport lint_fixture(const std::string& name) {
+  return lint_spec_text(read_file(std::string(SC_LINT_SPEC_DIR) + "/" + name));
+}
+
+diagnostics::LintReport lint_example(const std::string& name) {
+  return lint_spec_text(
+      read_file(std::string(SC_EXAMPLE_SPEC_DIR) + "/" + name));
+}
+
+TEST(LintSpecTest, StableBlastModelIsClean) {
+  const auto report = lint_fixture("blast_base.scspec");
+  EXPECT_TRUE(report.clean()) << report.render("blast_base.scspec");
+}
+
+TEST(LintSpecTest, OverloadedBlastModelIsNC101) {
+  const auto report = lint_fixture("blast_unstable.scspec");
+  EXPECT_FALSE(report.clean());
+  EXPECT_TRUE(report.has_code("NC101"));
+  // The paper's bottleneck: seed matching saturates first.
+  bool at_seed_match = false;
+  for (const auto& d : report.diagnostics()) {
+    if (d.code == "NC101" && d.location == "seed_match") at_seed_match = true;
+  }
+  EXPECT_TRUE(at_seed_match) << report.render("blast_unstable.scspec");
+}
+
+TEST(LintSpecTest, NonCausalBlastModelIsNC002) {
+  const auto report = lint_fixture("blast_noncausal.scspec");
+  EXPECT_TRUE(report.has_errors());
+  EXPECT_TRUE(report.has_code("NC002"));
+}
+
+TEST(LintSpecTest, OverloadedBitwModelIsNC101) {
+  const auto report = lint_fixture("bitw_unstable.scspec");
+  EXPECT_FALSE(report.clean());
+  EXPECT_TRUE(report.has_code("NC101"));
+}
+
+TEST(LintSpecTest, NonCausalBitwModelIsNC002) {
+  const auto report = lint_fixture("bitw_noncausal.scspec");
+  EXPECT_TRUE(report.has_errors());
+  EXPECT_TRUE(report.has_code("NC002"));
+}
+
+TEST(LintSpecTest, ShippedExampleSpecsLintClean) {
+  for (const char* name :
+       {"quickstart.scspec", "bitw.scspec", "fork_join.scspec"}) {
+    const auto report = lint_example(name);
+    EXPECT_TRUE(report.clean()) << report.render(name);
+  }
+}
+
+TEST(LintSpecTest, SyntaxErrorsStillThrow) {
+  EXPECT_THROW(lint_spec_text("[node\nrate ="), util::Error);
+}
+
+TEST(LintSpecTest, SemanticProblemsDoNotThrow) {
+  // parse_spec would reject a zero source rate; the lenient path must turn
+  // it into a structured NC003 instead.
+  const auto report = lint_spec_text(
+      "[source]\n"
+      "rate = 0 MiB/s\n"
+      "burst = 1 MiB\n"
+      "\n"
+      "[node only]\n"
+      "block_in = 64 KiB\n"
+      "rate_min = 100 MiB/s\n"
+      "rate_avg = 110 MiB/s\n"
+      "rate_max = 120 MiB/s\n");
+  EXPECT_TRUE(report.has_code("NC003"));
+}
+
+}  // namespace
+}  // namespace streamcalc::cli

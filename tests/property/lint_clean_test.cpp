@@ -1,0 +1,73 @@
+// Lint false-positive property: every pipeline the scenario generator
+// produces is valid and underloaded by construction (load_hi < 1), so
+// nclint must report it clean — warnings on generated scenarios would be
+// false positives, and the pre-flight wiring in the drivers would start
+// crying wolf. Info-level findings are allowed (they are heuristics and do
+// not dirty a model).
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+
+#include "diagnostics/lint.hpp"
+#include "testing/generator.hpp"
+#include "testing/property.hpp"
+
+namespace streamcalc::testing {
+namespace {
+
+void expect_all_clean(ScenarioGenConfig gen, std::uint64_t seed,
+                      int default_cases) {
+  ScenarioGenerator scenarios(gen, seed);
+  const int n = scaled_cases(default_cases);
+  for (int i = 0; i < n; ++i) {
+    const Scenario s = scenarios.next();
+    const auto report = diagnostics::lint_pipeline(s.nodes, s.source);
+    EXPECT_TRUE(report.clean())
+        << "scenario " << i << " (seed 0x" << std::hex << seed << std::dec
+        << "): " << s.describe() << "\n"
+        << report.render("generated");
+  }
+}
+
+TEST(LintCleanProperty, PlainChainsLintClean) {
+  ScenarioGenConfig gen;
+  gen.volume_changes = false;
+  gen.aggregation = false;
+  expect_all_clean(gen, 0x11d7, 200);
+}
+
+TEST(LintCleanProperty, VolumeChangingAggregatingChainsLintClean) {
+  ScenarioGenConfig gen;  // volume_changes and aggregation on by default
+  gen.max_stages = 8;
+  expect_all_clean(gen, 0x11d8, 200);
+}
+
+TEST(LintCleanProperty, MarkovianChainsLintClean) {
+  ScenarioGenConfig gen;
+  gen.markovian = true;
+  expect_all_clean(gen, 0x11d9, 200);
+}
+
+TEST(LintCleanProperty, NearCriticalChainsStayCleanWithInfos) {
+  // Push the load band into [0.9, 0.97]: rho may cross the NC102
+  // near-critical threshold, which must stay info-level (clean), never
+  // escalate to NC101 while the generator guarantees rho < 1.
+  ScenarioGenConfig gen;
+  gen.load_lo = 0.9;
+  gen.load_hi = 0.97;
+  ScenarioGenerator scenarios(gen, 0x11da);
+  const int n = scaled_cases(200);
+  for (int i = 0; i < n; ++i) {
+    const Scenario s = scenarios.next();
+    const auto report = diagnostics::lint_pipeline(s.nodes, s.source);
+    EXPECT_TRUE(report.clean())
+        << "scenario " << i << ": " << s.describe() << "\n"
+        << report.render("generated");
+    EXPECT_FALSE(report.has_code("NC101"))
+        << "scenario " << i << ": " << s.describe();
+  }
+}
+
+}  // namespace
+}  // namespace streamcalc::testing

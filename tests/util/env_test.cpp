@@ -1,0 +1,119 @@
+// Strict environment-variable parsing: garbage must fail loudly with the
+// variable's name, never silently fall back to a default.
+#include "util/env.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <string>
+
+#include "util/error.hpp"
+#include "util/thread_pool.hpp"
+
+namespace streamcalc::util {
+namespace {
+
+/// Sets an environment variable for one test and restores the previous
+/// value on scope exit.
+class ScopedEnv {
+ public:
+  ScopedEnv(const char* name, const char* value) : name_(name) {
+    const char* old = std::getenv(name);
+    if (old != nullptr) previous_ = old;
+    if (value != nullptr) {
+      ::setenv(name, value, 1);
+    } else {
+      ::unsetenv(name);
+    }
+  }
+  ~ScopedEnv() {
+    if (previous_) {
+      ::setenv(name_.c_str(), previous_->c_str(), 1);
+    } else {
+      ::unsetenv(name_.c_str());
+    }
+  }
+
+ private:
+  std::string name_;
+  std::optional<std::string> previous_;
+};
+
+constexpr const char* kVar = "STREAMCALC_ENV_TEST_VAR";
+
+TEST(EnvTest, UnsetAndEmptyReturnNullopt) {
+  ScopedEnv unset(kVar, nullptr);
+  EXPECT_FALSE(env_raw(kVar).has_value());
+  EXPECT_FALSE(env_uint(kVar).has_value());
+  ScopedEnv empty(kVar, "");
+  EXPECT_FALSE(env_raw(kVar).has_value());
+  EXPECT_FALSE(env_uint(kVar).has_value());
+}
+
+TEST(EnvTest, ParsesPlainIntegers) {
+  ScopedEnv env(kVar, "1234");
+  EXPECT_EQ(env_uint(kVar), 1234u);
+  ScopedEnv zero(kVar, "0");
+  EXPECT_EQ(env_uint(kVar), 0u);
+}
+
+TEST(EnvTest, RejectsGarbageNamingTheVariable) {
+  for (const char* bad : {"fast", "12x", "x12", "1.5", "-3", "+7", " 8",
+                          "8 ", "0x10", "1e3"}) {
+    ScopedEnv env(kVar, bad);
+    try {
+      env_uint(kVar);
+      FAIL() << "accepted garbage value '" << bad << "'";
+    } catch (const PreconditionError& e) {
+      EXPECT_NE(std::string(e.what()).find(kVar), std::string::npos)
+          << "error for '" << bad << "' does not name the variable";
+    }
+  }
+}
+
+TEST(EnvTest, EnforcesRange) {
+  ScopedEnv big(kVar, "5000");
+  EXPECT_THROW(env_uint(kVar, /*max=*/4096), PreconditionError);
+  EXPECT_EQ(env_uint(kVar, 5000), 5000u);
+  ScopedEnv small(kVar, "0");
+  EXPECT_THROW(env_uint_in(kVar, /*min=*/1), PreconditionError);
+  ScopedEnv ok(kVar, "1");
+  EXPECT_EQ(env_uint_in(kVar, 1), 1u);
+}
+
+TEST(EnvTest, RejectsOverflow) {
+  ScopedEnv env(kVar, "99999999999999999999999999");
+  EXPECT_THROW(env_uint(kVar), PreconditionError);
+}
+
+TEST(EnvTest, ThreadCountAcceptsSerialAndNumbers) {
+  {
+    ScopedEnv env("STREAMCALC_THREADS", "serial");
+    EXPECT_EQ(configured_thread_count(), 1u);
+  }
+  {
+    ScopedEnv env("STREAMCALC_THREADS", "3");
+    EXPECT_EQ(configured_thread_count(), 3u);
+  }
+  {
+    // 0 = hardware concurrency (>= 1).
+    ScopedEnv env("STREAMCALC_THREADS", "0");
+    EXPECT_GE(configured_thread_count(), 1u);
+  }
+}
+
+TEST(EnvTest, ThreadCountRejectsGarbage) {
+  for (const char* bad : {"fast", "-1", "2 threads", "serial "}) {
+    ScopedEnv env("STREAMCALC_THREADS", bad);
+    try {
+      configured_thread_count();
+      FAIL() << "accepted STREAMCALC_THREADS='" << bad << "'";
+    } catch (const PreconditionError& e) {
+      EXPECT_NE(std::string(e.what()).find("STREAMCALC_THREADS"),
+                std::string::npos);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace streamcalc::util

@@ -1,7 +1,15 @@
-// streamcalc: analyze a streaming-pipeline specification file.
+// streamcalc: analyze or lint a streaming-pipeline specification file.
 //
 //   streamcalc pipeline.scspec      # analyze a file
 //   streamcalc -                    # read the spec from stdin
+//   streamcalc lint a.scspec b...   # static analysis only (nclint)
+//
+// `lint` runs the nclint passes (stability, causality, flow conservation,
+// unit coherence — see src/diagnostics/lint.hpp) and exits 0 when every
+// file is clean (info-level findings allowed), 1 otherwise. Plain analysis
+// runs the same passes as a pre-flight: findings print to stderr, and
+// STREAMCALC_LINT=strict turns a non-clean model into a hard error
+// (STREAMCALC_LINT=off skips the check).
 //
 // The spec format is documented in src/cli/spec.hpp and the examples under
 // examples/specs/.
@@ -10,25 +18,34 @@
 #include <iostream>
 #include <sstream>
 #include <string>
+#include <vector>
 
+#include "cli/lint.hpp"
 #include "cli/report.hpp"
 #include "cli/spec.hpp"
+#include "diagnostics/lint.hpp"
 
 namespace {
 
 int usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s <spec-file | ->\n"
+               "       %s lint <spec-file | ->...\n"
                "Analyzes a streaming pipeline with network calculus (and\n"
-               "optionally simulates it). Spec format: see src/cli/spec.hpp\n"
-               "and examples/specs/.\n",
-               argv0);
+               "optionally simulates it), or statically lints the model.\n"
+               "Spec format: see src/cli/spec.hpp and examples/specs/.\n",
+               argv0, argv0);
   return 2;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
+  if (argc >= 2 && std::string(argv[1]) == "lint") {
+    if (argc < 3) return usage(argv[0]);
+    std::vector<std::string> paths(argv + 2, argv + argc);
+    return streamcalc::cli::run_lint(paths);
+  }
   if (argc != 2) return usage(argv[0]);
   const std::string path = argv[1];
 
@@ -50,6 +67,7 @@ int main(int argc, char** argv) {
 
   try {
     const streamcalc::cli::Spec spec = streamcalc::cli::parse_spec(text);
+    streamcalc::diagnostics::preflight(path, streamcalc::cli::lint_spec(spec));
     std::fputs(streamcalc::cli::run_report(spec).c_str(), stdout);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
