@@ -4,6 +4,7 @@
 #include <cstdio>
 
 #include "apps/bitw.hpp"
+#include "certify/postflight.hpp"
 #include "diagnostics/lint.hpp"
 #include "netcalc/pipeline.hpp"
 #include "report.hpp"
@@ -26,6 +27,9 @@ int run() {
                                   bitw::delay_study_source(), bitw::policy());
   const netcalc::PipelineModel model(nodes, bitw::delay_study_source(),
                                      bitw::policy());
+  // Post-flight certification (STREAMCALC_CERTIFY=warn|strict): re-verify
+  // every bound this bench reports with the exact-rational checker.
+  certify::postflight_pipeline("bitw_delay_backlog", model);
   const auto sim = streamsim::simulate(nodes, bitw::delay_study_source(),
                                        bitw::sim_config());
   const bitw::PaperNumbers p = bitw::paper();

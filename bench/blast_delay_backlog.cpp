@@ -11,6 +11,7 @@
 #include <cstdio>
 
 #include "apps/blast.hpp"
+#include "certify/postflight.hpp"
 #include "diagnostics/lint.hpp"
 #include "netcalc/pipeline.hpp"
 #include "report.hpp"
@@ -37,6 +38,9 @@ int run() {
                                   blast::job_source(), blast::policy());
   const netcalc::PipelineModel job_model(nodes, blast::job_source(),
                                          blast::policy());
+  // Post-flight certification (STREAMCALC_CERTIFY=warn|strict): re-verify
+  // every bound this bench reports with the exact-rational checker.
+  certify::postflight_pipeline("blast_delay_backlog", job_model);
   const auto sim = streamsim::simulate(nodes, blast::streaming_source(),
                                        blast::sim_config());
   const blast::PaperNumbers p = blast::paper();

@@ -11,6 +11,7 @@
 #include "streamsim/pipeline_sim.hpp"
 #include "util/format.hpp"
 #include "util/table.hpp"
+#include "certify/postflight.hpp"
 #include "diagnostics/lint.hpp"
 
 namespace {
@@ -33,6 +34,7 @@ int run() {
     diagnostics::preflight_pipeline("capacity_planning", nodes, src,
                                     blast::policy());
     const netcalc::PipelineModel m(nodes, src, blast::policy());
+    certify::postflight_pipeline("capacity_planning", m);
 
     auto cfg = blast::sim_config();
     cfg.horizon = util::Duration::seconds(0.8);

@@ -16,6 +16,7 @@
 #include "streamsim/pipeline_sim.hpp"
 #include "util/format.hpp"
 #include "util/table.hpp"
+#include "certify/postflight.hpp"
 #include "diagnostics/lint.hpp"
 
 namespace {
@@ -61,6 +62,9 @@ int run() {
   std::printf("== Fork-join media pipeline (DAG model) ==\n\n");
   diagnostics::preflight_dag("fork_join_analytics", dag, src);
   const netcalc::DagModel model(dag, src);
+  // Optional post-flight: STREAMCALC_CERTIFY=warn|strict re-verifies every
+  // per-node and per-path bound with the exact-rational checker.
+  certify::postflight_dag("fork_join_analytics", model);
 
   util::Table t({"node", "regime", "arrival", "service", "delay", "backlog",
                  "buffer"},

@@ -24,6 +24,7 @@
 #include "streamsim/pipeline_sim.hpp"
 #include "util/format.hpp"
 #include "util/table.hpp"
+#include "certify/postflight.hpp"
 #include "diagnostics/lint.hpp"
 
 namespace {
@@ -161,6 +162,7 @@ int run() {
   // --- Three models, one spec -------------------------------------------
   diagnostics::preflight_pipeline("measured_bitw", pipeline, source);
   const netcalc::PipelineModel model(pipeline, source);
+  certify::postflight_pipeline("measured_bitw", model);
   const auto tb = model.throughput_bounds(util::Duration::millis(100));
   const auto q = queueing::analyze(pipeline, source);
   streamsim::SimConfig cfg;

@@ -21,6 +21,7 @@
 #include "streamsim/pipeline_sim.hpp"
 #include "util/format.hpp"
 #include "util/table.hpp"
+#include "certify/postflight.hpp"
 #include "diagnostics/lint.hpp"
 
 namespace {
@@ -140,6 +141,7 @@ int run() {
 
   diagnostics::preflight_pipeline("measured_blast", pipeline, src);
   const netcalc::PipelineModel model(pipeline, src);
+  certify::postflight_pipeline("measured_blast", model);
   const auto tb = model.throughput_bounds(util::Duration::millis(500));
   const auto q = queueing::analyze(pipeline, src);
   streamsim::SimConfig cfg;

@@ -6,6 +6,7 @@
 //   ./build/examples/quickstart
 #include <cstdio>
 
+#include "certify/postflight.hpp"
 #include "netcalc/pipeline.hpp"
 #include "streamsim/pipeline_sim.hpp"
 #include "util/format.hpp"
@@ -45,6 +46,9 @@ int run() {
   //    STREAMCALC_LINT=strict turns them into hard errors.
   diagnostics::preflight_pipeline("quickstart", pipeline, source);
   const netcalc::PipelineModel model(pipeline, source);
+  // Optional post-flight: STREAMCALC_CERTIFY=warn|strict re-verifies every
+  // bound below with the independent exact-rational checker.
+  certify::postflight_pipeline("quickstart", model);
   std::printf("regime:        %s\n", to_string(model.load_regime()));
   std::printf("delay bound:   %s\n",
               util::format_duration(model.delay_bound()).c_str());

@@ -10,6 +10,7 @@
 #include "netcalc/pipeline.hpp"
 #include "streamsim/pipeline_sim.hpp"
 #include "util/format.hpp"
+#include "certify/postflight.hpp"
 #include "diagnostics/lint.hpp"
 
 namespace {
@@ -70,6 +71,7 @@ int run() {
   // exactly the situation this example studies.
   diagnostics::preflight_pipeline("sensor_compression", pipeline, sensors);
   const netcalc::PipelineModel model(pipeline, sensors);
+  certify::postflight_pipeline("sensor_compression", model);
   // The WAN carries compressed bytes: worst case (1.5x) it must move 40/1.5
   // = 26.7 MiB/s > 25 — overloaded! Best case (6x) only 6.7 MiB/s.
   std::printf("worst-case compression (1.5x): regime %s — the uplink "

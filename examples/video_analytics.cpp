@@ -13,6 +13,7 @@
 #include "streamsim/pipeline_sim.hpp"
 #include "util/format.hpp"
 #include "util/table.hpp"
+#include "certify/postflight.hpp"
 #include "diagnostics/lint.hpp"
 
 namespace {
@@ -64,6 +65,7 @@ int run() {
 
   diagnostics::preflight_pipeline("video_analytics", pipeline, cameras);
   const netcalc::PipelineModel model(pipeline, cameras);
+  certify::postflight_pipeline("video_analytics", model);
 
   std::printf("== Video analytics deployment study ==\n\n");
   std::printf("1) Sustainability: regime = %s (offered %s, guaranteed "

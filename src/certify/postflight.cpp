@@ -1,0 +1,160 @@
+#include "certify/postflight.hpp"
+
+#include <iostream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "certify/checker.hpp"
+#include "util/env.hpp"
+#include "util/error.hpp"
+
+namespace streamcalc::certify {
+
+namespace {
+
+using diagnostics::LintReport;
+using minplus::Curve;
+
+std::vector<DerivationStep> pipeline_steps(
+    const netcalc::PipelineModel& model) {
+  std::vector<DerivationStep> steps;
+  steps.push_back({"source-arrival", model.arrival_curve().describe()});
+  for (std::size_t i = 0; i < model.nodes().size(); ++i) {
+    steps.push_back({"node-service",
+                     model.nodes()[i].name + ": " +
+                         model.node_service_curve(i).describe()});
+  }
+  steps.push_back({"concatenation",
+                   "min-plus convolution of " +
+                       std::to_string(model.nodes().size()) +
+                       " per-node service curves (pay bursts only once)"});
+  return steps;
+}
+
+std::string path_context(const netcalc::DagModel& model,
+                         const std::vector<std::size_t>& nodes) {
+  std::string out = "path ";
+  for (std::size_t k = 0; k < nodes.size(); ++k) {
+    if (k > 0) out += "->";
+    out += model.dag().nodes[nodes[k]].name;
+  }
+  return out;
+}
+
+}  // namespace
+
+CertifyMode certify_mode_from_env() {
+  const auto raw = util::env_raw("STREAMCALC_CERTIFY");
+  if (!raw || *raw == "off") return CertifyMode::kOff;
+  if (*raw == "warn") return CertifyMode::kWarn;
+  if (*raw == "strict") return CertifyMode::kStrict;
+  throw util::PreconditionError(
+      "STREAMCALC_CERTIFY=\"" + *raw +
+      "\" is not a valid setting: expected \"off\", \"warn\", or "
+      "\"strict\"");
+}
+
+std::vector<BoundCertificate> emit_pipeline_certificates(
+    const netcalc::PipelineModel& model) {
+  std::vector<BoundCertificate> certs;
+  std::vector<Curve> components;
+  components.reserve(model.nodes().size());
+  for (std::size_t i = 0; i < model.nodes().size(); ++i) {
+    components.push_back(model.node_service_curve(i));
+  }
+  const auto steps = pipeline_steps(model);
+  certs.push_back(make_certificate(
+      BoundKind::kDelay, "e2e", model.arrival_curve(), model.service_curve(),
+      model.delay_bound().in_seconds(), components, steps));
+  certs.push_back(make_certificate(
+      BoundKind::kBacklog, "e2e", model.arrival_curve(),
+      model.service_curve(), model.backlog_bound().in_bytes(), components,
+      steps));
+  const auto per_node = model.per_node_analysis();
+  for (std::size_t i = 0; i < per_node.size(); ++i) {
+    const std::string context = "node " + per_node[i].name;
+    const std::vector<DerivationStep> node_steps = {
+        {"propagated-arrival", model.node_arrival_curve(i).describe()},
+        {"node-service", model.node_service_curve(i).describe()}};
+    certs.push_back(make_certificate(
+        BoundKind::kDelay, context, model.node_arrival_curve(i),
+        model.node_service_curve(i), per_node[i].delay.in_seconds(), {},
+        node_steps));
+    certs.push_back(make_certificate(
+        BoundKind::kBacklog, context, model.node_arrival_curve(i),
+        model.node_service_curve(i), per_node[i].backlog.in_bytes(), {},
+        node_steps));
+  }
+  return certs;
+}
+
+std::vector<BoundCertificate> emit_dag_certificates(
+    const netcalc::DagModel& model) {
+  std::vector<BoundCertificate> certs;
+  const auto per_node = model.per_node_analysis();
+  for (std::size_t i = 0; i < per_node.size(); ++i) {
+    const std::string context = "node " + per_node[i].name;
+    const std::vector<DerivationStep> node_steps = {
+        {"merged-arrival", model.node_arrival(i).describe()},
+        {"node-service", model.node_service(i).describe()}};
+    certs.push_back(make_certificate(
+        BoundKind::kDelay, context, model.node_arrival(i),
+        model.node_service(i), per_node[i].delay.in_seconds(), {},
+        node_steps));
+    certs.push_back(make_certificate(
+        BoundKind::kBacklog, context, model.node_arrival(i),
+        model.node_service(i), per_node[i].backlog.in_bytes(), {},
+        node_steps));
+  }
+  for (const netcalc::DagPathAnalysis& pa : model.per_path_analysis()) {
+    if (!pa.residual_valid) continue;  // nclint reports NC305 for these
+    std::vector<DerivationStep> steps = {
+        {"path-flow", pa.flow.describe()},
+        {"residual-concatenation",
+         "min-plus convolution of " + std::to_string(pa.hop_residuals.size()) +
+             " blind-multiplexing residual curves [beta - alpha_cross]^+"}};
+    certs.push_back(make_certificate(
+        BoundKind::kDelay, path_context(model, pa.nodes), pa.flow,
+        pa.path_service, pa.delay.in_seconds(), pa.hop_residuals,
+        std::move(steps)));
+  }
+  return certs;
+}
+
+LintReport certify_pipeline(const netcalc::PipelineModel& model) {
+  return check_certificates(emit_pipeline_certificates(model));
+}
+
+LintReport certify_dag(const netcalc::DagModel& model) {
+  return check_certificates(emit_dag_certificates(model));
+}
+
+void postflight(const std::string& context, const LintReport& report) {
+  const CertifyMode mode = certify_mode_from_env();
+  if (mode == CertifyMode::kOff) return;
+  const std::string rendered = report.render(context);
+  if (!rendered.empty()) std::cerr << rendered;
+  if (mode == CertifyMode::kStrict && !report.clean()) {
+    throw util::PreconditionError(
+        context + ": bound certification failed with " +
+        std::to_string(report.count(diagnostics::Severity::kError)) +
+        " error(s) and " +
+        std::to_string(report.count(diagnostics::Severity::kWarning)) +
+        " warning(s) (STREAMCALC_CERTIFY=strict)");
+  }
+}
+
+void postflight_pipeline(const std::string& context,
+                         const netcalc::PipelineModel& model) {
+  if (certify_mode_from_env() == CertifyMode::kOff) return;
+  postflight(context, certify_pipeline(model));
+}
+
+void postflight_dag(const std::string& context,
+                    const netcalc::DagModel& model) {
+  if (certify_mode_from_env() == CertifyMode::kOff) return;
+  postflight(context, certify_dag(model));
+}
+
+}  // namespace streamcalc::certify

@@ -1,0 +1,73 @@
+// Post-flight certification wiring (the counterpart of nclint's
+// pre-flight, DESIGN.md §9).
+//
+// Pre-flight linting checks the *inputs* of an analysis before any curve
+// algebra runs; post-flight certification checks its *outputs* after: it
+// emits a proof-carrying certificate for every bound the model produced
+// and hands each to the independent exact-rational checker. The knob is
+// STREAMCALC_CERTIFY:
+//
+//   off     (default) — skip entirely; no exact arithmetic runs;
+//   warn              — print NC6xx findings to stderr, continue;
+//   strict            — print findings and throw when any bound fails to
+//                       certify.
+//
+// Default-off is deliberate: certification re-evaluates every bound on
+// arbitrary-precision rationals, which is orders of magnitude slower than
+// the double kernels — the right default for benches and examples is to
+// opt in (CI's certify job and the mutation/property suites run strict).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "certify/certificate.hpp"
+#include "diagnostics/diagnostic.hpp"
+#include "netcalc/dag.hpp"
+#include "netcalc/pipeline.hpp"
+
+namespace streamcalc::certify {
+
+enum class CertifyMode {
+  kOff,    ///< skip certification entirely
+  kWarn,   ///< print findings to stderr, continue
+  kStrict  ///< print findings and throw when a bound fails to certify
+};
+
+/// STREAMCALC_CERTIFY: unset/"off" = kOff, "warn" = kWarn,
+/// "strict" = kStrict. Anything else throws PreconditionError naming the
+/// variable (see util/env.hpp).
+CertifyMode certify_mode_from_env();
+
+/// Emits certificates for every bound a PipelineModel reports: end-to-end
+/// delay and backlog (with the per-node service curves as concatenation
+/// provenance) plus per-node delay and backlog along the propagated
+/// arrival chain.
+std::vector<BoundCertificate> emit_pipeline_certificates(
+    const netcalc::PipelineModel& model);
+
+/// Emits certificates for a DagModel: per-node delay and backlog, plus a
+/// delay certificate per source-to-sink path (with the hop residual
+/// curves as provenance). Paths whose residual service vanished are
+/// reported by nclint (NC305) and carry no finite bound to certify.
+std::vector<BoundCertificate> emit_dag_certificates(
+    const netcalc::DagModel& model);
+
+/// Emit + check in one call.
+diagnostics::LintReport certify_pipeline(const netcalc::PipelineModel& model);
+diagnostics::LintReport certify_dag(const netcalc::DagModel& model);
+
+/// Applies the mode policy to a finished report: renders findings to
+/// stderr (prefixed with `context`) unless off, and throws
+/// PreconditionError in strict mode when the report is not clean.
+void postflight(const std::string& context,
+                const diagnostics::LintReport& report);
+
+/// Convenience drivers: no-ops (and no exact arithmetic) when the mode is
+/// off.
+void postflight_pipeline(const std::string& context,
+                         const netcalc::PipelineModel& model);
+void postflight_dag(const std::string& context,
+                    const netcalc::DagModel& model);
+
+}  // namespace streamcalc::certify

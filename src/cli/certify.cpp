@@ -1,0 +1,107 @@
+#include "cli/certify.hpp"
+
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+
+#include "certify/interval.hpp"
+#include "certify/postflight.hpp"
+#include "cli/lint.hpp"
+#include "util/error.hpp"
+#include "util/format.hpp"
+
+namespace streamcalc::cli {
+
+namespace {
+
+bool read_input(const std::string& path, std::string& text) {
+  std::ostringstream ss;
+  if (path == "-") {
+    ss << std::cin.rdbuf();
+  } else {
+    std::ifstream in(path);
+    if (!in) return false;
+    ss << in.rdbuf();
+  }
+  text = ss.str();
+  return true;
+}
+
+certify::IntervalCertificate stability_at_spec(const Spec& spec) {
+  const certify::ParamBox box =
+      certify::ParamBox::at(spec.source, spec.nodes.size());
+  if (spec.is_dag()) {
+    return certify::certify_stability_dag(spec.dag(), spec.source,
+                                          spec.policy, box);
+  }
+  return certify::certify_stability(spec.nodes, spec.source, spec.policy,
+                                    box);
+}
+
+}  // namespace
+
+diagnostics::LintReport certify_spec(const Spec& spec) {
+  const diagnostics::LintReport lint = lint_spec(spec);
+  if (lint.has_errors()) return lint;
+  if (spec.is_dag()) {
+    const netcalc::DagModel model(spec.dag(), spec.source, spec.policy);
+    return certify::certify_dag(model);
+  }
+  const netcalc::PipelineModel model(spec.nodes, spec.source, spec.policy);
+  return certify::certify_pipeline(model);
+}
+
+int run_certify(const std::vector<std::string>& paths) {
+  bool any_unreadable = false;
+  bool any_defects = false;
+  for (const std::string& path : paths) {
+    std::string text;
+    if (!read_input(path, text)) {
+      std::fprintf(stderr, "error: cannot open '%s'\n", path.c_str());
+      any_unreadable = true;
+      continue;
+    }
+    Spec spec;
+    try {
+      spec = parse_spec(text);
+    } catch (const util::Error& e) {
+      std::fprintf(stderr, "%s: error: %s\n", path.c_str(), e.what());
+      any_unreadable = true;
+      continue;
+    }
+    diagnostics::LintReport report;
+    try {
+      report = certify_spec(spec);
+    } catch (const util::Error& e) {
+      // A model the lint passes let through but the builder rejected:
+      // report it as a certification defect, not a parse failure.
+      std::fprintf(stderr, "%s: error: %s\n", path.c_str(), e.what());
+      any_defects = true;
+      continue;
+    }
+    std::fputs(report.render(path).c_str(), stdout);
+    if (report.clean()) {
+      std::printf("%s: certified\n", path.c_str());
+    } else {
+      any_defects = true;
+    }
+    if (!report.has_errors()) {
+      // Informational stability verdict at the spec's own operating point.
+      // An overloaded model has infinite bounds that certify as infinite,
+      // so instability is context, not a certification failure.
+      const certify::IntervalCertificate stability = stability_at_spec(spec);
+      if (stability.stable_everywhere) {
+        std::printf("%s: stability: utilization < 1 at every node\n",
+                    path.c_str());
+      } else {
+        std::printf("%s: stability: violated (%s)\n", path.c_str(),
+                    stability.violating_face.c_str());
+      }
+    }
+  }
+  if (any_unreadable) return 1;
+  return any_defects ? 2 : 0;
+}
+
+}  // namespace streamcalc::cli

@@ -45,12 +45,13 @@ bool read_input(const std::string& path, std::string& text) {
 }  // namespace
 
 int run_lint(const std::vector<std::string>& paths) {
-  bool all_clean = true;
+  bool any_parse_failure = false;
+  bool any_defects = false;
   for (const std::string& path : paths) {
     std::string text;
     if (!read_input(path, text)) {
       std::fprintf(stderr, "error: cannot open '%s'\n", path.c_str());
-      all_clean = false;
+      any_parse_failure = true;
       continue;
     }
     diagnostics::LintReport report;
@@ -59,7 +60,7 @@ int run_lint(const std::vector<std::string>& paths) {
     } catch (const util::Error& e) {
       // Syntax-level failure: there is no model to lint.
       std::fprintf(stderr, "%s: error: %s\n", path.c_str(), e.what());
-      all_clean = false;
+      any_parse_failure = true;
       continue;
     }
     std::fputs(report.render(path).c_str(), stdout);
@@ -67,10 +68,11 @@ int run_lint(const std::vector<std::string>& paths) {
       std::printf("%s: clean (%zu info)\n", path.c_str(),
                   report.count(diagnostics::Severity::kInfo));
     } else {
-      all_clean = false;
+      any_defects = true;
     }
   }
-  return all_clean ? 0 : 1;
+  if (any_parse_failure) return 1;
+  return any_defects ? 2 : 0;
 }
 
 }  // namespace streamcalc::cli

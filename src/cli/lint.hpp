@@ -23,9 +23,11 @@ diagnostics::LintReport lint_spec(const Spec& spec);
 diagnostics::LintReport lint_spec_text(std::string_view text);
 
 /// CLI driver for `streamcalc lint <spec>...`: lints each file, prints the
-/// findings compiler-style to stdout, and returns the process exit code
-/// (0 = every file clean — info-level findings allowed; 1 = at least one
-/// warning or error, or an unreadable/unparseable file).
+/// findings compiler-style to stdout, and returns the process exit code.
+/// 0 = every file clean (info-level findings allowed); 1 = at least one
+/// unreadable or unparseable file (takes precedence — there was no model
+/// to analyze); 2 = every file was readable but at least one warning or
+/// error was found.
 int run_lint(const std::vector<std::string>& paths);
 
 }  // namespace streamcalc::cli

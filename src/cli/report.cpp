@@ -2,6 +2,7 @@
 
 #include <sstream>
 
+#include "certify/postflight.hpp"
 #include "queueing/mm1.hpp"
 #include "streamsim/pipeline_sim.hpp"
 #include "util/format.hpp"
@@ -19,6 +20,7 @@ std::string run_dag_report(const Spec& spec) {
   std::ostringstream os;
   const netcalc::DagSpec dag = spec.dag();
   const netcalc::DagModel model(dag, spec.source, spec.policy);
+  certify::postflight_dag("analyze", model);
 
   os << "pipeline: DAG with " << dag.nodes.size() << " nodes, "
      << dag.edges.size() << " edges, offered "
@@ -81,6 +83,7 @@ std::string run_report(const Spec& spec) {
 
   std::ostringstream os;
   const netcalc::PipelineModel model(spec.nodes, spec.source, spec.policy);
+  certify::postflight_pipeline("analyze", model);
 
   os << "pipeline: " << spec.nodes.size() << " stages, offered "
      << format_rate(spec.source.rate);

@@ -33,6 +33,7 @@ struct CodeEntry {
 //   NC3xx  DAG topology and flow conservation
 //   NC4xx  unit-coherence heuristics (always kInfo)
 //   NC5xx  modeling-policy sanity
+//   NC6xx  certification (src/certify: proof-carrying bound checking)
 constexpr CodeEntry kRegistry[] = {
     {"NC001", "invalid node specification"},
     {"NC002", "non-causal latency override"},
@@ -51,6 +52,11 @@ constexpr CodeEntry kRegistry[] = {
     {"NC403", "implausible duration magnitude"},
     {"NC501", "unsound service-rate basis"},
     {"NC502", "max-service basis below service basis"},
+    {"NC601", "bound fails certification"},
+    {"NC602", "unsound derivation step"},
+    {"NC603", "witness does not attain the bound"},
+    {"NC604", "parameter box contains instability"},
+    {"NC605", "kernel result diverges from certified bound"},
 };
 
 }  // namespace

@@ -321,11 +321,19 @@ std::vector<DagPathAnalysis> DagModel::per_path_analysis() const {
           break;
         }
       }
+      pa.hop_residuals.push_back(residual);
       path_service = minplus::cached_convolve(path_service, residual);
     }
+    pa.residual_valid = valid;
     pa.delay = valid ? util::Duration::seconds(minplus::horizontal_deviation(
                            flow, path_service))
                      : util::Duration::infinite();
+    if (valid) {
+      pa.flow = std::move(flow);
+      pa.path_service = std::move(path_service);
+    } else {
+      pa.hop_residuals.clear();
+    }
     result.push_back(std::move(pa));
   }
   return result;

@@ -67,10 +67,18 @@ struct DagNodeAnalysis {
   util::DataSize buffer_bytes;      ///< recommended local buffer
 };
 
-/// Per-path results.
+/// Per-path results. The curves behind the delay bound are retained so the
+/// certification layer (src/certify) can re-derive the bound and audit the
+/// residual concatenation.
 struct DagPathAnalysis {
   std::vector<std::size_t> nodes;   ///< node indices along the path
   util::Duration delay;             ///< concatenated (residual) delay bound
+  /// False when cross-traffic absorbed a shared node's entire service
+  /// rate: the delay is infinite and the curves below are meaningless.
+  bool residual_valid = true;
+  minplus::Curve flow;              ///< envelope of the flow of interest
+  minplus::Curve path_service;      ///< concatenated residual service
+  std::vector<minplus::Curve> hop_residuals;  ///< per-hop residual curves
 };
 
 /// Network-calculus model of a DAG pipeline.

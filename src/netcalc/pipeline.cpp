@@ -241,6 +241,11 @@ const Curve& PipelineModel::node_service_curve(std::size_t i) const {
   return node_service_[i];
 }
 
+const Curve& PipelineModel::node_arrival_curve(std::size_t i) const {
+  util::require(i < node_arrival_.size(), "node index out of bounds");
+  return node_arrival_[i];
+}
+
 const Curve& PipelineModel::node_max_service_curve(std::size_t i) const {
   util::require(i < node_max_service_.size(), "node index out of bounds");
   return node_max_service_[i];

@@ -163,6 +163,9 @@ class PipelineModel {
 
   /// Per-node normalized service curve (worst case) — exposed for plotting.
   const minplus::Curve& node_service_curve(std::size_t i) const;
+  /// Propagated arrival envelope at node i's input (i == nodes().size()
+  /// yields the pipeline's output envelope) — exposed for certification.
+  const minplus::Curve& node_arrival_curve(std::size_t i) const;
   /// Per-node normalized maximum service curve.
   const minplus::Curve& node_max_service_curve(std::size_t i) const;
   /// Data volume seen at a node's input per pipeline-input byte,

@@ -1,0 +1,306 @@
+#include "util/rational.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "util/error.hpp"
+
+namespace streamcalc::util {
+
+// --- BigInt ----------------------------------------------------------------
+
+BigInt::BigInt(std::int64_t v) {
+  negative_ = v < 0;
+  // Negate via uint64 so INT64_MIN does not overflow.
+  std::uint64_t mag =
+      negative_ ? ~static_cast<std::uint64_t>(v) + 1 : static_cast<std::uint64_t>(v);
+  while (mag != 0) {
+    limbs_.push_back(static_cast<std::uint32_t>(mag & 0xffffffffu));
+    mag >>= 32;
+  }
+  if (limbs_.empty()) negative_ = false;
+}
+
+void BigInt::trim() {
+  while (!limbs_.empty() && limbs_.back() == 0) limbs_.pop_back();
+  if (limbs_.empty()) negative_ = false;
+}
+
+int BigInt::compare_magnitude(const BigInt& a, const BigInt& b) {
+  if (a.limbs_.size() != b.limbs_.size()) {
+    return a.limbs_.size() < b.limbs_.size() ? -1 : 1;
+  }
+  for (std::size_t i = a.limbs_.size(); i-- > 0;) {
+    if (a.limbs_[i] != b.limbs_[i]) return a.limbs_[i] < b.limbs_[i] ? -1 : 1;
+  }
+  return 0;
+}
+
+BigInt BigInt::add_magnitude(const BigInt& a, const BigInt& b) {
+  BigInt out;
+  const std::size_t n = std::max(a.limbs_.size(), b.limbs_.size());
+  out.limbs_.reserve(n + 1);
+  std::uint64_t carry = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    std::uint64_t sum = carry;
+    if (i < a.limbs_.size()) sum += a.limbs_[i];
+    if (i < b.limbs_.size()) sum += b.limbs_[i];
+    out.limbs_.push_back(static_cast<std::uint32_t>(sum & 0xffffffffu));
+    carry = sum >> 32;
+  }
+  if (carry != 0) out.limbs_.push_back(static_cast<std::uint32_t>(carry));
+  return out;
+}
+
+BigInt BigInt::sub_magnitude(const BigInt& a, const BigInt& b) {
+  SC_ASSERT(compare_magnitude(a, b) >= 0);
+  BigInt out;
+  out.limbs_.reserve(a.limbs_.size());
+  std::int64_t borrow = 0;
+  for (std::size_t i = 0; i < a.limbs_.size(); ++i) {
+    std::int64_t diff = static_cast<std::int64_t>(a.limbs_[i]) - borrow;
+    if (i < b.limbs_.size()) diff -= static_cast<std::int64_t>(b.limbs_[i]);
+    if (diff < 0) {
+      diff += static_cast<std::int64_t>(1) << 32;
+      borrow = 1;
+    } else {
+      borrow = 0;
+    }
+    out.limbs_.push_back(static_cast<std::uint32_t>(diff));
+  }
+  out.trim();
+  return out;
+}
+
+BigInt BigInt::operator-() const {
+  BigInt out = *this;
+  if (!out.is_zero()) out.negative_ = !out.negative_;
+  return out;
+}
+
+BigInt BigInt::operator+(const BigInt& o) const {
+  if (negative_ == o.negative_) {
+    BigInt out = add_magnitude(*this, o);
+    out.negative_ = negative_;
+    out.trim();
+    return out;
+  }
+  const int cmp = compare_magnitude(*this, o);
+  if (cmp == 0) return BigInt{};
+  BigInt out = cmp > 0 ? sub_magnitude(*this, o) : sub_magnitude(o, *this);
+  out.negative_ = cmp > 0 ? negative_ : o.negative_;
+  out.trim();
+  return out;
+}
+
+BigInt BigInt::operator-(const BigInt& o) const { return *this + (-o); }
+
+BigInt BigInt::operator*(const BigInt& o) const {
+  if (is_zero() || o.is_zero()) return BigInt{};
+  BigInt out;
+  out.limbs_.assign(limbs_.size() + o.limbs_.size(), 0);
+  for (std::size_t i = 0; i < limbs_.size(); ++i) {
+    std::uint64_t carry = 0;
+    for (std::size_t j = 0; j < o.limbs_.size(); ++j) {
+      std::uint64_t cur = static_cast<std::uint64_t>(limbs_[i]) * o.limbs_[j] +
+                          out.limbs_[i + j] + carry;
+      out.limbs_[i + j] = static_cast<std::uint32_t>(cur & 0xffffffffu);
+      carry = cur >> 32;
+    }
+    std::size_t k = i + o.limbs_.size();
+    while (carry != 0) {
+      const std::uint64_t cur = out.limbs_[k] + carry;
+      out.limbs_[k] = static_cast<std::uint32_t>(cur & 0xffffffffu);
+      carry = cur >> 32;
+      ++k;
+    }
+  }
+  out.negative_ = negative_ != o.negative_;
+  out.trim();
+  return out;
+}
+
+BigInt BigInt::shifted_left(unsigned bits) const {
+  if (is_zero() || bits == 0) return *this;
+  BigInt out;
+  const unsigned whole = bits / 32;
+  const unsigned rem = bits % 32;
+  out.limbs_.assign(whole, 0);
+  std::uint32_t carry = 0;
+  for (const std::uint32_t limb : limbs_) {
+    const std::uint64_t cur = (static_cast<std::uint64_t>(limb) << rem) | carry;
+    out.limbs_.push_back(static_cast<std::uint32_t>(cur & 0xffffffffu));
+    carry = static_cast<std::uint32_t>(cur >> 32);
+  }
+  if (carry != 0) out.limbs_.push_back(carry);
+  out.negative_ = negative_;
+  return out;
+}
+
+int BigInt::compare(const BigInt& o) const {
+  if (negative_ != o.negative_) return negative_ ? -1 : 1;
+  const int mag = compare_magnitude(*this, o);
+  return negative_ ? -mag : mag;
+}
+
+bool BigInt::is_even() const {
+  return limbs_.empty() || (limbs_[0] & 1u) == 0;
+}
+
+void BigInt::halve() {
+  std::uint32_t carry = 0;
+  for (std::size_t i = limbs_.size(); i-- > 0;) {
+    const std::uint32_t next_carry = limbs_[i] & 1u;
+    limbs_[i] = (limbs_[i] >> 1) | (carry << 31);
+    carry = next_carry;
+  }
+  trim();
+}
+
+double BigInt::to_double() const {
+  double out = 0.0;
+  for (std::size_t i = limbs_.size(); i-- > 0;) {
+    out = out * 4294967296.0 + static_cast<double>(limbs_[i]);
+  }
+  return negative_ ? -out : out;
+}
+
+std::string BigInt::to_string() const {
+  if (is_zero()) return "0";
+  std::vector<std::uint32_t> work(limbs_);
+  std::string digits;
+  while (!work.empty()) {
+    // Divide the magnitude by 1e9, collecting the remainder.
+    std::uint64_t rem = 0;
+    for (std::size_t i = work.size(); i-- > 0;) {
+      const std::uint64_t cur = (rem << 32) | work[i];
+      work[i] = static_cast<std::uint32_t>(cur / 1000000000u);
+      rem = cur % 1000000000u;
+    }
+    while (!work.empty() && work.back() == 0) work.pop_back();
+    for (int d = 0; d < 9; ++d) {
+      digits.push_back(static_cast<char>('0' + rem % 10));
+      rem /= 10;
+    }
+  }
+  while (digits.size() > 1 && digits.back() == '0') digits.pop_back();
+  if (negative_) digits.push_back('-');
+  std::reverse(digits.begin(), digits.end());
+  return digits;
+}
+
+// --- Rational --------------------------------------------------------------
+
+Rational::Rational(BigInt num, BigInt den)
+    : num_(std::move(num)), den_(std::move(den)) {
+  util::require(!den_.is_zero(), "Rational denominator must be non-zero");
+  normalize();
+}
+
+void Rational::normalize() {
+  if (den_.is_negative()) {
+    num_ = -num_;
+    den_ = -den_;
+  }
+  if (num_.is_zero()) {
+    den_ = 1;
+    return;
+  }
+  // Reduce by the common power of two only. Checker values start as dyadic
+  // rationals (exact doubles, denominator a power of two), where this is a
+  // full reduction; the few general rationals produced by pseudo-inverse
+  // divisions live through expressions of small bounded depth, so skipping
+  // the full gcd never lets the limb counts grow meaningfully.
+  while (num_.is_even() && den_.is_even()) {
+    num_.halve();
+    den_.halve();
+  }
+}
+
+Rational Rational::from_double(double v) {
+  util::require(std::isfinite(v),
+                "Rational::from_double requires a finite value");
+  if (v == 0.0) return Rational{};
+  int exp = 0;
+  // frexp: v = mant * 2^exp with |mant| in [0.5, 1). Scale the mantissa to
+  // an odd-width integer: mant * 2^53 is integral for every finite double.
+  const double mant = std::frexp(v, &exp);
+  const auto scaled = static_cast<std::int64_t>(std::ldexp(mant, 53));
+  exp -= 53;
+  BigInt num(scaled);
+  BigInt den(1);
+  if (exp >= 0) {
+    num = num.shifted_left(static_cast<unsigned>(exp));
+  } else {
+    den = den.shifted_left(static_cast<unsigned>(-exp));
+  }
+  return Rational(std::move(num), std::move(den));
+}
+
+Rational Rational::operator-() const {
+  Rational out = *this;
+  out.num_ = -out.num_;
+  return out;
+}
+
+Rational Rational::operator+(const Rational& o) const {
+  return Rational(num_ * o.den_ + o.num_ * den_, den_ * o.den_);
+}
+
+Rational Rational::operator-(const Rational& o) const {
+  return Rational(num_ * o.den_ - o.num_ * den_, den_ * o.den_);
+}
+
+Rational Rational::operator*(const Rational& o) const {
+  return Rational(num_ * o.num_, den_ * o.den_);
+}
+
+Rational Rational::operator/(const Rational& o) const {
+  util::require(!o.is_zero(), "Rational division by zero");
+  return Rational(num_ * o.den_, den_ * o.num_);
+}
+
+int Rational::compare(const Rational& o) const {
+  // Denominators are positive, so cross-multiplication preserves order.
+  return (num_ * o.den_).compare(o.num_ * den_);
+}
+
+Rational Rational::min(const Rational& a, const Rational& b) {
+  return a <= b ? a : b;
+}
+
+Rational Rational::max(const Rational& a, const Rational& b) {
+  return a >= b ? a : b;
+}
+
+double Rational::approx() const {
+  // Good enough as a seed for round_up_double and for messages; the
+  // magnitudes involved (mantissas times small products) stay well inside
+  // double range for certificate workloads.
+  return num_.to_double() / den_.to_double();
+}
+
+double Rational::round_up_double() const {
+  double d = approx();
+  if (!std::isfinite(d)) return d;
+  // Correct the nearest-guess onto the smallest double >= *this. The seed
+  // is within a few ulps, so both loops terminate almost immediately.
+  while (Rational::from_double(d) < *this) {
+    d = std::nextafter(d, std::numeric_limits<double>::infinity());
+  }
+  while (true) {
+    const double lower =
+        std::nextafter(d, -std::numeric_limits<double>::infinity());
+    if (!std::isfinite(lower) || Rational::from_double(lower) < *this) break;
+    d = lower;
+  }
+  return d;
+}
+
+std::string Rational::to_string() const {
+  if (den_.compare(1) == 0) return num_.to_string();
+  return num_.to_string() + "/" + den_.to_string();
+}
+
+}  // namespace streamcalc::util

@@ -1,0 +1,132 @@
+// Exact arbitrary-precision rational arithmetic for the certificate
+// checker (src/certify).
+//
+// The fast network-calculus kernels compute on doubles; the proof-carrying
+// verification layer re-evaluates every emitted bound on exact rationals so
+// a rounding bug in the kernels cannot certify itself. Every finite double
+// is a dyadic rational (m * 2^e with |m| < 2^53), so conversion from the
+// curve breakpoints is *exact* — Rational::from_double introduces no error
+// whatsoever. Sums, differences, and products of dyadic rationals stay
+// dyadic; the pseudo-inverse steps of the delay-bound check divide by
+// segment slopes, which is where general rationals become necessary.
+//
+// The implementation is deliberately minimal: sign-magnitude big integers
+// over 32-bit limbs with schoolbook multiplication. Checker expressions are
+// a handful of operations deep over 53-bit mantissas, so performance is a
+// non-issue; simplicity and obvious correctness are the point (this class
+// is part of the verification trust base, see DESIGN.md §9).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace streamcalc::util {
+
+/// Arbitrary-precision signed integer (sign + 32-bit little-endian limbs).
+/// Supports exactly the operations the rational layer needs.
+class BigInt {
+ public:
+  BigInt() = default;
+  BigInt(std::int64_t v);  // NOLINT(google-explicit-constructor): numeric
+                           // literals in checker expressions read naturally.
+
+  bool is_zero() const { return limbs_.empty(); }
+  bool is_negative() const { return negative_; }
+
+  BigInt operator-() const;
+  BigInt operator+(const BigInt& o) const;
+  BigInt operator-(const BigInt& o) const;
+  BigInt operator*(const BigInt& o) const;
+
+  /// Shift the magnitude left by `bits` (multiply by 2^bits).
+  BigInt shifted_left(unsigned bits) const;
+
+  /// Three-way comparison: -1, 0, +1.
+  int compare(const BigInt& o) const;
+  bool operator==(const BigInt& o) const { return compare(o) == 0; }
+  bool operator<(const BigInt& o) const { return compare(o) < 0; }
+  bool operator<=(const BigInt& o) const { return compare(o) <= 0; }
+
+  /// True when the magnitude is divisible by two (zero counts as even).
+  bool is_even() const;
+  /// In-place magnitude shift right by one bit (divide by 2, toward zero).
+  void halve();
+
+  /// Closest double (round to nearest); may overflow to +-inf for huge
+  /// magnitudes. Used only for diagnostics and final rounding, never for
+  /// exact decisions.
+  double to_double() const;
+
+  /// Decimal rendering for failure messages.
+  std::string to_string() const;
+
+ private:
+  static int compare_magnitude(const BigInt& a, const BigInt& b);
+  static BigInt add_magnitude(const BigInt& a, const BigInt& b);
+  /// Requires |a| >= |b|.
+  static BigInt sub_magnitude(const BigInt& a, const BigInt& b);
+  void trim();
+
+  bool negative_ = false;
+  std::vector<std::uint32_t> limbs_;  ///< little-endian, no leading zeros
+};
+
+/// An exact rational number num/den, den > 0, reduced by the common power
+/// of two (a full reduction for dyadic values; see normalize()).
+class Rational {
+ public:
+  Rational() : num_(0), den_(1) {}
+  Rational(std::int64_t v)  // NOLINT(google-explicit-constructor)
+      : num_(v), den_(1) {}
+  Rational(BigInt num, BigInt den);
+
+  /// Exact value of a finite double (every finite double is dyadic).
+  /// Throws PreconditionError for NaN or infinity — callers must branch on
+  /// finiteness first.
+  static Rational from_double(double v);
+
+  const BigInt& num() const { return num_; }
+  const BigInt& den() const { return den_; }
+
+  bool is_zero() const { return num_.is_zero(); }
+  bool is_negative() const { return num_.is_negative(); }
+
+  Rational operator-() const;
+  Rational operator+(const Rational& o) const;
+  Rational operator-(const Rational& o) const;
+  Rational operator*(const Rational& o) const;
+  /// Requires o != 0.
+  Rational operator/(const Rational& o) const;
+
+  int compare(const Rational& o) const;
+  bool operator==(const Rational& o) const { return compare(o) == 0; }
+  bool operator!=(const Rational& o) const { return compare(o) != 0; }
+  bool operator<(const Rational& o) const { return compare(o) < 0; }
+  bool operator<=(const Rational& o) const { return compare(o) <= 0; }
+  bool operator>(const Rational& o) const { return compare(o) > 0; }
+  bool operator>=(const Rational& o) const { return compare(o) >= 0; }
+
+  static Rational min(const Rational& a, const Rational& b);
+  static Rational max(const Rational& a, const Rational& b);
+
+  /// Nearest double (two correctly-rounded conversions and one division;
+  /// approximate). For display and as the starting point of round_up.
+  double approx() const;
+
+  /// The smallest double d with Rational::from_double(d) >= *this — i.e.
+  /// the exact value rounded toward +infinity onto the double grid. This
+  /// is how a certified bound is reported: the emitted double never
+  /// undercuts the exact supremum it certifies.
+  double round_up_double() const;
+
+  std::string to_string() const;
+
+ private:
+  void normalize();
+
+  BigInt num_;
+  BigInt den_;  ///< always positive
+};
+
+}  // namespace streamcalc::util

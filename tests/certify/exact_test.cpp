@@ -1,0 +1,164 @@
+// Unit tests for the exact-rational deviation evaluator (certify/exact.*):
+// analytic token-bucket / rate-latency cases where the supremum is known in
+// closed form, divergence detection, infinite (delta) service curves, and
+// agreement with the optimized double kernels within rounding noise.
+#include "certify/exact.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "minplus/curve.hpp"
+#include "minplus/deviation.hpp"
+#include "util/rational.hpp"
+
+namespace streamcalc::certify {
+namespace {
+
+using minplus::Curve;
+using util::Rational;
+
+Rational rat(double v) { return Rational::from_double(v); }
+
+TEST(ExtRatTest, OrdersInfinityAsUniqueMaximum) {
+  const ExtRat two = rat(2.0);
+  const ExtRat inf = ExtRat::infinity();
+  EXPECT_TRUE(two < inf);
+  EXPECT_TRUE(inf > two);
+  EXPECT_TRUE(inf == ExtRat::infinity());
+  EXPECT_TRUE(ExtRat::from_double(
+                  std::numeric_limits<double>::infinity())
+                  .is_inf());
+  EXPECT_EQ(ExtRat::from_double(0.1).finite().approx(), 0.1);
+}
+
+TEST(ExactCurveTest, ConvertsAffineLosslessly) {
+  // 0.1 is not exactly representable in binary, but the double that
+  // approximates it is dyadic, and the conversion must capture exactly
+  // that double.
+  const Curve alpha = Curve::affine(/*rate=*/0.1, /*burst=*/3.0);
+  const ExactCurve e = ExactCurve::from(alpha);
+  EXPECT_EQ(e.value(rat(0.0)).finite().approx(), 0.0);
+  EXPECT_EQ(e.value_right(rat(0.0)).finite().approx(), 3.0);
+  // alpha(2) = 3 + 0.1 * 2 computed exactly on the dyadic rationals, then
+  // compared against the same expression in double arithmetic: they agree
+  // to within one rounding of the double sum.
+  const double expected = 3.0 + 0.1 * 2.0;
+  EXPECT_NEAR(e.value(rat(2.0)).finite().approx(), expected, 1e-15);
+}
+
+TEST(ExactCurveTest, PseudoInversesMatchDefinitions) {
+  // rate_latency(rate=2, latency=3): 0 until t=3, then 2(t-3).
+  const ExactCurve beta = ExactCurve::from(Curve::rate_latency(2.0, 3.0));
+  // inf{ t : beta(t) >= 0 } = 0 (beta is 0 on [0,3]).
+  EXPECT_EQ(beta.lower_inverse(rat(0.0)).finite().approx(), 0.0);
+  // inf{ t : beta(t) > 0 } = 3.
+  EXPECT_EQ(beta.upper_inverse(rat(0.0)).finite().approx(), 3.0);
+  // beta reaches 4 at t = 5.
+  EXPECT_EQ(beta.lower_inverse(rat(4.0)).finite().approx(), 5.0);
+  // beta never reaches any level along a zero tail? (rate 2 > 0: always.)
+  EXPECT_FALSE(beta.lower_inverse(rat(1e6)).is_inf());
+  // A constant curve never exceeds its plateau.
+  const ExactCurve plateau = ExactCurve::from(Curve::constant(7.0));
+  EXPECT_TRUE(plateau.lower_inverse(rat(8.0)).is_inf());
+}
+
+TEST(ExactDeviationTest, TokenBucketVsRateLatencyClosedForm) {
+  // alpha = b + r t (b=50, r=100), beta = R (t-T)^+ (R=200, T=0.5).
+  // Backlog: sup attained at t=T: b + rT = 100.  Delay: T + b/R = 0.75.
+  const ExactCurve alpha = ExactCurve::from(Curve::affine(100.0, 50.0));
+  const ExactCurve beta =
+      ExactCurve::from(Curve::rate_latency(200.0, 0.5));
+
+  const ExactBound v = exact_vertical_deviation(alpha, beta);
+  ASSERT_FALSE(v.infinite);
+  EXPECT_EQ(v.value.approx(), 100.0);
+  EXPECT_EQ(v.witness.approx(), 0.5);
+
+  const ExactBound h = exact_horizontal_deviation(alpha, beta);
+  ASSERT_FALSE(h.infinite);
+  EXPECT_EQ(h.value.approx(), 0.75);
+}
+
+TEST(ExactDeviationTest, DetectsDivergenceWhenArrivalOutpacesService) {
+  // r = 300 > R = 200: both deviations diverge.
+  const ExactCurve alpha = ExactCurve::from(Curve::affine(300.0, 10.0));
+  const ExactCurve beta =
+      ExactCurve::from(Curve::rate_latency(200.0, 0.5));
+  EXPECT_TRUE(exact_vertical_deviation(alpha, beta).infinite);
+  EXPECT_TRUE(exact_horizontal_deviation(alpha, beta).infinite);
+}
+
+TEST(ExactDeviationTest, HandlesInfiniteServiceCurves) {
+  // delta(T): 0 until T, +inf after. Delay bound = T; backlog bound =
+  // alpha(T) (the whole backlog drains instantaneously at T).
+  const ExactCurve alpha = ExactCurve::from(Curve::affine(100.0, 50.0));
+  const ExactCurve delta = ExactCurve::from(Curve::delta(2.0));
+  const ExactBound h = exact_horizontal_deviation(alpha, delta);
+  ASSERT_FALSE(h.infinite);
+  EXPECT_EQ(h.value.approx(), 2.0);
+  const ExactBound v = exact_vertical_deviation(alpha, delta);
+  ASSERT_FALSE(v.infinite);
+  EXPECT_EQ(v.value.approx(), 50.0 + 100.0 * 2.0);
+}
+
+TEST(ExactDeviationTest, ZeroDeviationClampsAtZero) {
+  // Service dominates arrival everywhere: both deviations are 0, never
+  // negative.
+  const ExactCurve alpha = ExactCurve::from(Curve::affine(10.0, 0.0));
+  const ExactCurve beta = ExactCurve::from(Curve::affine(20.0, 5.0));
+  EXPECT_EQ(exact_vertical_deviation(alpha, beta).value.approx(), 0.0);
+  EXPECT_EQ(exact_horizontal_deviation(alpha, beta).value.approx(), 0.0);
+}
+
+TEST(ExactDeviationTest, AgreesWithDoubleKernelsOnMixedCurves) {
+  const Curve alphas[] = {
+      Curve::affine(123.25, 7.5),
+      Curve::staircase(/*height=*/64.0, /*period=*/0.25, /*latency=*/0.0,
+                       /*horizon=*/8),
+      Curve::step(100.0, 1.5),
+  };
+  const Curve betas[] = {
+      Curve::rate_latency(250.0, 0.125),
+      Curve::rate_latency(300.5, 1.0 / 3.0),
+  };
+  for (const Curve& a : alphas) {
+    for (const Curve& b : betas) {
+      const ExactCurve ea = ExactCurve::from(a);
+      const ExactCurve eb = ExactCurve::from(b);
+      const double kv = minplus::vertical_deviation(a, b);
+      const double kh = minplus::horizontal_deviation(a, b);
+      const ExactBound ev = exact_vertical_deviation(ea, eb);
+      const ExactBound eh = exact_horizontal_deviation(ea, eb);
+      if (std::isinf(kv)) {
+        EXPECT_TRUE(ev.infinite) << a.describe() << " vs " << b.describe();
+      } else {
+        ASSERT_FALSE(ev.infinite) << a.describe() << " vs " << b.describe();
+        EXPECT_NEAR(ev.value.approx(), kv, 1e-9 * (1.0 + std::abs(kv)))
+            << a.describe() << " vs " << b.describe();
+      }
+      if (std::isinf(kh)) {
+        EXPECT_TRUE(eh.infinite) << a.describe() << " vs " << b.describe();
+      } else {
+        ASSERT_FALSE(eh.infinite) << a.describe() << " vs " << b.describe();
+        EXPECT_NEAR(eh.value.approx(), kh, 1e-9 * (1.0 + std::abs(kh)))
+            << a.describe() << " vs " << b.describe();
+      }
+    }
+  }
+}
+
+TEST(ExactDeviationTest, WitnessAttainsTheSupremum) {
+  const ExactCurve alpha = ExactCurve::from(Curve::affine(100.0, 50.0));
+  const ExactCurve beta =
+      ExactCurve::from(Curve::rate_latency(200.0, 0.5));
+  const ExactBound v = exact_vertical_deviation(alpha, beta);
+  const PointDev at = exact_vertical_dev_at(alpha, beta, v.witness);
+  ASSERT_TRUE(at.defined);
+  ASSERT_FALSE(at.infinite);
+  EXPECT_EQ(at.value.compare(v.value), 0);
+}
+
+}  // namespace
+}  // namespace streamcalc::certify

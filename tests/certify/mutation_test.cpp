@@ -1,0 +1,165 @@
+// Mutation suite (DESIGN.md §9): the checker must accept every unmutated
+// golden paper bound (BLAST Section 4 / Table 1 pipeline, BITW Section 5 /
+// Tables 2-3 pipeline) and reject 100% of planted mutations:
+//
+//   * claimed bound nudged +-1 ulp (tightness: the claim must be the
+//     canonical upward rounding of the exact supremum),
+//   * dropped witness,
+//   * wrong tail slope in the concatenated service provenance,
+//   * off-by-one breakpoint in the service curve.
+//
+// A mutation that produces a structurally invalid curve counts as rejected
+// too: minplus::Curve's constructor is the checker's front line, and
+// check_certificate re-validates the same invariants in exact arithmetic.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "apps/bitw.hpp"
+#include "apps/blast.hpp"
+#include "certify/certificate.hpp"
+#include "certify/checker.hpp"
+#include "certify/postflight.hpp"
+#include "minplus/curve.hpp"
+#include "netcalc/pipeline.hpp"
+
+namespace streamcalc::certify {
+namespace {
+
+using minplus::Curve;
+using minplus::Segment;
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+std::vector<BoundCertificate> golden_certificates() {
+  std::vector<BoundCertificate> certs;
+  {
+    const netcalc::PipelineModel blast(apps::blast::nodes(),
+                                       apps::blast::job_source(),
+                                       apps::blast::policy());
+    for (auto& c : emit_pipeline_certificates(blast)) {
+      certs.push_back(std::move(c));
+    }
+  }
+  {
+    const netcalc::PipelineModel bitw(apps::bitw::nodes(),
+                                      apps::bitw::delay_study_source(),
+                                      apps::bitw::policy());
+    for (auto& c : emit_pipeline_certificates(bitw)) {
+      certs.push_back(std::move(c));
+    }
+  }
+  {
+    const netcalc::PipelineModel bitw_tp(apps::bitw::nodes(),
+                                         apps::bitw::throttled_source(),
+                                         apps::bitw::policy());
+    for (auto& c : emit_pipeline_certificates(bitw_tp)) {
+      certs.push_back(std::move(c));
+    }
+  }
+  return certs;
+}
+
+/// True when the checker rejects `mutate(cert)`; a mutation the curve
+/// layer itself refuses to represent is rejected by construction.
+template <typename Mutate>
+bool rejected(const BoundCertificate& cert, Mutate&& mutate) {
+  BoundCertificate m = cert;
+  try {
+    mutate(m);
+  } catch (const std::exception&) {
+    return true;
+  }
+  return !check_certificate(m).clean();
+}
+
+TEST(MutationSuite, GoldenPaperBoundsAllCertify) {
+  const auto certs = golden_certificates();
+  ASSERT_FALSE(certs.empty());
+  for (const auto& cert : certs) {
+    const auto r = check_certificate(cert);
+    EXPECT_TRUE(r.clean())
+        << cert.describe() << "\n"
+        << r.render("golden");
+  }
+}
+
+TEST(MutationSuite, UlpPerturbationsAllRejected) {
+  int planted = 0;
+  for (const auto& cert : golden_certificates()) {
+    if (!std::isfinite(cert.claimed)) continue;
+    for (const bool up : {true, false}) {
+      ++planted;
+      EXPECT_TRUE(rejected(cert,
+                           [up](BoundCertificate& m) {
+                             m.claimed = std::nextafter(
+                                 m.claimed, up ? kInf : -kInf);
+                           }))
+          << cert.describe() << (up ? " +1 ulp" : " -1 ulp");
+    }
+  }
+  EXPECT_GT(planted, 0);
+}
+
+TEST(MutationSuite, DroppedWitnessAllRejected) {
+  int planted = 0;
+  for (const auto& cert : golden_certificates()) {
+    if (!cert.has_witness) continue;
+    ++planted;
+    EXPECT_TRUE(rejected(
+        cert, [](BoundCertificate& m) { m.has_witness = false; }))
+        << cert.describe();
+  }
+  EXPECT_GT(planted, 0);
+}
+
+TEST(MutationSuite, WrongTailSlopeAllRejected) {
+  // Corrupt the concatenated service's tail slope: the checker must notice
+  // that the tail no longer equals the minimum of the component tails (or
+  // that the inflated curve escapes its components).
+  int planted = 0;
+  for (const auto& cert : golden_certificates()) {
+    if (cert.components.empty()) continue;
+    for (const double factor : {1.5, 0.5}) {
+      ++planted;
+      EXPECT_TRUE(rejected(cert,
+                           [factor](BoundCertificate& m) {
+                             auto segs = m.service.segments();
+                             segs.back().slope *= factor;
+                             m.service = Curve(std::move(segs));
+                           }))
+          << cert.describe() << " tail x" << factor;
+    }
+  }
+  EXPECT_GT(planted, 0);
+}
+
+TEST(MutationSuite, OffByOneBreakpointAllRejected) {
+  // Pull the service's first positive breakpoint (the latency knee) back
+  // to the midpoint of its segment: the service curve claims to start
+  // serving a half-latency early, so the true deviation shrinks and the
+  // recorded claim is no longer its canonical rounding.
+  int planted = 0;
+  for (const auto& cert : golden_certificates()) {
+    if (cert.service.segments().size() < 2) continue;
+    // A zero bound cannot shrink further, so the early-service mutation
+    // would be unobservable (and the certificate vacuously correct).
+    if (!std::isfinite(cert.claimed) || cert.claimed <= 0.0) continue;
+    ++planted;
+    EXPECT_TRUE(rejected(cert,
+                         [](BoundCertificate& m) {
+                           auto segs = m.service.segments();
+                           segs[1].x =
+                               (segs[0].x + segs[1].x) / 2.0;
+                           m.service = Curve(std::move(segs));
+                         }))
+        << cert.describe();
+  }
+  EXPECT_GT(planted, 0);
+}
+
+}  // namespace
+}  // namespace streamcalc::certify

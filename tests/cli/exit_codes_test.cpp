@@ -1,0 +1,93 @@
+// Exit-code contract for `streamcalc lint` and `streamcalc certify`:
+//   0  every file clean / every bound certified,
+//   1  unreadable or unparseable input (takes precedence),
+//   2  readable input with defects.
+// Historically lint conflated 1 and 2; these tests pin the split.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+#include "cli/certify.hpp"
+#include "cli/lint.hpp"
+
+namespace streamcalc::cli {
+namespace {
+
+std::string example_spec(const std::string& name) {
+  return std::string(SC_SPEC_DIR) + "/" + name;
+}
+
+std::string fixture_spec(const std::string& name) {
+  return std::string(SC_LINT_SPEC_DIR) + "/" + name;
+}
+
+std::string write_temp(const std::string& name, const std::string& text) {
+  const std::string path =
+      ::testing::TempDir() + "/exit_codes_" + name + ".scspec";
+  std::ofstream out(path);
+  out << text;
+  return path;
+}
+
+TEST(LintExitCodes, CleanSpecsExitZero) {
+  EXPECT_EQ(run_lint({example_spec("quickstart.scspec"),
+                      example_spec("bitw.scspec")}),
+            0);
+}
+
+TEST(LintExitCodes, DefectsExitTwo) {
+  EXPECT_EQ(run_lint({fixture_spec("blast_unstable.scspec")}), 2);
+  // Mixing clean and defective files still reports defects.
+  EXPECT_EQ(run_lint({example_spec("quickstart.scspec"),
+                      fixture_spec("bitw_noncausal.scspec")}),
+            2);
+}
+
+TEST(LintExitCodes, UnreadableFileExitsOne) {
+  EXPECT_EQ(run_lint({"/nonexistent/no_such.scspec"}), 1);
+}
+
+TEST(LintExitCodes, UnparseableSpecExitsOne) {
+  const std::string bogus = write_temp("bogus", "this is not a spec\n");
+  EXPECT_EQ(run_lint({bogus}), 1);
+  std::remove(bogus.c_str());
+}
+
+TEST(LintExitCodes, ParseFailureTakesPrecedenceOverDefects) {
+  EXPECT_EQ(run_lint({fixture_spec("blast_unstable.scspec"),
+                      "/nonexistent/no_such.scspec"}),
+            1);
+}
+
+TEST(CertifyExitCodes, CleanSpecsCertifyWithExitZero) {
+  EXPECT_EQ(run_certify({example_spec("quickstart.scspec"),
+                         example_spec("bitw.scspec"),
+                         example_spec("fork_join.scspec")}),
+            0);
+}
+
+TEST(CertifyExitCodes, OverloadedButSoundSpecCertifiesItsInfiniteBounds) {
+  // Instability is a property of the model, not a certification defect:
+  // the divergent bounds are re-established definitionally.
+  EXPECT_EQ(run_certify({fixture_spec("blast_unstable.scspec")}), 0);
+}
+
+TEST(CertifyExitCodes, LintErrorsBlockCertificationWithExitTwo) {
+  EXPECT_EQ(run_certify({fixture_spec("blast_noncausal.scspec")}), 2);
+}
+
+TEST(CertifyExitCodes, UnreadableAndUnparseableExitOne) {
+  EXPECT_EQ(run_certify({"/nonexistent/no_such.scspec"}), 1);
+  const std::string bogus = write_temp("certify_bogus", "[nope\n");
+  EXPECT_EQ(run_certify({bogus}), 1);
+  std::remove(bogus.c_str());
+  // Parse failures take precedence over defects here too.
+  EXPECT_EQ(run_certify({fixture_spec("blast_noncausal.scspec"),
+                         "/nonexistent/no_such.scspec"}),
+            1);
+}
+
+}  // namespace
+}  // namespace streamcalc::cli

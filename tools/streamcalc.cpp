@@ -1,15 +1,21 @@
 // streamcalc: analyze or lint a streaming-pipeline specification file.
 //
-//   streamcalc pipeline.scspec      # analyze a file
-//   streamcalc -                    # read the spec from stdin
-//   streamcalc lint a.scspec b...   # static analysis only (nclint)
+//   streamcalc pipeline.scspec       # analyze a file
+//   streamcalc -                     # read the spec from stdin
+//   streamcalc lint a.scspec b...    # static analysis only (nclint)
+//   streamcalc certify a.scspec b... # proof-carrying bound certification
 //
 // `lint` runs the nclint passes (stability, causality, flow conservation,
-// unit coherence — see src/diagnostics/lint.hpp) and exits 0 when every
-// file is clean (info-level findings allowed), 1 otherwise. Plain analysis
-// runs the same passes as a pre-flight: findings print to stderr, and
-// STREAMCALC_LINT=strict turns a non-clean model into a hard error
-// (STREAMCALC_LINT=off skips the check).
+// unit coherence — see src/diagnostics/lint.hpp). `certify` re-verifies
+// every bound the model produces with the independent exact-rational
+// checker (src/certify, DESIGN.md §9). Both exit 0 when every file is
+// clean, 1 when a file is unreadable or unparseable, and 2 when a readable
+// model has defects. Plain analysis runs the lint passes as a pre-flight:
+// findings print to stderr, and STREAMCALC_LINT=strict turns a non-clean
+// model into a hard error (STREAMCALC_LINT=off skips the check). It also
+// honours STREAMCALC_CERTIFY=off|warn|strict as a post-flight: after the
+// model is built, every reported bound is certified and failures warn or
+// abort.
 //
 // The spec format is documented in src/cli/spec.hpp and the examples under
 // examples/specs/.
@@ -20,6 +26,7 @@
 #include <string>
 #include <vector>
 
+#include "cli/certify.hpp"
 #include "cli/lint.hpp"
 #include "cli/report.hpp"
 #include "cli/spec.hpp"
@@ -31,11 +38,14 @@ int usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s <spec-file | ->\n"
                "       %s lint <spec-file | ->...\n"
+               "       %s certify <spec-file | ->...\n"
                "Analyzes a streaming pipeline with network calculus (and\n"
-               "optionally simulates it), or statically lints the model.\n"
+               "optionally simulates it), statically lints the model, or\n"
+               "certifies every computed bound with the exact-rational\n"
+               "checker.\n"
                "Spec format: see src/cli/spec.hpp and examples/specs/.\n",
-               argv0, argv0);
-  return 2;
+               argv0, argv0, argv0);
+  return 3;
 }
 
 }  // namespace
@@ -45,6 +55,11 @@ int main(int argc, char** argv) {
     if (argc < 3) return usage(argv[0]);
     std::vector<std::string> paths(argv + 2, argv + argc);
     return streamcalc::cli::run_lint(paths);
+  }
+  if (argc >= 2 && std::string(argv[1]) == "certify") {
+    if (argc < 3) return usage(argv[0]);
+    std::vector<std::string> paths(argv + 2, argv + argc);
+    return streamcalc::cli::run_certify(paths);
   }
   if (argc != 2) return usage(argv[0]);
   const std::string path = argv[1];
