@@ -9,6 +9,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/obs.hpp"
 #include "util/format.hpp"
 #include "util/table.hpp"
 
@@ -48,8 +49,11 @@ class JsonReport {
   }
 
   /// Writes `[{"name": ..., "value": ..., "unit": ...}, ...]` to `path`.
-  /// Returns false (after printing a warning) when the file cannot be
-  /// opened.
+  /// When the observability layer is compiled in and runtime-enabled, the
+  /// registry's counters and gauges ride along as extra `obs.*` rows, so
+  /// every bench artifact carries the instrumentation of the run that
+  /// produced it. Returns false (after printing a warning) when the file
+  /// cannot be opened.
   bool write(const std::string& path) const {
     std::FILE* out = std::fopen(path.c_str(), "w");
     if (out == nullptr) {
@@ -57,18 +61,30 @@ class JsonReport {
                    path.c_str());
       return false;
     }
+    std::vector<Row> rows = rows_;
+#if SC_OBS_ENABLED
+    if (obs::enabled()) {
+      const obs::Registry& reg = obs::Registry::global();
+      for (const auto& nv : reg.counter_values()) {
+        rows.push_back(Row{"obs." + nv.name, nv.value, "count"});
+      }
+      for (const auto& nv : reg.gauge_values()) {
+        rows.push_back(Row{"obs." + nv.name, nv.value, "value"});
+      }
+    }
+#endif
     std::fputs("[\n", out);
-    for (std::size_t i = 0; i < rows_.size(); ++i) {
-      const Row& r = rows_[i];
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+      const Row& r = rows[i];
       std::fprintf(out,
                    "  {\"name\": \"%s\", \"value\": %.17g, \"unit\": "
                    "\"%s\"}%s\n",
                    escape(r.name).c_str(), r.value, escape(r.unit).c_str(),
-                   i + 1 < rows_.size() ? "," : "");
+                   i + 1 < rows.size() ? "," : "");
     }
     std::fputs("]\n", out);
     std::fclose(out);
-    std::printf("wrote %zu JSON result rows to %s\n", rows_.size(),
+    std::printf("wrote %zu JSON result rows to %s\n", rows.size(),
                 path.c_str());
     return true;
   }

@@ -6,11 +6,7 @@
 //   ./build/examples/quickstart
 #include <cstdio>
 
-#include "certify/postflight.hpp"
-#include "netcalc/pipeline.hpp"
-#include "streamsim/pipeline_sim.hpp"
-#include "util/format.hpp"
-#include "diagnostics/lint.hpp"
+#include "streamcalc.hpp"
 
 namespace {
 

@@ -6,7 +6,8 @@
 #include <vector>
 
 #include "certify/checker.hpp"
-#include "util/env.hpp"
+#include "obs/obs.hpp"
+#include "util/context.hpp"
 #include "util/error.hpp"
 
 namespace streamcalc::certify {
@@ -44,15 +45,23 @@ std::string path_context(const netcalc::DagModel& model,
 
 }  // namespace
 
+CertifyMode certify_mode(const util::Context& ctx) {
+  switch (ctx.certify) {
+    case util::EnforceMode::kOff:
+      return CertifyMode::kOff;
+    case util::EnforceMode::kWarn:
+      return CertifyMode::kWarn;
+    case util::EnforceMode::kStrict:
+      return CertifyMode::kStrict;
+  }
+  return CertifyMode::kOff;
+}
+
 CertifyMode certify_mode_from_env() {
-  const auto raw = util::env_raw("STREAMCALC_CERTIFY");
-  if (!raw || *raw == "off") return CertifyMode::kOff;
-  if (*raw == "warn") return CertifyMode::kWarn;
-  if (*raw == "strict") return CertifyMode::kStrict;
-  throw util::PreconditionError(
-      "STREAMCALC_CERTIFY=\"" + *raw +
-      "\" is not a valid setting: expected \"off\", \"warn\", or "
-      "\"strict\"");
+  util::warn_deprecated_once(
+      "certify_mode_from_env(): build a util::Context (Context::from_env()) "
+      "and pass it to the certify entry points instead");
+  return certify_mode(util::Context::active());
 }
 
 std::vector<BoundCertificate> emit_pipeline_certificates(
@@ -123,15 +132,21 @@ std::vector<BoundCertificate> emit_dag_certificates(
 }
 
 LintReport certify_pipeline(const netcalc::PipelineModel& model) {
-  return check_certificates(emit_pipeline_certificates(model));
+  SC_OBS_SPAN("certify", "postflight");
+  const auto certs = emit_pipeline_certificates(model);
+  SC_OBS_COUNT("certify.certificates", certs.size());
+  return check_certificates(certs);
 }
 
 LintReport certify_dag(const netcalc::DagModel& model) {
-  return check_certificates(emit_dag_certificates(model));
+  SC_OBS_SPAN("certify", "postflight");
+  const auto certs = emit_dag_certificates(model);
+  SC_OBS_COUNT("certify.certificates", certs.size());
+  return check_certificates(certs);
 }
 
-void postflight(const std::string& context, const LintReport& report) {
-  const CertifyMode mode = certify_mode_from_env();
+void postflight(const std::string& context, const LintReport& report,
+                CertifyMode mode) {
   if (mode == CertifyMode::kOff) return;
   const std::string rendered = report.render(context);
   if (!rendered.empty()) std::cerr << rendered;
@@ -145,16 +160,33 @@ void postflight(const std::string& context, const LintReport& report) {
   }
 }
 
+void postflight(const std::string& context, const LintReport& report) {
+  postflight(context, report, certify_mode(util::Context::active()));
+}
+
+void postflight_pipeline(const std::string& context,
+                         const netcalc::PipelineModel& model,
+                         const util::Context& ctx) {
+  const CertifyMode mode = certify_mode(ctx);
+  if (mode == CertifyMode::kOff) return;
+  postflight(context, certify_pipeline(model), mode);
+}
+
 void postflight_pipeline(const std::string& context,
                          const netcalc::PipelineModel& model) {
-  if (certify_mode_from_env() == CertifyMode::kOff) return;
-  postflight(context, certify_pipeline(model));
+  postflight_pipeline(context, model, util::Context::active());
+}
+
+void postflight_dag(const std::string& context, const netcalc::DagModel& model,
+                    const util::Context& ctx) {
+  const CertifyMode mode = certify_mode(ctx);
+  if (mode == CertifyMode::kOff) return;
+  postflight(context, certify_dag(model), mode);
 }
 
 void postflight_dag(const std::string& context,
                     const netcalc::DagModel& model) {
-  if (certify_mode_from_env() == CertifyMode::kOff) return;
-  postflight(context, certify_dag(model));
+  postflight_dag(context, model, util::Context::active());
 }
 
 }  // namespace streamcalc::certify

@@ -25,6 +25,7 @@
 #include "diagnostics/diagnostic.hpp"
 #include "netcalc/dag.hpp"
 #include "netcalc/pipeline.hpp"
+#include "util/context.hpp"
 
 namespace streamcalc::certify {
 
@@ -34,9 +35,13 @@ enum class CertifyMode {
   kStrict  ///< print findings and throw when a bound fails to certify
 };
 
-/// STREAMCALC_CERTIFY: unset/"off" = kOff, "warn" = kWarn,
-/// "strict" = kStrict. Anything else throws PreconditionError naming the
-/// variable (see util/env.hpp).
+/// Maps a Context's certify policy onto the local mode enum.
+CertifyMode certify_mode(const util::Context& ctx);
+
+/// Deprecated shim: forwards to Context::active().certify (which still
+/// honours STREAMCALC_CERTIFY when no Context is installed) and prints a
+/// one-time deprecation note. New code should build a util::Context and
+/// pass it to the postflight entry points below.
 CertifyMode certify_mode_from_env();
 
 /// Emits certificates for every bound a PipelineModel reports: end-to-end
@@ -59,14 +64,24 @@ diagnostics::LintReport certify_dag(const netcalc::DagModel& model);
 
 /// Applies the mode policy to a finished report: renders findings to
 /// stderr (prefixed with `context`) unless off, and throws
-/// PreconditionError in strict mode when the report is not clean.
+/// PreconditionError in strict mode when the report is not clean. The
+/// two-argument overload resolves the mode from Context::active().
+void postflight(const std::string& context,
+                const diagnostics::LintReport& report, CertifyMode mode);
 void postflight(const std::string& context,
                 const diagnostics::LintReport& report);
 
 /// Convenience drivers: no-ops (and no exact arithmetic) when the mode is
-/// off.
+/// off. The Context overloads are preferred; the two-argument forms
+/// resolve the mode from Context::active().
+void postflight_pipeline(const std::string& context,
+                         const netcalc::PipelineModel& model,
+                         const util::Context& ctx);
 void postflight_pipeline(const std::string& context,
                          const netcalc::PipelineModel& model);
+void postflight_dag(const std::string& context,
+                    const netcalc::DagModel& model,
+                    const util::Context& ctx);
 void postflight_dag(const std::string& context,
                     const netcalc::DagModel& model);
 

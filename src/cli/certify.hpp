@@ -14,6 +14,7 @@
 #include <string>
 #include <vector>
 
+#include "cli/options.hpp"
 #include "cli/spec.hpp"
 #include "diagnostics/diagnostic.hpp"
 
@@ -24,11 +25,13 @@ namespace streamcalc::cli {
 /// do not block certification.
 diagnostics::LintReport certify_spec(const Spec& spec);
 
-/// CLI driver for `streamcalc certify <spec>...`. Exit codes follow the
-/// lint convention: 0 = every bound of every file certified; 1 = at least
-/// one unreadable or unparseable file (takes precedence); 2 = every file
-/// was readable but at least one bound failed certification (or the model
-/// had lint errors blocking the build).
+/// CLI driver for `streamcalc certify <spec>...` (opts.json switches the
+/// stdout rendering to one JSON object with a per-file findings array).
+/// Exit codes follow the lint convention: 0 = every bound of every file
+/// certified; 1 = at least one unreadable or unparseable file (takes
+/// precedence); 2 = every file was readable but at least one bound failed
+/// certification (or the model had lint errors blocking the build).
+int run_certify(const std::vector<std::string>& paths, const Options& opts);
 int run_certify(const std::vector<std::string>& paths);
 
 }  // namespace streamcalc::cli

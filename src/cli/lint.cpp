@@ -6,6 +6,7 @@
 #include <sstream>
 
 #include "diagnostics/lint.hpp"
+#include "obs/obs.hpp"
 #include "util/error.hpp"
 
 namespace streamcalc::cli {
@@ -44,35 +45,76 @@ bool read_input(const std::string& path, std::string& text) {
 
 }  // namespace
 
-int run_lint(const std::vector<std::string>& paths) {
+std::string findings_json(const diagnostics::LintReport& report) {
+  std::ostringstream os;
+  os << "[";
+  bool first = true;
+  for (const diagnostics::Diagnostic& d : report.diagnostics()) {
+    os << (first ? "" : ",") << "\n   {\"code\": " << json_quote(d.code)
+       << ", \"severity\": " << json_quote(to_string(d.severity))
+       << ", \"location\": " << json_quote(d.location)
+       << ", \"message\": " << json_quote(d.message)
+       << ", \"hint\": " << json_quote(d.hint) << "}";
+    first = false;
+  }
+  os << "]";
+  return os.str();
+}
+
+int run_lint(const std::vector<std::string>& paths, const Options& opts) {
   bool any_parse_failure = false;
   bool any_defects = false;
+  std::ostringstream json;
+  json << "{\"command\": \"lint\", \"files\": [";
+  bool first = true;
   for (const std::string& path : paths) {
+    SC_OBS_SPAN("cli", "lint");
     std::string text;
+    std::string status;
+    diagnostics::LintReport report;
     if (!read_input(path, text)) {
       std::fprintf(stderr, "error: cannot open '%s'\n", path.c_str());
       any_parse_failure = true;
-      continue;
+      status = "unreadable";
+    } else {
+      try {
+        report = lint_spec_text(text);
+        if (report.clean()) {
+          status = "clean";
+        } else {
+          status = "defects";
+          any_defects = true;
+        }
+      } catch (const util::Error& e) {
+        // Syntax-level failure: there is no model to lint.
+        std::fprintf(stderr, "%s: error: %s\n", path.c_str(), e.what());
+        any_parse_failure = true;
+        status = "unparseable";
+      }
     }
-    diagnostics::LintReport report;
-    try {
-      report = lint_spec_text(text);
-    } catch (const util::Error& e) {
-      // Syntax-level failure: there is no model to lint.
-      std::fprintf(stderr, "%s: error: %s\n", path.c_str(), e.what());
-      any_parse_failure = true;
-      continue;
-    }
-    std::fputs(report.render(path).c_str(), stdout);
-    if (report.clean()) {
+    if (opts.json) {
+      json << (first ? "" : ",") << "\n {\"path\": " << json_quote(path)
+           << ", \"status\": " << json_quote(status)
+           << ", \"findings\": " << findings_json(report) << "}";
+      first = false;
+    } else if (status == "clean") {
+      std::fputs(report.render(path).c_str(), stdout);
       std::printf("%s: clean (%zu info)\n", path.c_str(),
                   report.count(diagnostics::Severity::kInfo));
-    } else {
-      any_defects = true;
+    } else if (status == "defects") {
+      std::fputs(report.render(path).c_str(), stdout);
     }
   }
-  if (any_parse_failure) return 1;
-  return any_defects ? 2 : 0;
+  const int code = any_parse_failure ? 1 : (any_defects ? 2 : 0);
+  if (opts.json) {
+    json << "],\n \"exit_code\": " << code << "}\n";
+    std::fputs(json.str().c_str(), stdout);
+  }
+  return code;
+}
+
+int run_lint(const std::vector<std::string>& paths) {
+  return run_lint(paths, Options{});
 }
 
 }  // namespace streamcalc::cli

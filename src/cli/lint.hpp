@@ -9,6 +9,7 @@
 
 #include <string>
 
+#include "cli/options.hpp"
 #include "cli/spec.hpp"
 #include "diagnostics/diagnostic.hpp"
 
@@ -22,12 +23,18 @@ diagnostics::LintReport lint_spec(const Spec& spec);
 /// come back as diagnostics.
 diagnostics::LintReport lint_spec_text(std::string_view text);
 
+/// JSON array literal of a report's findings, shared by the CLI's --json
+/// emitters: [{"code", "severity", "location", "message", "hint"}, ...].
+std::string findings_json(const diagnostics::LintReport& report);
+
 /// CLI driver for `streamcalc lint <spec>...`: lints each file, prints the
-/// findings compiler-style to stdout, and returns the process exit code.
+/// findings compiler-style to stdout (or, with opts.json, one JSON object
+/// with a per-file findings array), and returns the process exit code.
 /// 0 = every file clean (info-level findings allowed); 1 = at least one
 /// unreadable or unparseable file (takes precedence — there was no model
 /// to analyze); 2 = every file was readable but at least one warning or
 /// error was found.
+int run_lint(const std::vector<std::string>& paths, const Options& opts);
 int run_lint(const std::vector<std::string>& paths);
 
 }  // namespace streamcalc::cli

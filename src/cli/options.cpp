@@ -1,0 +1,157 @@
+#include "cli/options.hpp"
+
+#include <cctype>
+#include <cstdio>
+
+namespace streamcalc::cli {
+
+namespace {
+
+constexpr unsigned kMaxThreads = 4096;
+
+/// Parses a --threads value with the same grammar as STREAMCALC_THREADS:
+/// a non-negative count (0 = hardware concurrency) or "serial".
+bool parse_threads_flag(const std::string& value, unsigned& out) {
+  if (value == "serial") {
+    out = 1;
+    return true;
+  }
+  if (value.empty()) return false;
+  unsigned long parsed = 0;
+  for (const char c : value) {
+    if (std::isdigit(static_cast<unsigned char>(c)) == 0) return false;
+    parsed = parsed * 10 + static_cast<unsigned long>(c - '0');
+    if (parsed > kMaxThreads) return false;
+  }
+  out = static_cast<unsigned>(parsed);
+  return true;
+}
+
+}  // namespace
+
+ParseResult parse_args(int argc, const char* const* argv) {
+  ParseResult result;
+  Options& opts = result.options;
+  // Environment first; flags below override. May throw PreconditionError
+  // for malformed STREAMCALC_* values — the caller maps that to exit 1.
+  opts.ctx = util::Context::from_env();
+
+  int i = 1;
+  if (i < argc) {
+    const std::string first = argv[i];
+    if (first == "analyze" || first == "lint" || first == "certify") {
+      opts.command = first;
+      ++i;
+    }
+    // Anything else keeps the historical `streamcalc <spec|->` meaning:
+    // command stays "analyze" and the argument is parsed below.
+  }
+
+  for (; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      opts.help = true;
+    } else if (arg == "--json") {
+      opts.json = true;
+    } else if (arg == "--stats") {
+      opts.ctx.stats = true;
+    } else if (arg == "--trace") {
+      if (i + 1 >= argc) {
+        result.error = "--trace requires a file argument";
+        return result;
+      }
+      opts.ctx.trace_path = argv[++i];
+    } else if (arg == "--threads") {
+      if (i + 1 >= argc) {
+        result.error = "--threads requires a count argument";
+        return result;
+      }
+      unsigned threads = 0;
+      if (!parse_threads_flag(argv[++i], threads)) {
+        result.error = std::string("invalid --threads value '") + argv[i] +
+                       "': expected a count 0.." +
+                       std::to_string(kMaxThreads) + " or 'serial'";
+        return result;
+      }
+      opts.ctx.threads = threads;
+    } else if (arg.size() >= 2 && arg[0] == '-' && arg != "-") {
+      result.error = "unknown flag '" + arg + "'";
+      return result;
+    } else {
+      opts.paths.push_back(arg);
+    }
+  }
+
+  if (opts.help) return result;
+  if (opts.paths.empty()) {
+    result.error = "missing spec path (use '-' for stdin)";
+    return result;
+  }
+  if (opts.command == "analyze" && opts.paths.size() != 1) {
+    result.error = "analyze takes exactly one spec path";
+    return result;
+  }
+  return result;
+}
+
+std::string help_text(const std::string& argv0) {
+  std::string out;
+  out += "usage: " + argv0 + " [analyze] <spec|-> [flags]\n";
+  out += "       " + argv0 + " lint <spec|->... [flags]\n";
+  out += "       " + argv0 + " certify <spec|->... [flags]\n";
+  out +=
+      "\n"
+      "subcommands:\n"
+      "  analyze   network-calculus bounds report (default)\n"
+      "  lint      nclint static model analysis\n"
+      "  certify   proof-carrying bound certification\n"
+      "\n"
+      "flags (all subcommands):\n"
+      "  --threads <n|serial>  worker threads; 0 = hardware concurrency\n"
+      "                        (overrides STREAMCALC_THREADS)\n"
+      "  --stats               append the metrics JSON block to stdout\n"
+      "  --trace <file>        write a chrome://tracing JSON trace\n"
+      "  --json                machine-readable output\n"
+      "  --help, -h            this table\n"
+      "\n"
+      "exit codes: 0 clean, 1 unreadable/unparseable input or bad\n"
+      "environment, 2 defects found, 3 usage error.\n"
+      "Spec format: see src/cli/spec.hpp and examples/specs/.\n";
+  return out;
+}
+
+std::string json_quote(const std::string& s) {
+  std::string out = "\"";
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+  return out;
+}
+
+}  // namespace streamcalc::cli

@@ -1,0 +1,59 @@
+// Shared command-line surface for the streamcalc tool.
+//
+// Every subcommand (analyze, lint, certify) accepts the same flags with
+// the same spelling and the same exit-code convention, parsed here once:
+//
+//   --threads <n|serial>   worker threads (0 = hardware concurrency)
+//   --stats                append the observability metrics JSON block
+//   --trace <file>         write a chrome://tracing JSON trace
+//   --json                 machine-readable output instead of text
+//   --help, -h             print the shared help table
+//
+// Flags override the environment: parse_args() starts from
+// util::Context::from_env() and applies the flags on top, so
+// `STREAMCALC_THREADS=8 streamcalc analyze --threads 2 spec` runs with 2.
+// A usage problem (unknown flag, missing value, missing spec path) is a
+// ParseResult::error and exits 3; a malformed *environment variable*
+// throws PreconditionError and exits 1, matching the pre-existing
+// behaviour of the bare tool.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "util/context.hpp"
+
+namespace streamcalc::cli {
+
+/// Parsed command line shared by every subcommand.
+struct Options {
+  std::string command = "analyze";  ///< analyze | lint | certify
+  std::vector<std::string> paths;   ///< spec files; "-" reads stdin
+  bool json = false;                ///< machine-readable output
+  bool help = false;                ///< --help / -h was given
+  /// Run configuration: environment settings overridden by flags.
+  /// `ctx.stats` / `ctx.trace_path` mirror --stats / --trace.
+  util::Context ctx;
+};
+
+/// Either a usable Options or a usage error (print it + the help table,
+/// exit 3).
+struct ParseResult {
+  Options options;
+  std::string error;
+  bool ok() const { return error.empty(); }
+};
+
+/// Parses argv[1..): an optional leading subcommand (a bare spec path
+/// keeps the historical `streamcalc <spec|->` meaning of analyze), then
+/// any mix of flags and spec paths. Throws PreconditionError only for
+/// malformed STREAMCALC_* environment variables.
+ParseResult parse_args(int argc, const char* const* argv);
+
+/// The one help/usage table every subcommand shares.
+std::string help_text(const std::string& argv0);
+
+/// JSON string literal (quotes + escapes) for the CLI's --json emitters.
+std::string json_quote(const std::string& s);
+
+}  // namespace streamcalc::cli

@@ -1,10 +1,18 @@
 #include "cli/report.hpp"
 
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <iostream>
 #include <sstream>
 
 #include "certify/postflight.hpp"
+#include "cli/lint.hpp"
+#include "diagnostics/lint.hpp"
+#include "obs/obs.hpp"
 #include "queueing/mm1.hpp"
 #include "streamsim/pipeline_sim.hpp"
+#include "util/error.hpp"
 #include "util/format.hpp"
 #include "util/table.hpp"
 
@@ -12,7 +20,15 @@ namespace streamcalc::cli {
 
 namespace {
 
-std::string run_dag_report(const Spec& spec) {
+/// JSON number literal; non-finite values (divergent bounds) render null.
+std::string json_number(double v) {
+  if (!std::isfinite(v)) return "null";
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  return buf;
+}
+
+std::string run_dag_report(const Spec& spec, const util::Context& ctx) {
   using util::format_duration;
   using util::format_rate;
   using util::format_size;
@@ -20,7 +36,7 @@ std::string run_dag_report(const Spec& spec) {
   std::ostringstream os;
   const netcalc::DagSpec dag = spec.dag();
   const netcalc::DagModel model(dag, spec.source, spec.policy);
-  certify::postflight_dag("analyze", model);
+  certify::postflight_dag("analyze", model, ctx);
 
   os << "pipeline: DAG with " << dag.nodes.size() << " nodes, "
      << dag.edges.size() << " edges, offered "
@@ -74,16 +90,17 @@ std::string run_dag_report(const Spec& spec) {
 
 }  // namespace
 
-std::string run_report(const Spec& spec) {
+std::string run_report(const Spec& spec, const util::Context& ctx) {
   using util::format_duration;
   using util::format_rate;
   using util::format_size;
 
-  if (spec.is_dag()) return run_dag_report(spec);
+  SC_OBS_SPAN("cli", "analyze");
+  if (spec.is_dag()) return run_dag_report(spec, ctx);
 
   std::ostringstream os;
   const netcalc::PipelineModel model(spec.nodes, spec.source, spec.policy);
-  certify::postflight_pipeline("analyze", model);
+  certify::postflight_pipeline("analyze", model, ctx);
 
   os << "pipeline: " << spec.nodes.size() << " stages, offered "
      << format_rate(spec.source.rate);
@@ -141,6 +158,149 @@ std::string run_report(const Spec& spec) {
        << (sim.max_backlog <= model.backlog_bound() ? "yes" : "NO") << "\n";
   }
   return os.str();
+}
+
+std::string run_report(const Spec& spec) {
+  return run_report(spec, util::Context::active());
+}
+
+namespace {
+
+std::string dag_report_json(const Spec& spec, const util::Context& ctx) {
+  const netcalc::DagSpec dag = spec.dag();
+  const netcalc::DagModel model(dag, spec.source, spec.policy);
+  certify::postflight_dag("analyze", model, ctx);
+
+  std::ostringstream os;
+  os << "{\"kind\": \"dag\", \"nodes\": " << dag.nodes.size()
+     << ", \"edges\": " << dag.edges.size() << ",\n \"bounds\": {"
+     << "\"delay_seconds\": "
+     << json_number(model.delay_bound().in_seconds())
+     << ", \"backlog_bytes\": "
+     << json_number(model.backlog_bound().in_bytes()) << "},\n";
+  os << " \"per_node\": [";
+  bool first = true;
+  for (const auto& a : model.per_node_analysis()) {
+    os << (first ? "" : ",") << "\n  {\"name\": " << json_quote(a.name)
+       << ", \"regime\": " << json_quote(to_string(a.load_regime))
+       << ", \"arrival_bytes_per_sec\": "
+       << json_number(a.arrival_rate.in_bytes_per_sec())
+       << ", \"service_bytes_per_sec\": "
+       << json_number(a.service_rate.in_bytes_per_sec())
+       << ", \"delay_seconds\": " << json_number(a.delay.in_seconds())
+       << ", \"backlog_bytes\": " << json_number(a.backlog.in_bytes())
+       << "}";
+    first = false;
+  }
+  os << "],\n \"paths\": [";
+  first = true;
+  for (const auto& p : model.per_path_analysis()) {
+    os << (first ? "" : ",") << "\n  {\"nodes\": [";
+    for (std::size_t i = 0; i < p.nodes.size(); ++i) {
+      os << (i > 0 ? ", " : "") << json_quote(dag.nodes[p.nodes[i]].name);
+    }
+    os << "], \"delay_seconds\": " << json_number(p.delay.in_seconds())
+       << "}";
+    first = false;
+  }
+  os << "]}\n";
+  return os.str();
+}
+
+}  // namespace
+
+std::string run_report_json(const Spec& spec, const util::Context& ctx) {
+  SC_OBS_SPAN("cli", "analyze");
+  if (spec.is_dag()) return dag_report_json(spec, ctx);
+
+  const netcalc::PipelineModel model(spec.nodes, spec.source, spec.policy);
+  certify::postflight_pipeline("analyze", model, ctx);
+
+  std::ostringstream os;
+  os << "{\"kind\": \"chain\", \"stages\": " << spec.nodes.size()
+     << ", \"regime\": " << json_quote(to_string(model.load_regime()))
+     << ", \"bottleneck\": "
+     << json_quote(spec.nodes[model.bottleneck()].name) << ",\n \"bounds\": {"
+     << "\"delay_seconds\": "
+     << json_number(model.delay_bound().in_seconds())
+     << ", \"backlog_bytes\": "
+     << json_number(model.backlog_bound().in_bytes())
+     << ", \"total_latency_seconds\": "
+     << json_number(model.total_latency().in_seconds());
+  const auto tb = model.throughput_bounds(spec.analysis.horizon);
+  os << ", \"throughput_lower_bytes_per_sec\": "
+     << json_number(tb.lower.in_bytes_per_sec())
+     << ", \"throughput_upper_bytes_per_sec\": "
+     << json_number(tb.upper.in_bytes_per_sec()) << "},\n";
+  os << " \"per_node\": [";
+  bool first = true;
+  for (const auto& a : model.per_node_analysis()) {
+    os << (first ? "" : ",") << "\n  {\"name\": " << json_quote(a.name)
+       << ", \"regime\": " << json_quote(to_string(a.load_regime))
+       << ", \"arrival_bytes_per_sec\": "
+       << json_number(a.arrival_rate.in_bytes_per_sec())
+       << ", \"service_bytes_per_sec\": "
+       << json_number(a.service_rate.in_bytes_per_sec())
+       << ", \"delay_seconds\": " << json_number(a.delay.in_seconds())
+       << ", \"backlog_bytes\": " << json_number(a.backlog.in_bytes())
+       << "}";
+    first = false;
+  }
+  os << "]";
+  if (spec.analysis.simulate) {
+    streamsim::SimConfig cfg;
+    cfg.horizon = spec.analysis.horizon;
+    cfg.warmup = spec.analysis.horizon / 5.0;
+    cfg.seed = spec.analysis.seed;
+    cfg.queue_capacity = spec.analysis.queue_capacity;
+    const auto sim = streamsim::simulate(spec.nodes, spec.source, cfg);
+    os << ",\n \"simulation\": {\"seed\": " << spec.analysis.seed
+       << ", \"throughput_bytes_per_sec\": "
+       << json_number(sim.throughput.in_bytes_per_sec())
+       << ", \"max_delay_seconds\": "
+       << json_number(sim.max_delay.in_seconds())
+       << ", \"max_backlog_bytes\": "
+       << json_number(sim.max_backlog.in_bytes())
+       << ", \"delay_within_bound\": "
+       << (sim.max_delay <= model.delay_bound() ? "true" : "false")
+       << ", \"backlog_within_bound\": "
+       << (sim.max_backlog <= model.backlog_bound() ? "true" : "false")
+       << "}";
+  }
+  os << "}\n";
+  return os.str();
+}
+
+int run_analyze(const Options& opts) {
+  const std::string& path = opts.paths.front();
+  std::string text;
+  if (path == "-") {
+    std::ostringstream ss;
+    ss << std::cin.rdbuf();
+    text = ss.str();
+  } else {
+    std::ifstream in(path);
+    if (!in) {
+      std::fprintf(stderr, "error: cannot open '%s'\n", path.c_str());
+      return 1;
+    }
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    text = ss.str();
+  }
+
+  try {
+    const Spec spec = parse_spec(text);
+    diagnostics::preflight(path, lint_spec(spec),
+                           diagnostics::lint_mode(opts.ctx));
+    const std::string report = opts.json ? run_report_json(spec, opts.ctx)
+                                         : run_report(spec, opts.ctx);
+    std::fputs(report.c_str(), stdout);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+  return 0;
 }
 
 }  // namespace streamcalc::cli

@@ -3,13 +3,28 @@
 
 #include <string>
 
+#include "cli/options.hpp"
 #include "cli/spec.hpp"
+#include "util/context.hpp"
 
 namespace streamcalc::cli {
 
 /// Runs the network-calculus model (plus the queueing baseline and, if
 /// requested, the simulator) on a parsed spec and renders a full text
-/// report.
+/// report. The Context governs the certify post-flight; the one-argument
+/// overload resolves it from Context::active().
+std::string run_report(const Spec& spec, const util::Context& ctx);
 std::string run_report(const Spec& spec);
+
+/// Machine-readable (--json) variant: one JSON object with the model
+/// kind, end-to-end bounds, per-node analysis, and (when the spec enables
+/// it) the simulation cross-check. Non-finite bounds render as null.
+std::string run_report_json(const Spec& spec, const util::Context& ctx);
+
+/// CLI driver for `streamcalc analyze <spec>`: reads the single spec in
+/// `opts.paths`, parses it, runs the lint pre-flight, and prints the text
+/// or JSON report. Exit codes: 0 = analyzed, 1 = unreadable, unparseable,
+/// or failed strict pre/post-flight.
+int run_analyze(const Options& opts);
 
 }  // namespace streamcalc::cli

@@ -1,5 +1,7 @@
 #include "des/simulation.hpp"
 
+#include "obs/obs.hpp"
+
 namespace streamcalc::des {
 
 void Process::promise_type::FinalAwaiter::await_suspend(
@@ -57,21 +59,29 @@ void Simulation::step(const ScheduledEvent& ev) {
 }
 
 void Simulation::run() {
+  SC_OBS_SPAN("des", "run");
+  const std::uint64_t before = executed_;
   while (!calendar_.empty()) {
     const ScheduledEvent ev = calendar_.top();
     calendar_.pop();
     step(ev);
   }
+  SC_OBS_COUNT("des.events", executed_ - before);
+  SC_OBS_COUNT("des.batches", 1);
 }
 
 void Simulation::run_until(double t) {
   util::require(t >= now_, "run_until target must be >= now");
+  SC_OBS_SPAN("des", "run_until");
+  const std::uint64_t before = executed_;
   while (!calendar_.empty() && calendar_.top().time <= t) {
     const ScheduledEvent ev = calendar_.top();
     calendar_.pop();
     step(ev);
   }
   now_ = t;
+  SC_OBS_COUNT("des.events", executed_ - before);
+  SC_OBS_COUNT("des.batches", 1);
 }
 
 }  // namespace streamcalc::des

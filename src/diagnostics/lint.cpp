@@ -5,7 +5,8 @@
 #include <iostream>
 #include <limits>
 
-#include "util/env.hpp"
+#include "obs/obs.hpp"
+#include "util/context.hpp"
 #include "util/error.hpp"
 #include "util/format.hpp"
 #include "util/units.hpp"
@@ -200,6 +201,8 @@ void lint_load(const NodeSpec& node, double sustained_norm, double rate_norm,
 LintReport lint_pipeline(const std::vector<NodeSpec>& nodes,
                          const SourceSpec& source,
                          const ModelPolicy& policy) {
+  SC_OBS_SPAN("lint", "preflight");
+  SC_OBS_COUNT("lint.passes", 1);
   LintReport report;
   if (nodes.empty()) {
     report.add({"NC001", Severity::kError, "model",
@@ -231,6 +234,8 @@ LintReport lint_pipeline(const std::vector<NodeSpec>& nodes,
 
 LintReport lint_dag(const DagSpec& dag, const SourceSpec& source,
                     const ModelPolicy& policy) {
+  SC_OBS_SPAN("lint", "preflight");
+  SC_OBS_COUNT("lint.passes", 1);
   LintReport report;
   const std::size_t n = dag.nodes.size();
   if (n == 0) {
@@ -438,19 +443,27 @@ LintReport lint_flow(const minplus::Curve& arrival,
   return report;
 }
 
-LintMode lint_mode_from_env() {
-  const auto raw = util::env_raw("STREAMCALC_LINT");
-  if (!raw || *raw == "warn") return LintMode::kWarn;
-  if (*raw == "strict") return LintMode::kStrict;
-  if (*raw == "off") return LintMode::kOff;
-  throw util::PreconditionError(
-      "STREAMCALC_LINT=\"" + *raw +
-      "\" is not a valid setting: expected \"warn\", \"strict\", or "
-      "\"off\"");
+LintMode lint_mode(const util::Context& ctx) {
+  switch (ctx.lint) {
+    case util::EnforceMode::kOff:
+      return LintMode::kOff;
+    case util::EnforceMode::kWarn:
+      return LintMode::kWarn;
+    case util::EnforceMode::kStrict:
+      return LintMode::kStrict;
+  }
+  return LintMode::kWarn;
 }
 
-void preflight(const std::string& context, const LintReport& report) {
-  const LintMode mode = lint_mode_from_env();
+LintMode lint_mode_from_env() {
+  util::warn_deprecated_once(
+      "lint_mode_from_env(): build a util::Context (Context::from_env()) "
+      "and pass it to the preflight entry points instead");
+  return lint_mode(util::Context::active());
+}
+
+void preflight(const std::string& context, const LintReport& report,
+               LintMode mode) {
   if (mode == LintMode::kOff) return;
   const std::string rendered = report.render(context);
   if (!rendered.empty()) std::cerr << rendered;
@@ -463,16 +476,34 @@ void preflight(const std::string& context, const LintReport& report) {
   }
 }
 
+void preflight(const std::string& context, const LintReport& report) {
+  preflight(context, report, lint_mode(util::Context::active()));
+}
+
+void preflight_pipeline(const std::string& context,
+                        const std::vector<NodeSpec>& nodes,
+                        const SourceSpec& source, const ModelPolicy& policy,
+                        const util::Context& ctx) {
+  preflight(context, lint_pipeline(nodes, source, policy), lint_mode(ctx));
+}
+
 void preflight_pipeline(const std::string& context,
                         const std::vector<NodeSpec>& nodes,
                         const SourceSpec& source,
                         const ModelPolicy& policy) {
-  preflight(context, lint_pipeline(nodes, source, policy));
+  preflight_pipeline(context, nodes, source, policy,
+                     util::Context::active());
+}
+
+void preflight_dag(const std::string& context, const DagSpec& dag,
+                   const SourceSpec& source, const ModelPolicy& policy,
+                   const util::Context& ctx) {
+  preflight(context, lint_dag(dag, source, policy), lint_mode(ctx));
 }
 
 void preflight_dag(const std::string& context, const DagSpec& dag,
                    const SourceSpec& source, const ModelPolicy& policy) {
-  preflight(context, lint_dag(dag, source, policy));
+  preflight_dag(context, dag, source, policy, util::Context::active());
 }
 
 }  // namespace streamcalc::diagnostics

@@ -37,6 +37,7 @@
 #include "netcalc/dag.hpp"
 #include "netcalc/node.hpp"
 #include "netcalc/pipeline.hpp"
+#include "util/context.hpp"
 
 namespace streamcalc::diagnostics {
 
@@ -65,21 +66,38 @@ enum class LintMode {
   kStrict  ///< print findings and throw when the model is not clean
 };
 
-/// STREAMCALC_LINT: unset/"warn" = kWarn, "strict" = kStrict,
-/// "off" = kOff. Anything else throws PreconditionError naming the
-/// variable (see util/env.hpp).
+/// Maps a Context's lint policy onto the local mode enum.
+LintMode lint_mode(const util::Context& ctx);
+
+/// Deprecated shim: forwards to Context::active().lint (which still
+/// honours STREAMCALC_LINT when no Context is installed) and prints a
+/// one-time deprecation note. New code should build a util::Context and
+/// pass it to the preflight entry points below.
 LintMode lint_mode_from_env();
 
 /// Applies the mode policy to a finished report: renders findings to
 /// stderr (prefixed with `context`) unless off, and throws
-/// PreconditionError in strict mode when the report is not clean.
+/// PreconditionError in strict mode when the report is not clean. The
+/// two-argument overload resolves the mode from Context::active().
+void preflight(const std::string& context, const LintReport& report,
+               LintMode mode);
 void preflight(const std::string& context, const LintReport& report);
 
-/// Convenience: lint + preflight in one call.
+/// Convenience: lint + preflight in one call. The Context overloads are
+/// preferred; the shorter forms resolve the mode from Context::active().
+void preflight_pipeline(const std::string& context,
+                        const std::vector<netcalc::NodeSpec>& nodes,
+                        const netcalc::SourceSpec& source,
+                        const netcalc::ModelPolicy& policy,
+                        const util::Context& ctx);
 void preflight_pipeline(const std::string& context,
                         const std::vector<netcalc::NodeSpec>& nodes,
                         const netcalc::SourceSpec& source,
                         const netcalc::ModelPolicy& policy = {});
+void preflight_dag(const std::string& context, const netcalc::DagSpec& dag,
+                   const netcalc::SourceSpec& source,
+                   const netcalc::ModelPolicy& policy,
+                   const util::Context& ctx);
 void preflight_dag(const std::string& context, const netcalc::DagSpec& dag,
                    const netcalc::SourceSpec& source,
                    const netcalc::ModelPolicy& policy = {});

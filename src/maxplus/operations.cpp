@@ -6,6 +6,7 @@
 
 #include "minplus/detail/builder.hpp"
 #include "minplus/operations.hpp"
+#include "obs/obs.hpp"
 #include "util/error.hpp"
 
 namespace streamcalc::maxplus {
@@ -95,6 +96,8 @@ double convolve_at(const Curve& f, const Curve& g, double t) {
 }
 
 Curve convolve(const Curve& f, const Curve& g) {
+  SC_OBS_SPAN("maxplus", "convolve");
+  SC_OBS_COUNT("maxplus.convolve.calls", 1);
   // Branch envelope, dual to min-plus convolve(): anchoring the split at a
   // breakpoint T of one operand contributes the whole curve
   // c + g(t - T) for t >= T (and 0 before, a safe under-estimate for a
@@ -179,6 +182,8 @@ double deconvolve_at(const Curve& f, const Curve& g, double t) {
 }
 
 Curve deconvolve(const Curve& f, const Curve& g) {
+  SC_OBS_SPAN("maxplus", "deconvolve");
+  SC_OBS_COUNT("maxplus.deconvolve.calls", 1);
   if (f.tail_slope() < g.tail_slope()) return Curve::zero();
   // Candidate breakpoints (differences of operand breakpoints) plus
   // adaptive refinement: the infimum envelope can kink where competing

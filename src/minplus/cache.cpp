@@ -6,7 +6,7 @@
 #include <vector>
 
 #include "minplus/operations.hpp"
-#include "util/env.hpp"
+#include "obs/obs.hpp"
 #include "util/sync.hpp"
 #include "util/thread_annotations.hpp"
 
@@ -26,14 +26,6 @@ std::uint64_t hash_combine(std::uint64_t h, double v) {
   static_assert(sizeof bits == sizeof v);
   std::memcpy(&bits, &v, sizeof bits);
   return mix(h ^ (bits + 0x9E3779B97F4A7C15ULL + (h << 6) + (h >> 2)));
-}
-
-std::size_t global_capacity_from_env() {
-  // Strict parse: a typoed value must not silently fall back to the
-  // default capacity (see util/env.hpp). 0 disables caching.
-  const auto parsed =
-      util::env_uint("STREAMCALC_CURVE_CACHE", 1u << 24);
-  return parsed ? static_cast<std::size_t>(*parsed) : 4096;
 }
 
 }  // namespace
@@ -72,6 +64,9 @@ struct CurveOpCache::Impl {
 CurveOpCache::CurveOpCache(std::size_t capacity)
     : impl_(std::make_unique<Impl>(capacity)) {}
 
+CurveOpCache::CurveOpCache(const util::Context& ctx)
+    : CurveOpCache(ctx.curve_cache) {}
+
 CurveOpCache::~CurveOpCache() = default;
 
 Curve CurveOpCache::get_or_compute(
@@ -89,10 +84,12 @@ Curve CurveOpCache::get_or_compute(
         it->second->g == g) {
       ++impl_->hits;
       impl_->lru.splice(impl_->lru.begin(), impl_->lru, it->second);
+      SC_OBS_COUNT("cache.hits", 1);
       return it->second->result;
     }
     ++impl_->misses;
   }
+  SC_OBS_COUNT("cache.misses", 1);
   // Compute outside the lock: operators are expensive and may themselves
   // fan out to the thread pool (or consult the cache re-entrantly).
   // Concurrent duplicate computation of the same pair is benign — both
@@ -116,6 +113,7 @@ Curve CurveOpCache::get_or_compute(
       impl_->index.erase(impl_->lru.back().key);
       impl_->lru.pop_back();
     }
+    SC_OBS_GAUGE("cache.entries", impl_->lru.size());
   }
   return result;
 }
@@ -133,7 +131,9 @@ void CurveOpCache::clear() {
 }
 
 CurveOpCache& CurveOpCache::global() {
-  static CurveOpCache cache(global_capacity_from_env());
+  // Strict parse via Context: a typoed STREAMCALC_CURVE_CACHE must not
+  // silently fall back to the default capacity (see util/env.hpp).
+  static CurveOpCache cache(util::Context::active().curve_cache);
   return cache;
 }
 

@@ -23,6 +23,7 @@
 #include <memory>
 
 #include "minplus/curve.hpp"
+#include "util/context.hpp"
 
 namespace streamcalc::minplus {
 
@@ -41,6 +42,10 @@ class CurveOpCache {
   /// A cache holding at most `capacity` results (0 = caching disabled;
   /// every call computes).
   explicit CurveOpCache(std::size_t capacity);
+
+  /// A cache sized from `ctx.curve_cache` (the preferred constructor:
+  /// pass the Context you built at startup).
+  explicit CurveOpCache(const util::Context& ctx);
   ~CurveOpCache();
 
   CurveOpCache(const CurveOpCache&) = delete;
@@ -64,8 +69,9 @@ class CurveOpCache {
   /// Drops all entries (counters are kept).
   void clear();
 
-  /// Process-wide cache, lazily created; capacity from the
-  /// STREAMCALC_CURVE_CACHE environment variable (default 4096 entries).
+  /// Process-wide cache, lazily created; capacity from the active
+  /// Context (STREAMCALC_CURVE_CACHE when none is installed; default
+  /// 4096 entries).
   static CurveOpCache& global();
 
  private:

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "minplus/detail/builder.hpp"
+#include "obs/obs.hpp"
 #include "util/error.hpp"
 
 namespace streamcalc::minplus {
@@ -523,6 +524,10 @@ double convolve_at(const Curve& f, const Curve& g, double t) {
 }
 
 Curve convolve(const Curve& f, const Curve& g) {
+  SC_OBS_SPAN("minplus", "convolve");
+  SC_OBS_COUNT("minplus.convolve.calls", 1);
+  SC_OBS_OBSERVE("minplus.convolve.operand_pieces",
+                 f.segments().size() + g.segments().size());
   // delta_T is the shift operator — but only for curves that start at 0:
   // delta_T (x) g equals g(0) on [0, T), not 0, so a curve with g(0) > 0
   // must take the general path (whose T-anchored branch produces exactly
@@ -581,8 +586,10 @@ Curve convolve(const Curve& f, const Curve& g) {
   const Curve env = detail::reduce_envelope(
       std::move(branches),
       [](const Curve& a, const Curve& b) { return minimum(a, b); });
-  return repair_point_values(env,
-                             [&](double t) { return conv_at_impl(f, g, t); });
+  Curve out = repair_point_values(
+      env, [&](double t) { return conv_at_impl(f, g, t); });
+  SC_OBS_OBSERVE("minplus.convolve.result_pieces", out.segments().size());
+  return out;
 }
 
 double deconvolve_at(const Curve& f, const Curve& g, double t) {
@@ -592,6 +599,10 @@ double deconvolve_at(const Curve& f, const Curve& g, double t) {
 }
 
 Curve deconvolve(const Curve& f, const Curve& g) {
+  SC_OBS_SPAN("minplus", "deconvolve");
+  SC_OBS_COUNT("minplus.deconvolve.calls", 1);
+  SC_OBS_OBSERVE("minplus.deconvolve.operand_pieces",
+                 f.segments().size() + g.segments().size());
   if (detail::tail_diverges(f, g)) {
     // The supremum diverges for every t: the deconvolution is +inf
     // everywhere (the flow cannot be bounded by any arrival curve).
@@ -640,12 +651,16 @@ Curve deconvolve(const Curve& f, const Curve& g) {
   const Curve env = detail::reduce_envelope(
       std::move(branches),
       [](const Curve& a, const Curve& b) { return maximum(a, b); });
-  return repair_point_values(env, [&](double t) {
+  Curve out = repair_point_values(env, [&](double t) {
     return deconv_at_impl(f, g, t, /*right_limit=*/false);
   });
+  SC_OBS_OBSERVE("minplus.deconvolve.result_pieces", out.segments().size());
+  return out;
 }
 
 Curve subadditive_closure(const Curve& f, int max_terms) {
+  SC_OBS_SPAN("minplus", "closure");
+  SC_OBS_COUNT("minplus.closure.calls", 1);
   util::require(max_terms >= 1, "subadditive_closure requires max_terms >= 1");
   Curve closure = minimum(Curve::delta(0.0), f);
   Curve power = f;

@@ -1,0 +1,189 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <map>
+#include <sstream>
+#include <vector>
+
+namespace streamcalc::obs {
+
+namespace {
+
+/// Shortest round-trip double rendering; avoids "1e+06"-style noise for
+/// the integral values metrics overwhelmingly hold.
+std::string format_number(double v) {
+  if (std::isfinite(v) && v == std::floor(v) && std::fabs(v) < 1e15) {
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%.0f", v);
+    return buf;
+  }
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  return buf;
+}
+
+std::string quote(const std::string& s) {
+  std::string out = "\"";
+  for (const char c : s) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    out.push_back(c);
+  }
+  out.push_back('"');
+  return out;
+}
+
+}  // namespace
+
+void Histogram::observe(double value) {
+  const std::size_t i = bucket_index(value);
+  util::MutexLock lock(mutex_);
+  if (data_.count == 0 || value < data_.min) data_.min = value;
+  if (data_.count == 0 || value > data_.max) data_.max = value;
+  ++data_.count;
+  data_.sum += value;
+  ++data_.buckets[i];
+}
+
+Histogram::Snapshot Histogram::snapshot() const {
+  util::MutexLock lock(mutex_);
+  return data_;
+}
+
+void Histogram::reset() {
+  util::MutexLock lock(mutex_);
+  data_ = Snapshot{};
+}
+
+double Histogram::bucket_bound(std::size_t i) {
+  return std::ldexp(1.0, static_cast<int>(i));  // 2^i: 1, 2, 4, ...
+}
+
+std::size_t Histogram::bucket_index(double value) {
+  if (!(value > 1.0)) return 0;  // [0, 1], negatives, and NaN
+  for (std::size_t i = 1; i < kBuckets; ++i) {
+    if (value <= bucket_bound(i)) return i;
+  }
+  return kBuckets;  // unbounded overflow bucket
+}
+
+struct Registry::Impl {
+  mutable util::Mutex mutex;
+  // std::map keeps names sorted, which makes json() deterministic.
+  // Instruments are heap-allocated and never freed while the process
+  // lives, so references handed out stay valid without holding the lock.
+  std::map<std::string, std::unique_ptr<Counter>> counters
+      SC_GUARDED_BY(mutex);
+  std::map<std::string, std::unique_ptr<Gauge>> gauges SC_GUARDED_BY(mutex);
+  std::map<std::string, std::unique_ptr<Histogram>> histograms
+      SC_GUARDED_BY(mutex);
+};
+
+Registry::Registry() : impl_(std::make_unique<Impl>()) {}
+Registry::~Registry() = default;
+
+Counter& Registry::counter(const std::string& name) {
+  util::MutexLock lock(impl_->mutex);
+  auto& slot = impl_->counters[name];
+  if (!slot) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+Gauge& Registry::gauge(const std::string& name) {
+  util::MutexLock lock(impl_->mutex);
+  auto& slot = impl_->gauges[name];
+  if (!slot) slot = std::make_unique<Gauge>();
+  return *slot;
+}
+
+Histogram& Registry::histogram(const std::string& name) {
+  util::MutexLock lock(impl_->mutex);
+  auto& slot = impl_->histograms[name];
+  if (!slot) slot = std::make_unique<Histogram>();
+  return *slot;
+}
+
+std::string Registry::json() const {
+  util::MutexLock lock(impl_->mutex);
+  std::ostringstream os;
+  os << "{\n  \"counters\": {";
+  bool first = true;
+  for (const auto& [name, c] : impl_->counters) {
+    os << (first ? "" : ",") << "\n    " << quote(name) << ": "
+       << c->value();
+    first = false;
+  }
+  os << (first ? "" : "\n  ") << "},\n  \"gauges\": {";
+  first = true;
+  for (const auto& [name, g] : impl_->gauges) {
+    os << (first ? "" : ",") << "\n    " << quote(name) << ": "
+       << format_number(g->value());
+    first = false;
+  }
+  os << (first ? "" : "\n  ") << "},\n  \"histograms\": {";
+  first = true;
+  for (const auto& [name, h] : impl_->histograms) {
+    const Histogram::Snapshot s = h->snapshot();
+    os << (first ? "" : ",") << "\n    " << quote(name) << ": {"
+       << "\"count\": " << s.count << ", \"sum\": " << format_number(s.sum);
+    if (s.count > 0) {
+      os << ", \"min\": " << format_number(s.min)
+         << ", \"max\": " << format_number(s.max);
+    }
+    os << ", \"buckets\": [";
+    bool first_bucket = true;
+    for (std::size_t i = 0; i <= Histogram::kBuckets; ++i) {
+      if (s.buckets[i] == 0) continue;
+      os << (first_bucket ? "" : ", ") << "{\"le\": ";
+      if (i < Histogram::kBuckets) {
+        os << format_number(Histogram::bucket_bound(i));
+      } else {
+        os << "\"inf\"";
+      }
+      os << ", \"count\": " << s.buckets[i] << "}";
+      first_bucket = false;
+    }
+    os << "]}";
+    first = false;
+  }
+  os << (first ? "" : "\n  ") << "}\n}";
+  return os.str();
+}
+
+std::vector<Registry::NamedValue> Registry::counter_values() const {
+  util::MutexLock lock(impl_->mutex);
+  std::vector<NamedValue> out;
+  out.reserve(impl_->counters.size());
+  for (const auto& kv : impl_->counters) {
+    out.push_back({kv.first, static_cast<double>(kv.second->value())});
+  }
+  return out;
+}
+
+std::vector<Registry::NamedValue> Registry::gauge_values() const {
+  util::MutexLock lock(impl_->mutex);
+  std::vector<NamedValue> out;
+  out.reserve(impl_->gauges.size());
+  for (const auto& kv : impl_->gauges) {
+    out.push_back({kv.first, kv.second->value()});
+  }
+  return out;
+}
+
+void Registry::reset() {
+  util::MutexLock lock(impl_->mutex);
+  for (const auto& kv : impl_->counters) kv.second->reset();
+  for (const auto& kv : impl_->gauges) kv.second->reset();
+  for (const auto& kv : impl_->histograms) kv.second->reset();
+}
+
+Registry& Registry::global() {
+  // Leaked on purpose: instrumented sites cache instrument references in
+  // function-local statics whose destruction order versus this registry
+  // is unknowable; a leak makes every order safe.
+  static Registry* registry = new Registry();
+  return *registry;
+}
+
+}  // namespace streamcalc::obs

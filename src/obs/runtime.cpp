@@ -1,0 +1,52 @@
+#include "obs/runtime.hpp"
+
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <cstring>
+
+namespace streamcalc::obs {
+
+namespace {
+
+bool initial_enabled() {
+  const char* raw = std::getenv("STREAMCALC_OBS");
+  if (raw == nullptr || *raw == '\0') return true;
+  // Lenient here on purpose: this runs during static-ish init where
+  // throwing would abort the process. Context::from_env() re-parses the
+  // variable strictly and rejects anything outside {on, off, 0, 1,
+  // false, true}.
+  return std::strcmp(raw, "off") != 0 && std::strcmp(raw, "0") != 0 &&
+         std::strcmp(raw, "false") != 0;
+}
+
+std::atomic<bool>& enabled_flag() {
+  static std::atomic<bool> flag{initial_enabled()};
+  return flag;
+}
+
+}  // namespace
+
+bool enabled() { return enabled_flag().load(std::memory_order_relaxed); }
+
+void set_enabled(bool on) {
+  enabled_flag().store(on, std::memory_order_relaxed);
+}
+
+std::uint64_t now_ns() {
+  using clock = std::chrono::steady_clock;
+  static const clock::time_point anchor = clock::now();
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(clock::now() -
+                                                           anchor)
+          .count());
+}
+
+std::uint32_t thread_id() {
+  static std::atomic<std::uint32_t> next{0};
+  thread_local const std::uint32_t id =
+      next.fetch_add(1, std::memory_order_relaxed);
+  return id;
+}
+
+}  // namespace streamcalc::obs

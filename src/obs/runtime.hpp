@@ -1,0 +1,26 @@
+// Shared runtime state of the observability layer: the master enable
+// switch, the monotonic clock anchor, and compact per-thread ids.
+#pragma once
+
+#include <cstdint>
+
+namespace streamcalc::obs {
+
+/// Master runtime switch. Initialized once from the STREAMCALC_OBS
+/// environment variable ("off"/"0"/"false" disable; anything else —
+/// including unset — enables); Context::from_env() parses the same
+/// variable strictly. When false every instrumentation site reduces to
+/// this one relaxed load.
+bool enabled();
+
+/// Flips the master switch at runtime (tests, Context installation).
+void set_enabled(bool on);
+
+/// Nanoseconds since the process-wide steady-clock anchor (first use).
+std::uint64_t now_ns();
+
+/// Small dense id for the calling thread (0, 1, 2, ... in first-use
+/// order). Stable for the thread's lifetime; used as chrome-trace tid.
+std::uint32_t thread_id();
+
+}  // namespace streamcalc::obs

@@ -1,0 +1,61 @@
+#include "obs/sink.hpp"
+
+#include <atomic>
+
+#include "obs/runtime.hpp"
+
+namespace streamcalc::obs {
+
+namespace {
+
+std::atomic<Sink*> g_sink{nullptr};
+
+}  // namespace
+
+Sink* set_sink(Sink* s) {
+  return g_sink.exchange(s, std::memory_order_acq_rel);
+}
+
+Sink* sink() { return g_sink.load(std::memory_order_acquire); }
+
+void notify_metric(const char* name, double delta) {
+  if (Sink* s = sink(); s != nullptr) s->on_metric(name, delta);
+}
+
+void CollectingSink::on_span(const SpanRecord& span) {
+  util::MutexLock lock(mutex_);
+  ++spans_[std::string(span.category) + "/" + span.name];
+  ++total_spans_;
+}
+
+void CollectingSink::on_metric(const std::string& name, double delta) {
+  util::MutexLock lock(mutex_);
+  metrics_[name] += delta;
+}
+
+std::uint64_t CollectingSink::span_count(
+    const std::string& category_slash_name) const {
+  util::MutexLock lock(mutex_);
+  const auto it = spans_.find(category_slash_name);
+  return it == spans_.end() ? 0 : it->second;
+}
+
+double CollectingSink::metric_total(const std::string& name) const {
+  util::MutexLock lock(mutex_);
+  const auto it = metrics_.find(name);
+  return it == metrics_.end() ? 0.0 : it->second;
+}
+
+std::uint64_t CollectingSink::total_spans() const {
+  util::MutexLock lock(mutex_);
+  return total_spans_;
+}
+
+void CollectingSink::reset() {
+  util::MutexLock lock(mutex_);
+  spans_.clear();
+  metrics_.clear();
+  total_spans_ = 0;
+}
+
+}  // namespace streamcalc::obs

@@ -1,0 +1,194 @@
+#include "obs/trace.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <map>
+#include <sstream>
+#include <utility>
+
+#include "obs/runtime.hpp"
+#include "obs/sink.hpp"
+#include "util/sync.hpp"
+#include "util/thread_annotations.hpp"
+
+namespace streamcalc::obs {
+
+namespace {
+
+/// Per-thread span nesting depth (entered spans not yet exited).
+thread_local std::uint32_t t_depth = 0;
+
+/// Cheap "does anyone want span records?" check shared by every Span
+/// constructor: true while the global tracer is started. (A sink alone
+/// also activates spans; that is checked separately because the sink
+/// pointer is its own atomic.)
+std::atomic<bool> g_tracing{false};
+
+}  // namespace
+
+struct Tracer::Impl {
+  mutable util::Mutex mutex;
+  std::vector<SpanRecord> ring SC_GUARDED_BY(mutex);
+  std::size_t capacity SC_GUARDED_BY(mutex) = Tracer::kDefaultCapacity;
+  std::size_t head SC_GUARDED_BY(mutex) = 0;  ///< index of oldest record
+  std::size_t size SC_GUARDED_BY(mutex) = 0;
+  std::uint64_t dropped SC_GUARDED_BY(mutex) = 0;
+};
+
+Tracer::Tracer() : impl_(std::make_unique<Impl>()) {}
+Tracer::~Tracer() = default;
+
+void Tracer::start(std::size_t capacity) {
+  {
+    util::MutexLock lock(impl_->mutex);
+    impl_->capacity = std::max<std::size_t>(capacity, 1);
+    impl_->ring.assign(impl_->capacity, SpanRecord{});
+    impl_->head = 0;
+    impl_->size = 0;
+    impl_->dropped = 0;
+  }
+  g_tracing.store(enabled(), std::memory_order_relaxed);
+}
+
+void Tracer::stop() { g_tracing.store(false, std::memory_order_relaxed); }
+
+bool Tracer::active() const {
+  return g_tracing.load(std::memory_order_relaxed);
+}
+
+void Tracer::record(const SpanRecord& r) {
+  util::MutexLock lock(impl_->mutex);
+  if (impl_->ring.empty()) impl_->ring.assign(impl_->capacity, SpanRecord{});
+  if (impl_->size < impl_->capacity) {
+    impl_->ring[(impl_->head + impl_->size) % impl_->capacity] = r;
+    ++impl_->size;
+  } else {
+    // Full: overwrite the oldest so the ring keeps the newest records.
+    impl_->ring[impl_->head] = r;
+    impl_->head = (impl_->head + 1) % impl_->capacity;
+    ++impl_->dropped;
+  }
+}
+
+std::vector<SpanRecord> Tracer::snapshot() const {
+  util::MutexLock lock(impl_->mutex);
+  std::vector<SpanRecord> out;
+  out.reserve(impl_->size);
+  for (std::size_t i = 0; i < impl_->size; ++i) {
+    out.push_back(impl_->ring[(impl_->head + i) % impl_->capacity]);
+  }
+  return out;
+}
+
+std::uint64_t Tracer::dropped() const {
+  util::MutexLock lock(impl_->mutex);
+  return impl_->dropped;
+}
+
+void Tracer::clear() {
+  util::MutexLock lock(impl_->mutex);
+  impl_->head = 0;
+  impl_->size = 0;
+  impl_->dropped = 0;
+}
+
+std::string Tracer::chrome_trace_json() const {
+  const std::vector<SpanRecord> spans = snapshot();
+  std::ostringstream os;
+  os << "{\"traceEvents\": [";
+  for (std::size_t i = 0; i < spans.size(); ++i) {
+    const SpanRecord& s = spans[i];
+    char buf[256];
+    std::snprintf(buf, sizeof buf,
+                  "%s\n  {\"name\": \"%s\", \"cat\": \"%s\", \"ph\": \"X\", "
+                  "\"ts\": %.3f, \"dur\": %.3f, \"pid\": 1, \"tid\": %u, "
+                  "\"args\": {\"depth\": %u}}",
+                  i > 0 ? "," : "", s.name, s.category,
+                  static_cast<double>(s.start_ns) / 1e3,
+                  static_cast<double>(s.duration_ns()) / 1e3, s.thread,
+                  s.depth);
+    os << buf;
+  }
+  os << "\n], \"displayTimeUnit\": \"ms\"}\n";
+  return os.str();
+}
+
+std::string Tracer::summary() const {
+  struct Agg {
+    std::uint64_t count = 0;
+    std::uint64_t total_ns = 0;
+    std::uint64_t max_ns = 0;
+  };
+  std::map<std::string, Agg> by_name;
+  for (const SpanRecord& s : snapshot()) {
+    Agg& a = by_name[std::string(s.category) + "/" + s.name];
+    ++a.count;
+    a.total_ns += s.duration_ns();
+    a.max_ns = std::max(a.max_ns, s.duration_ns());
+  }
+  std::vector<std::pair<std::string, Agg>> rows(by_name.begin(),
+                                                by_name.end());
+  std::sort(rows.begin(), rows.end(), [](const auto& a, const auto& b) {
+    return a.second.total_ns > b.second.total_ns;
+  });
+  std::ostringstream os;
+  os << "span summary (by total time):\n";
+  char buf[256];
+  std::snprintf(buf, sizeof buf, "  %-32s %10s %12s %12s %12s\n", "span",
+                "count", "total ms", "mean us", "max us");
+  os << buf;
+  for (const auto& [name, a] : rows) {
+    const double count = static_cast<double>(a.count);
+    std::snprintf(buf, sizeof buf,
+                  "  %-32s %10llu %12.3f %12.3f %12.3f\n", name.c_str(),
+                  static_cast<unsigned long long>(a.count),
+                  static_cast<double>(a.total_ns) / 1e6,
+                  static_cast<double>(a.total_ns) / 1e3 / count,
+                  static_cast<double>(a.max_ns) / 1e3);
+    os << buf;
+  }
+  if (const std::uint64_t d = dropped(); d > 0) {
+    std::snprintf(buf, sizeof buf,
+                  "  (%llu older span(s) dropped: ring buffer full)\n",
+                  static_cast<unsigned long long>(d));
+    os << buf;
+  }
+  return os.str();
+}
+
+Tracer& Tracer::global() {
+  // Leaked for the same reason as Registry::global(): spans on detached
+  // or late-exiting threads must never race tracer destruction.
+  static Tracer* tracer = new Tracer();
+  return *tracer;
+}
+
+Span::Span(const char* category, const char* name)
+    : category_(category), name_(name) {
+  if (!g_tracing.load(std::memory_order_relaxed) && sink() == nullptr) {
+    return;  // dormant: two relaxed loads, nothing else
+  }
+  if (!enabled()) return;
+  active_ = true;
+  depth_ = t_depth++;
+  start_ns_ = now_ns();
+}
+
+Span::~Span() {
+  if (!active_) return;
+  SpanRecord r;
+  r.category = category_;
+  r.name = name_;
+  r.start_ns = start_ns_;
+  r.end_ns = now_ns();
+  r.thread = thread_id();
+  r.depth = depth_;
+  --t_depth;
+  if (g_tracing.load(std::memory_order_relaxed)) {
+    Tracer::global().record(r);
+  }
+  if (Sink* s = sink(); s != nullptr) s->on_span(r);
+}
+
+}  // namespace streamcalc::obs

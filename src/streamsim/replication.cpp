@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "obs/obs.hpp"
 #include "util/error.hpp"
 #include "util/rng.hpp"
 #include "util/thread_pool.hpp"
@@ -55,6 +56,16 @@ ReplicationRunner::ReplicationRunner(ReplicationConfig config)
                 "ReplicationRunner requires replications >= 1");
 }
 
+ReplicationRunner::ReplicationRunner(ReplicationConfig config,
+                                     const util::Context& ctx)
+    : ReplicationRunner([&] {
+        // An explicit Context pins the concurrency: a config that would
+        // defer to the process-global pool (threads == 0) gets the
+        // context's resolved thread count instead.
+        if (config.threads == 0) config.threads = ctx.resolved_threads();
+        return config;
+      }()) {}
+
 template <typename RunOne>
 ReplicationSummary ReplicationRunner::run_impl(const RunOne& run_one) const {
   const auto n = static_cast<std::size_t>(config_.replications);
@@ -68,7 +79,9 @@ ReplicationSummary ReplicationRunner::run_impl(const RunOne& run_one) const {
   std::vector<SimResult> results(n);
   const auto run_range = [&](std::size_t lo, std::size_t hi) {
     for (std::size_t i = lo; i < hi; ++i) {
+      SC_OBS_SPAN("sim", "replication");
       results[i] = run_one(seeds[i]);
+      SC_OBS_COUNT("sim.replications", 1);
     }
   };
   if (config_.threads == 0) {

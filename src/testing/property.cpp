@@ -5,7 +5,7 @@
 #include <utility>
 
 #include "testing/shrink.hpp"
-#include "util/env.hpp"
+#include "util/context.hpp"
 #include "util/error.hpp"
 
 namespace streamcalc::testing {
@@ -28,11 +28,12 @@ std::string eval_property(const PropertyFn& property,
 }  // namespace
 
 int base_cases() {
-  // Strict parse: a garbled budget must not silently revert to 500 cases
-  // (see util/env.hpp). At least 1; capped well below INT_MAX so the
-  // scaled_cases multiplication cannot overflow.
-  const auto v = util::env_uint_in("STREAMCALC_FUZZ_CASES", 1, 100000000);
-  return v ? static_cast<int>(*v) : 500;
+  // Resolved through the process Context: an installed Context's fuzz
+  // budget wins; otherwise Context::from_env() strict-parses
+  // STREAMCALC_FUZZ_CASES (a garbled budget must not silently revert to
+  // 500 cases). The range cap (<= 1e8, well below INT_MAX) keeps the
+  // scaled_cases multiplication from overflowing.
+  return util::Context::active().fuzz_cases;
 }
 
 int scaled_cases(int default_cases) {

@@ -1,0 +1,133 @@
+#include "util/context.hpp"
+
+#include <algorithm>
+#include <mutex>
+#include <optional>
+#include <set>
+#include <thread>
+
+#include <cstdio>
+
+#include "obs/runtime.hpp"
+#include "util/env.hpp"
+#include "util/error.hpp"
+
+namespace streamcalc::util {
+
+namespace {
+
+// Upper bound on an explicit thread count; values past this are resource
+// exhaustion bugs (typoed exponents), not tuning.
+constexpr std::uint64_t kMaxThreads = 4096;
+
+unsigned parse_threads_env() {
+  const auto raw = env_raw("STREAMCALC_THREADS");
+  if (!raw) return 0;
+  if (*raw == "serial") return 1;
+  std::optional<std::uint64_t> parsed;
+  try {
+    parsed = env_uint("STREAMCALC_THREADS", kMaxThreads);
+  } catch (const PreconditionError&) {
+    throw PreconditionError(
+        "STREAMCALC_THREADS=\"" + *raw +
+        "\" is not a valid setting: expected a non-negative thread count "
+        "(0 = hardware concurrency, max " +
+        std::to_string(kMaxThreads) + ") or \"serial\"");
+  }
+  return static_cast<unsigned>(*parsed);
+}
+
+EnforceMode parse_mode_env(const std::string& name, EnforceMode fallback) {
+  const auto raw = env_raw(name);
+  if (!raw) return fallback;
+  if (*raw == "off") return EnforceMode::kOff;
+  if (*raw == "warn") return EnforceMode::kWarn;
+  if (*raw == "strict") return EnforceMode::kStrict;
+  throw PreconditionError(name + "=\"" + *raw +
+                          "\" is not a valid setting: expected \"off\", "
+                          "\"warn\", or \"strict\"");
+}
+
+bool parse_obs_env() {
+  const auto raw = env_raw("STREAMCALC_OBS");
+  if (!raw) return true;
+  if (*raw == "off" || *raw == "0" || *raw == "false") return false;
+  if (*raw == "on" || *raw == "1" || *raw == "true") return true;
+  throw PreconditionError("STREAMCALC_OBS=\"" + *raw +
+                          "\" is not a valid setting: expected \"on\", "
+                          "\"off\", \"0\", \"1\", \"true\", or \"false\"");
+}
+
+std::mutex g_installed_mutex;
+std::optional<Context>& installed_slot() {
+  static std::optional<Context> slot;
+  return slot;
+}
+
+}  // namespace
+
+const char* to_string(EnforceMode m) {
+  switch (m) {
+    case EnforceMode::kOff:
+      return "off";
+    case EnforceMode::kWarn:
+      return "warn";
+    case EnforceMode::kStrict:
+      return "strict";
+  }
+  return "?";
+}
+
+Context Context::from_env() {
+  Context ctx;
+  ctx.threads = parse_threads_env();
+  const auto cache = env_uint("STREAMCALC_CURVE_CACHE", 1u << 24);
+  if (cache) ctx.curve_cache = static_cast<std::size_t>(*cache);
+  const auto fuzz = env_uint_in("STREAMCALC_FUZZ_CASES", 1, 100000000);
+  if (fuzz) ctx.fuzz_cases = static_cast<int>(*fuzz);
+  ctx.lint = parse_mode_env("STREAMCALC_LINT", EnforceMode::kWarn);
+  ctx.certify = parse_mode_env("STREAMCALC_CERTIFY", EnforceMode::kOff);
+  ctx.obs = parse_obs_env();
+  return ctx;
+}
+
+Context Context::active() {
+  {
+    const std::lock_guard<std::mutex> lock(g_installed_mutex);
+    if (installed_slot()) return *installed_slot();
+  }
+  return from_env();
+}
+
+void Context::install(const Context& ctx) {
+  {
+    const std::lock_guard<std::mutex> lock(g_installed_mutex);
+    installed_slot() = ctx;
+  }
+  obs::set_enabled(ctx.obs);
+}
+
+void Context::uninstall() {
+  const std::lock_guard<std::mutex> lock(g_installed_mutex);
+  installed_slot().reset();
+}
+
+unsigned Context::resolved_threads() const {
+  if (threads != 0) return threads;
+  return std::max(1u, std::thread::hardware_concurrency());
+}
+
+unsigned Context::pool_workers() const {
+  const unsigned resolved = resolved_threads();
+  return resolved <= 1 ? 0u : resolved;
+}
+
+void warn_deprecated_once(const std::string& what) {
+  static std::mutex mutex;
+  static std::set<std::string>* warned = new std::set<std::string>();
+  const std::lock_guard<std::mutex> lock(mutex);
+  if (!warned->insert(what).second) return;
+  std::fprintf(stderr, "streamcalc: deprecated: %s\n", what.c_str());
+}
+
+}  // namespace streamcalc::util

@@ -1,0 +1,98 @@
+// streamcalc::Context — the unified runtime-configuration facade.
+//
+// One struct owns every knob that used to be a scattered STREAMCALC_* env
+// read inside five different libraries: thread count, curve-op cache
+// capacity, fuzz budget, lint/certify enforcement modes, and the
+// observability (trace/metrics/stats) settings. Programs build it once —
+// from the environment via Context::from_env(), then CLI flags override
+// individual fields — install it with Context::install(), and pass it
+// explicitly to the subsystem entry points (ThreadPool, CurveOpCache,
+// ReplicationRunner, diagnostics::preflight, certify::postflight).
+//
+// Library code that has no Context parameter reads Context::active():
+//   * after install(), the installed context (one source of truth);
+//   * before install(), a context built fresh from the environment on
+//     each call — so test fixtures that setenv/unsetenv keep working.
+//
+// The legacy per-variable readers (util::configured_thread_count,
+// diagnostics::lint_mode_from_env, certify::certify_mode_from_env) are
+// deprecated shims over Context::active() that warn once per process; see
+// DESIGN.md §10 for the migration table.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace streamcalc::util {
+
+/// Enforcement level shared by the lint pre-flight and certify
+/// post-flight: kOff = skip, kWarn = report to stderr, kStrict = throw on
+/// findings.
+enum class EnforceMode : std::uint8_t { kOff, kWarn, kStrict };
+
+const char* to_string(EnforceMode m);
+
+struct Context {
+  // --- execution ---------------------------------------------------------
+  /// Worker threads: 0 = hardware concurrency, 1 = serial (everything
+  /// inline), N = that many. Mirrors STREAMCALC_THREADS ("serial" == 1).
+  unsigned threads = 0;
+
+  // --- caching -----------------------------------------------------------
+  /// CurveOpCache capacity in entries (0 disables memoization). Mirrors
+  /// STREAMCALC_CURVE_CACHE.
+  std::size_t curve_cache = 4096;
+
+  // --- verification ------------------------------------------------------
+  /// Per-property fuzz budget (STREAMCALC_FUZZ_CASES).
+  int fuzz_cases = 500;
+  /// nclint pre-flight mode (STREAMCALC_LINT; default warn).
+  EnforceMode lint = EnforceMode::kWarn;
+  /// Bound-certification post-flight mode (STREAMCALC_CERTIFY; default off).
+  EnforceMode certify = EnforceMode::kOff;
+
+  // --- observability -----------------------------------------------------
+  /// Master runtime switch for spans/metrics (STREAMCALC_OBS; default on).
+  /// Instrumentation can additionally be compiled out entirely with the
+  /// STREAMCALC_OBS=OFF CMake option.
+  bool obs = true;
+  /// Print the metrics-registry JSON block after the run (`--stats`).
+  bool stats = false;
+  /// When non-empty, record spans and write a chrome://tracing JSON file
+  /// here at the end of the run (`--trace <file>`).
+  std::string trace_path;
+
+  /// Builds a Context from the STREAMCALC_* environment variables,
+  /// throwing PreconditionError (naming the variable and the accepted
+  /// forms) on any malformed value.
+  static Context from_env();
+
+  /// The process-wide context: the installed one, else built fresh from
+  /// the environment (see file comment).
+  static Context active();
+
+  /// Installs `ctx` as the process-wide context and applies its obs
+  /// switch to the instrumentation runtime. Call once, early (before the
+  /// first use of the global thread pool / curve cache, which size
+  /// themselves from the active context at first use).
+  static void install(const Context& ctx);
+
+  /// Removes an installed context (tests); active() reverts to tracking
+  /// the environment.
+  static void uninstall();
+
+  /// `threads` with the hardware-concurrency substitution applied
+  /// (always >= 1).
+  unsigned resolved_threads() const;
+
+  /// Worker count for a ThreadPool honouring this context: 0 (serial,
+  /// everything inline) when resolved_threads() <= 1.
+  unsigned pool_workers() const;
+};
+
+/// Prints "streamcalc: deprecated: <what>" to stderr once per distinct
+/// message per process. Used by the legacy env-reader shims.
+void warn_deprecated_once(const std::string& what);
+
+}  // namespace streamcalc::util

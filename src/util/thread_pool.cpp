@@ -4,7 +4,7 @@
 #include <atomic>
 #include <exception>
 
-#include "util/env.hpp"
+#include "obs/obs.hpp"
 #include "util/error.hpp"
 
 namespace streamcalc::util {
@@ -14,33 +14,17 @@ namespace {
 std::atomic<bool> g_force_serial{false};
 thread_local bool t_on_worker = false;
 
-unsigned hardware_threads() {
-  return std::max(1u, std::thread::hardware_concurrency());
-}
-
-// Upper bound on an explicit thread count; values past this are resource
-// exhaustion bugs (typoed exponents), not tuning.
-constexpr std::uint64_t kMaxThreads = 4096;
-
 }  // namespace
 
 unsigned configured_thread_count() {
-  const auto raw = env_raw("STREAMCALC_THREADS");
-  if (!raw) return hardware_threads();
-  if (*raw == "serial") return 1;
-  std::optional<std::uint64_t> parsed;
-  try {
-    parsed = env_uint("STREAMCALC_THREADS", kMaxThreads);
-  } catch (const PreconditionError&) {
-    throw PreconditionError(
-        "STREAMCALC_THREADS=\"" + *raw +
-        "\" is not a valid setting: expected a non-negative thread count "
-        "(0 = hardware concurrency, max " +
-        std::to_string(kMaxThreads) + ") or \"serial\"");
-  }
-  if (*parsed == 0) return hardware_threads();
-  return static_cast<unsigned>(*parsed);
+  warn_deprecated_once(
+      "util::configured_thread_count() reads the environment directly; "
+      "build a streamcalc::Context (Context::from_env()) and use "
+      "resolved_threads() instead");
+  return Context::active().resolved_threads();
 }
+
+ThreadPool::ThreadPool(const Context& ctx) : ThreadPool(ctx.pool_workers()) {}
 
 ThreadPool::ThreadPool(unsigned threads) {
   workers_.reserve(threads);
@@ -89,6 +73,7 @@ void ThreadPool::submit(std::function<void()> task) {
   {
     MutexLock lock(mutex_);
     queue_.push_back(std::move(task));
+    SC_OBS_GAUGE("pool.queue_depth", queue_.size());
   }
   work_available_.notify_one();
 }
@@ -105,6 +90,9 @@ void ThreadPool::parallel_for(
   grain = std::max<std::size_t>(grain, 1);
   const std::size_t count = end - begin;
   const std::size_t chunks = (count + grain - 1) / grain;
+  SC_OBS_SPAN("pool", "parallel_for");
+  SC_OBS_COUNT("pool.parallel_for.calls", 1);
+  SC_OBS_COUNT("pool.chunks", chunks);
   // Chunk boundaries are fully determined by (begin, end, grain); running
   // inline therefore executes the exact same chunks in index order, which
   // is what makes serial mode the bit-identical reference for parallel
@@ -112,6 +100,7 @@ void ThreadPool::parallel_for(
   if (chunks < 2 || serial() || force_serial() || on_worker_thread()) {
     for (std::size_t c = 0; c < chunks; ++c) {
       const std::size_t lo = begin + c * grain;
+      SC_OBS_SPAN("pool", "chunk");
       fn(lo, std::min(end, lo + grain));
     }
     return;
@@ -141,6 +130,7 @@ void ThreadPool::parallel_for(
       }
       const std::size_t lo = begin + c * grain;
       try {
+        SC_OBS_SPAN("pool", "chunk");
         fn(lo, std::min(end, lo + grain));
       } catch (...) {
         MutexLock lock(state.m);
@@ -175,13 +165,11 @@ void ThreadPool::parallel_for(
 }
 
 ThreadPool& ThreadPool::global() {
-  // Lazily constructed; a configured count of 1 (or "serial") means no
-  // workers at all, so the pool degenerates to inline execution. A
-  // malformed STREAMCALC_THREADS throws out of the initializer — failing
-  // the run loudly is the point (see util/env.hpp).
-  static ThreadPool pool(configured_thread_count() <= 1
-                             ? 0u
-                             : configured_thread_count());
+  // Lazily constructed from the active Context; a resolved count of 1
+  // ("serial") means no workers at all, so the pool degenerates to inline
+  // execution. A malformed STREAMCALC_* variable throws out of the
+  // initializer — failing the run loudly is the point (see util/env.hpp).
+  static ThreadPool pool(Context::active().pool_workers());
   return pool;
 }
 

@@ -34,6 +34,7 @@
 #include <thread>
 #include <vector>
 
+#include "util/context.hpp"
 #include "util/sync.hpp"
 #include "util/thread_annotations.hpp"
 
@@ -44,6 +45,10 @@ class ThreadPool {
   /// A pool with `threads` workers; 0 = serial mode (no worker threads,
   /// all work runs inline on the calling thread).
   explicit ThreadPool(unsigned threads);
+
+  /// A pool honouring `ctx.threads` (the preferred constructor: pass the
+  /// Context you built at startup instead of re-reading the environment).
+  explicit ThreadPool(const Context& ctx);
   ~ThreadPool();
 
   ThreadPool(const ThreadPool&) = delete;
@@ -76,7 +81,8 @@ class ThreadPool {
   void wait_idle() SC_EXCLUDES(mutex_);
 
   /// Process-wide pool, lazily created on first use and sized from the
-  /// STREAMCALC_THREADS environment variable (see file comment).
+  /// active Context (Context::install() one early, or the size falls back
+  /// to the STREAMCALC_THREADS environment variable; see file comment).
   static ThreadPool& global();
 
   /// When true, parallel_for on every pool runs inline on the caller.
@@ -101,9 +107,13 @@ class ThreadPool {
 };
 
 /// Number of threads the global pool was (or would be) configured with:
-/// the STREAMCALC_THREADS value, defaulting to hardware concurrency.
-/// Throws PreconditionError on a malformed value (anything other than a
-/// non-negative integer or the word "serial").
+/// the active Context's resolved thread count (STREAMCALC_THREADS,
+/// defaulting to hardware concurrency). Throws PreconditionError on a
+/// malformed value (anything other than a non-negative integer or the
+/// word "serial").
+///
+/// Deprecated shim (warns once): read Context::active().resolved_threads()
+/// — or better, build a Context once and pass it around — instead.
 unsigned configured_thread_count();
 
 }  // namespace streamcalc::util

@@ -1,0 +1,145 @@
+// Context facade contract: from_env() parses every STREAMCALC_* knob (or
+// rejects it with an error naming the variable), install()/active() give
+// one process-wide source of truth, and the thread-count helpers resolve
+// hardware concurrency the way ThreadPool expects.
+//
+// These tests setenv/unsetenv, so they live in their own binary (see
+// CMakeLists.txt) and restore the environment in the fixture.
+#include "util/context.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <string>
+#include <thread>
+
+#include "util/error.hpp"
+
+namespace streamcalc::util {
+namespace {
+
+const char* const kVars[] = {
+    "STREAMCALC_THREADS", "STREAMCALC_CURVE_CACHE", "STREAMCALC_FUZZ_CASES",
+    "STREAMCALC_LINT",    "STREAMCALC_CERTIFY",     "STREAMCALC_OBS",
+};
+
+class ContextTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Context::uninstall();
+    for (const char* v : kVars) ::unsetenv(v);
+  }
+  void TearDown() override {
+    Context::uninstall();
+    for (const char* v : kVars) ::unsetenv(v);
+  }
+};
+
+TEST_F(ContextTest, DefaultsMatchDocumentedKnobs) {
+  const Context ctx = Context::from_env();
+  EXPECT_EQ(ctx.threads, 0u);
+  EXPECT_EQ(ctx.curve_cache, 4096u);
+  EXPECT_EQ(ctx.fuzz_cases, 500);
+  EXPECT_EQ(ctx.lint, EnforceMode::kWarn);
+  EXPECT_EQ(ctx.certify, EnforceMode::kOff);
+  EXPECT_TRUE(ctx.obs);
+  EXPECT_FALSE(ctx.stats);
+  EXPECT_TRUE(ctx.trace_path.empty());
+}
+
+TEST_F(ContextTest, ParsesEveryVariable) {
+  ::setenv("STREAMCALC_THREADS", "3", 1);
+  ::setenv("STREAMCALC_CURVE_CACHE", "128", 1);
+  ::setenv("STREAMCALC_FUZZ_CASES", "42", 1);
+  ::setenv("STREAMCALC_LINT", "strict", 1);
+  ::setenv("STREAMCALC_CERTIFY", "warn", 1);
+  ::setenv("STREAMCALC_OBS", "off", 1);
+  const Context ctx = Context::from_env();
+  EXPECT_EQ(ctx.threads, 3u);
+  EXPECT_EQ(ctx.curve_cache, 128u);
+  EXPECT_EQ(ctx.fuzz_cases, 42);
+  EXPECT_EQ(ctx.lint, EnforceMode::kStrict);
+  EXPECT_EQ(ctx.certify, EnforceMode::kWarn);
+  EXPECT_FALSE(ctx.obs);
+}
+
+TEST_F(ContextTest, ThreadsAcceptsSerialAlias) {
+  ::setenv("STREAMCALC_THREADS", "serial", 1);
+  EXPECT_EQ(Context::from_env().threads, 1u);
+}
+
+TEST_F(ContextTest, ObsAcceptsBooleanSpellings) {
+  for (const char* on : {"on", "1", "true"}) {
+    ::setenv("STREAMCALC_OBS", on, 1);
+    EXPECT_TRUE(Context::from_env().obs) << on;
+  }
+  for (const char* off : {"off", "0", "false"}) {
+    ::setenv("STREAMCALC_OBS", off, 1);
+    EXPECT_FALSE(Context::from_env().obs) << off;
+  }
+}
+
+TEST_F(ContextTest, RejectsMalformedValuesNamingTheVariable) {
+  const struct {
+    const char* var;
+    const char* value;
+  } bad[] = {
+      {"STREAMCALC_THREADS", "many"},   {"STREAMCALC_THREADS", "99999"},
+      {"STREAMCALC_CURVE_CACHE", "-1"}, {"STREAMCALC_FUZZ_CASES", "0"},
+      {"STREAMCALC_LINT", "maybe"},     {"STREAMCALC_CERTIFY", "yes"},
+      {"STREAMCALC_OBS", "sometimes"},
+  };
+  for (const auto& [var, value] : bad) {
+    ::setenv(var, value, 1);
+    try {
+      (void)Context::from_env();
+      FAIL() << var << "=" << value << " was accepted";
+    } catch (const PreconditionError& e) {
+      EXPECT_NE(std::string(e.what()).find(var), std::string::npos)
+          << "error for " << var << " does not name it: " << e.what();
+    }
+    ::unsetenv(var);
+  }
+}
+
+TEST_F(ContextTest, ActiveTracksEnvironmentUntilInstall) {
+  ::setenv("STREAMCALC_THREADS", "2", 1);
+  EXPECT_EQ(Context::active().threads, 2u);
+  ::setenv("STREAMCALC_THREADS", "3", 1);
+  EXPECT_EQ(Context::active().threads, 3u);  // re-read per call
+
+  Context pinned;
+  pinned.threads = 7;
+  Context::install(pinned);
+  ::setenv("STREAMCALC_THREADS", "4", 1);
+  EXPECT_EQ(Context::active().threads, 7u);  // installed wins over env
+
+  Context::uninstall();
+  EXPECT_EQ(Context::active().threads, 4u);  // back to tracking env
+}
+
+TEST_F(ContextTest, ResolvedThreadsSubstitutesHardwareConcurrency) {
+  Context ctx;
+  ctx.threads = 0;
+  const unsigned hw = std::max(1u, std::thread::hardware_concurrency());
+  EXPECT_EQ(ctx.resolved_threads(), hw);
+  ctx.threads = 5;
+  EXPECT_EQ(ctx.resolved_threads(), 5u);
+}
+
+TEST_F(ContextTest, PoolWorkersIsZeroForSerialContexts) {
+  Context ctx;
+  ctx.threads = 1;
+  EXPECT_EQ(ctx.pool_workers(), 0u);  // serial: run inline, no workers
+  ctx.threads = 6;
+  EXPECT_EQ(ctx.pool_workers(), 6u);
+}
+
+TEST_F(ContextTest, EnforceModeToStringRoundTrips) {
+  EXPECT_STREQ(to_string(EnforceMode::kOff), "off");
+  EXPECT_STREQ(to_string(EnforceMode::kWarn), "warn");
+  EXPECT_STREQ(to_string(EnforceMode::kStrict), "strict");
+}
+
+}  // namespace
+}  // namespace streamcalc::util

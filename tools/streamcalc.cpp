@@ -1,92 +1,109 @@
-// streamcalc: analyze or lint a streaming-pipeline specification file.
+// streamcalc: analyze, lint, or certify a streaming-pipeline spec file.
 //
-//   streamcalc pipeline.scspec       # analyze a file
-//   streamcalc -                     # read the spec from stdin
-//   streamcalc lint a.scspec b...    # static analysis only (nclint)
-//   streamcalc certify a.scspec b... # proof-carrying bound certification
+//   streamcalc analyze pipeline.scspec   # network-calculus bounds report
+//   streamcalc pipeline.scspec           # same (historical spelling)
+//   streamcalc -                         # read the spec from stdin
+//   streamcalc lint a.scspec b...        # static analysis only (nclint)
+//   streamcalc certify a.scspec b...     # proof-carrying certification
+//
+// Every subcommand takes the same flags (see src/cli/options.hpp):
+// --threads overrides STREAMCALC_THREADS, --stats appends the metrics
+// JSON block, --trace <file> writes a chrome://tracing timeline of the
+// run's spans (curve operations, cache, lint/certify passes), --json
+// switches stdout to machine-readable output, --help prints the table.
 //
 // `lint` runs the nclint passes (stability, causality, flow conservation,
 // unit coherence — see src/diagnostics/lint.hpp). `certify` re-verifies
 // every bound the model produces with the independent exact-rational
-// checker (src/certify, DESIGN.md §9). Both exit 0 when every file is
-// clean, 1 when a file is unreadable or unparseable, and 2 when a readable
-// model has defects. Plain analysis runs the lint passes as a pre-flight:
-// findings print to stderr, and STREAMCALC_LINT=strict turns a non-clean
-// model into a hard error (STREAMCALC_LINT=off skips the check). It also
-// honours STREAMCALC_CERTIFY=off|warn|strict as a post-flight: after the
-// model is built, every reported bound is certified and failures warn or
-// abort.
+// checker (src/certify, DESIGN.md §9). Plain analysis runs the lint
+// passes as a pre-flight and honours STREAMCALC_CERTIFY as a post-flight.
 //
-// The spec format is documented in src/cli/spec.hpp and the examples under
-// examples/specs/.
+// Exit codes are uniform: 0 clean, 1 unreadable/unparseable input or bad
+// environment, 2 defects found, 3 usage error.
+//
+// The spec format is documented in src/cli/spec.hpp and the examples
+// under examples/specs/.
 #include <cstdio>
+#include <exception>
 #include <fstream>
-#include <iostream>
-#include <sstream>
 #include <string>
-#include <vector>
 
 #include "cli/certify.hpp"
 #include "cli/lint.hpp"
+#include "cli/options.hpp"
 #include "cli/report.hpp"
-#include "cli/spec.hpp"
-#include "diagnostics/lint.hpp"
+#include "obs/obs.hpp"
+#include "util/context.hpp"
 
 namespace {
 
-int usage(const char* argv0) {
-  std::fprintf(stderr,
-               "usage: %s <spec-file | ->\n"
-               "       %s lint <spec-file | ->...\n"
-               "       %s certify <spec-file | ->...\n"
-               "Analyzes a streaming pipeline with network calculus (and\n"
-               "optionally simulates it), statically lints the model, or\n"
-               "certifies every computed bound with the exact-rational\n"
-               "checker.\n"
-               "Spec format: see src/cli/spec.hpp and examples/specs/.\n",
-               argv0, argv0, argv0);
-  return 3;
+using streamcalc::cli::Options;
+using streamcalc::cli::ParseResult;
+
+/// Flushes the run's observability outputs: the chrome trace file (when
+/// --trace was given) and the metrics JSON block (when --stats was).
+/// Returns false when the trace file could not be written.
+bool emit_observability(const Options& opts) {
+  bool ok = true;
+  if (!opts.ctx.trace_path.empty()) {
+    streamcalc::obs::Tracer& tracer = streamcalc::obs::Tracer::global();
+    tracer.stop();
+    std::ofstream out(opts.ctx.trace_path);
+    if (out) {
+      out << tracer.chrome_trace_json();
+    } else {
+      std::fprintf(stderr, "error: cannot write trace file '%s'\n",
+                   opts.ctx.trace_path.c_str());
+      ok = false;
+    }
+  }
+  if (opts.ctx.stats) {
+    std::fputs(streamcalc::obs::Registry::global().json().c_str(), stdout);
+    std::fputs("\n", stdout);
+  }
+  return ok;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  if (argc >= 2 && std::string(argv[1]) == "lint") {
-    if (argc < 3) return usage(argv[0]);
-    std::vector<std::string> paths(argv + 2, argv + argc);
-    return streamcalc::cli::run_lint(paths);
-  }
-  if (argc >= 2 && std::string(argv[1]) == "certify") {
-    if (argc < 3) return usage(argv[0]);
-    std::vector<std::string> paths(argv + 2, argv + argc);
-    return streamcalc::cli::run_certify(paths);
-  }
-  if (argc != 2) return usage(argv[0]);
-  const std::string path = argv[1];
-
-  std::string text;
-  if (path == "-") {
-    std::ostringstream ss;
-    ss << std::cin.rdbuf();
-    text = ss.str();
-  } else {
-    std::ifstream in(path);
-    if (!in) {
-      std::fprintf(stderr, "error: cannot open '%s'\n", path.c_str());
-      return 1;
-    }
-    std::ostringstream ss;
-    ss << in.rdbuf();
-    text = ss.str();
-  }
-
+  ParseResult parsed;
   try {
-    const streamcalc::cli::Spec spec = streamcalc::cli::parse_spec(text);
-    streamcalc::diagnostics::preflight(path, streamcalc::cli::lint_spec(spec));
-    std::fputs(streamcalc::cli::run_report(spec).c_str(), stdout);
+    parsed = streamcalc::cli::parse_args(argc, argv);
   } catch (const std::exception& e) {
+    // Malformed STREAMCALC_* environment: a configuration error, not a
+    // usage error.
     std::fprintf(stderr, "error: %s\n", e.what());
     return 1;
   }
-  return 0;
+  if (!parsed.ok()) {
+    std::fprintf(stderr, "error: %s\n", parsed.error.c_str());
+    std::fputs(streamcalc::cli::help_text(argv[0]).c_str(), stderr);
+    return 3;
+  }
+  const Options& opts = parsed.options;
+  if (opts.help) {
+    std::fputs(streamcalc::cli::help_text(argv[0]).c_str(), stdout);
+    return 0;
+  }
+
+  // One Context governs the whole run: thread pool size, cache capacity,
+  // lint/certify modes, and the observability switches all resolve from
+  // the flags-over-env Options built above.
+  streamcalc::util::Context::install(opts.ctx);
+  if (!opts.ctx.trace_path.empty() || opts.ctx.stats) {
+    streamcalc::obs::Tracer::global().start();
+  }
+
+  int code = 0;
+  if (opts.command == "lint") {
+    code = streamcalc::cli::run_lint(opts.paths, opts);
+  } else if (opts.command == "certify") {
+    code = streamcalc::cli::run_certify(opts.paths, opts);
+  } else {
+    code = streamcalc::cli::run_analyze(opts);
+  }
+
+  if (!emit_observability(opts) && code == 0) code = 1;
+  return code;
 }
