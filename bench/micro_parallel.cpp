@@ -3,10 +3,14 @@
 // cache hit path.
 //
 // The parallel/serial pairs measure the same deterministic algorithm (the
-// pairwise envelope reduction); the only difference is whether chunks run
-// on the global pool or inline, so the quotient is the pool speedup. The
-// global pool's size follows STREAMCALC_THREADS (hardware concurrency by
-// default) — on a single-core host the pair is expected to tie.
+// tiled branch build plus the pairwise envelope reduction); the only
+// difference is whether tiles run on the global pool or inline, so the
+// quotient is the pool speedup. The global pool's size follows
+// STREAMCALC_THREADS (hardware concurrency by default) — on a single-core
+// host the pair is expected to tie, and the headline win there comes from
+// the shape dispatch instead: operands a specialized kernel recognizes
+// (see BM_ConvolveShortcutStaircase below) never enter the branch-envelope
+// path the pool would have to parallelize.
 //
 // Supports `--json <path>` (see benchmark_json.hpp); the checked-in
 // BENCH_micro_parallel.json is the perf baseline.
@@ -146,6 +150,20 @@ BENCHMARK(BM_DeconvolveParallel)
     ->Arg(64)
     ->Arg(256)
     ->Unit(benchmark::kMillisecond);
+
+/// The shape-dispatch contrast for the serial/parallel pairs above: a
+/// packetizer staircase against a rate-latency service routes to the
+/// staircase shortcut kernel — linear-time, no pool involvement — at sizes
+/// where the general path needs tiling to stay tolerable.
+void BM_ConvolveShortcutStaircase(benchmark::State& state) {
+  const Curve a =
+      Curve::staircase(64.0, 1.0, 0.5, static_cast<int>(state.range(0)));
+  const Curve b = Curve::rate_latency(80.0, 2.0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(streamcalc::minplus::convolve(a, b));
+  }
+}
+BENCHMARK(BM_ConvolveShortcutStaircase)->Arg(64)->Arg(256)->Arg(512);
 
 /// Curve-op cache hit path: hash both operands, probe, splice the LRU.
 void BM_CacheHitConvolve(benchmark::State& state) {

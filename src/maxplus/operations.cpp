@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "minplus/detail/builder.hpp"
+#include "minplus/detail/merge.hpp"
 #include "minplus/operations.hpp"
 #include "obs/obs.hpp"
 #include "util/error.hpp"
@@ -129,12 +130,33 @@ Curve convolve(const Curve& f, const Curve& g) {
   };
   add_branches(f, g);
   add_branches(g, f);
-  // Deterministic pairwise reduction (see minplus::detail::reduce_envelope):
-  // the merge tree depends only on the branch count, so parallel and serial
+  // Tiled deterministic reduction, mirroring the min-plus general kernel:
+  // fixed-size tiles fold locally (one pool task per tile), then the
+  // per-tile envelopes fold through the pairwise reduction. Tile bounds
+  // and tree shape depend only on the branch count, so parallel and serial
   // runs produce bit-identical envelopes.
+  constexpr std::size_t kTile = 64;
+  const std::size_t n_tiles = (branches.size() + kTile - 1) / kTile;
+  std::vector<Curve> tile_env(n_tiles);
+  minplus::detail::maybe_parallel_for(
+      n_tiles, 2, 1, [&](std::size_t lo, std::size_t hi) {
+        for (std::size_t ti = lo; ti < hi; ++ti) {
+          const std::size_t b0 = ti * kTile;
+          const std::size_t b1 = std::min(branches.size(), b0 + kTile);
+          std::vector<Curve> tile(
+              std::make_move_iterator(branches.begin() +
+                                      static_cast<std::ptrdiff_t>(b0)),
+              std::make_move_iterator(branches.begin() +
+                                      static_cast<std::ptrdiff_t>(b1)));
+          tile_env[ti] = minplus::detail::reduce_envelope(
+              std::move(tile), [](const Curve& a, const Curve& b) {
+                return minplus::detail::merge_maximum(a, b);
+              });
+        }
+      });
   const Curve env = minplus::detail::reduce_envelope(
-      std::move(branches), [](const Curve& a, const Curve& b) {
-        return minplus::maximum(a, b);
+      std::move(tile_env), [](const Curve& a, const Curve& b) {
+        return minplus::detail::merge_maximum(a, b);
       });
   return repair_point_values(env,
                              [&](double t) { return sup_at_impl(f, g, t); });

@@ -73,18 +73,43 @@ Curve CurveOpCache::get_or_compute(
     CacheOp op, const Curve& f, const Curve& g,
     const std::function<Curve(const Curve&, const Curve&)>& compute) {
   if (impl_->capacity == 0) return compute(f, g);
+  // Curves are canonicalized (breakpoint-minimized) at construction, so
+  // structurally equivalent representations already hash identically. On
+  // top of that, commutative operators key the unordered operand pair:
+  // the hash combines symmetrically and the collision check accepts the
+  // transposed pair, so (f, g) and (g, f) share one entry.
+  const bool commutative = op == CacheOp::kConvolve ||
+                           op == CacheOp::kMinimum ||
+                           op == CacheOp::kMaximum || op == CacheOp::kAdd;
+  std::uint64_t ha = structural_hash(f);
+  std::uint64_t hb = structural_hash(g);
+  if (commutative && hb < ha) std::swap(ha, hb);
   const std::uint64_t key =
-      mix((structural_hash(f) * 0x2545F4914F6CDD1DULL) ^
-          (structural_hash(g) + 0x9E3779B97F4A7C15ULL) ^
+      mix((ha * 0x2545F4914F6CDD1DULL) ^ (hb + 0x9E3779B97F4A7C15ULL) ^
           (static_cast<std::uint64_t>(op) << 56));
   {
     util::MutexLock lock(impl_->mutex);
     const auto it = impl_->index.find(key);
-    if (it != impl_->index.end() && it->second->f == f &&
-        it->second->g == g) {
+    if (it != impl_->index.end() &&
+        ((it->second->f == f && it->second->g == g) ||
+         (commutative && it->second->f == g && it->second->g == f))) {
       ++impl_->hits;
       impl_->lru.splice(impl_->lru.begin(), impl_->lru, it->second);
       SC_OBS_COUNT("cache.hits", 1);
+      switch (f.shape_class()) {
+        case ShapeClass::kConvex:
+          SC_OBS_COUNT("cache.hits.shape.convex", 1);
+          break;
+        case ShapeClass::kConcave:
+          SC_OBS_COUNT("cache.hits.shape.concave", 1);
+          break;
+        case ShapeClass::kStaircase:
+          SC_OBS_COUNT("cache.hits.shape.staircase", 1);
+          break;
+        case ShapeClass::kGeneral:
+          SC_OBS_COUNT("cache.hits.shape.general", 1);
+          break;
+      }
       return it->second->result;
     }
     ++impl_->misses;

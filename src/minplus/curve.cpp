@@ -53,61 +53,90 @@ bool nearly_equal(double a, double b) {
 
 }  // namespace
 
-Curve::Curve() : segs_{Segment{0.0, 0.0, 0.0, 0.0}} {}
+const char* shape_class_name(ShapeClass c) {
+  switch (c) {
+    case ShapeClass::kConvex:
+      return "convex";
+    case ShapeClass::kConcave:
+      return "concave";
+    case ShapeClass::kStaircase:
+      return "staircase";
+    case ShapeClass::kGeneral:
+      break;
+  }
+  return "general";
+}
+
+Curve::Curve() : segs_{Segment{0.0, 0.0, 0.0, 0.0}} { compute_shape(); }
 
 Curve::Curve(std::vector<Segment> segments) : segs_(std::move(segments)) {
   validate();
   normalize();
+  compute_shape();
 }
 
 void Curve::validate() const {
+  // Error messages are built lazily: this runs on every construction, and
+  // the formatting (ostringstream per piece) costs orders of magnitude
+  // more than the checks themselves. Eagerly-built messages used to
+  // dominate the entire min-plus engine's profile.
   util::require(!segs_.empty(), "Curve requires at least one segment");
-  util::require(segs_.front().x == 0.0,
-                "Curve must start at x = 0 (" + piece_str(segs_, 0) + ")");
+  if (segs_.front().x != 0.0) {
+    util::require(false,
+                  "Curve must start at x = 0 (" + piece_str(segs_, 0) + ")");
+  }
   bool seen_inf = false;
   for (std::size_t i = 0; i < segs_.size(); ++i) {
     const Segment& s = segs_[i];
-    util::require(!std::isnan(s.x) && std::isfinite(s.x) && s.x >= 0.0,
-                  "Curve breakpoint x must be finite and >= 0 (" +
-                      piece_str(segs_, i) + ")");
-    util::require(valid_value(s.value_at) && valid_value(s.value_after),
-                  "Curve values must be >= 0 and not NaN (" +
-                      piece_str(segs_, i) + ")");
-    util::require(std::isfinite(s.slope) && s.slope >= 0.0,
-                  "Curve slopes must be finite and >= 0 (+inf is expressed "
-                  "through values, not slopes) (" +
-                      piece_str(segs_, i) + ")");
-    util::require(s.value_at <= s.value_after,
-                  "Curve jumps must be upward (value_at <= value_after) (" +
-                      piece_str(segs_, i) + ")");
+    if (!(!std::isnan(s.x) && std::isfinite(s.x) && s.x >= 0.0)) {
+      util::require(false, "Curve breakpoint x must be finite and >= 0 (" +
+                               piece_str(segs_, i) + ")");
+    }
+    if (!(valid_value(s.value_at) && valid_value(s.value_after))) {
+      util::require(false, "Curve values must be >= 0 and not NaN (" +
+                               piece_str(segs_, i) + ")");
+    }
+    if (!(std::isfinite(s.slope) && s.slope >= 0.0)) {
+      util::require(false,
+                    "Curve slopes must be finite and >= 0 (+inf is expressed "
+                    "through values, not slopes) (" +
+                        piece_str(segs_, i) + ")");
+    }
+    if (!(s.value_at <= s.value_after)) {
+      util::require(false,
+                    "Curve jumps must be upward (value_at <= value_after) (" +
+                        piece_str(segs_, i) + ")");
+    }
     if (i > 0) {
       const Segment& p = segs_[i - 1];
-      util::require(s.x > p.x,
-                    "Curve breakpoints must be strictly increasing (" +
-                        piece_str(segs_, i - 1) + "; " + piece_str(segs_, i) +
-                        ")");
+      if (!(s.x > p.x)) {
+        util::require(false, "Curve breakpoints must be strictly increasing (" +
+                                 piece_str(segs_, i - 1) + "; " +
+                                 piece_str(segs_, i) + ")");
+      }
       const double left_limit = extend(p.value_after, p.slope, s.x - p.x);
-      util::require(
-          s.value_at >= left_limit - 1e-9 * (1.0 + left_limit) ||
-              left_limit == kInf,
-          "Curve must be wide-sense increasing across breakpoints "
-          "(left limit " +
-              util::format_significant(left_limit, 17) + " from " +
-              piece_str(segs_, i - 1) + " exceeds " + piece_str(segs_, i) +
-              ")");
-      util::require(left_limit != kInf || s.value_at == kInf,
-                    "Curve cannot return from +inf (" + piece_str(segs_, i) +
-                        ")");
+      if (!(s.value_at >= left_limit - 1e-9 * (1.0 + left_limit) ||
+            left_limit == kInf)) {
+        util::require(
+            false,
+            "Curve must be wide-sense increasing across breakpoints "
+            "(left limit " +
+                util::format_significant(left_limit, 17) + " from " +
+                piece_str(segs_, i - 1) + " exceeds " + piece_str(segs_, i) +
+                ")");
+      }
+      if (!(left_limit != kInf || s.value_at == kInf)) {
+        util::require(false, "Curve cannot return from +inf (" +
+                                 piece_str(segs_, i) + ")");
+      }
     }
-    if (seen_inf) {
-      util::require(s.value_at == kInf,
-                    "Curve cannot return from +inf (" + piece_str(segs_, i) +
-                        ")");
+    if (seen_inf && s.value_at != kInf) {
+      util::require(false, "Curve cannot return from +inf (" +
+                               piece_str(segs_, i) + ")");
     }
-    if (s.value_at == kInf) {
-      util::require(s.value_after == kInf,
-                    "Curve cannot return from +inf (" + piece_str(segs_, i) +
-                        ")");
+    if (s.value_at == kInf && s.value_after != kInf) {
+      util::require(false, "Curve cannot return from +inf (" +
+                               piece_str(segs_, i) + ")");
     }
     if (s.value_after == kInf) seen_inf = true;
   }
@@ -318,26 +347,27 @@ bool Curve::is_finite() const {
   return segs_.back().value_after != kInf;  // inf persists once reached
 }
 
-bool Curve::is_convex() const {
+namespace {
+
+bool segs_convex(const std::vector<Segment>& segs) {
   double prev_slope = -1.0;
-  for (std::size_t i = 0; i < segs_.size(); ++i) {
-    const Segment& s = segs_[i];
+  for (std::size_t i = 0; i < segs.size(); ++i) {
+    const Segment& s = segs[i];
     if (s.value_at == kInf) break;  // a final jump to +inf stays convex
     const bool last_and_infinite =
-        s.value_after == kInf && i + 1 == segs_.size();
+        s.value_after == kInf && i + 1 == segs.size();
     if (!nearly_equal(s.value_at, s.value_after) && !last_and_infinite) {
       return false;  // interior jump
     }
     if (i > 0) {
-      const Segment& p = segs_[i - 1];
+      const Segment& p = segs[i - 1];
       const double left_limit = extend(p.value_after, p.slope, s.x - p.x);
       if (!nearly_equal(s.value_at, left_limit)) {
         return false;  // jump across breakpoint
       }
     }
     if (!last_and_infinite) {
-      if (s.slope < prev_slope &&
-          !nearly_equal(s.slope, prev_slope)) {
+      if (s.slope < prev_slope && !nearly_equal(s.slope, prev_slope)) {
         return false;
       }
       prev_slope = s.slope;
@@ -346,15 +376,15 @@ bool Curve::is_convex() const {
   return true;
 }
 
-bool Curve::is_concave_from_origin() const {
-  if (segs_.front().value_at != 0.0) return false;
-  if (!is_finite()) return false;
+bool segs_concave_from_origin(const std::vector<Segment>& segs) {
+  if (segs.front().value_at != 0.0) return false;
+  if (segs.back().value_after == kInf) return false;
   double prev_slope = kInf;
-  for (std::size_t i = 0; i < segs_.size(); ++i) {
-    const Segment& s = segs_[i];
+  for (std::size_t i = 0; i < segs.size(); ++i) {
+    const Segment& s = segs[i];
     // Only the origin may jump.
     if (i > 0) {
-      const Segment& p = segs_[i - 1];
+      const Segment& p = segs[i - 1];
       const double left_limit = extend(p.value_after, p.slope, s.x - p.x);
       if (!nearly_equal(s.value_at, left_limit) ||
           !nearly_equal(s.value_at, s.value_after)) {
@@ -367,6 +397,82 @@ bool Curve::is_concave_from_origin() const {
     prev_slope = s.slope;
   }
   return true;
+}
+
+}  // namespace
+
+void Curve::compute_shape() {
+  shape_ = ShapeInfo{};
+  shape_.convex = segs_convex(segs_);
+  shape_.concave_from_origin = segs_concave_from_origin(segs_);
+
+  // Piecewise-constant transient + affine tail: the gate for the staircase
+  // convolution kernel. Flatness must be *exact* — the kernel's branch
+  // pruning argument relies on f being constant between risers.
+  const std::size_t n = segs_.size();
+  if (n >= 2) {
+    bool pc = true;
+    for (std::size_t i = 0; i + 1 < n; ++i) {
+      if (segs_[i].slope != 0.0 || segs_[i].value_after == kInf) {
+        pc = false;
+        break;
+      }
+    }
+    shape_.piecewise_constant = pc;
+  }
+  if (!shape_.piecewise_constant) return;
+
+  // Uniform staircase (UPP transient+period form): optional leading flat
+  // piece, then equally spaced risers of equal height, then the
+  // average-rate tail — the pattern Curve::staircase() produces. Spacing
+  // and heights are compared with the classification tolerance because
+  // riser abscissae synthesized by latency + k*period round per-step.
+  std::size_t first = 0;
+  if (n >= 3 && segs_[0].value_at == segs_[0].value_after &&
+      segs_[0].value_at == 0.0 && segs_[1].value_at == 0.0) {
+    first = 1;
+  }
+  const std::size_t tail = n - 1;
+  if (tail <= first) return;
+  const Segment& r0 = segs_[first];
+  const double height = r0.value_after - r0.value_at;
+  if (!(height > 0.0) || r0.value_at != 0.0) return;
+  double period = 0.0;
+  if (tail - first >= 2) {
+    period = segs_[first + 1].x - r0.x;
+  } else {
+    // A single materialized riser: infer the period from the tail slope.
+    const double m = segs_[tail].slope;
+    if (!(m > 0.0)) return;
+    period = height / m;
+  }
+  if (!(period > 0.0)) return;
+  for (std::size_t i = first; i < tail; ++i) {
+    const Segment& s = segs_[i];
+    const std::size_t k = i - first;
+    if (!nearly_equal(s.x, r0.x + static_cast<double>(k) * period)) return;
+    if (!nearly_equal(s.value_at, static_cast<double>(k) * height)) return;
+    if (!nearly_equal(s.value_after - s.value_at, height)) return;
+  }
+  const Segment& t = segs_[tail];
+  if (t.value_after == kInf) return;
+  if (!nearly_equal(t.x, r0.x + static_cast<double>(tail - first) * period)) {
+    return;
+  }
+  if (!nearly_equal(t.slope, height / period)) return;
+  if (!nearly_equal(t.value_at, t.value_after)) return;
+  shape_.uniform_staircase = true;
+  shape_.height = height;
+  shape_.period = period;
+  shape_.latency = r0.x;
+  shape_.steps = static_cast<int>(tail - first);
+}
+
+ShapeClass Curve::shape_class() const {
+  if (shape_.piecewise_constant) return ShapeClass::kStaircase;
+  if (shape_.concave_from_origin) return ShapeClass::kConcave;
+  if (shape_.convex) return ShapeClass::kConvex;
+  return ShapeClass::kGeneral;
 }
 
 bool Curve::is_zero() const {

@@ -40,6 +40,39 @@ struct Segment {
   friend bool operator==(const Segment&, const Segment&) = default;
 };
 
+/// Coarse structural class of a curve, derived from its cached ShapeInfo.
+/// This is the "shape lattice" the operation dispatcher keys on
+/// (DESIGN.md §11); kGeneral means no specialized kernel applies.
+enum class ShapeClass { kGeneral, kConvex, kConcave, kStaircase };
+
+/// Stable lowercase name for a ShapeClass ("convex", "staircase", ...),
+/// used in obs counter names and diagnostics.
+const char* shape_class_name(ShapeClass c);
+
+/// Structural classification of a curve, computed once at construction and
+/// cached. The flags gate the specialized min-plus kernels; the staircase
+/// fields are the UPP-style transient+period description (Nancy, arXiv
+/// 2205.11449): a uniform staircase is fully described by (latency, period,
+/// height, steps) plus the average-rate tail.
+struct ShapeInfo {
+  bool convex = false;                ///< see Curve::is_convex()
+  bool concave_from_origin = false;   ///< see Curve::is_concave_from_origin()
+  /// Every piece before the final (tail) segment is exactly flat
+  /// (slope == 0.0) with finite values: a piecewise-constant transient
+  /// followed by one affine (possibly +inf) tail. This is the eligibility
+  /// gate for the staircase convolution kernel — it does NOT require
+  /// uniform risers.
+  bool piecewise_constant = false;
+  /// The transient is a uniform staircase: equal `height` jumps every
+  /// `period` starting at `latency`, `steps` risers, then the average-rate
+  /// tail (the exact pattern Curve::staircase() produces).
+  bool uniform_staircase = false;
+  double height = 0.0;   ///< riser height (uniform_staircase only)
+  double period = 0.0;   ///< riser spacing (uniform_staircase only)
+  double latency = 0.0;  ///< abscissa of the first riser (uniform_staircase)
+  int steps = 0;         ///< number of materialized risers (uniform_staircase)
+};
+
 /// A piecewise-linear, wide-sense-increasing curve on [0, inf).
 class Curve {
  public:
@@ -130,13 +163,20 @@ class Curve {
 
   /// True if the curve is continuous on (0, inf) and its slopes are
   /// non-decreasing (a convex function; a final jump to +inf is allowed,
-  /// so delta_T counts as convex).
-  bool is_convex() const;
+  /// so delta_T counts as convex). Cached at construction.
+  bool is_convex() const { return shape_.convex; }
 
   /// True if f(0) == 0 and f is concave on (0, inf) (an initial jump at 0 is
   /// allowed): the class of "good" arrival curves for which
-  /// f (x) g = min(f, g) under min-plus convolution.
-  bool is_concave_from_origin() const;
+  /// f (x) g = min(f, g) under min-plus convolution. Cached at construction.
+  bool is_concave_from_origin() const { return shape_.concave_from_origin; }
+
+  /// Cached structural classification (computed once at construction).
+  const ShapeInfo& shape() const { return shape_; }
+
+  /// Coarsest shape-lattice class this curve belongs to, for dispatch
+  /// accounting: staircase beats convex/concave beats general.
+  ShapeClass shape_class() const;
 
   /// True if f(t) == 0 for all t.
   bool is_zero() const;
@@ -163,15 +203,21 @@ class Curve {
   /// to a breakpoint listing for general curves.
   std::string describe() const;
 
-  friend bool operator==(const Curve&, const Curve&) = default;
+  /// Equality is structural on the (normalized) segment list; the cached
+  /// ShapeInfo is derived from it and deliberately excluded.
+  friend bool operator==(const Curve& a, const Curve& b) {
+    return a.segs_ == b.segs_;
+  }
 
  private:
   /// Index of the segment containing t (last segment with x <= t).
   std::size_t segment_index(double t) const;
   void validate() const;
   void normalize();
+  void compute_shape();
 
   std::vector<Segment> segs_;
+  ShapeInfo shape_;
 };
 
 }  // namespace streamcalc::minplus

@@ -34,12 +34,16 @@ std::vector<double> shared_candidates(const Curve& f, const Curve& g) {
   return ts;
 }
 
-/// Slope of the piece governing f immediately to the right of t.
+/// Slope of the piece governing f immediately to the right of t. Called
+/// once per candidate abscissa, so a linear scan would make the deviation
+/// bounds quadratic in the piece count; binary-search the segment instead.
 double right_slope(const Curve& f, double t) {
   const std::vector<Segment>& segs = f.segments();
-  std::size_t i = 0;
-  while (i + 1 < segs.size() && segs[i + 1].x <= t) ++i;
-  return segs[i].slope;
+  auto it = std::upper_bound(
+      segs.begin(), segs.end(), t,
+      [](double lhs, const Segment& s) { return lhs < s.x; });
+  if (it != segs.begin()) --it;
+  return it->slope;
 }
 
 }  // namespace

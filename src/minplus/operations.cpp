@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "minplus/detail/builder.hpp"
+#include "minplus/detail/merge.hpp"
 #include "obs/obs.hpp"
 #include "util/error.hpp"
 
@@ -83,27 +84,12 @@ void add_crossings(const Curve& f, const Curve& g, std::vector<double>& xs) {
   crossing_in(grid.back(), kInf);
 }
 
-/// Finite slopes a min/max of f and g can take: every piece of the result
-/// lies on a piece of one operand.
-std::vector<double> operand_slopes(const Curve& f, const Curve& g) {
-  std::vector<double> ms;
-  ms.reserve(f.segments().size() + g.segments().size());
-  for (const Curve* c : {&f, &g}) {
-    for (const Segment& s : c->segments()) {
-      if (s.slope != kInf) ms.push_back(s.slope);
-    }
-  }
-  return ms;
-}
-
 template <typename Op>
 Curve pointwise(const Curve& f, const Curve& g, const Op& op,
-                bool needs_crossings,
                 const std::vector<double>* slope_set = nullptr) {
   std::vector<double> xs = breakpoints(f);
   const std::vector<double> gx = breakpoints(g);
   xs.insert(xs.end(), gx.begin(), gx.end());
-  if (needs_crossings) add_crossings(f, g, xs);
   const std::vector<double> grid = detail::canonical_candidates(std::move(xs));
   return detail::build_from_evaluators(
       grid, [&](double t) { return op(f.value(t), g.value(t)); },
@@ -339,45 +325,106 @@ double conv_at_impl(const Curve& f, const Curve& g, double t) {
   // only the complement: recomputing u = t - s after s = t - b.x already
   // rounded can land one ulp past b.x and miss the operand's pre-jump
   // point value there.
-  struct Split {
-    double s, u;
+  //
+  // This runs once per envelope breakpoint during repair, so its cost
+  // multiplies into every general convolution. As the anchoring breakpoint
+  // abscissa ascends, the complement t - x descends monotonically, so one
+  // backward cursor into the other operand replaces a binary search per
+  // evaluation, and the anchoring operand's one-sided values are read
+  // straight off its segment (no lookup at all).
+  const std::vector<Segment>& fsg = f.segments();
+  const std::vector<Segment>& gsg = g.segments();
+  const auto ext = [](double v, double m, double dx) {
+    return v == kInf ? kInf : v + m * dx;
   };
-  std::vector<Split> ss{{0.0, t}, {t, 0.0}};
-  for (const Segment& a : f.segments()) {
-    if (a.x <= t) ss.push_back(Split{a.x, t - a.x});
-  }
-  for (const Segment& b : g.segments()) {
-    if (b.x <= t) ss.push_back(Split{t - b.x, b.x});
-  }
   double best = kInf;
-  for (const Split& sp : ss) {
-    if (sp.s < 0.0 || sp.u < 0.0) continue;
-    best = std::min(best, add_inf(f.value(sp.s), g.value(sp.u)));
-    if (sp.u > 0.0) {
-      best = std::min(best, add_inf(f.value_right(sp.s), g.value_left(sp.u)));
-    }
-    if (sp.s > 0.0) {
-      best = std::min(best, add_inf(f.value_left(sp.s), g.value_right(sp.u)));
+
+  // Splits anchored at f's breakpoints: s = a.x exact, u = t - s.
+  {
+    std::size_t j = gsg.size() - 1;
+    for (std::size_t i = 0; i < fsg.size(); ++i) {
+      const Segment& a = fsg[i];
+      if (a.x > t) break;
+      const double u = t - a.x;
+      while (j > 0 && gsg[j].x > u) --j;
+      const Segment& bs = gsg[j];
+      const double g_interior = ext(bs.value_after, bs.slope, u - bs.x);
+      best = std::min(
+          best, add_inf(a.value_at, u == bs.x ? bs.value_at : g_interior));
+      if (u > 0.0) {
+        // u == bs.x > 0 implies j > 0 (g's first breakpoint sits at 0).
+        const double g_left =
+            u == bs.x ? ext(gsg[j - 1].value_after, gsg[j - 1].slope,
+                            u - gsg[j - 1].x)
+                      : g_interior;
+        best = std::min(best, add_inf(a.value_after, g_left));
+      }
+      double f_left = a.value_at;
+      if (a.x > 0.0) {
+        const Segment& p = fsg[i - 1];
+        f_left = ext(p.value_after, p.slope, a.x - p.x);
+        const double g_right = u == bs.x ? bs.value_after : g_interior;
+        best = std::min(best, add_inf(f_left, g_right));
+      }
+      // Breakpoint pairs whose rounded sum lands exactly on t. The
+      // envelope construction places result breakpoints at fl(x_f + x_g);
+      // the split complement above recomputes t - x, which can round one
+      // ulp past the other operand's jump and miss its point value — and
+      // does so differently for (f, g) and (g, f). Evaluating the pair
+      // directly is symmetric in the operands and anchors the jump at the
+      // representable breakpoint. Only b.x within one rounding of t - a.x
+      // qualifies — a slack window around the cursor.
+      const double slack = 4.0 * std::numeric_limits<double>::epsilon() *
+                           (std::fabs(t) + std::fabs(a.x) + 1.0);
+      const auto pair_eval = [&](std::size_t k) {
+        const Segment& b = gsg[k];
+        if (a.x + b.x != t) return;
+        best = std::min(best, add_inf(a.value_at, b.value_at));
+        if (a.x > 0.0) {
+          best = std::min(best, add_inf(f_left, b.value_after));
+        }
+        if (b.x > 0.0) {
+          const double g_left = ext(gsg[k - 1].value_after, gsg[k - 1].slope,
+                                    b.x - gsg[k - 1].x);
+          best = std::min(best, add_inf(a.value_after, g_left));
+        }
+      };
+      for (std::size_t k = j; gsg[k].x >= u - slack; --k) {
+        pair_eval(k);
+        if (k == 0) break;
+      }
+      for (std::size_t k = j + 1; k < gsg.size() && gsg[k].x <= u + slack;
+           ++k) {
+        pair_eval(k);
+      }
     }
   }
-  // Breakpoint pairs whose rounded sum lands exactly on t. The envelope
-  // construction places result breakpoints at fl(x_f + x_g); the split
-  // candidates above recompute t - x, which can round one ulp past the
-  // other operand's jump and miss its point value — and does so
-  // differently for (f, g) and (g, f). Evaluating the pair directly is
-  // symmetric in the operands and anchors the jump at the representable
-  // breakpoint.
-  for (const Segment& a : f.segments()) {
-    if (a.x > t) break;
-    for (const Segment& b : g.segments()) {
+
+  // Splits anchored at g's breakpoints: u = b.x exact, s = t - u.
+  {
+    std::size_t i = fsg.size() - 1;
+    for (std::size_t k = 0; k < gsg.size(); ++k) {
+      const Segment& b = gsg[k];
       if (b.x > t) break;
-      if (a.x + b.x != t) continue;
-      best = std::min(best, add_inf(f.value(a.x), g.value(b.x)));
-      if (a.x > 0.0) {
-        best = std::min(best, add_inf(f.value_left(a.x), g.value_right(b.x)));
-      }
+      const double s = t - b.x;
+      while (i > 0 && fsg[i].x > s) --i;
+      const Segment& as = fsg[i];
+      const double f_interior = ext(as.value_after, as.slope, s - as.x);
+      best = std::min(
+          best, add_inf(s == as.x ? as.value_at : f_interior, b.value_at));
       if (b.x > 0.0) {
-        best = std::min(best, add_inf(f.value_right(a.x), g.value_left(b.x)));
+        const double f_right = s == as.x ? as.value_after : f_interior;
+        const double g_left = ext(gsg[k - 1].value_after, gsg[k - 1].slope,
+                                  b.x - gsg[k - 1].x);
+        best = std::min(best, add_inf(f_right, g_left));
+      }
+      if (s > 0.0) {
+        // s == as.x > 0 implies i > 0 (f's first breakpoint sits at 0).
+        const double f_left =
+            s == as.x ? ext(fsg[i - 1].value_after, fsg[i - 1].slope,
+                            s - fsg[i - 1].x)
+                      : f_interior;
+        best = std::min(best, add_inf(f_left, b.value_after));
       }
     }
   }
@@ -419,10 +466,19 @@ double deconv_at_impl(const Curve& f, const Curve& g, double t,
   if (best == kInf) return best;
   // Dual of the pair scan in conv_at_impl: result breakpoints sit at
   // fl(x_f - x_g), and recomputing t + s can round past a jump of f.
-  // Evaluate pairs whose rounded difference is exactly t directly.
+  // Evaluate pairs whose rounded difference is exactly t directly; only
+  // b.x within one rounding of a.x - t qualifies, found by binary search.
+  const std::vector<Segment>& gsegs = g.segments();
   for (const Segment& a : f.segments()) {
-    for (const Segment& b : g.segments()) {
-      if (b.x > a.x) break;
+    const double target = a.x - t;
+    const double slack = 4.0 * std::numeric_limits<double>::epsilon() *
+                         (std::fabs(t) + std::fabs(a.x) + 1.0);
+    if (target < -slack) continue;
+    auto it = std::lower_bound(
+        gsegs.begin(), gsegs.end(), target - slack,
+        [](const Segment& s, double v) { return s.x < v; });
+    for (; it != gsegs.end() && it->x <= target + slack; ++it) {
+      const Segment& b = *it;
       if (a.x - b.x != t) continue;
       best = std::max(best, sub_inf(f.value(a.x), g.value(b.x)));
       best = std::max(best, sub_inf(f.value_right(a.x), g.value_right(b.x)));
@@ -439,6 +495,123 @@ double deconv_at_impl(const Curve& f, const Curve& g, double t,
   return best;
 }
 
+/// Branch descriptor for the convolution envelope: the branch curve is
+/// c + shape(t - T) (with conv_branch's plateau before T).
+struct ConvBranchDesc {
+  const Curve* shape;
+  double T;
+  double c;
+};
+
+/// Anchor branches at every breakpoint of `anchor` (both the point value
+/// and, where it differs, the left limit — jumps contribute one-sided
+/// values to the infimum).
+void add_conv_anchors(std::vector<ConvBranchDesc>& descs, const Curve& anchor,
+                      const Curve& shape) {
+  for (const Segment& s : anchor.segments()) {
+    descs.push_back(ConvBranchDesc{&shape, s.x, s.value_at});
+    const double left = anchor.value_left(s.x);
+    if (left != s.value_at) {
+      descs.push_back(ConvBranchDesc{&shape, s.x, left});
+    }
+  }
+}
+
+/// Builds every branch, folds them to their pointwise-minimum envelope,
+/// and repairs isolated point values against the exact (f, g) evaluator.
+///
+/// Parallel structure: branches are processed in fixed-size tiles; each
+/// tile builds its branches and folds them locally in one pool task (good
+/// locality, one live tile of curves per worker instead of the whole
+/// branch set), then the per-tile envelopes fold through the deterministic
+/// pairwise reduction. Tile boundaries depend only on the branch count, so
+/// the merge tree — and therefore the result, bit for bit — is identical
+/// whatever the thread count.
+Curve conv_envelope(const std::vector<ConvBranchDesc>& descs, const Curve& f,
+                    const Curve& g) {
+  constexpr std::size_t kTile = 64;
+  const std::size_t n_tiles = (descs.size() + kTile - 1) / kTile;
+  std::vector<Curve> tile_env(n_tiles);
+  detail::maybe_parallel_for(
+      n_tiles, 2, 1, [&](std::size_t lo, std::size_t hi) {
+        for (std::size_t ti = lo; ti < hi; ++ti) {
+          const std::size_t b0 = ti * kTile;
+          const std::size_t b1 = std::min(descs.size(), b0 + kTile);
+          std::vector<Curve> branches(b1 - b0);
+          for (std::size_t i = b0; i < b1; ++i) {
+            branches[i - b0] =
+                conv_branch(*descs[i].shape, descs[i].T, descs[i].c);
+          }
+          tile_env[ti] = detail::reduce_envelope(
+              std::move(branches), [](const Curve& a, const Curve& b) {
+                return detail::merge_minimum(a, b);
+              });
+        }
+      });
+  const Curve env = detail::reduce_envelope(
+      std::move(tile_env), [](const Curve& a, const Curve& b) {
+        return detail::merge_minimum(a, b);
+      });
+  return repair_point_values(env,
+                             [&](double t) { return conv_at_impl(f, g, t); });
+}
+
+/// Constant other(0): convolving with the zero curve takes the whole
+/// budget at s = t, so (0 (x) g)(t) = g(0) for every t.
+Curve convolve_zero(const Curve& other) {
+  const double c = other.value(0.0);
+  if (c == kInf) return Curve({Segment{0.0, kInf, kInf, 0.0}});
+  return Curve({Segment{0.0, c, c, 0.0}});
+}
+
+/// Single-segment f = {0, a0, b0, m} against convex finite g:
+///
+///   (f (x) g)(t) = min(a0 + g(t), b0 + (rate_m (x) g)(t))
+///
+/// — the s = 0 split keeps f's origin value; every s > 0 split pays the
+/// origin jump b0 plus the convex convolution of the pure rate m with g.
+/// Convex finite curves are continuous, so no one-sided combinations are
+/// missed and no point repair is needed. This catches the ubiquitous
+/// leaky-bucket (x) rate-latency pair, which is neither convex (x) convex
+/// (the burst jumps at 0) nor concave (x) concave.
+Curve convolve_affine_convex(const Curve& f, const Curve& g) {
+  const Segment& s = f.segments().front();
+  const Curve ramp = convolve_convex(Curve::rate(s.slope), g);
+  return detail::merge_minimum(plus_const(g, s.value_at),
+                               plus_const(ramp, s.value_after));
+}
+
+/// Staircase kernel: f has a piecewise-constant transient (exactly flat
+/// pieces) and one affine tail. The general construction would anchor a
+/// full K-piece copy of f at each of g's m breakpoints — O(K·m) segments
+/// of branch curves that the envelope then grinds down. But a branch
+/// G_j(t) = g(y_j) + f(t - y_j) evaluated where t - y_j lands in a *flat*
+/// piece (x_k, x_{k+1}) of f is dominated by the f-anchored branch at
+/// x_{k+1} with the left-limit constant w_k (= f's value on that piece):
+/// w_k + g(t - x_{k+1}) <= g(y_j) + w_k because t - x_{k+1} < y_j and g is
+/// increasing. Only the affine tail of f can genuinely win from a
+/// g-anchored branch, so those branches carry a 2-piece "tail shape"
+/// (plateau at f(x_T), then f's tail) instead of all of f: the branch set
+/// shrinks from O(K·m + K·m) to O(K·m + m) segments. Isolated point
+/// values (where the plateau over-estimates) are repaired against the
+/// exact evaluator as usual.
+Curve convolve_staircase(const Curve& f, const Curve& g) {
+  const Segment& tail = f.segments().back();
+  std::vector<Segment> tail_segs;
+  tail_segs.push_back(Segment{0.0, tail.value_at, tail.value_at, 0.0});
+  tail_segs.push_back(tail);
+  const Curve f_tail(std::move(tail_segs));
+  std::vector<ConvBranchDesc> descs;
+  add_conv_anchors(descs, f, g);
+  add_conv_anchors(descs, g, f_tail);
+  return conv_envelope(descs, f, g);
+}
+
+/// True when the staircase kernel applies with `c` as the stair side.
+bool staircase_eligible(const Curve& c) {
+  return c.shape().piecewise_constant && c.segments().size() >= 4;
+}
+
 }  // namespace
 
 Curve add(const Curve& f, const Curve& g) {
@@ -451,19 +624,15 @@ Curve add(const Curve& f, const Curve& g) {
     }
   }
   return pointwise(f, g, [](double a, double b) { return add_inf(a, b); },
-                   /*needs_crossings=*/false, &slopes);
+                   &slopes);
 }
 
 Curve minimum(const Curve& f, const Curve& g) {
-  const std::vector<double> slopes = operand_slopes(f, g);
-  return pointwise(f, g, [](double a, double b) { return std::min(a, b); },
-                   /*needs_crossings=*/true, &slopes);
+  return detail::merge_minimum(f, g);
 }
 
 Curve maximum(const Curve& f, const Curve& g) {
-  const std::vector<double> slopes = operand_slopes(f, g);
-  return pointwise(f, g, [](double a, double b) { return std::max(a, b); },
-                   /*needs_crossings=*/true, &slopes);
+  return detail::merge_maximum(f, g);
 }
 
 Curve subtract_clamped(const Curve& f, const Curve& g) {
@@ -528,66 +697,53 @@ Curve convolve(const Curve& f, const Curve& g) {
   SC_OBS_COUNT("minplus.convolve.calls", 1);
   SC_OBS_OBSERVE("minplus.convolve.operand_pieces",
                  f.segments().size() + g.segments().size());
-  // delta_T is the shift operator — but only for curves that start at 0:
-  // delta_T (x) g equals g(0) on [0, T), not 0, so a curve with g(0) > 0
-  // must take the general path (whose T-anchored branch produces exactly
-  // that plateau).
-  if (const double tf = pure_delay_latency(f); tf >= 0.0) {
-    if (g.value(0.0) == 0.0) return g.shift_right(tf);
-  } else if (const double tg = pure_delay_latency(g); tg >= 0.0) {
-    if (f.value(0.0) == 0.0) return f.shift_right(tg);
-  }
-  // Closed forms.
-  if (f.is_finite() && g.is_finite() && f.is_convex() && g.is_convex()) {
-    return convolve_convex(f, g);
-  }
-  if (f.is_concave_from_origin() && g.is_concave_from_origin()) {
-    return minimum(f, g);
-  }
-  // General exact algorithm. The infimum over the split point s is attained
-  // (or approached) where s or t - s sits at an operand breakpoint; each
-  // such anchoring yields a whole *branch curve* in t — a shifted copy of
-  // one operand plus a constant from the other. The convolution is the
-  // pointwise minimum of all branches, and minimum() finds the crossing
-  // kinks between branches exactly. Isolated point values are then repaired
-  // from the direct evaluator.
-  //
-  // Parallel structure: anchors are enumerated serially (cheap, and fixes
-  // the branch order), branch curves are built concurrently into their own
-  // slots, and the envelope is folded by a balanced pairwise reduction
-  // whose shape depends only on the branch count — so the result is
-  // bit-identical whatever the thread count.
-  struct BranchDesc {
-    const Curve* shape;
-    double T;
-    double c;
-  };
-  std::vector<BranchDesc> descs;
-  const auto add_branches = [&descs](const Curve& anchor,
-                                     const Curve& shape) {
-    for (const Segment& s : anchor.segments()) {
-      descs.push_back(BranchDesc{&shape, s.x, s.value_at});
-      const double left = anchor.value_left(s.x);
-      if (left != s.value_at) {
-        descs.push_back(BranchDesc{&shape, s.x, left});
-      }
-    }
-  };
-  add_branches(f, g);
-  add_branches(g, f);
-  std::vector<Curve> branches(descs.size());
-  detail::maybe_parallel_for(
-      descs.size(), detail::kParallelBranchThreshold,
-      detail::kParallelBranchGrain, [&](std::size_t lo, std::size_t hi) {
-        for (std::size_t i = lo; i < hi; ++i) {
-          branches[i] = conv_branch(*descs[i].shape, descs[i].T, descs[i].c);
+  // Shape dispatch (DESIGN.md §11): classify once from the cached shape
+  // metadata, count which kernel fired, and route.
+  const detail::ConvKernel kernel = detail::classify_convolve(f, g);
+  Curve out = [&]() -> Curve {
+    switch (kernel) {
+      case detail::ConvKernel::kDelay: {
+        SC_OBS_COUNT("minplus.convolve.kernel.delay", 1);
+        // delta_T is the shift operator — but only for curves that start
+        // at 0: delta_T (x) g equals g(0) on [0, T), not 0, so a curve
+        // with g(0) > 0 takes the general path (whose T-anchored branch
+        // produces exactly that plateau).
+        if (const double tf = pure_delay_latency(f); tf >= 0.0) {
+          return g.shift_right(tf);
         }
-      });
-  const Curve env = detail::reduce_envelope(
-      std::move(branches),
-      [](const Curve& a, const Curve& b) { return minimum(a, b); });
-  Curve out = repair_point_values(
-      env, [&](double t) { return conv_at_impl(f, g, t); });
+        return f.shift_right(pure_delay_latency(g));
+      }
+      case detail::ConvKernel::kZero:
+        SC_OBS_COUNT("minplus.convolve.kernel.zero", 1);
+        return convolve_zero(f.is_zero() ? g : f);
+      case detail::ConvKernel::kConvex:
+        SC_OBS_COUNT("minplus.convolve.kernel.convex", 1);
+        return convolve_convex(f, g);
+      case detail::ConvKernel::kConcave:
+        SC_OBS_COUNT("minplus.convolve.kernel.concave", 1);
+        return detail::merge_minimum(f, g);
+      case detail::ConvKernel::kAffineConvex:
+        SC_OBS_COUNT("minplus.convolve.kernel.affine_convex", 1);
+        if (f.segments().size() == 1 && f.is_finite() && g.is_convex() &&
+            g.is_finite()) {
+          return convolve_affine_convex(f, g);
+        }
+        return convolve_affine_convex(g, f);
+      case detail::ConvKernel::kStaircase: {
+        SC_OBS_COUNT("minplus.convolve.kernel.staircase", 1);
+        // Prune the side with more flat pieces; either qualifies.
+        const bool f_side =
+            staircase_eligible(f) &&
+            (!staircase_eligible(g) ||
+             f.segments().size() >= g.segments().size());
+        return f_side ? convolve_staircase(f, g) : convolve_staircase(g, f);
+      }
+      case detail::ConvKernel::kGeneral:
+        break;
+    }
+    SC_OBS_COUNT("minplus.convolve.kernel.general", 1);
+    return detail::convolve_general(f, g);
+  }();
   SC_OBS_OBSERVE("minplus.convolve.result_pieces", out.segments().size());
   return out;
 }
@@ -603,57 +759,25 @@ Curve deconvolve(const Curve& f, const Curve& g) {
   SC_OBS_COUNT("minplus.deconvolve.calls", 1);
   SC_OBS_OBSERVE("minplus.deconvolve.operand_pieces",
                  f.segments().size() + g.segments().size());
-  if (detail::tail_diverges(f, g)) {
-    // The supremum diverges for every t: the deconvolution is +inf
-    // everywhere (the flow cannot be bounded by any arrival curve).
-    return Curve({Segment{0.0, kInf, kInf, 0.0}});
-  }
-  // Branch-envelope construction, dual to convolve(): the supremum over s
-  // is attained (or approached) where s sits at a breakpoint of g or where
-  // t + s sits at a breakpoint of f. Each anchoring is a whole curve in t;
-  // the deconvolution is their pointwise maximum (maximum() finds crossing
-  // kinks exactly), with isolated point values repaired afterwards.
-  //
-  // Same parallel structure as convolve(): serial anchor enumeration fixes
-  // the branch order, branch curves build concurrently, and the envelope
-  // folds through the deterministic pairwise reduction.
-  struct BranchDesc {
-    double s;     ///< g-anchor abscissa (shift), or f-anchor abscissa
-    double c;     ///< constant contribution
-    bool from_f;  ///< true: reflected branch anchored at an f breakpoint
-  };
-  std::vector<BranchDesc> descs;
-  const auto add_g_anchor = [&](double s) {
-    for (double c : {g.value(s), g.value_left(s)}) {
-      if (c == kInf) continue;
-      descs.push_back(BranchDesc{s, c, /*from_f=*/false});
+  const detail::DeconvKernel kernel = detail::classify_deconvolve(f, g);
+  Curve out = [&]() -> Curve {
+    switch (kernel) {
+      case detail::DeconvKernel::kDivergent:
+        SC_OBS_COUNT("minplus.deconvolve.kernel.divergent", 1);
+        // The supremum diverges for every t: the deconvolution is +inf
+        // everywhere (the flow cannot be bounded by any arrival curve).
+        return Curve({Segment{0.0, kInf, kInf, 0.0}});
+      case detail::DeconvKernel::kDelay:
+        SC_OBS_COUNT("minplus.deconvolve.kernel.delay", 1);
+        // g = delta_T contributes 0 on [0, T] and -inf after: the supremum
+        // sits at s = T, so (f (/) delta_T)(t) = f(t + T).
+        return f.shift_left(pure_delay_latency(g));
+      case detail::DeconvKernel::kGeneral:
+        break;
     }
-  };
-  for (const Segment& sg : g.segments()) add_g_anchor(sg.x);
-  // One anchor beyond all breakpoints: past it the difference decays (the
-  // unbounded case was excluded above), so the tail is fully covered.
-  add_g_anchor(std::max(f.last_breakpoint(), g.last_breakpoint()) + 1.0);
-  for (const Segment& sf : f.segments()) {
-    descs.push_back(BranchDesc{sf.x, f.value_right(sf.x), /*from_f=*/true});
-  }
-  std::vector<Curve> branches(descs.size() + 1);
-  branches.front() = Curve::zero();
-  detail::maybe_parallel_for(
-      descs.size(), detail::kParallelBranchThreshold,
-      detail::kParallelBranchGrain, [&](std::size_t lo, std::size_t hi) {
-        for (std::size_t i = lo; i < hi; ++i) {
-          const BranchDesc& d = descs[i];
-          branches[i + 1] =
-              d.from_f ? deconv_reflected_branch(g, d.s, d.c)
-                       : f.shift_left(d.s).minus_clamped(d.c);
-        }
-      });
-  const Curve env = detail::reduce_envelope(
-      std::move(branches),
-      [](const Curve& a, const Curve& b) { return maximum(a, b); });
-  Curve out = repair_point_values(env, [&](double t) {
-    return deconv_at_impl(f, g, t, /*right_limit=*/false);
-  });
+    SC_OBS_COUNT("minplus.deconvolve.kernel.general", 1);
+    return detail::deconvolve_general(f, g);
+  }();
   SC_OBS_OBSERVE("minplus.deconvolve.result_pieces", out.segments().size());
   return out;
 }
@@ -672,5 +796,147 @@ Curve subadditive_closure(const Curve& f, int max_terms) {
   }
   return closure;
 }
+
+namespace detail {
+
+const char* kernel_name(ConvKernel k) {
+  switch (k) {
+    case ConvKernel::kDelay:
+      return "delay";
+    case ConvKernel::kZero:
+      return "zero";
+    case ConvKernel::kConvex:
+      return "convex";
+    case ConvKernel::kConcave:
+      return "concave";
+    case ConvKernel::kAffineConvex:
+      return "affine_convex";
+    case ConvKernel::kStaircase:
+      return "staircase";
+    case ConvKernel::kGeneral:
+      break;
+  }
+  return "general";
+}
+
+const char* kernel_name(DeconvKernel k) {
+  switch (k) {
+    case DeconvKernel::kDivergent:
+      return "divergent";
+    case DeconvKernel::kDelay:
+      return "delay";
+    case DeconvKernel::kGeneral:
+      break;
+  }
+  return "general";
+}
+
+ConvKernel classify_convolve(const Curve& f, const Curve& g) {
+  if (const double tf = pure_delay_latency(f); tf >= 0.0) {
+    if (g.value(0.0) == 0.0) return ConvKernel::kDelay;
+  } else if (const double tg = pure_delay_latency(g); tg >= 0.0) {
+    if (f.value(0.0) == 0.0) return ConvKernel::kDelay;
+  }
+  if (f.is_zero() || g.is_zero()) return ConvKernel::kZero;
+  if (f.is_finite() && g.is_finite() && f.is_convex() && g.is_convex()) {
+    return ConvKernel::kConvex;
+  }
+  if (f.is_concave_from_origin() && g.is_concave_from_origin()) {
+    return ConvKernel::kConcave;
+  }
+  if ((f.segments().size() == 1 && f.is_finite() && g.is_convex() &&
+       g.is_finite()) ||
+      (g.segments().size() == 1 && g.is_finite() && f.is_convex() &&
+       f.is_finite())) {
+    return ConvKernel::kAffineConvex;
+  }
+  if (staircase_eligible(f) || staircase_eligible(g)) {
+    return ConvKernel::kStaircase;
+  }
+  return ConvKernel::kGeneral;
+}
+
+DeconvKernel classify_deconvolve(const Curve& f, const Curve& g) {
+  if (tail_diverges(f, g)) return DeconvKernel::kDivergent;
+  if (pure_delay_latency(g) >= 0.0) return DeconvKernel::kDelay;
+  return DeconvKernel::kGeneral;
+}
+
+Curve convolve_general(const Curve& f, const Curve& g) {
+  // The infimum over the split point s is attained (or approached) where s
+  // or t - s sits at an operand breakpoint; each such anchoring yields a
+  // whole *branch curve* in t — a shifted copy of one operand plus a
+  // constant from the other. The convolution is the pointwise minimum of
+  // all branches; crossing kinks come from the direct segment merge, and
+  // isolated point values are repaired from the exact evaluator.
+  std::vector<ConvBranchDesc> descs;
+  add_conv_anchors(descs, f, g);
+  add_conv_anchors(descs, g, f);
+  return conv_envelope(descs, f, g);
+}
+
+Curve deconvolve_general(const Curve& f, const Curve& g) {
+  // Reflected-branch envelope, dual to convolve_general(): the supremum
+  // over s is attained (or approached) where s sits at a breakpoint of g
+  // or where t + s sits at a breakpoint of f. Each anchoring is a whole
+  // curve in t; the deconvolution is their pointwise maximum, with
+  // isolated point values repaired afterwards.
+  //
+  // Same tiled parallel structure as conv_envelope(): each tile builds and
+  // locally folds its branches in one pool task, tile boundaries depend
+  // only on the branch count, and the cross-tile fold is the deterministic
+  // pairwise reduction — bit-identical results whatever the thread count.
+  struct BranchDesc {
+    double s;     ///< g-anchor abscissa (shift), or f-anchor abscissa
+    double c;     ///< constant contribution
+    bool from_f;  ///< true: reflected branch anchored at an f breakpoint
+  };
+  std::vector<BranchDesc> descs;
+  const auto add_g_anchor = [&](double s) {
+    for (double c : {g.value(s), g.value_left(s)}) {
+      if (c == kInf) continue;
+      descs.push_back(BranchDesc{s, c, /*from_f=*/false});
+    }
+  };
+  for (const Segment& sg : g.segments()) add_g_anchor(sg.x);
+  // One anchor beyond all breakpoints: past it the difference decays (the
+  // unbounded case was excluded by dispatch), so the tail is fully covered.
+  add_g_anchor(std::max(f.last_breakpoint(), g.last_breakpoint()) + 1.0);
+  for (const Segment& sf : f.segments()) {
+    descs.push_back(BranchDesc{sf.x, f.value_right(sf.x), /*from_f=*/true});
+  }
+  constexpr std::size_t kTile = 64;
+  const std::size_t n = descs.size() + 1;  // slot 0 is the zero floor
+  const std::size_t n_tiles = (n + kTile - 1) / kTile;
+  std::vector<Curve> tile_env(n_tiles);
+  maybe_parallel_for(n_tiles, 2, 1, [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t ti = lo; ti < hi; ++ti) {
+      const std::size_t b0 = ti * kTile;
+      const std::size_t b1 = std::min(n, b0 + kTile);
+      std::vector<Curve> branches(b1 - b0);
+      for (std::size_t i = b0; i < b1; ++i) {
+        if (i == 0) {
+          branches[0] = Curve::zero();  // the deconvolution clamps at 0
+          continue;
+        }
+        const BranchDesc& d = descs[i - 1];
+        branches[i - b0] = d.from_f
+                               ? deconv_reflected_branch(g, d.s, d.c)
+                               : f.shift_left(d.s).minus_clamped(d.c);
+      }
+      tile_env[ti] = reduce_envelope(
+          std::move(branches),
+          [](const Curve& a, const Curve& b) { return merge_maximum(a, b); });
+    }
+  });
+  const Curve env = reduce_envelope(
+      std::move(tile_env),
+      [](const Curve& a, const Curve& b) { return merge_maximum(a, b); });
+  return repair_point_values(env, [&](double t) {
+    return deconv_at_impl(f, g, t, /*right_limit=*/false);
+  });
+}
+
+}  // namespace detail
 
 }  // namespace streamcalc::minplus

@@ -64,4 +64,49 @@ double deconvolve_at(const Curve& f, const Curve& g, double t);
 /// two iterations. Requires max_terms >= 1.
 Curve subadditive_closure(const Curve& f, int max_terms = 16);
 
+namespace detail {
+
+// Shape-dispatch introspection (DESIGN.md §11). convolve()/deconvolve()
+// classify their operands once and route to a specialized kernel; the
+// classifiers and the general kernels are exposed here so the property
+// suite can assert every specialized kernel pointwise-equals the general
+// one, and so obs counters can record which kernel fired.
+
+/// Which kernel convolve() routes a given operand pair to.
+enum class ConvKernel {
+  kDelay,         ///< one operand is delta_T: shift the other
+  kZero,          ///< one operand is the zero curve: constant other(0)
+  kConvex,        ///< convex (x) convex: slope-sorted merge, O(n log n)
+  kConcave,       ///< concave (x) concave from origin: pointwise minimum
+  kAffineConvex,  ///< single-segment (x) convex: min of two closed forms
+  kStaircase,     ///< piecewise-constant transient: pruned branch envelope
+  kGeneral,       ///< no structure applies: full branch envelope
+};
+
+/// Which kernel deconvolve() routes a given operand pair to.
+enum class DeconvKernel {
+  kDivergent,  ///< tail of f outgrows g: +inf everywhere
+  kDelay,      ///< g is delta_T: f shifted left by T
+  kGeneral,    ///< full reflected-branch envelope
+};
+
+const char* kernel_name(ConvKernel k);
+const char* kernel_name(DeconvKernel k);
+
+/// The kernel convolve(f, g) will use (pure classification, no work).
+ConvKernel classify_convolve(const Curve& f, const Curve& g);
+
+/// The kernel deconvolve(f, g) will use (pure classification, no work).
+DeconvKernel classify_deconvolve(const Curve& f, const Curve& g);
+
+/// The shape-agnostic branch-envelope convolution — the reference the
+/// specialized kernels are tested against. Exact for any operands.
+Curve convolve_general(const Curve& f, const Curve& g);
+
+/// The shape-agnostic reflected-branch-envelope deconvolution (assumes the
+/// divergent case was excluded).
+Curve deconvolve_general(const Curve& f, const Curve& g);
+
+}  // namespace detail
+
 }  // namespace streamcalc::minplus

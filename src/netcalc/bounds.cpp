@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <limits>
 
+#include "minplus/cache.hpp"
 #include "minplus/deviation.hpp"
 #include "minplus/operations.hpp"
 #include "util/error.hpp"
@@ -42,9 +43,13 @@ util::Duration delay_bound(const minplus::Curve& alpha,
 minplus::Curve output_bound(const minplus::Curve& alpha,
                             const minplus::Curve& beta,
                             const std::optional<minplus::Curve>& gamma) {
+  // Cached operators: parameter sweeps and per-node analyses re-derive the
+  // same output bound from identical operands, and the shape-aware cache
+  // key (canonical segments, commutative for convolve) makes those repeats
+  // hits instead of fresh envelope builds.
   const minplus::Curve constrained =
-      gamma ? minplus::convolve(alpha, *gamma) : alpha;
-  return minplus::deconvolve(constrained, beta);
+      gamma ? minplus::cached_convolve(alpha, *gamma) : alpha;
+  return minplus::cached_deconvolve(constrained, beta);
 }
 
 util::DataRate guaranteed_rate(const minplus::Curve& beta,

@@ -43,6 +43,12 @@ inline void require(bool cond, const std::string& message) {
   if (!cond) throw PreconditionError(message);
 }
 
+/// Literal-message overload: avoids materializing a std::string on the
+/// success path (require() sits in per-segment loops of the curve engine).
+inline void require(bool cond, const char* message) {
+  if (!cond) throw PreconditionError(message);
+}
+
 }  // namespace streamcalc::util
 
 /// Internal invariant check. Unlike assert(), always on: model code is not

@@ -4,6 +4,8 @@
 
 #include <gtest/gtest.h>
 
+#include "minplus/curve.hpp"
+#include "netcalc/bounds.hpp"
 #include "netcalc/pipeline.hpp"
 #include "queueing/mm1.hpp"
 #include "streamsim/pipeline_sim.hpp"
@@ -122,6 +124,42 @@ TEST(BitwModel, SampledCompressionBeatsWorstCaseThroughput) {
       streamsim::simulate(nodes(), streaming_source(), sim_config());
   EXPECT_GT(sampled.throughput.in_mib_per_sec(),
             1.5 * worst.throughput.in_mib_per_sec());
+}
+
+TEST(BitwModel, StaircaseArrivalSurvivesPipelineWithoutPieceExplosion) {
+  // Breakpoint-explosion regression (DESIGN.md §11): propagate a
+  // materialized packetizer staircase (1 KiB chunks, 64 risers) through
+  // every stage's output bound — the exact per-hop composition
+  // PipelineModel::build() runs. Deconvolving a staircase against a
+  // rate-latency service anchors one extra branch per riser (point value
+  // plus left limit), so the piece count may at most double once and must
+  // then stay FLAT across stages; before the shape-aware kernels it
+  // compounded per hop.
+  const netcalc::PipelineModel m(nodes(), delay_study_source(), policy());
+  const minplus::Curve staircase =
+      minplus::Curve::staircase(1024.0, 16e-6, 0.0, 64);
+  const std::size_t transient = staircase.segments().size();  // 65 pieces
+  minplus::Curve a = staircase;
+  std::size_t after_first = 0;
+  for (std::size_t i = 0; i < nodes().size(); ++i) {
+    a = netcalc::output_bound(a, m.node_service_curve(i),
+                              m.node_max_service_curve(i));
+    ASSERT_LE(a.segments().size(), 2 * transient + 8)
+        << "piece explosion at stage " << i;
+    if (i == 0) {
+      after_first = a.segments().size();
+    } else {
+      EXPECT_LE(a.segments().size(), after_first + 8)
+          << "piece count compounds per stage (stage " << i << ")";
+    }
+  }
+  // The staircase also goes through the end-to-end bounds cleanly.
+  const auto delay = netcalc::delay_bound(staircase, m.service_curve());
+  const auto backlog = netcalc::backlog_bound(staircase, m.service_curve());
+  EXPECT_GT(delay.in_seconds(), 0.0);
+  EXPECT_TRUE(delay.is_finite());
+  EXPECT_GT(backlog.in_bytes(), 0.0);
+  EXPECT_TRUE(backlog.is_finite());
 }
 
 }  // namespace

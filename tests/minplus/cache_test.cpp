@@ -28,6 +28,61 @@ TEST(CurveOpCache, SecondLookupIsAHitAndComputesOnce) {
   EXPECT_EQ(st.capacity, 8u);
 }
 
+TEST(CurveOpCache, CommutativeOpsShareOneEntryAcrossOperandOrder) {
+  // convolve/minimum/maximum/add are commutative: (f, g) and (g, f) must
+  // key the same slot, so sweep code need not normalize operand order.
+  CurveOpCache cache(8);
+  const Curve f = Curve::affine(3.0, 2.0);
+  const Curve g = Curve::rate_latency(5.0, 1.0);
+  int computed = 0;
+  const auto compute = [&](const Curve& a, const Curve& b) {
+    ++computed;
+    return convolve(a, b);
+  };
+  const Curve r1 = cache.get_or_compute(CacheOp::kConvolve, f, g, compute);
+  const Curve r2 = cache.get_or_compute(CacheOp::kConvolve, g, f, compute);
+  EXPECT_EQ(computed, 1);
+  EXPECT_EQ(r1, r2);
+  EXPECT_EQ(cache.stats().hits, 1u);
+  EXPECT_EQ(cache.stats().entries, 1u);
+}
+
+TEST(CurveOpCache, NonCommutativeOpsKeepOperandOrderDistinct) {
+  CurveOpCache cache(8);
+  const Curve f = Curve::affine(3.0, 2.0);
+  const Curve g = Curve::rate_latency(5.0, 1.0);
+  int computed = 0;
+  const auto compute = [&](const Curve& a, const Curve& b) {
+    ++computed;
+    return deconvolve(a, b);
+  };
+  cache.get_or_compute(CacheOp::kDeconvolve, f, g, compute);
+  cache.get_or_compute(CacheOp::kDeconvolve, g, f, compute);
+  EXPECT_EQ(computed, 2);
+  EXPECT_EQ(cache.stats().misses, 2u);
+}
+
+TEST(CurveOpCache, CanonicalizedRepresentationsHitTheSameEntry) {
+  // Curves are breakpoint-minimized at construction, so a redundantly
+  // specified operand (collinear split, mergeable plateau) hashes exactly
+  // like its minimal form and hits the same cache slot.
+  CurveOpCache cache(8);
+  const Curve minimal = Curve::affine(3.0, 2.0);
+  const Curve redundant({Segment{0.0, 0.0, 2.0, 3.0},
+                         Segment{4.0, 14.0, 14.0, 3.0}});
+  ASSERT_EQ(minimal, redundant);  // canonicalization merged the split
+  const Curve g = Curve::rate_latency(5.0, 1.0);
+  int computed = 0;
+  const auto compute = [&](const Curve& a, const Curve& b) {
+    ++computed;
+    return convolve(a, b);
+  };
+  cache.get_or_compute(CacheOp::kConvolve, minimal, g, compute);
+  cache.get_or_compute(CacheOp::kConvolve, redundant, g, compute);
+  EXPECT_EQ(computed, 1);
+  EXPECT_EQ(cache.stats().hits, 1u);
+}
+
 TEST(CurveOpCache, OperationTagSeparatesKeys) {
   CurveOpCache cache(8);
   const Curve f = Curve::affine(3.0, 2.0);

@@ -125,5 +125,63 @@ TEST(InverseCurve, DualityPropertyOnRandomCurves) {
   }
 }
 
+// --- Staircase fast path of lower_inverse_curve --------------------------
+// Piecewise-constant curves take a direct runs/rises swap instead of the
+// evaluator-probe builder; the result must still agree with the pointwise
+// lower_inverse() contract at every level.
+
+void expect_inverse_matches_pointwise(const Curve& f) {
+  ASSERT_TRUE(f.shape().piecewise_constant);
+  const Curve inv = lower_inverse_curve(f);
+  std::vector<double> levels{0.0};
+  for (const Segment& s : f.segments()) {
+    for (double v : {s.value_at, s.value_after}) {
+      if (v == kInf) continue;
+      for (double y : {v - 0.25, v, v + 0.25}) {
+        if (y >= 0.0) levels.push_back(y);
+      }
+    }
+  }
+  levels.push_back(f.value(f.last_breakpoint() + 3.0) + 1.0);
+  for (double y : levels) {
+    EXPECT_EQ(inv.value(y), f.lower_inverse(y))
+        << "level y=" << y << "\nf=" << f.describe()
+        << "\ninv=" << inv.describe();
+  }
+}
+
+TEST(StaircaseInverse, UniformStaircaseMatchesPointwiseInverse) {
+  expect_inverse_matches_pointwise(Curve::staircase(64.0, 1.0, 0.5, 6));
+}
+
+TEST(StaircaseInverse, ZeroLatencyStaircase) {
+  expect_inverse_matches_pointwise(Curve::staircase(8.0, 0.25, 0.0, 9));
+}
+
+TEST(StaircaseInverse, NonUniformRisers) {
+  expect_inverse_matches_pointwise(
+      Curve({Segment{0.0, 0.0, 0.0, 0.0}, Segment{1.0, 3.0, 3.0, 0.0},
+             Segment{1.5, 10.0, 10.0, 0.0}, Segment{4.0, 11.0, 11.0, 0.0},
+             Segment{5.0, 20.0, 20.0, 4.0}}));
+}
+
+TEST(StaircaseInverse, FlatFiniteTailInvertsToInfinity) {
+  // Levels above the plateau are never reached: the inverse jumps to +inf.
+  const Curve f({Segment{0.0, 0.0, 0.0, 0.0}, Segment{2.0, 5.0, 5.0, 0.0}});
+  ASSERT_TRUE(f.shape().piecewise_constant);
+  const Curve inv = lower_inverse_curve(f);
+  EXPECT_EQ(inv.value(5.0), 2.0);
+  EXPECT_EQ(inv.value_right(5.0), kInf);
+  EXPECT_EQ(inv.value(6.0), kInf);
+  expect_inverse_matches_pointwise(f);
+}
+
+TEST(StaircaseInverse, JumpAtOriginCollapsesZeroLevels) {
+  // Riser at x=0 (burst): levels in (0, h] are reached immediately after 0.
+  const Curve f({Segment{0.0, 0.0, 4.0, 0.0}, Segment{1.0, 8.0, 8.0, 2.0}});
+  ASSERT_TRUE(f.shape().piecewise_constant);
+  expect_inverse_matches_pointwise(f);
+}
+
 }  // namespace
 }  // namespace streamcalc::minplus

@@ -1,0 +1,207 @@
+// Shape-dispatch equivalence suite (DESIGN.md §11).
+//
+// The convolve/deconvolve entry points classify their operands and route
+// to specialized kernels (delay shift, zero clamp, convex slope merge,
+// concave minimum, affine clip, staircase branch pruning). Every one of
+// those shortcuts must be *pointwise indistinguishable* from the general
+// branch-envelope kernel it replaces — the shortcut is an optimization,
+// never a semantic fork. This suite fuzzes random operand pairs (including
+// the generator's pathological variants: micro-segments, near-equal
+// slopes, huge offsets) and, whenever the classifier picks a shortcut,
+// compares the dispatched result against detail::convolve_general /
+// detail::deconvolve_general with the tolerant comparator. Deterministic
+// per-kernel cases then pin coverage: each kernel is exercised by
+// construction, so a classifier regression cannot silently retire a
+// shortcut from the fuzz population.
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "minplus/curve.hpp"
+#include "minplus/operations.hpp"
+#include "testing/compare.hpp"
+#include "testing/generator.hpp"
+#include "testing/property.hpp"
+
+namespace streamcalc::minplus {
+namespace {
+
+using testing::CurveGenConfig;
+using testing::CurveKind;
+using testing::first_gap;
+using testing::FuzzSpec;
+using testing::gap_str;
+
+/// "" if the dispatched convolution matches the general kernel on (f, g);
+/// a diagnostic naming the kernel otherwise. Pairs the classifier already
+/// routes to the general kernel are vacuously consistent.
+std::string convolve_matches_general(const Curve& f, const Curve& g) {
+  const detail::ConvKernel kernel = detail::classify_convolve(f, g);
+  if (kernel == detail::ConvKernel::kGeneral) return "";
+  const Curve fast = convolve(f, g);
+  const Curve reference = detail::convolve_general(f, g);
+  if (const auto gap = first_gap(fast, reference, 1e-7, 1e-9)) {
+    return std::string("kernel '") + detail::kernel_name(kernel) +
+           "' diverges from the general kernel: " + gap_str(*gap);
+  }
+  return "";
+}
+
+std::string deconvolve_matches_general(const Curve& f, const Curve& g) {
+  const detail::DeconvKernel kernel = detail::classify_deconvolve(f, g);
+  // kDivergent has no general-kernel counterpart (the branch envelope
+  // assumes a bounded supremum); its contract is checked separately below.
+  if (kernel != detail::DeconvKernel::kDelay) return "";
+  const Curve fast = deconvolve(f, g);
+  const Curve reference = detail::deconvolve_general(f, g);
+  if (const auto gap = first_gap(fast, reference, 1e-7, 1e-9)) {
+    return std::string("kernel '") + detail::kernel_name(kernel) +
+           "' diverges from the general kernel: " + gap_str(*gap);
+  }
+  return "";
+}
+
+TEST(ShapeDispatch, FuzzConvolveShortcutsEqualGeneralKernel) {
+  FuzzSpec spec;
+  spec.operands = {CurveKind::kAny, CurveKind::kAny};
+  spec.gen.pathological_bias = 0.5;
+  spec.seed = 0x5a9e0001ULL;
+  const auto failure = testing::fuzz(
+      spec, [](const std::vector<Curve>& ops) {
+        return convolve_matches_general(ops[0], ops[1]);
+      });
+  ASSERT_FALSE(failure.has_value()) << failure->report();
+}
+
+TEST(ShapeDispatch, FuzzConvexPairsEqualGeneralKernel) {
+  // Service-shaped operands bias the population toward the convex kernel.
+  FuzzSpec spec;
+  spec.operands = {CurveKind::kService, CurveKind::kService};
+  spec.gen.pathological_bias = 0.5;
+  spec.seed = 0x5a9e0002ULL;
+  const auto failure = testing::fuzz(
+      spec, [](const std::vector<Curve>& ops) {
+        return convolve_matches_general(ops[0], ops[1]);
+      });
+  ASSERT_FALSE(failure.has_value()) << failure->report();
+}
+
+TEST(ShapeDispatch, FuzzConcavePairsEqualGeneralKernel) {
+  FuzzSpec spec;
+  spec.operands = {CurveKind::kArrival, CurveKind::kArrival};
+  spec.gen.pathological_bias = 0.5;
+  spec.seed = 0x5a9e0003ULL;
+  const auto failure = testing::fuzz(
+      spec, [](const std::vector<Curve>& ops) {
+        return convolve_matches_general(ops[0], ops[1]);
+      });
+  ASSERT_FALSE(failure.has_value()) << failure->report();
+}
+
+TEST(ShapeDispatch, FuzzDeconvolveShortcutsEqualGeneralKernel) {
+  FuzzSpec spec;
+  spec.operands = {CurveKind::kAny, CurveKind::kAny};
+  spec.gen.pathological_bias = 0.5;
+  spec.seed = 0x5a9e0004ULL;
+  const auto failure = testing::fuzz(
+      spec, [](const std::vector<Curve>& ops) {
+        return deconvolve_matches_general(ops[0], ops[1]);
+      });
+  ASSERT_FALSE(failure.has_value()) << failure->report();
+}
+
+// --- Deterministic per-kernel coverage -----------------------------------
+// Each case asserts the classifier picks the intended kernel AND the
+// shortcut matches the general kernel on that pair, so the fuzz passes
+// above cannot go vacuous if the classifier regresses.
+
+void expect_kernel_and_equivalence(const Curve& f, const Curve& g,
+                                   detail::ConvKernel expected) {
+  ASSERT_EQ(detail::classify_convolve(f, g), expected)
+      << "classifier no longer routes this pair to '"
+      << detail::kernel_name(expected) << "'";
+  const std::string msg = convolve_matches_general(f, g);
+  EXPECT_TRUE(msg.empty()) << msg;
+}
+
+TEST(ShapeDispatch, ConvexKernelCovered) {
+  const Curve f = maximum(Curve::rate_latency(3.0, 1.0),
+                          Curve::rate_latency(7.0, 2.5));
+  const Curve g = Curve::rate_latency(5.0, 0.5);
+  expect_kernel_and_equivalence(f, g, detail::ConvKernel::kConvex);
+}
+
+TEST(ShapeDispatch, ConcaveKernelCovered) {
+  const Curve f = minimum(Curve::affine(2.0, 9.0), Curve::affine(6.0, 1.0));
+  const Curve g = Curve::affine(3.0, 4.0);
+  expect_kernel_and_equivalence(f, g, detail::ConvKernel::kConcave);
+}
+
+TEST(ShapeDispatch, AffineConvexKernelCovered) {
+  const Curve f = Curve::affine(12.0, 40.0);
+  const Curve g = maximum(Curve::rate_latency(4.0, 1.0),
+                          Curve::rate_latency(9.0, 3.0));
+  expect_kernel_and_equivalence(f, g, detail::ConvKernel::kAffineConvex);
+}
+
+TEST(ShapeDispatch, StaircaseKernelCovered) {
+  const Curve f = Curve::staircase(64.0, 1.0, 0.5, 8);
+  const Curve g = Curve::rate_latency(80.0, 2.0);
+  expect_kernel_and_equivalence(f, g, detail::ConvKernel::kStaircase);
+}
+
+TEST(ShapeDispatch, StaircasePairCovered) {
+  const Curve f = Curve::staircase(64.0, 1.0, 0.5, 8);
+  const Curve g = Curve::staircase(16.0, 0.25, 0.0, 12);
+  expect_kernel_and_equivalence(f, g, detail::ConvKernel::kStaircase);
+}
+
+TEST(ShapeDispatch, NonUniformStaircaseCovered) {
+  // Unequal risers and runs: piecewise-constant eligibility does not
+  // require the uniform staircase pattern.
+  const Curve f({Segment{0.0, 0.0, 0.0, 0.0}, Segment{1.0, 3.0, 3.0, 0.0},
+                 Segment{1.5, 10.0, 10.0, 0.0}, Segment{4.0, 11.0, 11.0, 0.0},
+                 Segment{5.0, 20.0, 20.0, 4.0}});
+  ASSERT_TRUE(f.shape().piecewise_constant);
+  const Curve g = Curve::rate_latency(6.0, 0.75);
+  expect_kernel_and_equivalence(f, g, detail::ConvKernel::kStaircase);
+}
+
+TEST(ShapeDispatch, DelayKernelCovered) {
+  const Curve f = Curve::delta(1.5);
+  const Curve g = Curve::rate_latency(5.0, 0.5);
+  expect_kernel_and_equivalence(f, g, detail::ConvKernel::kDelay);
+}
+
+TEST(ShapeDispatch, ZeroKernelCovered) {
+  const Curve f = Curve::zero();
+  const Curve g = Curve::affine(3.0, 2.0);
+  expect_kernel_and_equivalence(f, g, detail::ConvKernel::kZero);
+}
+
+TEST(ShapeDispatch, DeconvolveDelayKernelCovered) {
+  const Curve f = Curve::affine(3.0, 2.0);
+  const Curve g = Curve::delta(1.5);
+  ASSERT_EQ(detail::classify_deconvolve(f, g),
+            detail::DeconvKernel::kDelay);
+  const std::string msg = deconvolve_matches_general(f, g);
+  EXPECT_TRUE(msg.empty()) << msg;
+}
+
+TEST(ShapeDispatch, DeconvolveDivergentContract) {
+  // Arrival rate above the service rate: the supremum diverges for every
+  // t, and the dispatcher must return the all-infinite curve rather than
+  // entering the branch envelope.
+  const Curve f = Curve::affine(9.0, 1.0);
+  const Curve g = Curve::rate(2.0);
+  ASSERT_EQ(detail::classify_deconvolve(f, g),
+            detail::DeconvKernel::kDivergent);
+  const Curve d = deconvolve(f, g);
+  EXPECT_EQ(d.value(0.0), std::numeric_limits<double>::infinity());
+  EXPECT_EQ(d.value(10.0), std::numeric_limits<double>::infinity());
+}
+
+}  // namespace
+}  // namespace streamcalc::minplus

@@ -1,0 +1,205 @@
+// bench_compare: guard-rail comparator for the bench-smoke CI job.
+//
+// Compares a freshly measured benchmark JSON dump (the `--json` output of
+// the bench binaries, an array of {"name", "value", "unit"} entries)
+// against a checked-in baseline and fails (exit 1) when any watched
+// benchmark regresses by more than the allowed ratio. Values are
+// normalized to nanoseconds before comparison, so baseline and current
+// files may use different units.
+//
+// Usage:
+//   bench_compare <baseline.json> <current.json> [options]
+//     --max-regression <factor>   fail when current > factor * baseline
+//                                 (default 1.20, i.e. +20%)
+//     --filter <substring>        only compare benchmarks whose name
+//                                 contains the substring (repeatable);
+//                                 default: compare every common benchmark
+//     --require <substring>       fail unless at least one compared
+//                                 benchmark matches (repeatable)
+//
+// The parser handles exactly the subset of JSON our benchmark_json.hpp
+// writer emits; it is not a general JSON library (no new dependencies).
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace {
+
+struct Entry {
+  std::string name;
+  double nanos = 0.0;
+};
+
+// Returns the ns-per-unit factor, or 0 for non-time rows (the bench dumps
+// also carry obs metric rows with unit "count"), which are skipped.
+double unit_to_nanos(const std::string& unit) {
+  if (unit == "ns") return 1.0;
+  if (unit == "us") return 1e3;
+  if (unit == "ms") return 1e6;
+  if (unit == "s") return 1e9;
+  return 0.0;
+}
+
+// Pulls the string value of `"key": "..."` or the number of `"key": <num>`
+// from a single object's text. Returns false when the key is absent.
+bool find_string(const std::string& obj, const std::string& key,
+                 std::string* out) {
+  const std::string needle = "\"" + key + "\"";
+  const std::size_t k = obj.find(needle);
+  if (k == std::string::npos) return false;
+  const std::size_t open = obj.find('"', obj.find(':', k));
+  if (open == std::string::npos) return false;
+  const std::size_t close = obj.find('"', open + 1);
+  if (close == std::string::npos) return false;
+  *out = obj.substr(open + 1, close - open - 1);
+  return true;
+}
+
+bool find_number(const std::string& obj, const std::string& key,
+                 double* out) {
+  const std::string needle = "\"" + key + "\"";
+  const std::size_t k = obj.find(needle);
+  if (k == std::string::npos) return false;
+  std::size_t p = obj.find(':', k);
+  if (p == std::string::npos) return false;
+  ++p;
+  while (p < obj.size() && std::isspace(static_cast<unsigned char>(obj[p]))) {
+    ++p;
+  }
+  char* end = nullptr;
+  const double v = std::strtod(obj.c_str() + p, &end);
+  if (end == obj.c_str() + p) return false;
+  *out = v;
+  return true;
+}
+
+std::map<std::string, double> load(const char* path) {
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "bench_compare: cannot open %s\n", path);
+    std::exit(2);
+  }
+  std::stringstream buf;
+  buf << in.rdbuf();
+  const std::string text = buf.str();
+
+  std::map<std::string, double> out;
+  std::size_t pos = 0;
+  while (true) {
+    const std::size_t open = text.find('{', pos);
+    if (open == std::string::npos) break;
+    const std::size_t close = text.find('}', open);
+    if (close == std::string::npos) break;
+    const std::string obj = text.substr(open, close - open + 1);
+    pos = close + 1;
+
+    std::string name;
+    std::string unit;
+    double value = 0.0;
+    if (!find_string(obj, "name", &name)) continue;
+    if (!find_number(obj, "value", &value)) continue;
+    if (!find_string(obj, "unit", &unit)) unit = "ns";
+    const double factor = unit_to_nanos(unit);
+    if (factor > 0.0) out[name] = value * factor;
+  }
+  if (out.empty()) {
+    std::fprintf(stderr, "bench_compare: no benchmark entries in %s\n", path);
+    std::exit(2);
+  }
+  return out;
+}
+
+bool matches_any(const std::string& name,
+                 const std::vector<std::string>& needles) {
+  return std::any_of(needles.begin(), needles.end(),
+                     [&](const std::string& n) {
+                       return name.find(n) != std::string::npos;
+                     });
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const char* baseline_path = nullptr;
+  const char* current_path = nullptr;
+  double max_regression = 1.20;
+  std::vector<std::string> filters;
+  std::vector<std::string> required;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--max-regression" && i + 1 < argc) {
+      max_regression = std::strtod(argv[++i], nullptr);
+    } else if (arg == "--filter" && i + 1 < argc) {
+      filters.emplace_back(argv[++i]);
+    } else if (arg == "--require" && i + 1 < argc) {
+      required.emplace_back(argv[++i]);
+    } else if (!baseline_path) {
+      baseline_path = argv[i];
+    } else if (!current_path) {
+      current_path = argv[i];
+    } else {
+      std::fprintf(stderr, "bench_compare: unexpected argument '%s'\n",
+                   argv[i]);
+      return 2;
+    }
+  }
+  if (!baseline_path || !current_path || !(max_regression > 0.0)) {
+    std::fprintf(stderr,
+                 "usage: bench_compare <baseline.json> <current.json> "
+                 "[--max-regression F] [--filter S]... [--require S]...\n");
+    return 2;
+  }
+
+  const auto baseline = load(baseline_path);
+  const auto current = load(current_path);
+
+  int compared = 0;
+  int regressions = 0;
+  std::vector<std::string> satisfied_requirements;
+  for (const auto& [name, cur_ns] : current) {
+    if (!filters.empty() && !matches_any(name, filters)) continue;
+    const auto it = baseline.find(name);
+    if (it == baseline.end()) {
+      std::printf("  NEW  %-44s %.3f ns (no baseline)\n", name.c_str(),
+                  cur_ns);
+      continue;
+    }
+    ++compared;
+    if (matches_any(name, required)) satisfied_requirements.push_back(name);
+    const double ratio = cur_ns / it->second;
+    const bool bad = ratio > max_regression;
+    if (bad) ++regressions;
+    std::printf("  %s %-44s %12.3f -> %12.3f ns  (%.2fx)\n",
+                bad ? "FAIL" : " ok ", name.c_str(), it->second, cur_ns,
+                ratio);
+  }
+
+  for (const std::string& req : required) {
+    if (!matches_any(req, satisfied_requirements) &&
+        std::none_of(satisfied_requirements.begin(),
+                     satisfied_requirements.end(),
+                     [&](const std::string& n) {
+                       return n.find(req) != std::string::npos;
+                     })) {
+      std::fprintf(stderr,
+                   "bench_compare: required benchmark '%s' was not "
+                   "compared (missing from current run or baseline)\n",
+                   req.c_str());
+      return 1;
+    }
+  }
+  if (compared == 0) {
+    std::fprintf(stderr, "bench_compare: nothing to compare\n");
+    return 1;
+  }
+  std::printf("bench_compare: %d compared, %d regression(s) beyond %.2fx\n",
+              compared, regressions, max_regression);
+  return regressions == 0 ? 0 : 1;
+}
