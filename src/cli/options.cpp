@@ -27,6 +27,20 @@ bool parse_threads_flag(const std::string& value, unsigned& out) {
   return true;
 }
 
+/// Parses a --port value: a decimal port number 0..65535 (0 asks the
+/// kernel to assign one — handy for tests).
+bool parse_port_flag(const std::string& value, int& out) {
+  if (value.empty()) return false;
+  long parsed = 0;
+  for (const char c : value) {
+    if (std::isdigit(static_cast<unsigned char>(c)) == 0) return false;
+    parsed = parsed * 10 + (c - '0');
+    if (parsed > 65535) return false;
+  }
+  out = static_cast<int>(parsed);
+  return true;
+}
+
 }  // namespace
 
 ParseResult parse_args(int argc, const char* const* argv) {
@@ -39,7 +53,8 @@ ParseResult parse_args(int argc, const char* const* argv) {
   int i = 1;
   if (i < argc) {
     const std::string first = argv[i];
-    if (first == "analyze" || first == "lint" || first == "certify") {
+    if (first == "analyze" || first == "lint" || first == "certify" ||
+        first == "serve") {
       opts.command = first;
       ++i;
     }
@@ -74,6 +89,24 @@ ParseResult parse_args(int argc, const char* const* argv) {
         return result;
       }
       opts.ctx.threads = threads;
+    } else if (arg == "--socket") {
+      if (i + 1 >= argc) {
+        result.error = "--socket requires a path argument";
+        return result;
+      }
+      opts.socket_path = argv[++i];
+    } else if (arg == "--port") {
+      if (i + 1 >= argc) {
+        result.error = "--port requires a port argument";
+        return result;
+      }
+      int port = 0;
+      if (!parse_port_flag(argv[++i], port)) {
+        result.error = std::string("invalid --port value '") + argv[i] +
+                       "': expected 0..65535";
+        return result;
+      }
+      opts.port = port;
     } else if (arg.size() >= 2 && arg[0] == '-' && arg != "-") {
       result.error = "unknown flag '" + arg + "'";
       return result;
@@ -83,13 +116,28 @@ ParseResult parse_args(int argc, const char* const* argv) {
   }
 
   if (opts.help) return result;
+  if (opts.command != "serve" &&
+      (!opts.socket_path.empty() || opts.port >= 0)) {
+    result.error = "--socket/--port apply to the serve subcommand only";
+    return result;
+  }
   if (opts.paths.empty()) {
-    result.error = "missing spec path (use '-' for stdin)";
+    result.error = opts.command == "serve"
+                       ? "serve requires at least one catalog spec path"
+                       : "missing spec path (use '-' for stdin)";
     return result;
   }
   if (opts.command == "analyze" && opts.paths.size() != 1) {
     result.error = "analyze takes exactly one spec path";
     return result;
+  }
+  if (opts.command == "serve") {
+    const bool has_socket = !opts.socket_path.empty();
+    const bool has_port = opts.port >= 0;
+    if (has_socket == has_port) {
+      result.error = "serve requires exactly one of --socket or --port";
+      return result;
+    }
   }
   return result;
 }
@@ -99,12 +147,19 @@ std::string help_text(const std::string& argv0) {
   out += "usage: " + argv0 + " [analyze] <spec|-> [flags]\n";
   out += "       " + argv0 + " lint <spec|->... [flags]\n";
   out += "       " + argv0 + " certify <spec|->... [flags]\n";
+  out += "       " + argv0 +
+         " serve (--socket <path> | --port <n>) <spec>... [flags]\n";
   out +=
       "\n"
       "subcommands:\n"
       "  analyze   network-calculus bounds report (default)\n"
       "  lint      nclint static model analysis\n"
       "  certify   proof-carrying bound certification\n"
+      "  serve     admission-control daemon over the spec catalog\n"
+      "\n"
+      "serve flags:\n"
+      "  --socket <path>       bind a unix domain socket at <path>\n"
+      "  --port <n>            bind TCP 127.0.0.1:<n> (0 = auto-assign)\n"
       "\n"
       "flags (all subcommands):\n"
       "  --threads <n|serial>  worker threads; 0 = hardware concurrency\n"

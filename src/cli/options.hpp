@@ -9,6 +9,10 @@
 //   --json                 machine-readable output instead of text
 //   --help, -h             print the shared help table
 //
+// The serve subcommand additionally takes exactly one of
+// --socket <path> (unix domain socket) or --port <n> (TCP on localhost,
+// 0 = kernel-assigned); its positional arguments are the catalog specs.
+//
 // Flags override the environment: parse_args() starts from
 // util::Context::from_env() and applies the flags on top, so
 // `STREAMCALC_THREADS=8 streamcalc analyze --threads 2 spec` runs with 2.
@@ -27,10 +31,12 @@ namespace streamcalc::cli {
 
 /// Parsed command line shared by every subcommand.
 struct Options {
-  std::string command = "analyze";  ///< analyze | lint | certify
+  std::string command = "analyze";  ///< analyze | lint | certify | serve
   std::vector<std::string> paths;   ///< spec files; "-" reads stdin
   bool json = false;                ///< machine-readable output
   bool help = false;                ///< --help / -h was given
+  std::string socket_path;          ///< serve: unix socket to bind
+  int port = -1;                    ///< serve: TCP port (0 = auto); -1 unset
   /// Run configuration: environment settings overridden by flags.
   /// `ctx.stats` / `ctx.trace_path` mirror --stats / --trace.
   util::Context ctx;

@@ -68,6 +68,30 @@ std::size_t Histogram::bucket_index(double value) {
   return kBuckets;  // unbounded overflow bucket
 }
 
+double Histogram::estimate_quantile(const Snapshot& snapshot, double q) {
+  if (snapshot.count == 0) return 0.0;
+  q = std::min(1.0, std::max(0.0, q));
+  const double target = q * static_cast<double>(snapshot.count);
+  double cumulative = 0.0;
+  for (std::size_t i = 0; i <= kBuckets; ++i) {
+    const double in_bucket = static_cast<double>(snapshot.buckets[i]);
+    if (in_bucket == 0.0) continue;
+    if (cumulative + in_bucket < target) {
+      cumulative += in_bucket;
+      continue;
+    }
+    // Interpolate inside bucket i. The overflow bucket has no finite upper
+    // bound; its observed maximum stands in.
+    const double lo = i == 0 ? 0.0 : bucket_bound(i - 1);
+    const double hi = i < kBuckets ? bucket_bound(i) : snapshot.max;
+    const double frac =
+        in_bucket > 0.0 ? (target - cumulative) / in_bucket : 1.0;
+    const double est = lo + (hi - lo) * std::min(1.0, std::max(0.0, frac));
+    return std::min(snapshot.max, std::max(snapshot.min, est));
+  }
+  return snapshot.max;
+}
+
 struct Registry::Impl {
   mutable util::Mutex mutex;
   // std::map keeps names sorted, which makes json() deterministic.

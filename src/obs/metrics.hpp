@@ -77,6 +77,16 @@ class Histogram {
   /// Index of the bucket `value` lands in.
   static std::size_t bucket_index(double value);
 
+  /// Estimates the q-quantile (q in [0, 1]) of a snapshot by walking the
+  /// cumulative bucket counts and interpolating linearly inside the
+  /// selected bucket. Resolution is the bucket width — a factor of two —
+  /// which is the intended fidelity for the latency percentiles the serve
+  /// daemon reports (`stats` verb); precise percentiles come from
+  /// client-side measurement (bench/serve_qps). Returns 0 when the
+  /// snapshot is empty. The result is clamped to [snapshot.min,
+  /// snapshot.max].
+  static double estimate_quantile(const Snapshot& snapshot, double q);
+
  private:
   mutable util::Mutex mutex_;
   Snapshot data_ SC_GUARDED_BY(mutex_);

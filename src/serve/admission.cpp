@@ -1,0 +1,396 @@
+#include "serve/admission.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <utility>
+
+#include "certify/postflight.hpp"
+#include "netcalc/bounds.hpp"
+#include "netcalc/packetizer.hpp"
+#include "obs/obs.hpp"
+#include "util/error.hpp"
+
+namespace streamcalc::serve {
+
+namespace {
+using minplus::Curve;
+using util::Duration;
+
+/// Smallest delay target in a flow set (the binding constraint of the
+/// shared-FIFO admission rule).
+double min_target(const std::vector<FlowSpec>& flows) {
+  double d = std::numeric_limits<double>::infinity();
+  for (const FlowSpec& f : flows) d = std::min(d, f.delay_target_s);
+  return d;
+}
+
+/// Applies the admission rule to an evaluated bound. Shared verbatim by
+/// the cached and from-scratch paths so the comparison semantics cannot
+/// diverge.
+void decide(Decision& d, double delay_s, double target_s) {
+  d.ok = true;
+  d.delay_bound_s = delay_s;
+  if (delay_s <= target_s) {
+    d.admitted = true;
+  } else {
+    d.admitted = false;
+    d.reason = "delay bound exceeds the tightest admitted target";
+  }
+}
+
+}  // namespace
+
+minplus::Curve AdmissionEngine::aggregate_arrival(
+    const std::vector<FlowSpec>& flows, const netcalc::SourceSpec& source) {
+  double rate = 0.0;
+  double burst = 0.0;
+  for (const FlowSpec& f : flows) {
+    rate += f.rate_bps;
+    burst += f.burst_bytes;
+  }
+  // Sum of token buckets == token bucket of the sums (exact, not a
+  // relaxation); the scenario source's packetizer granularity applies to
+  // the merged flow.
+  return netcalc::packetize_arrival(Curve::affine(rate, burst),
+                                    source.packet);
+}
+
+Decision AdmissionEngine::chain_decision(const ScenarioModel& scenario,
+                                         const std::vector<FlowSpec>& flows) {
+  Decision d;
+  if (flows.empty()) {
+    d.ok = true;
+    d.admitted = true;
+    d.delay_bound_s = 0.0;
+    return d;
+  }
+  const Curve alpha = aggregate_arrival(flows, scenario.spec.source);
+  // The cached end-to-end beta: PipelineModel's service side depends only
+  // on (nodes, source, policy), so the load-time curve is the one a fresh
+  // build would produce and this single deviation evaluation IS the
+  // from-scratch bound.
+  const Duration delay = netcalc::delay_bound(
+      alpha, scenario.chain_model->service_curve());
+  decide(d, delay.in_seconds(), min_target(flows));
+  return d;
+}
+
+Decision AdmissionEngine::oracle_chain_decision(
+    const ScenarioModel& scenario, const std::vector<FlowSpec>& flows) {
+  Decision d;
+  if (flows.empty()) {
+    d.ok = true;
+    d.admitted = true;
+    d.delay_bound_s = 0.0;
+    return d;
+  }
+  const netcalc::PipelineModel model = netcalc::PipelineModel::with_arrival(
+      scenario.spec.nodes, scenario.spec.source, scenario.spec.policy,
+      aggregate_arrival(flows, scenario.spec.source));
+  decide(d, model.delay_bound().in_seconds(), min_target(flows));
+  return d;
+}
+
+namespace {
+
+/// Resolves a flow's entry-node name to an entry index of the DAG spec
+/// (empty name = the first entry). Returns false when no entry targets a
+/// node with that name.
+bool resolve_entry(const netcalc::DagSpec& dag, const std::string& name,
+                   std::size_t& out) {
+  if (name.empty()) {
+    out = 0;
+    return !dag.entries.empty();
+  }
+  for (std::size_t k = 0; k < dag.entries.size(); ++k) {
+    if (dag.nodes[dag.entries[k].to].name == name) {
+      out = k;
+      return true;
+    }
+  }
+  return false;
+}
+
+/// Shared DAG evaluation: installs the flow set's per-entry envelopes
+/// (zero where no flow attaches — tenant traffic replaces the spec's
+/// nominal source) and checks every flow's target against the max path
+/// delay from its entry. Used identically by the engine's per-tenant
+/// incremental instance and by the from-scratch oracle, so the decisions
+/// are the same doubles.
+Decision evaluate_dag(netcalc::IncrementalDag& dag, const cli::Spec& spec,
+                      const std::vector<std::pair<std::string, FlowSpec>>&
+                          flows) {
+  Decision d;
+  const netcalc::DagSpec& shape = dag.dag();
+  std::vector<std::vector<FlowSpec>> per_entry(shape.entries.size());
+  std::vector<std::size_t> flow_entry(flows.size(), 0);
+  for (std::size_t i = 0; i < flows.size(); ++i) {
+    std::size_t k = 0;
+    if (!resolve_entry(shape, flows[i].second.entry, k)) {
+      d.error = "unknown entry node '" + flows[i].second.entry +
+                "' for flow '" + flows[i].first + "'";
+      return d;
+    }
+    flow_entry[i] = k;
+    per_entry[k].push_back(flows[i].second);
+  }
+  for (std::size_t k = 0; k < shape.entries.size(); ++k) {
+    dag.set_entry_envelope(
+        k, per_entry[k].empty()
+               ? Curve::zero()
+               : AdmissionEngine::aggregate_arrival(per_entry[k],
+                                                    spec.source));
+  }
+  d.ok = true;
+  d.admitted = true;
+  double worst = 0.0;
+  for (std::size_t i = 0; i < flows.size(); ++i) {
+    const double delay =
+        dag.delay_bound_from(dag.entry_node(flow_entry[i])).in_seconds();
+    worst = std::max(worst, delay);
+    if (!(delay <= flows[i].second.delay_target_s)) {
+      d.admitted = false;
+      d.reason = "delay bound from entry of flow '" + flows[i].first +
+                 "' exceeds its target";
+    }
+  }
+  d.delay_bound_s = worst;
+  return d;
+}
+
+}  // namespace
+
+AdmissionEngine::AdmissionEngine(std::shared_ptr<Catalog> catalog,
+                                 util::Context ctx)
+    : catalog_(std::move(catalog)), ctx_(ctx) {
+  util::require(catalog_ != nullptr, "AdmissionEngine requires a catalog");
+}
+
+std::shared_ptr<AdmissionEngine::Tenant> AdmissionEngine::tenant_for(
+    const std::string& name) {
+  util::MutexLock lock(mutex_);
+  auto it = tenants_.find(name);
+  if (it == tenants_.end()) {
+    it = tenants_.emplace(name, std::make_shared<Tenant>()).first;
+  }
+  return it->second;
+}
+
+std::size_t AdmissionEngine::tenant_count() const {
+  util::MutexLock lock(mutex_);
+  return tenants_.size();
+}
+
+Decision AdmissionEngine::dag_decision(
+    Tenant& tenant, const ScenarioModel& scenario, std::uint64_t epoch,
+    const std::map<std::string, FlowSpec>& flows) {
+  // Epoch moved (catalog reload): rebuild the incremental state against
+  // the new snapshot's spec; otherwise keep it — set_entry_envelope is a
+  // no-op for unchanged entries and dirties only the changed entry's
+  // downstream cone.
+  if (tenant.dag == nullptr || tenant.built_epoch != epoch) {
+    tenant.dag = std::make_unique<netcalc::IncrementalDag>(
+        scenario.spec.dag(), scenario.spec.source, scenario.spec.policy);
+    tenant.built_epoch = epoch;
+  }
+  std::vector<std::pair<std::string, FlowSpec>> flow_list(flows.begin(),
+                                                          flows.end());
+  return evaluate_dag(*tenant.dag, scenario.spec, flow_list);
+}
+
+Decision AdmissionEngine::admit(const std::string& tenant_name,
+                                const std::string& scenario_name,
+                                const std::string& flow_id,
+                                const FlowSpec& flow, bool certify_strict) {
+  SC_OBS_SPAN("serve", "admit");
+  const auto snapshot = catalog_->snapshot();
+  Decision d;
+  d.epoch = snapshot->epoch();
+  if (flow_id.empty()) {
+    d.error = "admit requires a flow id";
+    return d;
+  }
+  if (!(flow.rate_bps > 0.0) || !std::isfinite(flow.rate_bps)) {
+    d.error = "admit requires a positive finite rate";
+    return d;
+  }
+  if (flow.burst_bytes < 0.0 || !std::isfinite(flow.burst_bytes)) {
+    d.error = "admit requires a non-negative finite burst";
+    return d;
+  }
+  if (!(flow.delay_target_s > 0.0)) {
+    d.error = "admit requires a positive delay target";
+    return d;
+  }
+
+  const std::shared_ptr<Tenant> tenant = tenant_for(tenant_name);
+  util::MutexLock lock(tenant->mutex);
+  std::string bound_scenario = tenant->scenario;
+  if (bound_scenario.empty()) {
+    if (scenario_name.empty()) {
+      d.error = "first admit for a tenant must name a scenario";
+      d.seq = tenant->seq;
+      return d;
+    }
+    bound_scenario = scenario_name;
+  } else if (!scenario_name.empty() && scenario_name != bound_scenario) {
+    d.error = "tenant is bound to scenario '" + bound_scenario + "'";
+    d.seq = tenant->seq;
+    return d;
+  }
+  const ScenarioModel* scenario = snapshot->find(bound_scenario);
+  if (scenario == nullptr) {
+    d.error = "unknown scenario '" + bound_scenario + "'";
+    d.seq = tenant->seq;
+    return d;
+  }
+  if (tenant->flows.count(flow_id) != 0) {
+    d.error = "flow '" + flow_id + "' is already admitted";
+    d.seq = tenant->seq;
+    return d;
+  }
+  if (!flow.entry.empty() && !scenario->is_dag) {
+    d.error = "entry nodes apply only to DAG scenarios";
+    d.seq = tenant->seq;
+    return d;
+  }
+
+  // Per-query strict certification: requested explicitly or inherited
+  // from the daemon's Context (STREAMCALC_CERTIFY=strict).
+  const bool strict =
+      certify_strict ||
+      certify::certify_mode(ctx_) == certify::CertifyMode::kStrict;
+
+  Decision result;
+  if (scenario->is_dag) {
+    std::map<std::string, FlowSpec> candidate = tenant->flows;
+    candidate.emplace(flow_id, flow);
+    result = dag_decision(*tenant, *scenario, snapshot->epoch(), candidate);
+  } else {
+    std::vector<FlowSpec> candidate;
+    candidate.reserve(tenant->flows.size() + 1);
+    for (const auto& [id, f] : tenant->flows) candidate.push_back(f);
+    candidate.push_back(flow);
+    result = chain_decision(*scenario, candidate);
+    if (result.ok && strict) {
+      // Proof-carrying mode: re-derive and certify every bound of the
+      // candidate model with the independent exact-rational checker. A
+      // failed certification is an evaluation error, not a rejection —
+      // the double bound cannot be trusted either way.
+      const netcalc::PipelineModel model =
+          netcalc::PipelineModel::with_arrival(
+              scenario->spec.nodes, scenario->spec.source,
+              scenario->spec.policy,
+              aggregate_arrival(candidate, scenario->spec.source));
+      const diagnostics::LintReport report =
+          certify::certify_pipeline(model);
+      if (!report.clean()) {
+        result = Decision{};
+        result.error = "bound failed strict certification";
+      }
+    }
+  }
+  result.epoch = snapshot->epoch();
+  if (result.ok && result.admitted) {
+    tenant->scenario = bound_scenario;
+    tenant->flows.emplace(flow_id, flow);
+    ++tenant->seq;
+    result.changed = true;
+  } else if (scenario->is_dag && result.ok) {
+    // Restore the committed flow set's envelopes after a rejected
+    // candidate evaluation (cheap: only the candidate's entry cone was
+    // touched, and only it is recomputed back).
+    (void)dag_decision(*tenant, *scenario, snapshot->epoch(),
+                       tenant->flows);
+  }
+  result.seq = tenant->seq;
+  SC_OBS_COUNT(result.admitted ? "serve.admit.accepted"
+                               : "serve.admit.rejected",
+               1);
+  return result;
+}
+
+Decision AdmissionEngine::release(const std::string& tenant_name,
+                                  const std::string& flow_id) {
+  SC_OBS_SPAN("serve", "release");
+  const auto snapshot = catalog_->snapshot();
+  Decision d;
+  d.epoch = snapshot->epoch();
+
+  const std::shared_ptr<Tenant> tenant = tenant_for(tenant_name);
+  util::MutexLock lock(tenant->mutex);
+  const auto it = tenant->flows.find(flow_id);
+  if (it == tenant->flows.end()) {
+    d.error = "flow '" + flow_id + "' is not admitted";
+    d.seq = tenant->seq;
+    return d;
+  }
+  tenant->flows.erase(it);
+  ++tenant->seq;
+  d.ok = true;
+  d.changed = true;
+  d.seq = tenant->seq;
+
+  // Report the post-release bound (and, for DAGs, bring the incremental
+  // envelopes back in line with the committed set).
+  const ScenarioModel* scenario = snapshot->find(tenant->scenario);
+  if (scenario != nullptr) {
+    Decision current;
+    if (scenario->is_dag) {
+      current = dag_decision(*tenant, *scenario, snapshot->epoch(),
+                             tenant->flows);
+    } else {
+      std::vector<FlowSpec> flows;
+      flows.reserve(tenant->flows.size());
+      for (const auto& [id, f] : tenant->flows) flows.push_back(f);
+      current = chain_decision(*scenario, flows);
+    }
+    if (current.ok) d.delay_bound_s = current.delay_bound_s;
+  }
+  return d;
+}
+
+Decision AdmissionEngine::query(const std::string& tenant_name,
+                                TenantSnapshot& out) {
+  SC_OBS_SPAN("serve", "query");
+  const auto snapshot = catalog_->snapshot();
+  Decision d;
+  d.epoch = snapshot->epoch();
+
+  std::shared_ptr<Tenant> tenant;
+  {
+    util::MutexLock lock(mutex_);
+    const auto it = tenants_.find(tenant_name);
+    if (it == tenants_.end()) {
+      d.error = "unknown tenant '" + tenant_name + "'";
+      return d;
+    }
+    tenant = it->second;
+  }
+  util::MutexLock lock(tenant->mutex);
+  out.scenario = tenant->scenario;
+  out.seq = tenant->seq;
+  out.epoch = snapshot->epoch();
+  out.flows.assign(tenant->flows.begin(), tenant->flows.end());
+  out.delay_bound_s = 0.0;
+  const ScenarioModel* scenario = snapshot->find(tenant->scenario);
+  if (scenario != nullptr && !tenant->flows.empty()) {
+    Decision current;
+    if (scenario->is_dag) {
+      current = dag_decision(*tenant, *scenario, snapshot->epoch(),
+                             tenant->flows);
+    } else {
+      std::vector<FlowSpec> flows;
+      flows.reserve(tenant->flows.size());
+      for (const auto& [id, f] : tenant->flows) flows.push_back(f);
+      current = chain_decision(*scenario, flows);
+    }
+    if (current.ok) out.delay_bound_s = current.delay_bound_s;
+  }
+  d.ok = true;
+  d.seq = tenant->seq;
+  return d;
+}
+
+}  // namespace streamcalc::serve

@@ -1,0 +1,147 @@
+// Admission-control engine: per-tenant admitted-flow state plus the
+// decision procedure the daemon answers queries with.
+//
+// Model. A tenant binds to one catalog scenario on its first admit. Its
+// admitted flows are token buckets (rate, burst) each carrying a delay
+// target D. The tenant's aggregate arrival envelope is the token bucket of
+// the summed parameters, packetized by the scenario source's packet size
+// (sums of leaky buckets are leaky buckets, so this is exact, not a
+// relaxation). The admission rule is:
+//
+//   admit f  <=>  delay_bound(alpha_{S ∪ {f}}, beta) <= min_{g in S∪{f}} D_g
+//
+// i.e. the shared-FIFO end-to-end delay bound with the candidate included
+// must still satisfy every admitted flow's target (each flow's delay is
+// bounded by the aggregate's). For chain scenarios beta is the catalog's
+// cached end-to-end service curve, so the hot path is a single
+// horizontal-deviation evaluation; for DAG scenarios flows attach to a
+// named entry node and the per-tenant netcalc::IncrementalDag recomputes
+// only the cone downstream of that entry.
+//
+// Every decision is EXACTLY what a from-scratch analysis of the same
+// tenant set produces (PipelineModel::with_arrival / a freshly built
+// IncrementalDag): same curves through the same kernels, hence the same
+// doubles. tests/serve/admission_oracle_test.cpp holds this differential
+// property over hundreds of generated scenarios.
+//
+// Concurrency. The engine serializes operations per tenant (one Mutex per
+// tenant) while different tenants proceed in parallel; every applied state
+// change increments the tenant's sequence number, which replies carry so a
+// concurrent history can be replayed serially and compared
+// (tests/serve/concurrency_soak_test.cpp).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "netcalc/incremental.hpp"
+#include "serve/catalog.hpp"
+#include "util/context.hpp"
+#include "util/sync.hpp"
+#include "util/thread_annotations.hpp"
+
+namespace streamcalc::serve {
+
+/// One requested/admitted flow.
+struct FlowSpec {
+  double rate_bps = 0.0;        ///< sustained rate (bytes/second)
+  double burst_bytes = 0.0;     ///< bucket depth (bytes)
+  double delay_target_s = 0.0;  ///< end-to-end delay target (seconds)
+  std::string entry;            ///< DAG entry node name; empty = first entry
+};
+
+/// Outcome of an admit/release/query operation.
+struct Decision {
+  bool ok = false;          ///< request was well-formed and evaluated
+  bool admitted = false;    ///< admit only: candidate accepted
+  double delay_bound_s = 0.0;  ///< bound backing the decision (inf allowed)
+  std::string error;        ///< when !ok: what was wrong
+  std::string reason;       ///< when !admitted: which constraint failed
+  std::uint64_t seq = 0;    ///< tenant sequence after this operation
+  std::uint64_t epoch = 0;  ///< catalog epoch the decision was made under
+  bool changed = false;     ///< state actually changed (seq advanced)
+};
+
+/// Snapshot of one tenant's state (query verb).
+struct TenantSnapshot {
+  std::string scenario;
+  std::uint64_t seq = 0;
+  std::uint64_t epoch = 0;
+  double delay_bound_s = 0.0;  ///< current aggregate bound (0 if no flows)
+  std::vector<std::pair<std::string, FlowSpec>> flows;  ///< sorted by id
+};
+
+class AdmissionEngine {
+ public:
+  explicit AdmissionEngine(std::shared_ptr<Catalog> catalog,
+                           util::Context ctx = util::Context::active());
+
+  /// Admission check + commit. `certify_strict` additionally runs the
+  /// proof-carrying certification post-flight on the bound (chain
+  /// scenarios; an uncertified bound turns the reply into an error).
+  Decision admit(const std::string& tenant, const std::string& scenario,
+                 const std::string& flow_id, const FlowSpec& flow,
+                 bool certify_strict = false);
+
+  /// Removes a flow. Releasing an unknown flow is an error; releasing the
+  /// last flow keeps the tenant bound to its scenario.
+  Decision release(const std::string& tenant, const std::string& flow_id);
+
+  /// Current state of a tenant. Error when the tenant is unknown.
+  Decision query(const std::string& tenant, TenantSnapshot& out);
+
+  /// Number of tenants with state.
+  std::size_t tenant_count() const SC_EXCLUDES(mutex_);
+
+  // --- oracle helpers (shared with the differential tests) ---------------
+
+  /// The aggregate arrival envelope of a flow set under a scenario source:
+  /// token bucket of the summed parameters, packetized by source.packet.
+  /// This exact function is what both the engine and the from-scratch
+  /// oracle evaluate, so the two sides cannot drift.
+  static minplus::Curve aggregate_arrival(
+      const std::vector<FlowSpec>& flows, const netcalc::SourceSpec& source);
+
+  /// From-scratch chain decision: full PipelineModel::with_arrival over
+  /// the flow set. The engine's cached-beta path must agree bit for bit.
+  static Decision oracle_chain_decision(const ScenarioModel& scenario,
+                                        const std::vector<FlowSpec>& flows);
+
+ private:
+  struct Tenant {
+    mutable util::Mutex mutex;
+    std::string scenario SC_GUARDED_BY(mutex);
+    std::map<std::string, FlowSpec> flows SC_GUARDED_BY(mutex);
+    std::uint64_t seq SC_GUARDED_BY(mutex) = 0;
+    /// Epoch of the catalog snapshot `dag` (if any) was built against;
+    /// a newer snapshot forces a rebuild.
+    std::uint64_t built_epoch SC_GUARDED_BY(mutex) = 0;
+    std::unique_ptr<netcalc::IncrementalDag> dag SC_GUARDED_BY(mutex);
+  };
+
+  std::shared_ptr<Tenant> tenant_for(const std::string& name)
+      SC_EXCLUDES(mutex_);
+
+  /// Chain decision via the cached end-to-end beta.
+  static Decision chain_decision(const ScenarioModel& scenario,
+                                 const std::vector<FlowSpec>& flows);
+
+  /// DAG decision via the tenant's IncrementalDag; `tenant` must be
+  /// locked. Rebuilds the incremental state when the epoch moved.
+  Decision dag_decision(Tenant& tenant, const ScenarioModel& scenario,
+                        std::uint64_t epoch,
+                        const std::map<std::string, FlowSpec>& flows)
+      SC_REQUIRES(tenant.mutex);
+
+  std::shared_ptr<Catalog> catalog_;
+  util::Context ctx_;
+  mutable util::Mutex mutex_;
+  std::map<std::string, std::shared_ptr<Tenant>> tenants_
+      SC_GUARDED_BY(mutex_);
+};
+
+}  // namespace streamcalc::serve

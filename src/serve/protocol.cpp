@@ -1,0 +1,48 @@
+#include "serve/protocol.hpp"
+
+#include "util/error.hpp"
+
+namespace streamcalc::serve {
+
+std::string encode_frame(const std::string& payload,
+                         std::size_t max_payload) {
+  util::require(payload.size() <= max_payload,
+                "encode_frame: payload exceeds the frame ceiling");
+  const auto len = static_cast<std::uint32_t>(payload.size());
+  std::string out;
+  out.reserve(kFrameHeaderBytes + payload.size());
+  out += static_cast<char>((len >> 24) & 0xFF);
+  out += static_cast<char>((len >> 16) & 0xFF);
+  out += static_cast<char>((len >> 8) & 0xFF);
+  out += static_cast<char>(len & 0xFF);
+  out += payload;
+  return out;
+}
+
+void FrameDecoder::feed(const char* data, std::size_t size) {
+  if (dead_) return;
+  buffer_.append(data, size);
+}
+
+FrameDecoder::Status FrameDecoder::next(std::string& out) {
+  if (dead_) return Status::kOversized;
+  if (buffer_.size() < kFrameHeaderBytes) return Status::kNeedMore;
+  const auto b = [&](std::size_t i) {
+    return static_cast<std::uint32_t>(static_cast<unsigned char>(buffer_[i]));
+  };
+  const std::uint32_t len =
+      (b(0) << 24) | (b(1) << 16) | (b(2) << 8) | b(3);
+  if (len > max_payload_) {
+    // Reject on the declared length alone: the payload is never buffered,
+    // so a hostile 4 GiB header costs 4 bytes, not 4 GiB.
+    dead_ = true;
+    oversized_length_ = len;
+    return Status::kOversized;
+  }
+  if (buffer_.size() < kFrameHeaderBytes + len) return Status::kNeedMore;
+  out.assign(buffer_, kFrameHeaderBytes, len);
+  buffer_.erase(0, kFrameHeaderBytes + len);
+  return Status::kFrame;
+}
+
+}  // namespace streamcalc::serve

@@ -1,0 +1,75 @@
+// Length-prefixed frame codec for the admission-control wire protocol.
+//
+// A frame is a 4-byte big-endian payload length followed by that many
+// payload bytes (UTF-8 JSON, see json.hpp). The length counts the payload
+// only. Frames larger than the configured ceiling are a protocol error:
+// the decoder reports kOversized *before* buffering the payload, the
+// server replies with a framed error and closes the connection (an
+// attacker-controlled length must never drive allocation).
+//
+//   +----------------+---------------------+
+//   | len: u32 (BE)  | payload[len] bytes  |
+//   +----------------+---------------------+
+//
+// The decoder is incremental: feed() arbitrary byte chunks as they arrive
+// from the socket, next() pops complete frames in order. A truncated frame
+// (connection closed mid-frame) simply never completes — the server logs
+// and drops it, which tests/serve/protocol_test.cpp pins.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace streamcalc::serve {
+
+/// Default ceiling on a frame payload (1 MiB). Admission requests are a
+/// few hundred bytes; the ceiling exists to bound memory per connection.
+inline constexpr std::size_t kDefaultMaxFramePayload = std::size_t{1} << 20;
+
+/// Frame header width: the u32 big-endian payload length.
+inline constexpr std::size_t kFrameHeaderBytes = 4;
+
+/// Serializes one frame (header + payload). Requires
+/// payload.size() <= max_payload (throws PreconditionError otherwise —
+/// encoding an oversized frame is a programming error; *receiving* one is
+/// handled gracefully by the decoder).
+std::string encode_frame(const std::string& payload,
+                         std::size_t max_payload = kDefaultMaxFramePayload);
+
+/// Incremental frame decoder (one per connection).
+class FrameDecoder {
+ public:
+  explicit FrameDecoder(std::size_t max_payload = kDefaultMaxFramePayload)
+      : max_payload_(max_payload) {}
+
+  enum class Status {
+    kFrame,      ///< a complete frame was popped into `out`
+    kNeedMore,   ///< no complete frame buffered yet
+    kOversized,  ///< declared length exceeds the ceiling; decoder is dead
+  };
+
+  /// Appends raw bytes received from the transport.
+  void feed(const char* data, std::size_t size);
+  void feed(const std::string& bytes) { feed(bytes.data(), bytes.size()); }
+
+  /// Pops the next complete frame payload. After kOversized the decoder
+  /// stays in the error state (the connection must be closed; resyncing
+  /// inside a byte stream with a corrupt length is not possible).
+  Status next(std::string& out);
+
+  /// Declared length of the oversized frame (valid after kOversized).
+  std::size_t oversized_length() const { return oversized_length_; }
+
+  /// True when a partial frame (header or payload) is buffered — used to
+  /// detect truncated frames at connection teardown.
+  bool mid_frame() const { return !dead_ && !buffer_.empty(); }
+
+ private:
+  std::size_t max_payload_;
+  std::string buffer_;
+  std::size_t oversized_length_ = 0;
+  bool dead_ = false;
+};
+
+}  // namespace streamcalc::serve

@@ -1,0 +1,58 @@
+#include "serve/run.hpp"
+
+#include <atomic>
+#include <csignal>
+#include <cstdio>
+#include <exception>
+
+#include "serve/server.hpp"
+
+namespace streamcalc::serve {
+
+namespace {
+
+/// The one server the signal handlers reach. request_stop() only stores
+/// an atomic flag, so calling it from a handler is safe.
+std::atomic<Server*> g_signal_target{nullptr};
+
+void stop_on_signal(int /*signum*/) {
+  Server* server = g_signal_target.load();
+  if (server != nullptr) server->request_stop();
+}
+
+}  // namespace
+
+int run_serve(const cli::Options& opts) {
+  ServerConfig config;
+  config.socket_path = opts.socket_path;
+  config.port = opts.port;
+  config.spec_paths = opts.paths;
+  config.ctx = opts.ctx;
+
+  try {
+    Server server(config);
+    server.start();
+    std::fprintf(stderr, "streamcalc serve: listening on %s (%zu scenario%s, epoch %llu)\n",
+                 server.endpoint().c_str(), server.catalog()->snapshot()->size(),
+                 server.catalog()->snapshot()->size() == 1 ? "" : "s",
+                 static_cast<unsigned long long>(server.catalog()->epoch()));
+
+    g_signal_target.store(&server);
+    struct sigaction action {};
+    action.sa_handler = stop_on_signal;
+    sigemptyset(&action.sa_mask);
+    ::sigaction(SIGINT, &action, nullptr);
+    ::sigaction(SIGTERM, &action, nullptr);
+
+    server.run();
+    g_signal_target.store(nullptr);
+    std::fprintf(stderr, "streamcalc serve: shut down cleanly\n");
+    return 0;
+  } catch (const std::exception& e) {
+    g_signal_target.store(nullptr);
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}
+
+}  // namespace streamcalc::serve

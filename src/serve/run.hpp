@@ -1,0 +1,16 @@
+// CLI entry point for `streamcalc serve` — builds a Server from parsed
+// Options, wires SIGINT/SIGTERM to a clean stop, and blocks until
+// shutdown. Lives in the serve library (not sc_cli) because serve links
+// the CLI spec parser, and sc_cli must not depend back on serve.
+#pragma once
+
+#include "cli/options.hpp"
+
+namespace streamcalc::serve {
+
+/// Runs the daemon until a shutdown request or signal. Returns the
+/// process exit code: 0 on clean shutdown, 1 when the catalog cannot be
+/// loaded or the endpoint cannot be bound.
+int run_serve(const cli::Options& opts);
+
+}  // namespace streamcalc::serve

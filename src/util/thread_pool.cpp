@@ -40,8 +40,14 @@ ThreadPool::~ThreadPool() {
     stopping_ = true;
   }
   work_available_.notify_all();
-  // std::jthread joins on destruction; workers drain the queue first so no
-  // submitted task (whose state may live on a submitter's stack) is lost.
+  // Join before member destruction: workers_ is declared first, so the
+  // implicit jthread join would run *after* mutex_ and the condvars are
+  // destroyed — while late workers may still be signalling them. Workers
+  // drain the queue before returning so no submitted task (whose state
+  // may live on a submitter's stack) is lost.
+  for (std::jthread& worker : workers_) {
+    if (worker.joinable()) worker.join();
+  }
 }
 
 void ThreadPool::worker_loop(std::stop_token /*stop*/) {

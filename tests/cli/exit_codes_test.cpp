@@ -7,10 +7,16 @@
 
 #include <cstdio>
 #include <fstream>
+#include <initializer_list>
 #include <string>
+#include <vector>
 
 #include "cli/certify.hpp"
 #include "cli/lint.hpp"
+#include "cli/options.hpp"
+#include "serve/catalog.hpp"
+#include "serve/run.hpp"
+#include "serve/server.hpp"
 
 namespace streamcalc::cli {
 namespace {
@@ -87,6 +93,101 @@ TEST(CertifyExitCodes, UnreadableAndUnparseableExitOne) {
   EXPECT_EQ(run_certify({fixture_spec("blast_noncausal.scspec"),
                          "/nonexistent/no_such.scspec"}),
             1);
+}
+
+// --- serve: same uniform contract (0 clean, 1 bad input/bind, 3 usage) --
+
+ParseResult parse(std::initializer_list<const char*> args) {
+  std::vector<const char*> argv = {"streamcalc"};
+  argv.insert(argv.end(), args.begin(), args.end());
+  return parse_args(static_cast<int>(argv.size()), argv.data());
+}
+
+TEST(ServeCli, HelpParsesCleanly) {
+  const ParseResult r = parse({"serve", "--help"});
+  ASSERT_TRUE(r.ok()) << r.error;
+  EXPECT_TRUE(r.options.help);
+  EXPECT_EQ(r.options.command, "serve");
+  // The help table documents the serve endpoint flags.
+  EXPECT_NE(help_text("streamcalc").find("--socket"), std::string::npos);
+}
+
+TEST(ServeCli, UsageErrorsAreParseErrors) {
+  // Missing endpoint entirely.
+  EXPECT_FALSE(parse({"serve", "spec.scspec"}).ok());
+  // Both endpoint kinds at once.
+  EXPECT_FALSE(
+      parse({"serve", "--socket", "/tmp/x", "--port", "0", "spec"}).ok());
+  // Endpoint flags on a non-serve subcommand.
+  EXPECT_FALSE(parse({"lint", "--socket", "/tmp/x", "spec"}).ok());
+  EXPECT_FALSE(parse({"analyze", "--port", "80", "spec"}).ok());
+  // No catalog specs.
+  EXPECT_FALSE(parse({"serve", "--socket", "/tmp/x"}).ok());
+  // Malformed port.
+  EXPECT_FALSE(parse({"serve", "--port", "99999", "spec"}).ok());
+  EXPECT_FALSE(parse({"serve", "--port", "eighty", "spec"}).ok());
+  // Flags missing their values.
+  EXPECT_FALSE(parse({"serve", "--socket"}).ok());
+  EXPECT_FALSE(parse({"serve", "--port"}).ok());
+}
+
+TEST(ServeCli, ValidInvocationsParse) {
+  const ParseResult s = parse({"serve", "--socket", "/tmp/x.sock", "a", "b"});
+  ASSERT_TRUE(s.ok()) << s.error;
+  EXPECT_EQ(s.options.socket_path, "/tmp/x.sock");
+  EXPECT_EQ(s.options.paths.size(), 2u);
+
+  const ParseResult p = parse({"serve", "--port", "0", "a"});
+  ASSERT_TRUE(p.ok()) << p.error;
+  EXPECT_EQ(p.options.port, 0);
+}
+
+Options serve_options(const std::string& socket,
+                      const std::vector<std::string>& specs) {
+  Options opts;
+  opts.command = "serve";
+  opts.socket_path = socket;
+  opts.paths = specs;
+  return opts;
+}
+
+TEST(ServeExitCodes, UnbindableSocketPathExitsOne) {
+  EXPECT_EQ(serve::run_serve(serve_options("/nonexistent_dir/daemon.sock",
+                                    {example_spec("quickstart.scspec")})),
+            1);
+}
+
+TEST(ServeExitCodes, UnreadableCatalogExitsOne) {
+  const std::string sock = ::testing::TempDir() + "/serve_exit_cat.sock";
+  EXPECT_EQ(serve::run_serve(serve_options(sock, {"/nonexistent/no_such.scspec"})),
+            1);
+  EXPECT_EQ(
+      serve::run_serve(serve_options(
+          sock, {fixture_spec("blast_unstable.scspec"), "/nonexistent/x"})),
+      1);
+}
+
+TEST(ServeExitCodes, UnparseableCatalogExitsOne) {
+  const std::string bogus = write_temp("serve_bogus", "not a spec\n");
+  EXPECT_EQ(serve::run_serve(serve_options(
+                ::testing::TempDir() + "/serve_exit_parse.sock", {bogus})),
+            1);
+  std::remove(bogus.c_str());
+}
+
+TEST(ServeExitCodes, DuplicateBindExitsOne) {
+  const std::string sock = ::testing::TempDir() + "/serve_exit_dup.sock";
+  serve::ServerConfig config;
+  config.socket_path = sock;
+  config.spec_paths = {example_spec("quickstart.scspec")};
+  serve::Server first(config);
+  first.start();
+  // A second daemon on the same endpoint must fail fast with exit 1
+  // (and must not steal or unlink the live socket).
+  EXPECT_EQ(
+      serve::run_serve(serve_options(sock, {example_spec("quickstart.scspec")})),
+      1);
+  first.stop();
 }
 
 }  // namespace

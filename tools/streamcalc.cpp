@@ -5,6 +5,8 @@
 //   streamcalc -                         # read the spec from stdin
 //   streamcalc lint a.scspec b...        # static analysis only (nclint)
 //   streamcalc certify a.scspec b...     # proof-carrying certification
+//   streamcalc serve --socket /run/sc.sock specs/*.scspec
+//                                        # admission-control daemon
 //
 // Every subcommand takes the same flags (see src/cli/options.hpp):
 // --threads overrides STREAMCALC_THREADS, --stats appends the metrics
@@ -33,6 +35,7 @@
 #include "cli/options.hpp"
 #include "cli/report.hpp"
 #include "obs/obs.hpp"
+#include "serve/run.hpp"
 #include "util/context.hpp"
 
 namespace {
@@ -100,6 +103,8 @@ int main(int argc, char** argv) {
     code = streamcalc::cli::run_lint(opts.paths, opts);
   } else if (opts.command == "certify") {
     code = streamcalc::cli::run_certify(opts.paths, opts);
+  } else if (opts.command == "serve") {
+    code = streamcalc::serve::run_serve(opts);
   } else {
     code = streamcalc::cli::run_analyze(opts);
   }
