@@ -31,8 +31,8 @@ namespace streamcalc::certify {
 class ExtRat {
  public:
   ExtRat() = default;  ///< zero
-  ExtRat(util::Rational v)  // NOLINT(google-explicit-constructor)
-      : value_(std::move(v)) {}
+  // NOLINTNEXTLINE(google-explicit-constructor): finite rationals embed in ExtRat
+  ExtRat(util::Rational v) : value_(std::move(v)) {}
   static ExtRat infinity() {
     ExtRat r;
     r.inf_ = true;

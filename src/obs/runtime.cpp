@@ -2,22 +2,21 @@
 
 #include <atomic>
 #include <chrono>
-#include <cstdlib>
-#include <cstring>
+
+#include "util/env.hpp"
 
 namespace streamcalc::obs {
 
 namespace {
 
 bool initial_enabled() {
-  const char* raw = std::getenv("STREAMCALC_OBS");
-  if (raw == nullptr || *raw == '\0') return true;
-  // Lenient here on purpose: this runs during static-ish init where
-  // throwing would abort the process. Context::from_env() re-parses the
-  // variable strictly and rejects anything outside {on, off, 0, 1,
-  // false, true}.
-  return std::strcmp(raw, "off") != 0 && std::strcmp(raw, "0") != 0 &&
-         std::strcmp(raw, "false") != 0;
+  // Same strict grammar as Context::from_env() — both sides call
+  // util::env_bool (header-only, so the below-util obs layer can use it),
+  // and a garbage STREAMCALC_OBS throws a PreconditionError naming the
+  // variable instead of silently enabling instrumentation. The first
+  // enabled() call is lazy, so in the CLI drivers the Context built in
+  // main rejects the value before any instrumentation runs.
+  return util::env_bool("STREAMCALC_OBS").value_or(true);
 }
 
 std::atomic<bool>& enabled_flag() {

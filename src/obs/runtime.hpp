@@ -6,11 +6,12 @@
 
 namespace streamcalc::obs {
 
-/// Master runtime switch. Initialized once from the STREAMCALC_OBS
-/// environment variable ("off"/"0"/"false" disable; anything else —
-/// including unset — enables); Context::from_env() parses the same
-/// variable strictly. When false every instrumentation site reduces to
-/// this one relaxed load.
+/// Master runtime switch. Initialized once, lazily, from the
+/// STREAMCALC_OBS environment variable via the same strict
+/// util::env_bool grammar as Context::from_env() ("on"/"1"/"true",
+/// "off"/"0"/"false", unset = enabled; anything else throws naming the
+/// variable). When false every instrumentation site reduces to this one
+/// relaxed load.
 bool enabled();
 
 /// Flips the master switch at runtime (tests, Context installation).

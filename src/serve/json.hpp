@@ -33,14 +33,19 @@ class Json {
   using Array = std::vector<Json>;
   using Object = std::map<std::string, Json>;
 
-  Json() = default;                     ///< null
-  Json(bool b) : kind_(Kind::kBool), bool_(b) {}            // NOLINT
-  Json(double n) : kind_(Kind::kNumber), num_(n) {}         // NOLINT
-  Json(int n) : kind_(Kind::kNumber), num_(n) {}            // NOLINT
-  Json(const char* s) : kind_(Kind::kString), str_(s) {}    // NOLINT
-  Json(std::string s) : kind_(Kind::kString), str_(std::move(s)) {}  // NOLINT
-  Json(Array a) : kind_(Kind::kArray), arr_(std::move(a)) {}         // NOLINT
-  Json(Object o) : kind_(Kind::kObject), obj_(std::move(o)) {}       // NOLINT
+  Json() = default;  ///< null
+
+  // Implicit by design: Json is a literal-building sum type, and the
+  // builder idiom `Json::Object{{"key", 3}}` depends on these conversions.
+  // NOLINTBEGIN(google-explicit-constructor): implicit JSON value literals
+  Json(bool b) : kind_(Kind::kBool), bool_(b) {}
+  Json(double n) : kind_(Kind::kNumber), num_(n) {}
+  Json(int n) : kind_(Kind::kNumber), num_(n) {}
+  Json(const char* s) : kind_(Kind::kString), str_(s) {}
+  Json(std::string s) : kind_(Kind::kString), str_(std::move(s)) {}
+  Json(Array a) : kind_(Kind::kArray), arr_(std::move(a)) {}
+  Json(Object o) : kind_(Kind::kObject), obj_(std::move(o)) {}
+  // NOLINTEND(google-explicit-constructor)
 
   Kind kind() const { return kind_; }
   bool is_null() const { return kind_ == Kind::kNull; }

@@ -1,0 +1,82 @@
+#include "srclint/baseline.hpp"
+
+#include <algorithm>
+#include <set>
+
+namespace streamcalc::srclint {
+
+namespace {
+
+std::string_view trim(std::string_view s) {
+  const std::size_t first = s.find_first_not_of(" \t\r");
+  if (first == std::string_view::npos) return {};
+  const std::size_t last = s.find_last_not_of(" \t\r");
+  return s.substr(first, last - first + 1);
+}
+
+bool looks_like_key(std::string_view line) {
+  // "SCnnn path:line" — a code, one space, and a path with a line number.
+  if (line.size() < 8 || line.substr(0, 2) != "SC") return false;
+  const std::size_t space = line.find(' ');
+  if (space == std::string_view::npos) return false;
+  const std::size_t colon = line.rfind(':');
+  if (colon == std::string_view::npos || colon < space) return false;
+  const std::string_view num = line.substr(colon + 1);
+  return !num.empty() &&
+         num.find_first_not_of("0123456789") == std::string_view::npos;
+}
+
+}  // namespace
+
+Baseline parse_baseline(std::string_view text,
+                        std::vector<std::string>* errors) {
+  Baseline baseline;
+  std::size_t start = 0;
+  int line_no = 0;
+  while (start <= text.size()) {
+    const std::size_t nl = text.find('\n', start);
+    const std::size_t end = nl == std::string_view::npos ? text.size() : nl;
+    ++line_no;
+    std::string_view line = trim(text.substr(start, end - start));
+    const std::size_t hash = line.find('#');
+    if (hash != std::string_view::npos) line = trim(line.substr(0, hash));
+    if (!line.empty()) {
+      if (looks_like_key(line)) {
+        baseline.keys.emplace_back(line);
+      } else if (errors != nullptr) {
+        errors->push_back("baseline line " + std::to_string(line_no) +
+                          ": expected 'SCxxx path:line', got '" +
+                          std::string(line) + "'");
+      }
+    }
+    if (nl == std::string_view::npos) break;
+    start = nl + 1;
+  }
+  return baseline;
+}
+
+std::vector<Finding> apply_baseline(std::vector<Finding> findings,
+                                    const Baseline& baseline,
+                                    std::vector<Finding>* suppressed,
+                                    std::vector<std::string>* stale) {
+  std::set<std::string> keys(baseline.keys.begin(), baseline.keys.end());
+  std::set<std::string> used;
+  std::vector<Finding> kept;
+  for (Finding& f : findings) {
+    const std::string key = baseline_key(f);
+    if (keys.count(key) != 0) {
+      used.insert(key);
+      if (suppressed != nullptr) suppressed->push_back(std::move(f));
+    } else {
+      kept.push_back(std::move(f));
+    }
+  }
+  if (stale != nullptr) {
+    for (const std::string& key : baseline.keys) {
+      if (used.count(key) == 0) stale->push_back(key);
+    }
+  }
+  return kept;
+}
+
+}  // namespace streamcalc::srclint

@@ -1,0 +1,37 @@
+// The srclint baseline: a checked-in list of findings the project has
+// explicitly decided to tolerate, one `SCxxx path:line` key per line
+// (# comments and blank lines ignored).
+//
+// Policy (DESIGN.md §13): the shipped baseline is EMPTY. The file exists
+// so that a future, justified exception has a reviewed, diffable home —
+// adding a line is a code-review event, exactly like adding an inline
+// suppression with a reason. A baseline entry that no longer matches any
+// finding is reported as stale so the file can only shrink back toward
+// empty, never silently rot.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "srclint/finding.hpp"
+
+namespace streamcalc::srclint {
+
+struct Baseline {
+  std::vector<std::string> keys;  // "SCxxx path:line", file order
+};
+
+/// Parses baseline text. Unparseable lines (not `SCxxx path:line`) are
+/// reported in `errors` so a typo cannot silently suppress nothing.
+Baseline parse_baseline(std::string_view text, std::vector<std::string>* errors);
+
+/// Splits `findings` into kept (returned) and suppressed (appended to
+/// `suppressed`); baseline keys that matched nothing are appended to
+/// `stale`.
+std::vector<Finding> apply_baseline(std::vector<Finding> findings,
+                                    const Baseline& baseline,
+                                    std::vector<Finding>* suppressed,
+                                    std::vector<std::string>* stale);
+
+}  // namespace streamcalc::srclint

@@ -1,0 +1,44 @@
+// srclint findings and the SC-code registry (DESIGN.md §13).
+//
+// A Finding is one violation of a project-wide source invariant: a stable
+// code (SC9xx), the file and 1-based line it anchors to, a human message,
+// and an optional fix-it hint. Codes are stable identifiers exactly like
+// nclint's NCxxx block: never reuse or renumber one — retire it and
+// allocate the next free number. The golden registry test pins the table.
+//
+// Unlike nclint (whose findings grade into info/warning/error against a
+// model), every srclint finding is a hard violation of a convention the
+// repository has committed to: there is no severity lattice, and one
+// finding fails the gate. Deliberate exceptions are carried by the
+// checked-in baseline file (see baseline.hpp), which ships empty.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace streamcalc::srclint {
+
+struct Finding {
+  std::string code;     // stable "SC9xx" registry identifier
+  std::string path;     // file as given on the command line
+  int line = 0;         // 1-based
+  std::string message;
+  std::string hint;     // optional mechanical suggestion
+};
+
+/// Short registry title for a code ("raw standard mutex", ...), or nullptr
+/// for an unknown code.
+const char* code_title(const std::string& code);
+
+/// Every registered code, in registry order (the selftest iterates this to
+/// prove each code has a planted fixture that srclint detects).
+std::vector<std::string> registered_codes();
+
+/// Compiler-style rendering: `path:line: warning [SC901] message` plus an
+/// indented hint line when present.
+std::string render(const Finding& f);
+
+/// `"code path:line"`, the key format used by the baseline file.
+std::string baseline_key(const Finding& f);
+
+}  // namespace streamcalc::srclint

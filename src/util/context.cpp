@@ -1,7 +1,6 @@
 #include "util/context.hpp"
 
 #include <algorithm>
-#include <mutex>
 #include <optional>
 #include <set>
 #include <thread>
@@ -11,6 +10,8 @@
 #include "obs/runtime.hpp"
 #include "util/env.hpp"
 #include "util/error.hpp"
+#include "util/sync.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace streamcalc::util {
 
@@ -48,21 +49,14 @@ EnforceMode parse_mode_env(const std::string& name, EnforceMode fallback) {
                           "\"warn\", or \"strict\"");
 }
 
-bool parse_obs_env() {
-  const auto raw = env_raw("STREAMCALC_OBS");
-  if (!raw) return true;
-  if (*raw == "off" || *raw == "0" || *raw == "false") return false;
-  if (*raw == "on" || *raw == "1" || *raw == "true") return true;
-  throw PreconditionError("STREAMCALC_OBS=\"" + *raw +
-                          "\" is not a valid setting: expected \"on\", "
-                          "\"off\", \"0\", \"1\", \"true\", or \"false\"");
-}
-
-std::mutex g_installed_mutex;
-std::optional<Context>& installed_slot() {
-  static std::optional<Context> slot;
-  return slot;
-}
+// The installed-context slot, under the annotated util::Mutex so the
+// thread-safety analysis covers every access (a raw std::mutex here was
+// invisible to -Werror=thread-safety — srclint SC901). The slot is a
+// heap-allocated pointer rather than a std::optional so it can be
+// constant-initialized: a plain pointer has no static-destruction order
+// hazard against late readers.
+Mutex g_installed_mutex;
+Context* g_installed SC_GUARDED_BY(g_installed_mutex) = nullptr;
 
 }  // namespace
 
@@ -87,29 +81,35 @@ Context Context::from_env() {
   if (fuzz) ctx.fuzz_cases = static_cast<int>(*fuzz);
   ctx.lint = parse_mode_env("STREAMCALC_LINT", EnforceMode::kWarn);
   ctx.certify = parse_mode_env("STREAMCALC_CERTIFY", EnforceMode::kOff);
-  ctx.obs = parse_obs_env();
+  // Same strict grammar as the obs runtime bootstrap (util/env.hpp).
+  ctx.obs = env_bool("STREAMCALC_OBS").value_or(true);
   return ctx;
 }
 
 Context Context::active() {
   {
-    const std::lock_guard<std::mutex> lock(g_installed_mutex);
-    if (installed_slot()) return *installed_slot();
+    const MutexLock lock(g_installed_mutex);
+    if (g_installed != nullptr) return *g_installed;
   }
   return from_env();
 }
 
 void Context::install(const Context& ctx) {
   {
-    const std::lock_guard<std::mutex> lock(g_installed_mutex);
-    installed_slot() = ctx;
+    const MutexLock lock(g_installed_mutex);
+    if (g_installed == nullptr) {
+      g_installed = new Context(ctx);
+    } else {
+      *g_installed = ctx;
+    }
   }
   obs::set_enabled(ctx.obs);
 }
 
 void Context::uninstall() {
-  const std::lock_guard<std::mutex> lock(g_installed_mutex);
-  installed_slot().reset();
+  const MutexLock lock(g_installed_mutex);
+  delete g_installed;
+  g_installed = nullptr;
 }
 
 unsigned Context::resolved_threads() const {
@@ -123,9 +123,9 @@ unsigned Context::pool_workers() const {
 }
 
 void warn_deprecated_once(const std::string& what) {
-  static std::mutex mutex;
+  static Mutex mutex;
   static std::set<std::string>* warned = new std::set<std::string>();
-  const std::lock_guard<std::mutex> lock(mutex);
+  const MutexLock lock(mutex);
   if (!warned->insert(what).second) return;
   std::fprintf(stderr, "streamcalc: deprecated: %s\n", what.c_str());
 }

@@ -77,8 +77,8 @@ class BigInt {
 class Rational {
  public:
   Rational() : num_(0), den_(1) {}
-  Rational(std::int64_t v)  // NOLINT(google-explicit-constructor)
-      : num_(v), den_(1) {}
+  // NOLINTNEXTLINE(google-explicit-constructor): numeric promotion, like BigInt
+  Rational(std::int64_t v) : num_(v), den_(1) {}
   Rational(BigInt num, BigInt den);
 
   /// Exact value of a finite double (every finite double is dyadic).

@@ -6,8 +6,10 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <filesystem>
 #include <fstream>
 #include <initializer_list>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -17,6 +19,7 @@
 #include "serve/catalog.hpp"
 #include "serve/run.hpp"
 #include "serve/server.hpp"
+#include "srclint/runner.hpp"
 
 namespace streamcalc::cli {
 namespace {
@@ -188,6 +191,118 @@ TEST(ServeExitCodes, DuplicateBindExitsOne) {
       serve::run_serve(serve_options(sock, {example_spec("quickstart.scspec")})),
       1);
   first.stop();
+}
+
+// --- srclint: same uniform contract (0 clean, 1 bad input, 2 findings,
+// --- 3 usage), exercised through the library entry point like run_lint --
+
+int run_srclint_args(std::initializer_list<std::string> args,
+                     std::string* out_text = nullptr,
+                     std::string* err_text = nullptr) {
+  std::ostringstream out;
+  std::ostringstream err;
+  const int code = srclint::run_srclint_cli(std::vector<std::string>(args),
+                                            out, err);
+  if (out_text != nullptr) *out_text = out.str();
+  if (err_text != nullptr) *err_text = err.str();
+  return code;
+}
+
+std::string write_cpp(const std::string& name, const std::string& text) {
+  // Normalized exactly like srclint's tree walk (TempDir() has a trailing
+  // slash, and a doubled separator would break baseline key matching).
+  const std::string path =
+      std::filesystem::path(::testing::TempDir() + "/exit_codes_" + name +
+                            ".cpp")
+          .lexically_normal()
+          .generic_string();
+  std::ofstream out(path);
+  out << text;
+  return path;
+}
+
+TEST(SrclintExitCodes, CleanFileExitsZero) {
+  const std::string clean = write_cpp("clean", "int answer() { return 42; }\n");
+  EXPECT_EQ(run_srclint_args({clean}), 0);
+  std::remove(clean.c_str());
+}
+
+TEST(SrclintExitCodes, FindingsExitTwo) {
+  // A direct getenv call violates SC902 wherever it appears.
+  const std::string dirty = write_cpp(
+      "dirty", "const char* v = std::getenv(\"HOME\");\n");
+  std::string out;
+  EXPECT_EQ(run_srclint_args({dirty}, &out), 2);
+  EXPECT_NE(out.find("[SC902]"), std::string::npos) << out;
+  // Mixing clean and dirty files still reports findings.
+  const std::string clean = write_cpp("also_clean", "int x;\n");
+  EXPECT_EQ(run_srclint_args({clean, dirty}), 2);
+  std::remove(dirty.c_str());
+  std::remove(clean.c_str());
+}
+
+TEST(SrclintExitCodes, UnreadablePathExitsOne) {
+  std::string err;
+  EXPECT_EQ(run_srclint_args({"/nonexistent/no_such_dir"}, nullptr, &err), 1);
+  EXPECT_NE(err.find("cannot open"), std::string::npos) << err;
+}
+
+TEST(SrclintExitCodes, UnreadablePathTakesPrecedenceOverFindings) {
+  const std::string dirty = write_cpp(
+      "precedence", "const char* v = std::getenv(\"HOME\");\n");
+  EXPECT_EQ(run_srclint_args({dirty, "/nonexistent/no_such_dir"}), 1);
+  std::remove(dirty.c_str());
+}
+
+TEST(SrclintExitCodes, MalformedBaselineExitsOne) {
+  const std::string dirty = write_cpp("baselined", "auto* v = ::getenv(\"H\");\n");
+  const std::string bogus = ::testing::TempDir() + "/exit_codes_bogus.baseline";
+  std::ofstream(bogus) << "this is not a key\n";
+  std::string err;
+  EXPECT_EQ(run_srclint_args({"--baseline", bogus, dirty}, nullptr, &err), 1);
+  EXPECT_NE(err.find("expected 'SCxxx path:line'"), std::string::npos) << err;
+  std::remove(bogus.c_str());
+  std::remove(dirty.c_str());
+}
+
+TEST(SrclintExitCodes, BaselineSuppressionRestoresExitZero) {
+  const std::string dirty = write_cpp(
+      "suppressed", "const char* v = std::getenv(\"HOME\");\n");
+  const std::string baseline =
+      ::testing::TempDir() + "/exit_codes_ok.baseline";
+  std::ofstream(baseline) << "SC902 " << dirty << ":1\n";
+  std::string out;
+  EXPECT_EQ(run_srclint_args({"--baseline", baseline, dirty}, &out), 0);
+  EXPECT_NE(out.find("1 suppressed by baseline"), std::string::npos) << out;
+  std::remove(baseline.c_str());
+  std::remove(dirty.c_str());
+}
+
+TEST(SrclintExitCodes, UsageErrorsExitThree) {
+  std::string err;
+  EXPECT_EQ(run_srclint_args({}, nullptr, &err), 3);
+  EXPECT_NE(err.find("no input paths"), std::string::npos) << err;
+  EXPECT_EQ(run_srclint_args({"--frobnicate", "src"}, nullptr, &err), 3);
+  EXPECT_EQ(run_srclint_args({"--baseline"}, nullptr, &err), 3);
+}
+
+TEST(SrclintExitCodes, HelpAndListCodesExitZero) {
+  std::string out;
+  EXPECT_EQ(run_srclint_args({"--help"}, &out), 0);
+  EXPECT_NE(out.find("exit codes"), std::string::npos);
+  EXPECT_EQ(run_srclint_args({"--list-codes"}, &out), 0);
+  EXPECT_NE(out.find("SC907"), std::string::npos);
+}
+
+TEST(SrclintExitCodes, JsonReportCarriesTheExitCode) {
+  const std::string dirty = write_cpp(
+      "json", "const char* v = std::getenv(\"HOME\");\n");
+  std::string out;
+  EXPECT_EQ(run_srclint_args({"--json", dirty}, &out), 2);
+  EXPECT_NE(out.find("\"command\": \"srclint\""), std::string::npos) << out;
+  EXPECT_NE(out.find("\"exit_code\": 2"), std::string::npos) << out;
+  EXPECT_NE(out.find("\"code\": \"SC902\""), std::string::npos) << out;
+  std::remove(dirty.c_str());
 }
 
 }  // namespace

@@ -13,6 +13,7 @@
 #include "netcalc/dag.hpp"
 #include "netcalc/node.hpp"
 #include "netcalc/pipeline.hpp"
+#include "util/env.hpp"
 #include "util/error.hpp"
 #include "util/units.hpp"
 
@@ -356,8 +357,7 @@ TEST(LintReportTest, CountsAndMerge) {
 class ScopedEnv {
  public:
   ScopedEnv(const char* name, const char* value) : name_(name) {
-    const char* old = std::getenv(name);
-    if (old != nullptr) previous_ = old;
+    previous_ = util::env_raw(name);
     if (value != nullptr) {
       ::setenv(name, value, 1);
     } else {

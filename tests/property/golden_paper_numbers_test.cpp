@@ -8,13 +8,13 @@
 // then review the diff of tests/property/golden/paper_numbers.golden.
 #include <gtest/gtest.h>
 
-#include <cstdlib>
 #include <fstream>
 #include <sstream>
 #include <string>
 
 #include "apps/bitw.hpp"
 #include "apps/blast.hpp"
+#include "util/env.hpp"
 #include "util/format.hpp"
 
 namespace streamcalc::testing {
@@ -60,7 +60,7 @@ std::string render_current() {
 TEST(GoldenPaperNumbers, ReproducedNumbersMatchGoldenFile) {
   const std::string current = render_current();
 
-  if (std::getenv("STREAMCALC_UPDATE_GOLDEN")) {
+  if (util::env_raw("STREAMCALC_UPDATE_GOLDEN")) {
     std::ofstream out(golden_path(), std::ios::trunc);
     ASSERT_TRUE(out.good()) << "cannot write " << golden_path();
     out << current;

@@ -21,6 +21,7 @@
 #include "testing/compare.hpp"
 #include "testing/property.hpp"
 #include "testing/shrink.hpp"
+#include "util/env.hpp"
 #include "util/error.hpp"
 
 namespace streamcalc::testing {
@@ -180,8 +181,7 @@ TEST(HarnessSelfTest, NodeValidationReportsFieldValues) {
 TEST(HarnessSelfTest, CaseBudgetScalesWithEnvironment) {
   // scaled_cases keys off STREAMCALC_FUZZ_CASES (default 500). Restore the
   // previous value to avoid leaking into sibling tests.
-  const char* prev = std::getenv("STREAMCALC_FUZZ_CASES");
-  const std::string saved = prev ? prev : "";
+  const auto prev = util::env_raw("STREAMCALC_FUZZ_CASES");
   setenv("STREAMCALC_FUZZ_CASES", "1000", 1);
   EXPECT_EQ(base_cases(), 1000);
   EXPECT_EQ(scaled_cases(500), 1000);
@@ -190,7 +190,7 @@ TEST(HarnessSelfTest, CaseBudgetScalesWithEnvironment) {
   EXPECT_EQ(scaled_cases(500), 50);
   EXPECT_GE(scaled_cases(1), 1);  // never drops to zero
   if (prev) {
-    setenv("STREAMCALC_FUZZ_CASES", saved.c_str(), 1);
+    setenv("STREAMCALC_FUZZ_CASES", prev->c_str(), 1);
   } else {
     unsetenv("STREAMCALC_FUZZ_CASES");
   }

@@ -1,0 +1,73 @@
+// The enforcement test: the repository's own sources scan clean with the
+// shipped (empty) baseline. This is the same gate CI runs via
+// `tools/srclint src tools bench tests`, executed in-process so a
+// violation fails the ordinary test suite on every developer machine, not
+// just in CI.
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "srclint/baseline.hpp"
+#include "srclint/runner.hpp"
+
+namespace streamcalc::srclint {
+namespace {
+
+std::string repo(const std::string& rel) {
+  return std::string(SC_SRCLINT_SOURCE_DIR) + "/" + rel;
+}
+
+TEST(SrclintCleanTree, RepositorySourcesHaveZeroFindings) {
+  RunOptions opts;
+  opts.paths = {repo("src"), repo("tools"), repo("bench"), repo("tests")};
+  opts.baseline_path = SC_SRCLINT_BASELINE;
+  std::ostringstream out;
+  std::ostringstream err;
+  const int code = run_srclint(opts, out, err);
+  EXPECT_EQ(code, 0) << "srclint found violations:\n"
+                     << out.str() << err.str();
+  EXPECT_NE(out.str().find(", 0 finding(s)"), std::string::npos) << out.str();
+  // Nothing may hide behind the baseline either (see the test below).
+  EXPECT_EQ(out.str().find("suppressed"), std::string::npos) << out.str();
+}
+
+TEST(SrclintCleanTree, ShippedBaselineIsEmpty) {
+  // Policy (DESIGN.md §13): the baseline file exists as the reviewed home
+  // for a future justified exception, and it ships EMPTY — comments only.
+  // Growing it is a deliberate code-review event, never a convenience.
+  std::ifstream in(SC_SRCLINT_BASELINE);
+  ASSERT_TRUE(in.good()) << "missing baseline file " << SC_SRCLINT_BASELINE;
+  std::ostringstream text;
+  text << in.rdbuf();
+  std::vector<std::string> errors;
+  const Baseline baseline = parse_baseline(text.str(), &errors);
+  EXPECT_TRUE(errors.empty()) << errors.front();
+  EXPECT_TRUE(baseline.keys.empty())
+      << "the shipped baseline must stay empty; fix the violation instead "
+      << "(first entry: " << baseline.keys.front() << ")";
+}
+
+TEST(SrclintCleanTree, ScansANontrivialShareOfTheTree) {
+  // Guard against the gate silently going blind (a broken tree walk that
+  // scans nothing also reports zero findings). The repo has well over a
+  // hundred sources; require a conservative floor.
+  RunOptions opts;
+  opts.paths = {repo("src"), repo("tools"), repo("bench"), repo("tests")};
+  opts.baseline_path = SC_SRCLINT_BASELINE;
+  std::ostringstream out;
+  std::ostringstream err;
+  ASSERT_EQ(run_srclint(opts, out, err), 0) << out.str() << err.str();
+  const std::string report = out.str();
+  const std::size_t pos = report.find(" file(s) scanned");
+  ASSERT_NE(pos, std::string::npos) << report;
+  const std::size_t start = report.rfind("srclint: ", pos);
+  ASSERT_NE(start, std::string::npos) << report;
+  const int files = std::stoi(report.substr(start + 9, pos - start - 9));
+  EXPECT_GE(files, 100) << report;
+}
+
+}  // namespace
+}  // namespace streamcalc::srclint

@@ -1,0 +1,142 @@
+// The srclint lexer: the classification contract every rule depends on —
+// comments and literals are separate token kinds, directives are swallowed
+// whole, punctuators are longest-match, and line numbers are 1-based.
+#include "srclint/scan.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+namespace streamcalc::srclint {
+namespace {
+
+std::vector<Token> lex_str(const std::string& s) { return lex(s); }
+
+bool has_token(const std::vector<Token>& tokens, TokenKind kind,
+               const std::string& text) {
+  for (const Token& t : tokens) {
+    if (t.kind == kind && t.text == text) return true;
+  }
+  return false;
+}
+
+TEST(SrclintScanner, ClassifiesIdentifiersNumbersPuncts) {
+  const auto tokens = lex_str("int x = 42;");
+  ASSERT_EQ(tokens.size(), 5u);
+  EXPECT_EQ(tokens[0].kind, TokenKind::kIdentifier);
+  EXPECT_EQ(tokens[0].text, "int");
+  EXPECT_EQ(tokens[1].text, "x");
+  EXPECT_EQ(tokens[2].kind, TokenKind::kPunct);
+  EXPECT_EQ(tokens[3].kind, TokenKind::kNumber);
+  EXPECT_EQ(tokens[3].text, "42");
+  EXPECT_EQ(tokens[4].text, ";");
+}
+
+TEST(SrclintScanner, LineNumbersAreOneBasedAndTrackNewlines) {
+  const auto tokens = lex_str("a\nb\n\nc");
+  ASSERT_EQ(tokens.size(), 3u);
+  EXPECT_EQ(tokens[0].line, 1);
+  EXPECT_EQ(tokens[1].line, 2);
+  EXPECT_EQ(tokens[2].line, 4);
+}
+
+TEST(SrclintScanner, LineCommentIsOneTokenWithoutDelimiters) {
+  const auto tokens = lex_str("x; // trailing words\ny;");
+  ASSERT_EQ(tokens.size(), 5u);
+  EXPECT_EQ(tokens[2].kind, TokenKind::kComment);
+  EXPECT_EQ(tokens[2].text, " trailing words");
+  EXPECT_EQ(tokens[3].text, "y");
+  EXPECT_EQ(tokens[3].line, 2);
+}
+
+TEST(SrclintScanner, BlockCommentKeepsInteriorAndLineOfOpening) {
+  const auto tokens = lex_str("a /* one\ntwo */ b");
+  ASSERT_EQ(tokens.size(), 3u);
+  EXPECT_EQ(tokens[1].kind, TokenKind::kComment);
+  EXPECT_EQ(tokens[1].text, " one\ntwo ");
+  EXPECT_EQ(tokens[1].line, 1);
+  EXPECT_EQ(tokens[2].line, 2);
+}
+
+TEST(SrclintScanner, MentionsInsideCommentsAreNotIdentifiers) {
+  // The reason the rules never fire on documentation: the words inside a
+  // comment never surface as identifier tokens.
+  const auto tokens = lex_str("// std::mutex is banned\nint y;");
+  EXPECT_FALSE(has_token(tokens, TokenKind::kIdentifier, "mutex"));
+  EXPECT_TRUE(has_token(tokens, TokenKind::kIdentifier, "y"));
+}
+
+TEST(SrclintScanner, StringContentIsOneTokenWithoutQuotes) {
+  const auto tokens = lex_str("f(\"std::mutex\");");
+  ASSERT_EQ(tokens.size(), 5u);
+  EXPECT_EQ(tokens[2].kind, TokenKind::kString);
+  EXPECT_EQ(tokens[2].text, "std::mutex");
+  EXPECT_FALSE(has_token(tokens, TokenKind::kIdentifier, "mutex"));
+}
+
+TEST(SrclintScanner, EscapedQuoteDoesNotEndAString) {
+  const auto tokens = lex_str(R"(x = "a\"b";)");
+  EXPECT_TRUE(has_token(tokens, TokenKind::kString, "a\\\"b"));
+}
+
+TEST(SrclintScanner, RawStringsHonorTheDelimiterTag) {
+  const auto tokens = lex_str("auto s = R\"tag(quote \" close )\" )tag\";");
+  ASSERT_TRUE(tokens.size() >= 4u);
+  EXPECT_EQ(tokens[3].kind, TokenKind::kString);
+  EXPECT_EQ(tokens[3].text, "quote \" close )\" ");
+}
+
+TEST(SrclintScanner, CharLiteralsAreTheirOwnKind) {
+  const auto tokens = lex_str("char c = ':';");
+  EXPECT_TRUE(has_token(tokens, TokenKind::kChar, ":"));
+  EXPECT_FALSE(has_token(tokens, TokenKind::kPunct, ":"));
+}
+
+TEST(SrclintScanner, DirectiveSwallowsTheWholeLogicalLine) {
+  const auto tokens = lex_str("#include <mutex>\nint z;");
+  ASSERT_TRUE(tokens.size() >= 1u);
+  EXPECT_EQ(tokens[0].kind, TokenKind::kDirective);
+  // `<mutex>` must not leak identifier tokens a rule could match.
+  EXPECT_FALSE(has_token(tokens, TokenKind::kIdentifier, "mutex"));
+  EXPECT_TRUE(has_token(tokens, TokenKind::kIdentifier, "z"));
+}
+
+TEST(SrclintScanner, DirectiveContinuationLinesStayOneToken) {
+  const auto tokens = lex_str("#define M(a) \\\n  (a + 1)\nint q;");
+  ASSERT_TRUE(tokens.size() >= 2u);
+  EXPECT_EQ(tokens[0].kind, TokenKind::kDirective);
+  EXPECT_TRUE(has_token(tokens, TokenKind::kIdentifier, "q"));
+  // The token after the continuation carries the right line.
+  EXPECT_EQ(tokens[1].line, 3);
+}
+
+TEST(SrclintScanner, PunctuatorsAreLongestMatch) {
+  const auto tokens = lex_str("a==b; c::d; e->f; g!=h;");
+  EXPECT_TRUE(has_token(tokens, TokenKind::kPunct, "=="));
+  EXPECT_TRUE(has_token(tokens, TokenKind::kPunct, "::"));
+  EXPECT_TRUE(has_token(tokens, TokenKind::kPunct, "->"));
+  EXPECT_TRUE(has_token(tokens, TokenKind::kPunct, "!="));
+  EXPECT_FALSE(has_token(tokens, TokenKind::kPunct, "="));
+}
+
+TEST(SrclintScanner, NumbersKeepSeparatorsExponentsAndSuffixes) {
+  const auto tokens = lex_str("x = 1'000'000; y = 1.5e-3f; z = 0x1Fu;");
+  EXPECT_TRUE(has_token(tokens, TokenKind::kNumber, "1'000'000"));
+  EXPECT_TRUE(has_token(tokens, TokenKind::kNumber, "1.5e-3f"));
+  EXPECT_TRUE(has_token(tokens, TokenKind::kNumber, "0x1Fu"));
+}
+
+TEST(SrclintScanner, MalformedInputNeverThrows) {
+  EXPECT_NO_THROW(lex_str("/* unterminated"));
+  EXPECT_NO_THROW(lex_str("\"unterminated"));
+  EXPECT_NO_THROW(lex_str("R\"tag(unterminated"));
+  EXPECT_NO_THROW(lex_str("'"));
+  // An unterminated comment extends to end of input.
+  const auto tokens = lex_str("a /* rest");
+  ASSERT_EQ(tokens.size(), 2u);
+  EXPECT_EQ(tokens[1].kind, TokenKind::kComment);
+}
+
+}  // namespace
+}  // namespace streamcalc::srclint

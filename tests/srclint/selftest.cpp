@@ -1,0 +1,146 @@
+// srclint selftest: an analyzer that cannot detect a planted violation is
+// worse than none (the same discipline as the property-harness selftest
+// and nclint's golden bad-model suite). Every code in the registry must
+// have at least one planted fixture here, every fixture must be detected
+// at exactly its planted line, and every fixture's repaired twin must scan
+// clean — 100% detection, 0% false alarm, enforced against the registry so
+// a newly added SC code without a fixture fails this suite by itself.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "srclint/finding.hpp"
+#include "srclint/rules.hpp"
+
+namespace streamcalc::srclint {
+namespace {
+
+struct Fixture {
+  std::string name;      // for failure messages
+  std::string path;      // where the planted file pretends to live
+  std::string planted;   // source with exactly one violation of `code`
+  int line;              // 1-based line the finding must anchor to
+  std::string repaired;  // the compliant rewrite: must scan clean
+};
+
+// The fixtures are deliberately *minimal* violations — the smallest token
+// stream that must trip the rule — so a regression that narrows a pattern
+// shows up as a missed fixture, not as noise.
+const std::map<std::string, std::vector<Fixture>>& fixtures() {
+  static const std::map<std::string, std::vector<Fixture>> kFixtures = {
+      {"SC901",
+       {{"raw mutex member", "src/serve/session.hpp",
+         "class S {\n  std::mutex m_;\n};\n", 2,
+         "class S {\n  util::Mutex m_;\n};\n"},
+        {"raw lock in function", "src/netcalc/dag.cpp",
+         "void f() {\n  std::lock_guard<util::Mutex> l(m);\n}\n", 2,
+         "void f() {\n  const util::MutexLock l(m);\n}\n"}}},
+      {"SC902",
+       {{"qualified getenv", "src/apps/blast.cpp",
+         "const char* v =\n    std::getenv(\"HOME\");\n", 2,
+         "const auto v =\n    util::env_raw(\"HOME\");\n"},
+        {"global-scope getenv", "tests/apps/blast_test.cpp",
+         "const char* v = ::getenv(\"HOME\");\n", 1,
+         "const auto v = util::env_raw(\"HOME\");\n"}}},
+      {"SC903",
+       {{"scattered knob read", "src/streamsim/engine.cpp",
+         "const auto v =\n    util::env_uint(\"STREAMCALC_THREADS\");\n", 2,
+         "const unsigned v =\n    util::Context::active().threads;\n"},
+        {"bench knob read", "bench/bench_kernels.cpp",
+         "const auto v = util::env_bool(\"STREAMCALC_OBS\");\n", 1,
+         "const bool v = util::Context::active().obs;\n"}}},
+      {"SC904",
+       {{"inexact equality", "src/minplus/operations.cpp",
+         "bool near(double x) {\n  return x == 0.1;\n}\n", 2,
+         "bool near(double x) {\n  return std::abs(x - 0.1) < kTol;\n}\n"},
+        {"inexact inequality, literal first", "src/certify/witness.cpp",
+         "bool far(double x) {\n  return 1e-3 != x;\n}\n", 2,
+         "bool far(double x) {\n  return std::abs(x - 1e-3) >= kTol;\n}\n"}}},
+      {"SC905",
+       {{"bare marker", "src/serve/json.hpp",
+         std::string("int x;  // ") + "NO" + "LINT" + "\n", 1,
+         std::string("int x;  // ") + "NO" + "LINT" +
+             "(some-check): json literal builder idiom\n"},
+        {"check without reason", "src/util/rational.hpp",
+         std::string("int y;  // ") + "NO" + "LINT" + "(some-check)\n", 1,
+         std::string("int y;  // ") + "NO" + "LINT" +
+             "(some-check): numeric promotion by design\n"}}},
+      {"SC906",
+       {{"unguarded mutable near mutex", "src/minplus/cache.hpp",
+         "class C {\n  util::Mutex mutex_;\n  mutable int hits_ = 0;\n};\n",
+         3,
+         "class C {\n  util::Mutex mutex_;\n  mutable int hits_"
+         " SC_GUARDED_BY(mutex_) = 0;\n};\n"}}},
+      {"SC907",
+       {{"raw thread", "src/serve/notify.cpp",
+         "void f() {\n  std::thread t(run);\n  t.join();\n}\n", 2,
+         "void f() {\n  pool.submit(run);\n}\n"},
+        {"detached thread", "tools/export_traces.cpp",
+         "void f(std::vector<int>& v) {\n  worker.detach();\n}\n", 2,
+         "void f(std::vector<int>& v) {\n  worker.join();\n}\n"}}},
+  };
+  return kFixtures;
+}
+
+TEST(SrclintSelfTest, EveryRegisteredCodeHasAFixture) {
+  for (const std::string& code : registered_codes()) {
+    EXPECT_TRUE(fixtures().count(code) != 0 && !fixtures().at(code).empty())
+        << code << " has no planted fixture: add one to this selftest "
+        << "before (or with) the rule";
+  }
+  // And no fixture for a code that does not exist.
+  for (const auto& [code, list] : fixtures()) {
+    EXPECT_NE(code_title(code), nullptr) << code << " is not registered";
+  }
+}
+
+TEST(SrclintSelfTest, EveryPlantedViolationIsDetectedAtItsLine) {
+  for (const auto& [code, list] : fixtures()) {
+    for (const Fixture& fx : list) {
+      const std::vector<Finding> found = check_source(fx.path, fx.planted);
+      bool hit = false;
+      for (const Finding& f : found) {
+        if (f.code == code && f.line == fx.line) hit = true;
+        EXPECT_EQ(f.code, code)
+            << fx.name << ": stray " << f.code << " in a fixture planted "
+            << "for " << code << " (fixtures must be minimal)";
+      }
+      EXPECT_TRUE(hit) << code << " missed fixture '" << fx.name
+                       << "' (expected a finding at " << fx.path << ":"
+                       << fx.line << ")";
+    }
+  }
+}
+
+TEST(SrclintSelfTest, EveryRepairedTwinScansClean) {
+  for (const auto& [code, list] : fixtures()) {
+    for (const Fixture& fx : list) {
+      const std::vector<Finding> found = check_source(fx.path, fx.repaired);
+      EXPECT_TRUE(found.empty())
+          << code << " fixture '" << fx.name << "': the repaired twin "
+          << "still scans dirty ("
+          << (found.empty() ? "" : found.front().code) << " at line "
+          << (found.empty() ? 0 : found.front().line) << ")";
+    }
+  }
+}
+
+TEST(SrclintSelfTest, FindingsCarryRegistryMetadata) {
+  // Whatever a rule emits must round-trip through the reporting layer:
+  // a registered code, a title, and a positive 1-based line.
+  for (const auto& [code, list] : fixtures()) {
+    for (const Fixture& fx : list) {
+      for (const Finding& f : check_source(fx.path, fx.planted)) {
+        EXPECT_NE(code_title(f.code), nullptr);
+        EXPECT_GT(f.line, 0);
+        EXPECT_FALSE(f.message.empty());
+        EXPECT_EQ(f.path, fx.path);
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace streamcalc::srclint

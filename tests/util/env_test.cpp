@@ -18,8 +18,7 @@ namespace {
 class ScopedEnv {
  public:
   ScopedEnv(const char* name, const char* value) : name_(name) {
-    const char* old = std::getenv(name);
-    if (old != nullptr) previous_ = old;
+    previous_ = env_raw(name);
     if (value != nullptr) {
       ::setenv(name, value, 1);
     } else {

@@ -1,0 +1,24 @@
+// srclint: static analysis of the streamcalc sources themselves.
+//
+//   srclint src tools bench tests          # the CI invocation
+//   srclint --json src > srclint.json      # machine-readable report
+//   srclint --baseline srclint.baseline src
+//   srclint --list-codes                   # the SC901-SC907 registry
+//
+// Enforces the project-invariant rules documented in DESIGN.md §13: raw
+// synchronization primitives outside util/sync.hpp, environment reads
+// outside the util::env/Context facade, inexact floating-point equality
+// in the numeric kernels, unexplained lint suppressions, unguarded
+// mutable members next to a mutex, and raw threads outside the thread
+// registries. Exit codes are uniform with the other drivers: 0 clean,
+// 1 unreadable input, 2 findings, 3 usage error.
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "srclint/runner.hpp"
+
+int main(int argc, char** argv) {
+  const std::vector<std::string> args(argv + 1, argv + argc);
+  return streamcalc::srclint::run_srclint_cli(args, std::cout, std::cerr);
+}
