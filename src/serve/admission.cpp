@@ -1,8 +1,6 @@
 #include "serve/admission.hpp"
 
 #include <algorithm>
-#include <cmath>
-#include <limits>
 #include <utility>
 
 #include "certify/postflight.hpp"
@@ -19,19 +17,19 @@ using util::Duration;
 
 /// Smallest delay target in a flow set (the binding constraint of the
 /// shared-FIFO admission rule).
-double min_target(const std::vector<FlowSpec>& flows) {
-  double d = std::numeric_limits<double>::infinity();
-  for (const FlowSpec& f : flows) d = std::min(d, f.delay_target_s);
+Duration min_target(const std::vector<FlowSpec>& flows) {
+  Duration d = Duration::infinite();
+  for (const FlowSpec& f : flows) d = std::min(d, f.delay_target);
   return d;
 }
 
 /// Applies the admission rule to an evaluated bound. Shared verbatim by
 /// the cached and from-scratch paths so the comparison semantics cannot
 /// diverge.
-void decide(Decision& d, double delay_s, double target_s) {
+void decide(Decision& d, Duration delay, Duration target) {
   d.ok = true;
-  d.delay_bound_s = delay_s;
-  if (delay_s <= target_s) {
+  d.delay_bound = delay;
+  if (delay <= target) {
     d.admitted = true;
   } else {
     d.admitted = false;
@@ -43,17 +41,19 @@ void decide(Decision& d, double delay_s, double target_s) {
 
 minplus::Curve AdmissionEngine::aggregate_arrival(
     const std::vector<FlowSpec>& flows, const netcalc::SourceSpec& source) {
-  double rate = 0.0;
-  double burst = 0.0;
+  util::DataRate rate;
+  util::DataSize burst;
   for (const FlowSpec& f : flows) {
-    rate += f.rate_bps;
-    burst += f.burst_bytes;
+    rate = rate + f.rate;
+    burst += f.burst;
   }
   // Sum of token buckets == token bucket of the sums (exact, not a
   // relaxation); the scenario source's packetizer granularity applies to
-  // the merged flow.
-  return netcalc::packetize_arrival(Curve::affine(rate, burst),
-                                    source.packet);
+  // the merged flow. Curves are dimensionless: units unpack exactly here,
+  // at the minplus boundary.
+  return netcalc::packetize_arrival(
+      Curve::affine(rate.in_bytes_per_sec(), burst.in_bytes()),
+      source.packet);
 }
 
 Decision AdmissionEngine::chain_decision(const ScenarioModel& scenario,
@@ -62,7 +62,7 @@ Decision AdmissionEngine::chain_decision(const ScenarioModel& scenario,
   if (flows.empty()) {
     d.ok = true;
     d.admitted = true;
-    d.delay_bound_s = 0.0;
+    d.delay_bound = Duration::seconds(0.0);
     return d;
   }
   const Curve alpha = aggregate_arrival(flows, scenario.spec.source);
@@ -72,7 +72,7 @@ Decision AdmissionEngine::chain_decision(const ScenarioModel& scenario,
   // from-scratch bound.
   const Duration delay = netcalc::delay_bound(
       alpha, scenario.chain_model->service_curve());
-  decide(d, delay.in_seconds(), min_target(flows));
+  decide(d, delay, min_target(flows));
   return d;
 }
 
@@ -82,13 +82,13 @@ Decision AdmissionEngine::oracle_chain_decision(
   if (flows.empty()) {
     d.ok = true;
     d.admitted = true;
-    d.delay_bound_s = 0.0;
+    d.delay_bound = Duration::seconds(0.0);
     return d;
   }
   const netcalc::PipelineModel model = netcalc::PipelineModel::with_arrival(
       scenario.spec.nodes, scenario.spec.source, scenario.spec.policy,
       aggregate_arrival(flows, scenario.spec.source));
-  decide(d, model.delay_bound().in_seconds(), min_target(flows));
+  decide(d, model.delay_bound(), min_target(flows));
   return d;
 }
 
@@ -144,18 +144,18 @@ Decision evaluate_dag(netcalc::IncrementalDag& dag, const cli::Spec& spec,
   }
   d.ok = true;
   d.admitted = true;
-  double worst = 0.0;
+  Duration worst = Duration::seconds(0.0);
   for (std::size_t i = 0; i < flows.size(); ++i) {
-    const double delay =
-        dag.delay_bound_from(dag.entry_node(flow_entry[i])).in_seconds();
+    const Duration delay =
+        dag.delay_bound_from(dag.entry_node(flow_entry[i]));
     worst = std::max(worst, delay);
-    if (!(delay <= flows[i].second.delay_target_s)) {
+    if (!(delay <= flows[i].second.delay_target)) {
       d.admitted = false;
       d.reason = "delay bound from entry of flow '" + flows[i].first +
                  "' exceeds its target";
     }
   }
-  d.delay_bound_s = worst;
+  d.delay_bound = worst;
   return d;
 }
 
@@ -211,15 +211,15 @@ Decision AdmissionEngine::admit(const std::string& tenant_name,
     d.error = "admit requires a flow id";
     return d;
   }
-  if (!(flow.rate_bps > 0.0) || !std::isfinite(flow.rate_bps)) {
+  if (!(flow.rate.in_bytes_per_sec() > 0.0) || !flow.rate.is_finite()) {
     d.error = "admit requires a positive finite rate";
     return d;
   }
-  if (flow.burst_bytes < 0.0 || !std::isfinite(flow.burst_bytes)) {
+  if (flow.burst.in_bytes() < 0.0 || !flow.burst.is_finite()) {
     d.error = "admit requires a non-negative finite burst";
     return d;
   }
-  if (!(flow.delay_target_s > 0.0)) {
+  if (!(flow.delay_target.in_seconds() > 0.0)) {
     d.error = "admit requires a positive delay target";
     return d;
   }
@@ -346,7 +346,7 @@ Decision AdmissionEngine::release(const std::string& tenant_name,
       for (const auto& [id, f] : tenant->flows) flows.push_back(f);
       current = chain_decision(*scenario, flows);
     }
-    if (current.ok) d.delay_bound_s = current.delay_bound_s;
+    if (current.ok) d.delay_bound = current.delay_bound;
   }
   return d;
 }
@@ -373,7 +373,7 @@ Decision AdmissionEngine::query(const std::string& tenant_name,
   out.seq = tenant->seq;
   out.epoch = snapshot->epoch();
   out.flows.assign(tenant->flows.begin(), tenant->flows.end());
-  out.delay_bound_s = 0.0;
+  out.delay_bound = Duration::seconds(0.0);
   const ScenarioModel* scenario = snapshot->find(tenant->scenario);
   if (scenario != nullptr && !tenant->flows.empty()) {
     Decision current;
@@ -386,7 +386,7 @@ Decision AdmissionEngine::query(const std::string& tenant_name,
       for (const auto& [id, f] : tenant->flows) flows.push_back(f);
       current = chain_decision(*scenario, flows);
     }
-    if (current.ok) out.delay_bound_s = current.delay_bound_s;
+    if (current.ok) out.delay_bound = current.delay_bound;
   }
   d.ok = true;
   d.seq = tenant->seq;

@@ -43,22 +43,25 @@
 #include "util/context.hpp"
 #include "util/sync.hpp"
 #include "util/thread_annotations.hpp"
+#include "util/units.hpp"
 
 namespace streamcalc::serve {
 
-/// One requested/admitted flow.
+/// One requested/admitted flow. Quantities carry their units in the type
+/// (SC908): the wire protocol unpacks raw numbers exactly once, in
+/// server.cpp, and everything behind it is unit-safe.
 struct FlowSpec {
-  double rate_bps = 0.0;        ///< sustained rate (bytes/second)
-  double burst_bytes = 0.0;     ///< bucket depth (bytes)
-  double delay_target_s = 0.0;  ///< end-to-end delay target (seconds)
-  std::string entry;            ///< DAG entry node name; empty = first entry
+  util::DataRate rate;         ///< sustained token-bucket rate
+  util::DataSize burst;        ///< bucket depth
+  util::Duration delay_target; ///< end-to-end delay target
+  std::string entry;           ///< DAG entry node name; empty = first entry
 };
 
 /// Outcome of an admit/release/query operation.
 struct Decision {
   bool ok = false;          ///< request was well-formed and evaluated
   bool admitted = false;    ///< admit only: candidate accepted
-  double delay_bound_s = 0.0;  ///< bound backing the decision (inf allowed)
+  util::Duration delay_bound;  ///< bound backing the decision (inf allowed)
   std::string error;        ///< when !ok: what was wrong
   std::string reason;       ///< when !admitted: which constraint failed
   std::uint64_t seq = 0;    ///< tenant sequence after this operation
@@ -71,7 +74,7 @@ struct TenantSnapshot {
   std::string scenario;
   std::uint64_t seq = 0;
   std::uint64_t epoch = 0;
-  double delay_bound_s = 0.0;  ///< current aggregate bound (0 if no flows)
+  util::Duration delay_bound;  ///< current aggregate bound (0 if no flows)
   std::vector<std::pair<std::string, FlowSpec>> flows;  ///< sorted by id
 };
 

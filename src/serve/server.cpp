@@ -14,6 +14,7 @@
 #include "obs/obs.hpp"
 #include "util/error.hpp"
 #include "util/thread_pool.hpp"
+#include "util/units.hpp"
 
 namespace streamcalc::serve {
 
@@ -50,7 +51,7 @@ void put_decision(Json::Object& obj, const Decision& d) {
   obj.emplace("seq", Json(static_cast<double>(d.seq)));
   obj.emplace("epoch", Json(static_cast<double>(d.epoch)));
   if (d.ok) {
-    obj.emplace("delay_bound", Json(d.delay_bound_s));
+    obj.emplace("delay_bound", Json(d.delay_bound.in_seconds()));
     obj.emplace("changed", Json(d.changed));
   } else {
     obj.emplace("error", Json(d.error));
@@ -60,9 +61,11 @@ void put_decision(Json::Object& obj, const Decision& d) {
 
 FlowSpec flow_from_request(const Json& req) {
   FlowSpec flow;
-  flow.rate_bps = req.number_or("rate", 0.0);
-  flow.burst_bytes = req.number_or("burst", 0.0);
-  flow.delay_target_s = req.number_or("target", 0.0);
+  // The one place raw wire numbers become unit-bearing values (SC908):
+  // the protocol speaks bytes/second, bytes, and seconds.
+  flow.rate = util::DataRate::bytes_per_sec(req.number_or("rate", 0.0));
+  flow.burst = util::DataSize::bytes(req.number_or("burst", 0.0));
+  flow.delay_target = util::Duration::seconds(req.number_or("target", 0.0));
   flow.entry = req.string_or("entry", "");
   return flow;
 }
@@ -376,15 +379,15 @@ Json Server::handle_query(const Json& req) {
   put_decision(obj, d);
   if (d.ok) {
     obj.emplace("scenario", Json(snap.scenario));
-    obj["delay_bound"] = Json(snap.delay_bound_s);
+    obj["delay_bound"] = Json(snap.delay_bound.in_seconds());
     Json::Array flows;
     flows.reserve(snap.flows.size());
     for (const auto& [id, flow] : snap.flows) {
       Json::Object f;
       f.emplace("id", Json(id));
-      f.emplace("rate", Json(flow.rate_bps));
-      f.emplace("burst", Json(flow.burst_bytes));
-      f.emplace("target", Json(flow.delay_target_s));
+      f.emplace("rate", Json(flow.rate.in_bytes_per_sec()));
+      f.emplace("burst", Json(flow.burst.in_bytes()));
+      f.emplace("target", Json(flow.delay_target.in_seconds()));
       if (!flow.entry.empty()) f.emplace("entry", Json(flow.entry));
       flows.emplace_back(std::move(f));
     }

@@ -26,6 +26,32 @@ bool looks_like_key(std::string_view line) {
          num.find_first_not_of("0123456789") == std::string_view::npos;
 }
 
+/// True when `a` and `b` name the same file relative to possibly different
+/// roots: equal, or one is a `/`-aligned suffix of the other.
+bool same_file(std::string_view a, std::string_view b) {
+  if (a == b) return true;
+  const std::string_view longer = a.size() > b.size() ? a : b;
+  const std::string_view shorter = a.size() > b.size() ? b : a;
+  if (longer.size() <= shorter.size()) return false;
+  return longer[longer.size() - shorter.size() - 1] == '/' &&
+         longer.substr(longer.size() - shorter.size()) == shorter;
+}
+
+/// Splits a baseline key into (code, path, line-text).
+bool split_key(std::string_view key, std::string_view* code,
+               std::string_view* path, std::string_view* line) {
+  const std::size_t space = key.find(' ');
+  const std::size_t colon = key.rfind(':');
+  if (space == std::string_view::npos || colon == std::string_view::npos ||
+      colon < space) {
+    return false;
+  }
+  *code = key.substr(0, space);
+  *path = key.substr(space + 1, colon - space - 1);
+  *line = key.substr(colon + 1);
+  return true;
+}
+
 }  // namespace
 
 Baseline parse_baseline(std::string_view text,
@@ -38,11 +64,16 @@ Baseline parse_baseline(std::string_view text,
     const std::size_t end = nl == std::string_view::npos ? text.size() : nl;
     ++line_no;
     std::string_view line = trim(text.substr(start, end - start));
+    std::string reason;
     const std::size_t hash = line.find('#');
-    if (hash != std::string_view::npos) line = trim(line.substr(0, hash));
+    if (hash != std::string_view::npos) {
+      reason = std::string(trim(line.substr(hash + 1)));
+      line = trim(line.substr(0, hash));
+    }
     if (!line.empty()) {
       if (looks_like_key(line)) {
         baseline.keys.emplace_back(line);
+        baseline.reasons[baseline.keys.back()] = reason;
       } else if (errors != nullptr) {
         errors->push_back("baseline line " + std::to_string(line_no) +
                           ": expected 'SCxxx path:line', got '" +
@@ -64,8 +95,26 @@ std::vector<Finding> apply_baseline(std::vector<Finding> findings,
   std::vector<Finding> kept;
   for (Finding& f : findings) {
     const std::string key = baseline_key(f);
+    std::string matched;
     if (keys.count(key) != 0) {
-      used.insert(key);
+      matched = key;
+    } else {
+      // Suffix-tolerant fallback: the same file named relative to a
+      // different root (see the header comment).
+      const std::string line_text = std::to_string(f.line);
+      for (const std::string& candidate : baseline.keys) {
+        std::string_view code;
+        std::string_view path;
+        std::string_view line;
+        if (!split_key(candidate, &code, &path, &line)) continue;
+        if (code == f.code && line == line_text && same_file(path, f.path)) {
+          matched = candidate;
+          break;
+        }
+      }
+    }
+    if (!matched.empty()) {
+      used.insert(matched);
       if (suppressed != nullptr) suppressed->push_back(std::move(f));
     } else {
       kept.push_back(std::move(f));

@@ -1,15 +1,21 @@
 // The srclint baseline: a checked-in list of findings the project has
-// explicitly decided to tolerate, one `SCxxx path:line` key per line
-// (# comments and blank lines ignored).
+// explicitly decided to tolerate, one `SCxxx path:line  # reason` per
+// line (blank lines and whole-line # comments ignored).
 //
-// Policy (DESIGN.md §13): the shipped baseline is EMPTY. The file exists
-// so that a future, justified exception has a reviewed, diffable home —
-// adding a line is a code-review event, exactly like adding an inline
-// suppression with a reason. A baseline entry that no longer matches any
-// finding is reported as stale so the file can only shrink back toward
-// empty, never silently rot.
+// Policy (DESIGN.md §13-§14): every shipped entry carries a same-line
+// `# reason` saying why the exception is sound — adding a line is a
+// code-review event, exactly like adding an inline suppression with a
+// reason, and the clean-tree test rejects reasonless entries. A baseline
+// entry that no longer matches any finding is reported as stale so the
+// file can only shrink back toward empty, never silently rot.
+//
+// Path matching is suffix-tolerant: an entry's `src/util/foo.cpp` matches
+// a finding at `/abs/checkout/src/util/foo.cpp` (and vice versa), so one
+// checked-in baseline serves both CI's relative scan roots and the test
+// suite's absolute ones.
 #pragma once
 
+#include <map>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -20,6 +26,8 @@ namespace streamcalc::srclint {
 
 struct Baseline {
   std::vector<std::string> keys;  // "SCxxx path:line", file order
+  /// key -> the same-line `# reason` text ("" when the entry has none).
+  std::map<std::string, std::string> reasons;
 };
 
 /// Parses baseline text. Unparseable lines (not `SCxxx path:line`) are

@@ -11,11 +11,15 @@ struct CodeEntry {
   const char* title;
 };
 
-// The srclint code registry. One block for now:
-//   SC90x  cross-cutting source invariants (concurrency, configuration,
-//          numerics, suppression hygiene)
-// Titles are short noun phrases; the long-form rationale for each rule
-// lives in DESIGN.md §13.
+// The srclint code registry. Two blocks:
+//   SC901-SC908  per-file lexical invariants (concurrency hygiene,
+//                configuration, numerics, suppression hygiene, units)
+//   SC910-SC913  whole-project graph analyses over the structural IR
+//                (lock order, blocking-under-lock, pool re-entrancy,
+//                layer DAG) — see DESIGN.md §14
+// SC909 is unallocated (kept free between the blocks). Titles are short
+// noun phrases; the long-form rationale for each rule lives in DESIGN.md
+// §13-§14.
 constexpr CodeEntry kRegistry[] = {
     {"SC901", "raw standard synchronization primitive"},
     {"SC902", "direct std::getenv call"},
@@ -24,6 +28,11 @@ constexpr CodeEntry kRegistry[] = {
     {"SC905", "lint suppression without a named check and reason"},
     {"SC906", "mutable member near a mutex lacking SC_GUARDED_BY"},
     {"SC907", "raw thread construction outside the thread registries"},
+    {"SC908", "bare double for a unit-bearing quantity in a public header"},
+    {"SC910", "lock-acquisition-order cycle (potential deadlock)"},
+    {"SC911", "blocking call while a MutexLock is held"},
+    {"SC912", "thread-pool re-entrancy from inside a pool task"},
+    {"SC913", "include edge that violates the declared layer DAG"},
 };
 
 }  // namespace

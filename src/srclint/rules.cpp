@@ -359,6 +359,66 @@ void rule_sc907(const FileContext& f) {
   }
 }
 
+// --- SC908: bare doubles for unit-bearing quantities -----------------------
+//
+// The public netcalc/serve/apps surfaces pass delays, backlogs, and rates
+// through util/units.hpp types (Duration, DataSize, DataRate) so the unit
+// travels with the value — the seconds-vs-microseconds and bits-vs-bytes
+// slips the paper's tables invite are then type errors. A bare `double
+// arrival_rate` in a public header reopens that hole. The dimensionless
+// min-plus/max-plus kernels are out of scope: curves deliberately carry no
+// unit, and the netcalc layer is where units attach.
+constexpr std::string_view kUnitSegments[] = {
+    "backlog", "bandwidth", "burst", "delay", "latency", "rate", "throughput",
+};
+
+bool unit_bearing_name(std::string_view name) {
+  std::size_t start = 0;
+  while (start <= name.size()) {
+    std::size_t end = name.find('_', start);
+    if (end == std::string_view::npos) end = name.size();
+    std::string_view seg = name.substr(start, end - start);
+    if (seg.size() > 1 && seg.back() == 's') seg.remove_suffix(1);  // plural
+    for (const std::string_view unit : kUnitSegments) {
+      if (seg == unit) return true;
+    }
+    if (end == name.size()) break;
+    start = end + 1;
+  }
+  return false;
+}
+
+void rule_sc908(const FileContext& f) {
+  if (!has_segment(f.segs, "src")) return;
+  if (!has_segment(f.segs, "netcalc") && !has_segment(f.segs, "serve") &&
+      !has_segment(f.segs, "apps")) {
+    return;
+  }
+  if (f.path.size() < 4 || f.path.substr(f.path.size() - 4) != ".hpp") {
+    return;  // public surface only; .cpp internals may unpack to double
+  }
+  // bitw/blast mirror the paper's printed tables, whose columns are in
+  // reporting units (us, ms, KiB, Mbit/s) by construction; their row
+  // structs keep the table's own field spellings.
+  if (path_is_any(f.path, {"src/apps/bitw.hpp", "src/apps/blast.hpp"})) {
+    return;
+  }
+  for (std::size_t i = 0; i + 1 < f.code.size(); ++i) {
+    if (!is_ident(f.code[i], "double") && !is_ident(f.code[i], "float")) {
+      continue;
+    }
+    const Token& name = f.code[i + 1];
+    if (name.kind != TokenKind::kIdentifier || !unit_bearing_name(name.text)) {
+      continue;
+    }
+    f.add("SC908", name.line,
+          "'" + name.text + "' is a bare " + f.code[i].text +
+              " for a unit-bearing quantity in a public header",
+          "carry the unit in the type: util::Duration / util::DataSize / "
+          "util::DataRate (util/units.hpp)");
+  }
+}
+
 }  // namespace
 
 bool inexact_float_literal(std::string_view literal) {
@@ -467,6 +527,7 @@ std::vector<Finding> check_source(const std::string& path,
   rule_sc905(f);
   rule_sc906(f);
   rule_sc907(f);
+  rule_sc908(f);
   std::stable_sort(findings.begin(), findings.end(),
                    [](const Finding& a, const Finding& b) {
                      return a.line < b.line;

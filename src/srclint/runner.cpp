@@ -5,9 +5,12 @@
 #include <filesystem>
 #include <fstream>
 #include <ostream>
+#include <set>
 #include <sstream>
 
 #include "srclint/baseline.hpp"
+#include "srclint/layers.hpp"
+#include "srclint/project.hpp"
 #include "srclint/rules.hpp"
 
 namespace streamcalc::srclint {
@@ -121,12 +124,35 @@ ParseResult parse_srclint_args(const std::vector<std::string>& args) {
         return result;
       }
       opts.baseline_path = args[++i];
+    } else if (arg == "--layers") {
+      if (i + 1 >= args.size()) {
+        result.error = "--layers requires a file argument";
+        return result;
+      }
+      opts.layers_path = args[++i];
+    } else if (arg == "--graph") {
+      if (i + 1 >= args.size()) {
+        result.error = "--graph requires 'lock-order' or 'layers'";
+        return result;
+      }
+      opts.graph = args[++i];
+      if (opts.graph != "lock-order" && opts.graph != "layers") {
+        result.error = "unknown graph '" + opts.graph +
+                       "' (expected 'lock-order' or 'layers')";
+        return result;
+      }
+    } else if (arg == "--dot") {
+      opts.dot = true;
     } else if (!arg.empty() && arg[0] == '-' && arg != "-") {
       result.error = "unknown option '" + arg + "'";
       return result;
     } else {
       opts.paths.push_back(arg);
     }
+  }
+  if (opts.dot && opts.graph.empty()) {
+    result.error = "--dot requires --graph";
+    return result;
   }
   if (!opts.help && !opts.list_codes && opts.paths.empty()) {
     result.error = "no input paths (expected files or directories to scan)";
@@ -138,52 +164,97 @@ std::string help_text(const std::string& argv0) {
   std::ostringstream os;
   os << "usage: " << argv0 << " [options] <path>...\n"
      << "\n"
-     << "Static analysis of the streamcalc sources themselves: enforces\n"
-     << "the project-invariant rules SC901-SC907 (DESIGN.md section 13)\n"
-     << "over the given files or directories (recursively, .cpp/.hpp).\n"
+     << "Static analysis of the streamcalc sources themselves: the per-file\n"
+     << "rules SC901-SC908 (DESIGN.md section 13) plus the whole-project\n"
+     << "concurrency and layering analyses SC910-SC913 (section 14) over\n"
+     << "the given files or directories (recursively, .cpp/.hpp).\n"
      << "\n"
      << "options:\n"
      << "  --json             machine-readable report on stdout\n"
      << "  --baseline <file>  suppression file (default: ./srclint.baseline\n"
-     << "                     when present; the shipped baseline is empty)\n"
+     << "                     when present; entries carry '# reason' text)\n"
+     << "  --layers <file>    layer DAG declaration for SC913 (default:\n"
+     << "                     ./srclint.layers when present; without one\n"
+     << "                     SC913 is skipped)\n"
+     << "  --graph <which>    print a graph instead of findings and exit\n"
+     << "                     0/1: 'lock-order' (the global mutex\n"
+     << "                     acquisition-order graph, cycles marked) or\n"
+     << "                     'layers' (declared strata plus observed\n"
+     << "                     include edges); the baseline does not apply\n"
+     << "  --dot              emit Graphviz DOT from --graph\n"
      << "  --list-codes       print the rule registry and exit\n"
      << "  --help             this table\n"
      << "\n"
-     << "exit codes: 0 clean, 1 unreadable input or baseline, 2 findings,\n"
-     << "3 usage error\n";
+     << "exit codes: 0 clean, 1 unreadable input, baseline, or layers file,\n"
+     << "2 findings, 3 usage error\n";
   return os.str();
 }
 
 int run_srclint(const RunOptions& options, std::ostream& out,
                 std::ostream& err) {
   bool read_failure = false;
+  const bool graph_mode = !options.graph.empty();
 
   Baseline baseline;
-  std::string baseline_path = options.baseline_path;
-  if (baseline_path.empty() && fs::exists("srclint.baseline")) {
-    baseline_path = "srclint.baseline";
+  if (!graph_mode) {
+    std::string baseline_path = options.baseline_path;
+    if (baseline_path.empty() && fs::exists("srclint.baseline")) {
+      baseline_path = "srclint.baseline";
+    }
+    if (!baseline_path.empty()) {
+      std::ifstream in(baseline_path);
+      if (!in) {
+        err << "error: cannot open baseline '" << baseline_path << "'\n";
+        read_failure = true;
+      } else {
+        std::ostringstream text;
+        text << in.rdbuf();
+        std::vector<std::string> errors;
+        baseline = parse_baseline(text.str(), &errors);
+        for (const std::string& e : errors) {
+          err << "error: " << baseline_path << ": " << e << "\n";
+          read_failure = true;
+        }
+      }
+    }
   }
-  if (!baseline_path.empty()) {
-    std::ifstream in(baseline_path);
+
+  // The layer declaration: explicit flag, else the checked-in default.
+  // SC913 (and --graph layers) only exist relative to a declaration.
+  Layers layers;
+  bool have_layers = false;
+  std::string layers_path = options.layers_path;
+  if (layers_path.empty() && fs::exists("srclint.layers")) {
+    layers_path = "srclint.layers";
+  }
+  if (layers_path.empty() && options.graph == "layers") {
+    err << "error: --graph layers needs a layers file (--layers <file> or "
+           "./srclint.layers)\n";
+    read_failure = true;
+  }
+  if (!layers_path.empty()) {
+    std::ifstream in(layers_path);
     if (!in) {
-      err << "error: cannot open baseline '" << baseline_path << "'\n";
+      err << "error: cannot open layers '" << layers_path << "'\n";
       read_failure = true;
     } else {
       std::ostringstream text;
       text << in.rdbuf();
       std::vector<std::string> errors;
-      baseline = parse_baseline(text.str(), &errors);
+      layers = parse_layers(text.str(), &errors);
       for (const std::string& e : errors) {
-        err << "error: " << baseline_path << ": " << e << "\n";
+        err << "error: " << layers_path << ": " << e << "\n";
         read_failure = true;
       }
+      have_layers = errors.empty();
     }
   }
 
   std::vector<std::string> files;
   if (!collect_files(options.paths, &files, err)) read_failure = true;
 
-  std::vector<Finding> findings;
+  std::vector<SourceFile> sources;
+  sources.reserve(files.size());
   for (const std::string& file : files) {
     std::ifstream in(file);
     if (!in) {
@@ -193,11 +264,55 @@ int run_srclint(const RunOptions& options, std::ostream& out,
     }
     std::ostringstream text;
     text << in.rdbuf();
-    std::vector<Finding> file_findings = check_source(file, text.str());
+    sources.push_back(SourceFile{file, text.str()});
+  }
+
+  if (graph_mode) {
+    if (read_failure) return 1;
+    const ProjectModel project = build_project_model(sources);
+    if (options.graph == "lock-order") {
+      out << lock_order_report(project, options.dot);
+    } else {
+      out << layers_report(project, layers, options.dot);
+    }
+    return 0;
+  }
+
+  std::vector<Finding> findings;
+  for (const SourceFile& source : sources) {
+    std::vector<Finding> file_findings =
+        check_source(source.path, source.content);
     findings.insert(findings.end(),
                     std::make_move_iterator(file_findings.begin()),
                     std::make_move_iterator(file_findings.end()));
   }
+
+  const ProjectModel project = build_project_model(sources);
+  if (have_layers) {
+    // A typoed layer name would silently constrain nothing; warn (the scan
+    // may deliberately cover a subset of src/, so this cannot be fatal).
+    std::set<std::string> known_dirs;
+    for (const FileModel& f : project.files) {
+      const std::string dir = layer_dir_of(f.path);
+      if (!dir.empty()) known_dirs.insert(dir);
+    }
+    if (!known_dirs.empty()) {
+      for (const std::string& problem :
+           validate_layer_names(layers, known_dirs)) {
+        err << "warning: " << layers_path << ": " << problem << "\n";
+      }
+    }
+  }
+  std::vector<Finding> project_findings =
+      check_project(project, have_layers ? &layers : nullptr);
+  findings.insert(findings.end(),
+                  std::make_move_iterator(project_findings.begin()),
+                  std::make_move_iterator(project_findings.end()));
+  std::stable_sort(findings.begin(), findings.end(),
+                   [](const Finding& a, const Finding& b) {
+                     if (a.path != b.path) return a.path < b.path;
+                     return a.line < b.line;
+                   });
 
   std::vector<Finding> suppressed;
   std::vector<std::string> stale;

@@ -22,6 +22,14 @@ struct RunOptions {
   std::vector<std::string> paths;
   /// Baseline file. Empty means "use ./srclint.baseline when present".
   std::string baseline_path;
+  /// Layer declaration file for SC913. Empty means "use ./srclint.layers
+  /// when present"; without a layers file SC913 is skipped.
+  std::string layers_path;
+  /// Graph emission mode: "" (normal scan), "lock-order", or "layers".
+  /// Graph mode prints the requested graph instead of findings and exits
+  /// 0/1 (the baseline does not apply to graphs).
+  std::string graph;
+  bool dot = false;  // emit Graphviz DOT instead of text (graph mode only)
   bool json = false;
   bool list_codes = false;
   bool help = false;

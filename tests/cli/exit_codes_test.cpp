@@ -294,6 +294,123 @@ TEST(SrclintExitCodes, HelpAndListCodesExitZero) {
   EXPECT_NE(out.find("SC907"), std::string::npos);
 }
 
+// Writes `rel` (with directories) under a scratch tree whose layout
+// matters: the cross-file rules scope themselves to src/ and tools/ path
+// segments, so graph/SC913 fixtures must live under a fake src/.
+std::string write_tree_file(const std::string& root, const std::string& rel,
+                            const std::string& text) {
+  const std::string path =
+      std::filesystem::path(root + "/" + rel).lexically_normal()
+          .generic_string();
+  std::filesystem::create_directories(
+      std::filesystem::path(path).parent_path());
+  std::ofstream out(path);
+  out << text;
+  return path;
+}
+
+TEST(SrclintExitCodes, GraphLockOrderReportsAndExitsZero) {
+  const std::string root = ::testing::TempDir() + "/exit_codes_graph";
+  write_tree_file(root, "src/x/locked.cpp",
+                  "void f() {\n"
+                  "  util::MutexLock l1(g_a);\n"
+                  "  util::MutexLock l2(g_b);\n"
+                  "}\n");
+  std::string out;
+  EXPECT_EQ(run_srclint_args({"--graph", "lock-order", root + "/src"}, &out),
+            0);
+  EXPECT_NE(out.find("lock-order graph:"), std::string::npos) << out;
+  EXPECT_NE(out.find("1 edge(s)"), std::string::npos) << out;
+  // DOT flavor of the same graph.
+  EXPECT_EQ(run_srclint_args(
+                {"--graph", "lock-order", "--dot", root + "/src"}, &out),
+            0);
+  EXPECT_NE(out.find("digraph lock_order"), std::string::npos) << out;
+  std::filesystem::remove_all(root);
+}
+
+TEST(SrclintExitCodes, GraphLayersReportsAndExitsZero) {
+  const std::string root = ::testing::TempDir() + "/exit_codes_layers";
+  write_tree_file(root, "src/obs/hook.cpp", "#include \"util/env.hpp\"\n");
+  const std::string layers =
+      write_tree_file(root, "good.layers", "util < obs\n");
+  std::string out;
+  EXPECT_EQ(run_srclint_args(
+                {"--graph", "layers", "--layers", layers, root + "/src"},
+                &out),
+            0);
+  EXPECT_NE(out.find("observed include edges"), std::string::npos) << out;
+  EXPECT_EQ(run_srclint_args(
+                {"--graph", "layers", "--dot", "--layers", layers,
+                 root + "/src"},
+                &out),
+            0);
+  EXPECT_NE(out.find("digraph layers"), std::string::npos) << out;
+  std::filesystem::remove_all(root);
+}
+
+TEST(SrclintExitCodes, GraphUsageErrorsExitThree) {
+  std::string err;
+  // Unknown graph kind.
+  EXPECT_EQ(run_srclint_args({"--graph", "callgraph", "src"}, nullptr, &err),
+            3);
+  EXPECT_NE(err.find("callgraph"), std::string::npos) << err;
+  // --dot is meaningless without --graph.
+  EXPECT_EQ(run_srclint_args({"--dot", "src"}, nullptr, &err), 3);
+}
+
+TEST(SrclintExitCodes, GraphLayersWithoutALayersFileExitsOne) {
+  const std::string root = ::testing::TempDir() + "/exit_codes_nolayers";
+  write_tree_file(root, "src/x/a.cpp", "int x;\n");
+  std::string err;
+  EXPECT_EQ(run_srclint_args({"--graph", "layers", root + "/src"}, nullptr,
+                             &err),
+            1);
+  EXPECT_NE(err.find("layers"), std::string::npos) << err;
+  std::filesystem::remove_all(root);
+}
+
+TEST(SrclintExitCodes, MalformedLayersFileExitsOne) {
+  const std::string root = ::testing::TempDir() + "/exit_codes_badlayers";
+  write_tree_file(root, "src/x/a.cpp", "int x;\n");
+  const std::string layers =
+      write_tree_file(root, "bad.layers", "a < b\nb < a\n");
+  std::string err;
+  EXPECT_EQ(
+      run_srclint_args({"--layers", layers, root + "/src"}, nullptr, &err),
+      1);
+  std::filesystem::remove_all(root);
+}
+
+TEST(SrclintExitCodes, LayerViolationExitsTwo) {
+  const std::string root = ::testing::TempDir() + "/exit_codes_sc913";
+  write_tree_file(root, "src/obs/hook.cpp",
+                  "#include \"serve/server.hpp\"\n");
+  const std::string layers =
+      write_tree_file(root, "dag.layers", "util < obs < serve\n");
+  std::string out;
+  EXPECT_EQ(run_srclint_args({"--layers", layers, root + "/src"}, &out), 2);
+  EXPECT_NE(out.find("[SC913]"), std::string::npos) << out;
+  std::filesystem::remove_all(root);
+}
+
+TEST(SrclintExitCodes, LockOrderCycleExitsTwo) {
+  const std::string root = ::testing::TempDir() + "/exit_codes_sc910";
+  write_tree_file(root, "src/x/order.cpp",
+                  "void lo() {\n"
+                  "  util::MutexLock l1(g_a);\n"
+                  "  util::MutexLock l2(g_b);\n"
+                  "}\n"
+                  "void hi() {\n"
+                  "  util::MutexLock l3(g_b);\n"
+                  "  util::MutexLock l4(g_a);\n"
+                  "}\n");
+  std::string out;
+  EXPECT_EQ(run_srclint_args({root + "/src"}, &out), 2);
+  EXPECT_NE(out.find("[SC910]"), std::string::npos) << out;
+  std::filesystem::remove_all(root);
+}
+
 TEST(SrclintExitCodes, JsonReportCarriesTheExitCode) {
   const std::string dirty = write_cpp(
       "json", "const char* v = std::getenv(\"HOME\");\n");

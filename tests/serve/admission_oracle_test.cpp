@@ -53,15 +53,15 @@ cli::Spec chain_spec(const testing::Scenario& scenario) {
 FlowSpec random_flow(util::Xoshiro256& rng, const netcalc::SourceSpec& src) {
   FlowSpec flow;
   const double base = src.rate.in_bytes_per_sec();
-  flow.rate_bps = base * (0.05 + 0.30 * static_cast<double>(rng() % 1000) /
-                                      1000.0);
-  flow.burst_bytes =
+  flow.rate = util::DataRate::bytes_per_sec(
+      base * (0.05 + 0.30 * static_cast<double>(rng() % 1000) / 1000.0));
+  flow.burst = util::DataSize::bytes(
       static_cast<double>(src.packet.in_bytes()) *
-      (1.0 + static_cast<double>(rng() % 64));
+      (1.0 + static_cast<double>(rng() % 64)));
   // Targets from "hopeless" to "generous" around typical bound scales.
   const double exponent =
       -5.0 + 6.0 * static_cast<double>(rng() % 1000) / 1000.0;
-  flow.delay_target_s = std::pow(10.0, exponent);
+  flow.delay_target = util::Duration::seconds(std::pow(10.0, exponent));
   return flow;
 }
 
@@ -113,7 +113,7 @@ TEST(AdmissionOracle, ChainDecisionsMatchFromScratchAnalysisExactly) {
       EXPECT_EQ(got.admitted, oracle.admitted)
           << "scenario " << s << " op " << op << ": "
           << scenario.describe();
-      EXPECT_EQ(got.delay_bound_s, oracle.delay_bound_s)
+      EXPECT_EQ(got.delay_bound, oracle.delay_bound)
           << "scenario " << s << " op " << op << ": "
           << scenario.describe();
       if (got.admitted) {
@@ -130,7 +130,7 @@ TEST(AdmissionOracle, ChainDecisionsMatchFromScratchAnalysisExactly) {
     TenantSnapshot snap;
     ASSERT_TRUE(engine.query("tenant", snap).ok);
     EXPECT_EQ(snap.flows.size(), shadow.size());
-    EXPECT_EQ(snap.delay_bound_s, oracle.delay_bound_s);
+    EXPECT_EQ(snap.delay_bound, oracle.delay_bound);
   }
   // The histories must actually exercise both outcomes.
   EXPECT_GT(accepted, 50);
@@ -248,13 +248,13 @@ TEST(AdmissionOracle, DagAdmitsMatchFreshIncrementalOracle) {
         oracle.delay_bound_from(oracle.entry_node(0)).in_seconds();
     bool oracle_admit = true;
     for (const FlowSpec& f : candidate) {
-      if (!(oracle_delay <= f.delay_target_s)) oracle_admit = false;
+      if (!(oracle_delay <= f.delay_target.in_seconds())) oracle_admit = false;
     }
 
     const Decision got = engine.admit("tenant", "forkjoin", id, flow);
     ASSERT_TRUE(got.ok) << got.error;
     EXPECT_EQ(got.admitted, oracle_admit) << "op " << op;
-    EXPECT_EQ(got.delay_bound_s, oracle_delay) << "op " << op;
+    EXPECT_EQ(got.delay_bound.in_seconds(), oracle_delay) << "op " << op;
     if (got.admitted) {
       shadow.emplace(id, flow);
       ++accepted;

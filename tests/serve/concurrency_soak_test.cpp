@@ -71,12 +71,13 @@ const char* kScenarioOf[] = {"alpha", "beta", "forkjoin", "alpha"};
 
 FlowSpec soak_flow(util::Xoshiro256& rng, bool dag) {
   FlowSpec flow;
-  const double mib = 1024.0 * 1024.0;
-  flow.rate_bps = mib * (1.0 + static_cast<double>(rng() % 40));
-  flow.burst_bytes = 65536.0 * static_cast<double>(1 + rng() % 16);
-  flow.delay_target_s =
+  flow.rate =
+      util::DataRate::mib_per_sec(1.0 + static_cast<double>(rng() % 40));
+  flow.burst =
+      util::DataSize::bytes(65536.0 * static_cast<double>(1 + rng() % 16));
+  flow.delay_target = util::Duration::seconds(
       (rng() % 2 == 0) ? 0.002 + 0.001 * static_cast<double>(rng() % 50)
-                       : 1.0;
+                       : 1.0);
   if (dag) flow.entry = "ingest";
   return flow;
 }
@@ -124,7 +125,7 @@ void replay_and_compare(
         // The concurrent run applied it, so the serial replay from the
         // same per-tenant state must admit it with the same bound.
         EXPECT_TRUE(d.admitted) << tenant << " seq " << op.seq;
-        EXPECT_EQ(d.delay_bound_s, op.delay_bound_s)
+        EXPECT_EQ(d.delay_bound.in_seconds(), op.delay_bound_s)
             << tenant << " seq " << op.seq;
         EXPECT_EQ(d.seq, op.seq);
       } else {
@@ -141,13 +142,12 @@ void replay_and_compare(
     ASSERT_EQ(snap.flows.size(), it->second.flows.size()) << tenant;
     for (std::size_t i = 0; i < snap.flows.size(); ++i) {
       EXPECT_EQ(snap.flows[i].first, it->second.flows[i].first);
-      EXPECT_EQ(snap.flows[i].second.rate_bps,
-                it->second.flows[i].second.rate_bps);
-      EXPECT_EQ(snap.flows[i].second.burst_bytes,
-                it->second.flows[i].second.burst_bytes);
+      EXPECT_EQ(snap.flows[i].second.rate, it->second.flows[i].second.rate);
+      EXPECT_EQ(snap.flows[i].second.burst,
+                it->second.flows[i].second.burst);
     }
     EXPECT_EQ(snap.seq, it->second.seq) << tenant;
-    EXPECT_EQ(snap.delay_bound_s, it->second.delay_bound_s) << tenant;
+    EXPECT_EQ(snap.delay_bound, it->second.delay_bound) << tenant;
   }
 }
 
@@ -191,7 +191,7 @@ TEST(ConcurrencySoak, EngineUnderContentionMatchesSerialReplay) {
           record.tenant = rt;
           record.seq = d.seq;
           record.flow_id = rid;
-          record.delay_bound_s = d.delay_bound_s;
+          record.delay_bound_s = d.delay_bound.in_seconds();
           applied[static_cast<std::size_t>(t)].push_back(record);
           mine.erase(mine.begin() + static_cast<long>(pick));
           continue;
@@ -210,7 +210,7 @@ TEST(ConcurrencySoak, EngineUnderContentionMatchesSerialReplay) {
           record.flow_id = id;
           record.flow = flow;
           record.admitted = true;
-          record.delay_bound_s = d.delay_bound_s;
+          record.delay_bound_s = d.delay_bound.in_seconds();
           applied[static_cast<std::size_t>(t)].push_back(record);
           mine.emplace_back(tenant, id);
         }
@@ -293,9 +293,9 @@ TEST(ConcurrencySoak, DaemonUnderConcurrentClientsMatchesSerialReplay) {
         req.emplace("tenant", Json(tenant));
         req.emplace("scenario", Json(kScenarioOf[ti]));
         req.emplace("id", Json(id));
-        req.emplace("rate", Json(flow.rate_bps));
-        req.emplace("burst", Json(flow.burst_bytes));
-        req.emplace("target", Json(flow.delay_target_s));
+        req.emplace("rate", Json(flow.rate.in_bytes_per_sec()));
+        req.emplace("burst", Json(flow.burst.in_bytes()));
+        req.emplace("target", Json(flow.delay_target.in_seconds()));
         if (!flow.entry.empty()) req.emplace("entry", Json(flow.entry));
         const Json reply = client.request(Json(std::move(req)));
         ASSERT_TRUE(reply.bool_or("ok", false))

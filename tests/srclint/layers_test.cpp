@@ -1,0 +1,106 @@
+// Unit tests for the srclint.layers parser and relation (SC913's input).
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "srclint/layers.hpp"
+
+namespace streamcalc::srclint {
+namespace {
+
+Layers parse_ok(const std::string& text) {
+  std::vector<std::string> errors;
+  const Layers layers = parse_layers(text, &errors);
+  EXPECT_TRUE(errors.empty()) << (errors.empty() ? "" : errors.front());
+  return layers;
+}
+
+TEST(SrclintLayers, ChainDeclaresStrictOrder) {
+  const Layers l = parse_ok("util < obs < netcalc\n");
+  EXPECT_TRUE(l.declared("util"));
+  EXPECT_TRUE(l.declared("netcalc"));
+  EXPECT_FALSE(l.declared("serve"));
+  // netcalc may reach down, util may not reach up.
+  EXPECT_TRUE(l.allows_include("netcalc", "util"));
+  EXPECT_TRUE(l.allows_include("netcalc", "obs"));
+  EXPECT_FALSE(l.allows_include("util", "obs"));
+  EXPECT_FALSE(l.allows_include("obs", "netcalc"));
+}
+
+TEST(SrclintLayers, TransitivityAcrossLines) {
+  // The relation is the union of every line's chain, transitively closed.
+  const Layers l = parse_ok("a < b\nb < c\nc < d\n");
+  EXPECT_TRUE(l.allows_include("d", "a"));
+  EXPECT_FALSE(l.allows_include("a", "d"));
+}
+
+TEST(SrclintLayers, GroupsShareAStratum) {
+  const Layers l = parse_ok("util / srclint < minplus / maxplus\n");
+  // Same stratum: include freely in both directions.
+  EXPECT_TRUE(l.allows_include("util", "srclint"));
+  EXPECT_TRUE(l.allows_include("srclint", "util"));
+  EXPECT_TRUE(l.allows_include("minplus", "maxplus"));
+  // Across strata the group behaves as one node.
+  EXPECT_TRUE(l.allows_include("maxplus", "srclint"));
+  EXPECT_FALSE(l.allows_include("util", "minplus"));
+}
+
+TEST(SrclintLayers, SameLayerAlwaysAllowed) {
+  const Layers l = parse_ok("a < b\n");
+  EXPECT_TRUE(l.allows_include("a", "a"));
+  EXPECT_TRUE(l.allows_include("b", "b"));
+}
+
+TEST(SrclintLayers, DeclarationCycleIsAParseError) {
+  // A cyclic "DAG" would make every include legal; refuse it outright.
+  std::vector<std::string> errors;
+  parse_layers("a < b\nb < c\nc < a\n", &errors);
+  ASSERT_FALSE(errors.empty());
+}
+
+TEST(SrclintLayers, NameBothInAGroupAndAboveItselfIsAnError) {
+  std::vector<std::string> errors;
+  parse_layers("a / b\na < b\n", &errors);
+  ASSERT_FALSE(errors.empty());
+}
+
+TEST(SrclintLayers, ValidateFlagsUnknownNames) {
+  const Layers l = parse_ok("util < obs < netcalcc\n");
+  const std::vector<std::string> warnings =
+      validate_layer_names(l, {"util", "obs", "netcalc"});
+  ASSERT_EQ(warnings.size(), 1u);
+  EXPECT_NE(warnings.front().find("netcalcc"), std::string::npos)
+      << warnings.front();
+}
+
+TEST(SrclintLayers, ShippedDeclarationStaysInSyncWithSrc) {
+  // The checked-in srclint.layers must parse and cover exactly the
+  // directories of src/ (a new src/<dir> must take a declared position in
+  // the DAG; a removed one must leave it).
+  std::ifstream in(SC_SRCLINT_LAYERS);
+  ASSERT_TRUE(in.good()) << "missing layers file " << SC_SRCLINT_LAYERS;
+  std::ostringstream text;
+  text << in.rdbuf();
+  const Layers l = parse_ok(text.str());
+
+  std::set<std::string> dirs;
+  for (const auto& entry : std::filesystem::directory_iterator(
+           std::string(SC_SRCLINT_SOURCE_DIR) + "/src")) {
+    if (entry.is_directory()) dirs.insert(entry.path().filename().string());
+  }
+  ASSERT_FALSE(dirs.empty());
+  for (const std::string& dir : dirs) {
+    EXPECT_TRUE(l.declared(dir))
+        << "src/" << dir << " has no position in srclint.layers";
+  }
+  EXPECT_TRUE(validate_layer_names(l, dirs).empty())
+      << validate_layer_names(l, dirs).front();
+}
+
+}  // namespace
+}  // namespace streamcalc::srclint

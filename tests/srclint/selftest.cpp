@@ -5,14 +5,24 @@
 // at exactly its planted line, and every fixture's repaired twin must scan
 // clean — 100% detection, 0% false alarm, enforced against the registry so
 // a newly added SC code without a fixture fails this suite by itself.
+//
+// Since the cross-file pass (SC910-SC913) a fixture is a small *project*:
+// the main file plus optional extra files (declarations, callees across
+// translation units) and an optional layers declaration. The scan helper
+// mirrors the runner: per-file rules on every file, then the project pass
+// over all of them together.
 #include <gtest/gtest.h>
 
 #include <map>
+#include <set>
 #include <string>
 #include <vector>
 
 #include "srclint/finding.hpp"
+#include "srclint/layers.hpp"
+#include "srclint/project.hpp"
 #include "srclint/rules.hpp"
+#include "srclint/structure.hpp"
 
 namespace streamcalc::srclint {
 namespace {
@@ -23,7 +33,41 @@ struct Fixture {
   std::string planted;   // source with exactly one violation of `code`
   int line;              // 1-based line the finding must anchor to
   std::string repaired;  // the compliant rewrite: must scan clean
+  // Supporting cast for cross-file fixtures: these files are scanned
+  // alongside both the planted file and its repaired twin, so they must
+  // themselves be clean — the violation lives in the main file.
+  std::vector<std::pair<std::string, std::string>> extra = {};
+  std::string layers = "";  // SC913 only: the declared DAG ("" = no layers)
 };
+
+// Runs exactly what the runner runs: per-file rules on every file, then
+// the cross-file pass over the whole fixture project.
+std::vector<Finding> scan_fixture(const Fixture& fx,
+                                  const std::string& main_text) {
+  std::vector<SourceFile> sources;
+  sources.push_back({fx.path, main_text});
+  for (const auto& [path, text] : fx.extra) sources.push_back({path, text});
+
+  std::vector<Finding> findings;
+  for (const SourceFile& src : sources) {
+    for (Finding& f : check_source(src.path, src.content)) {
+      findings.push_back(std::move(f));
+    }
+  }
+  const ProjectModel project = build_project_model(sources);
+  Layers layers;
+  if (!fx.layers.empty()) {
+    std::vector<std::string> errors;
+    layers = parse_layers(fx.layers, &errors);
+    EXPECT_TRUE(errors.empty())
+        << fx.name << ": fixture layers failed to parse: " << errors.front();
+  }
+  for (Finding& f :
+       check_project(project, fx.layers.empty() ? nullptr : &layers)) {
+    findings.push_back(std::move(f));
+  }
+  return findings;
+}
 
 // The fixtures are deliberately *minimal* violations — the smallest token
 // stream that must trip the rule — so a regression that narrows a pattern
@@ -80,6 +124,96 @@ const std::map<std::string, std::vector<Fixture>>& fixtures() {
         {"detached thread", "tools/export_traces.cpp",
          "void f(std::vector<int>& v) {\n  worker.detach();\n}\n", 2,
          "void f(std::vector<int>& v) {\n  worker.join();\n}\n"}}},
+      {"SC908",
+       {{"bare double for a delay in a public header",
+         "src/netcalc/model.hpp",
+         "struct Hop {\n  double delay_s = 0.0;\n};\n", 2,
+         "struct Hop {\n  util::Duration delay;\n};\n"},
+        {"bare float rate parameter", "src/serve/limits.hpp",
+         "void set_rate(float rate_bps);\n", 1,
+         "void set_rate(util::DataRate rate);\n"}}},
+      {"SC910",
+       {{"AB-BA ordering in one file", "src/serve/order.cpp",
+         "void lo() {\n"
+         "  util::MutexLock l1(g_a);\n"
+         "  util::MutexLock l2(g_b);\n"
+         "}\n"
+         "void hi() {\n"
+         "  util::MutexLock l3(g_b);\n"
+         "  util::MutexLock l4(g_a);\n"
+         "}\n",
+         3,
+         "void lo() {\n"
+         "  util::MutexLock l1(g_a);\n"
+         "  util::MutexLock l2(g_b);\n"
+         "}\n"
+         "void hi() {\n"
+         "  util::MutexLock l3(g_a);\n"
+         "  util::MutexLock l4(g_b);\n"
+         "}\n"},
+        {"interprocedural cycle across files", "src/serve/order2.cpp",
+         "void outer() {\n"
+         "  util::MutexLock l(g_m1);\n"
+         "  grab_m2();\n"
+         "}\n"
+         "void other() {\n"
+         "  util::MutexLock l1(g_m2);\n"
+         "  util::MutexLock l2(g_m1);\n"
+         "}\n",
+         3,
+         "void outer() {\n"
+         "  util::MutexLock l(g_m1);\n"
+         "  grab_m2();\n"
+         "}\n"
+         "void other() {\n"
+         "  util::MutexLock l1(g_m1);\n"
+         "  util::MutexLock l2(g_m2);\n"
+         "}\n",
+         {{"src/serve/locks2.hpp",
+           "util::Mutex g_m1;\nutil::Mutex g_m2;\n"},
+          {"src/serve/grab.cpp",
+           "void grab_m2() {\n  util::MutexLock l(g_m2);\n}\n"}}}}},
+      {"SC911",
+       {{"pool submit under a live lock", "src/serve/push.cpp",
+         "void f() {\n"
+         "  util::MutexLock l(m_);\n"
+         "  pool.submit(task);\n"
+         "}\n",
+         3,
+         "void f() {\n"
+         "  {\n"
+         "    util::MutexLock l(m_);\n"
+         "  }\n"
+         "  pool.submit(task);\n"
+         "}\n"},
+        {"socket write under a live lock", "src/serve/reply.cpp",
+         "void f() {\n"
+         "  util::MutexLock l(m_);\n"
+         "  ::send(fd, buf, n, 0);\n"
+         "}\n",
+         3,
+         "void f() {\n"
+         "  {\n"
+         "    util::MutexLock l(m_);\n"
+         "  }\n"
+         "  ::send(fd, buf, n, 0);\n"
+         "}\n"}}},
+      {"SC912",
+       {{"parallel_for inside a pool task", "src/util/pool_user.cpp",
+         "void f() {\n"
+         "  pool.submit([&] {\n"
+         "    pool.parallel_for(0, n, g);\n"
+         "  });\n"
+         "}\n",
+         3,
+         "void f() {\n"
+         "  pool.parallel_for(0, n, g);\n"
+         "}\n"}}},
+      {"SC913",
+       {{"include reaching up the layer DAG", "src/obs/hook.cpp",
+         "#include \"serve/server.hpp\"\n", 1,
+         "#include \"util/env.hpp\"\n", {},
+         "util < obs < serve\n"}}},
   };
   return kFixtures;
 }
@@ -99,10 +233,12 @@ TEST(SrclintSelfTest, EveryRegisteredCodeHasAFixture) {
 TEST(SrclintSelfTest, EveryPlantedViolationIsDetectedAtItsLine) {
   for (const auto& [code, list] : fixtures()) {
     for (const Fixture& fx : list) {
-      const std::vector<Finding> found = check_source(fx.path, fx.planted);
+      const std::vector<Finding> found = scan_fixture(fx, fx.planted);
       bool hit = false;
       for (const Finding& f : found) {
-        if (f.code == code && f.line == fx.line) hit = true;
+        if (f.code == code && f.line == fx.line && f.path == fx.path) {
+          hit = true;
+        }
         EXPECT_EQ(f.code, code)
             << fx.name << ": stray " << f.code << " in a fixture planted "
             << "for " << code << " (fixtures must be minimal)";
@@ -117,7 +253,7 @@ TEST(SrclintSelfTest, EveryPlantedViolationIsDetectedAtItsLine) {
 TEST(SrclintSelfTest, EveryRepairedTwinScansClean) {
   for (const auto& [code, list] : fixtures()) {
     for (const Fixture& fx : list) {
-      const std::vector<Finding> found = check_source(fx.path, fx.repaired);
+      const std::vector<Finding> found = scan_fixture(fx, fx.repaired);
       EXPECT_TRUE(found.empty())
           << code << " fixture '" << fx.name << "': the repaired twin "
           << "still scans dirty ("
@@ -129,14 +265,18 @@ TEST(SrclintSelfTest, EveryRepairedTwinScansClean) {
 
 TEST(SrclintSelfTest, FindingsCarryRegistryMetadata) {
   // Whatever a rule emits must round-trip through the reporting layer:
-  // a registered code, a title, and a positive 1-based line.
+  // a registered code, a title, a positive 1-based line, and a path that
+  // belongs to the fixture project (cross-file rules may legitimately
+  // anchor on a supporting file).
   for (const auto& [code, list] : fixtures()) {
     for (const Fixture& fx : list) {
-      for (const Finding& f : check_source(fx.path, fx.planted)) {
+      std::set<std::string> paths = {fx.path};
+      for (const auto& [path, text] : fx.extra) paths.insert(path);
+      for (const Finding& f : scan_fixture(fx, fx.planted)) {
         EXPECT_NE(code_title(f.code), nullptr);
         EXPECT_GT(f.line, 0);
         EXPECT_FALSE(f.message.empty());
-        EXPECT_EQ(f.path, fx.path);
+        EXPECT_TRUE(paths.count(f.path) != 0) << f.path;
       }
     }
   }

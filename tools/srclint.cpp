@@ -3,15 +3,24 @@
 //   srclint src tools bench tests          # the CI invocation
 //   srclint --json src > srclint.json      # machine-readable report
 //   srclint --baseline srclint.baseline src
-//   srclint --list-codes                   # the SC901-SC907 registry
+//   srclint --layers srclint.layers src    # explicit layer DAG (defaults
+//                                          # to ./srclint.layers)
+//   srclint --graph lock-order --dot src tools   # Graphviz lock graph
+//   srclint --graph layers --dot src       # strata + observed includes
+//   srclint --list-codes                   # the SC901-SC913 registry
 //
-// Enforces the project-invariant rules documented in DESIGN.md §13: raw
-// synchronization primitives outside util/sync.hpp, environment reads
-// outside the util::env/Context facade, inexact floating-point equality
-// in the numeric kernels, unexplained lint suppressions, unguarded
-// mutable members next to a mutex, and raw threads outside the thread
-// registries. Exit codes are uniform with the other drivers: 0 clean,
-// 1 unreadable input, 2 findings, 3 usage error.
+// Enforces the project-invariant rules documented in DESIGN.md §13-§14.
+// Per-file (SC901-SC908): raw synchronization primitives outside
+// util/sync.hpp, environment reads outside the util::env/Context facade,
+// inexact floating-point equality in the numeric kernels, unexplained
+// lint suppressions, unguarded mutable members next to a mutex, raw
+// threads outside the thread registries, and bare double/float for
+// unit-bearing quantities in public headers. Cross-file (SC910-SC913),
+// over a structural IR of every input at once: lock-acquisition-order
+// cycles (with interprocedural edges), blocking calls under a held
+// MutexLock, thread-pool re-entrancy, and includes that climb the layer
+// DAG declared in srclint.layers. Exit codes are uniform with the other
+// drivers: 0 clean, 1 unreadable input, 2 findings, 3 usage error.
 #include <iostream>
 #include <string>
 #include <vector>
