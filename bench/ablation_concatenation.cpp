@@ -34,12 +34,12 @@ void study(const char* name, const std::vector<netcalc::NodeSpec>& nodes,
              util::format_duration(util::Duration::seconds(sum_delay)),
              util::format_size(util::DataSize::bytes(sum_backlog))});
   t.add_row({"concatenated (pay bursts once)",
-             util::format_duration(m.delay_bound()),
-             util::format_size(m.backlog_bound())});
+             util::format_duration(m.delay_bound().value),
+             util::format_size(m.backlog_bound().value)});
   std::printf("\n-- %s --\n%stightening: delay %.2fx, backlog %.2fx\n", name,
               t.render().c_str(),
-              sum_delay / m.delay_bound().in_seconds(),
-              sum_backlog / m.backlog_bound().in_bytes());
+              sum_delay / m.delay_bound().value.in_seconds(),
+              sum_backlog / m.backlog_bound().value.in_bytes());
 }
 
 }  // namespace

@@ -36,14 +36,14 @@ int main() {
              util::format_duration(without_m.total_latency()),
              util::format_duration(with_m.total_latency() -
                                    without_m.total_latency())});
-  t.add_row({"delay bound d", util::format_duration(with_m.delay_bound()),
-             util::format_duration(without_m.delay_bound()),
-             util::format_duration(with_m.delay_bound() -
-                                   without_m.delay_bound())});
-  t.add_row({"backlog bound x", util::format_size(with_m.backlog_bound()),
-             util::format_size(without_m.backlog_bound()),
-             util::format_size(with_m.backlog_bound() -
-                               without_m.backlog_bound())});
+  t.add_row({"delay bound d", util::format_duration(with_m.delay_bound().value),
+             util::format_duration(without_m.delay_bound().value),
+             util::format_duration(with_m.delay_bound().value -
+                                   without_m.delay_bound().value)});
+  t.add_row({"backlog bound x", util::format_size(with_m.backlog_bound().value),
+             util::format_size(without_m.backlog_bound().value),
+             util::format_size(with_m.backlog_bound().value -
+                               without_m.backlog_bound().value)});
   std::fputs(t.render().c_str(), stdout);
 
   std::printf("\nPer-node collection waits (with aggregation):\n");

@@ -28,14 +28,14 @@ void study(const char* name, const std::vector<netcalc::NodeSpec>& nodes,
   util::Table t({"Bound", "No packetizer", "Per-node packetizer", "inflation"},
                 {util::Align::kLeft, util::Align::kRight, util::Align::kRight,
                  util::Align::kRight});
-  t.add_row({"delay d", util::format_duration(m_off.delay_bound()),
-             util::format_duration(m_on.delay_bound()),
-             bench::versus(m_on.delay_bound().in_seconds(),
-                           m_off.delay_bound().in_seconds())});
-  t.add_row({"backlog x", util::format_size(m_off.backlog_bound()),
-             util::format_size(m_on.backlog_bound()),
-             bench::versus(m_on.backlog_bound().in_bytes(),
-                           m_off.backlog_bound().in_bytes())});
+  t.add_row({"delay d", util::format_duration(m_off.delay_bound().value),
+             util::format_duration(m_on.delay_bound().value),
+             bench::versus(m_on.delay_bound().value.in_seconds(),
+                           m_off.delay_bound().value.in_seconds())});
+  t.add_row({"backlog x", util::format_size(m_off.backlog_bound().value),
+             util::format_size(m_on.backlog_bound().value),
+             bench::versus(m_on.backlog_bound().value.in_bytes(),
+                           m_off.backlog_bound().value.in_bytes())});
   std::printf("\n-- %s --\n%s", name, t.render().c_str());
 }
 

@@ -39,8 +39,8 @@ int run() {
                  util::Align::kRight});
   t.add_row({"NC delay bound d",
              util::format_significant(p.delay_bound_us) + " us",
-             util::format_duration(model.delay_bound()),
-             bench::versus(model.delay_bound().in_micros(),
+             util::format_duration(model.delay_bound().value),
+             bench::versus(model.delay_bound().value.in_micros(),
                            p.delay_bound_us)});
   t.add_row({"Sim longest delay",
              util::format_significant(p.sim_delay_max_us) + " us",
@@ -53,8 +53,8 @@ int run() {
   t.add_separator();
   t.add_row({"NC backlog bound x",
              util::format_significant(p.backlog_bound_kib) + " KiB",
-             util::format_size(model.backlog_bound()),
-             bench::versus(model.backlog_bound().in_kib(),
+             util::format_size(model.backlog_bound().value),
+             bench::versus(model.backlog_bound().value.in_kib(),
                            p.backlog_bound_kib)});
   t.add_row({"Sim max backlog",
              util::format_significant(p.sim_backlog_kib) + " KiB",
@@ -64,8 +64,8 @@ int run() {
 
   std::printf("\nbracketing checks: sim max delay <= bound: %s; "
               "sim max backlog <= bound: %s\n",
-              sim.max_delay <= model.delay_bound() ? "yes" : "NO",
-              sim.max_backlog <= model.backlog_bound() ? "yes" : "NO");
+              sim.max_delay <= model.delay_bound().value ? "yes" : "NO",
+              sim.max_backlog <= model.backlog_bound().value ? "yes" : "NO");
   std::printf("fixed latency component T^tot: %s; offered load: %s\n",
               util::format_duration(model.total_latency()).c_str(),
               util::format_rate(bitw::delay_study_source().rate).c_str());
@@ -106,8 +106,8 @@ int run() {
   std::fputs(r.render().c_str(), stdout);
   std::printf("replicated bracketing: worst delay <= bound: %s; "
               "worst backlog <= bound: %s\n",
-              reps.worst_delay <= model.delay_bound() ? "yes" : "NO",
-              reps.worst_backlog <= model.backlog_bound() ? "yes" : "NO");
+              reps.worst_delay <= model.delay_bound().value ? "yes" : "NO",
+              reps.worst_backlog <= model.backlog_bound().value ? "yes" : "NO");
   return 0;
 }
 

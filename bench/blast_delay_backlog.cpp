@@ -50,8 +50,8 @@ int run() {
                  util::Align::kRight});
   t.add_row({"NC delay bound d",
              util::format_significant(p.delay_bound_ms) + " ms",
-             util::format_duration(job_model.delay_bound()),
-             bench::versus(job_model.delay_bound().in_millis(),
+             util::format_duration(job_model.delay_bound().value),
+             bench::versus(job_model.delay_bound().value.in_millis(),
                            p.delay_bound_ms)});
   t.add_row({"Sim longest delay",
              util::format_significant(p.sim_delay_max_ms) + " ms",
@@ -72,12 +72,12 @@ int run() {
                                         packetized);
   t.add_row({"NC backlog bound x (packetized)",
              util::format_significant(p.backlog_bound_mib) + " MiB",
-             util::format_size(pk_model.backlog_bound()),
-             bench::versus(pk_model.backlog_bound().in_mib(),
+             util::format_size(pk_model.backlog_bound().value),
+             bench::versus(pk_model.backlog_bound().value.in_mib(),
                            p.backlog_bound_mib)});
   t.add_row({"NC backlog bound x (collapsed)", "-",
-             util::format_size(job_model.backlog_bound()),
-             bench::versus(job_model.backlog_bound().in_mib(),
+             util::format_size(job_model.backlog_bound().value),
+             bench::versus(job_model.backlog_bound().value.in_mib(),
                            p.backlog_bound_mib)});
   t.add_row({"Sim max backlog",
              util::format_significant(p.sim_backlog_mib) + " MiB*",
@@ -89,8 +89,8 @@ int run() {
 
   std::printf("\nbracketing checks: sim max delay <= bound: %s; "
               "sim max backlog <= bound: %s\n",
-              sim.max_delay <= job_model.delay_bound() ? "yes" : "NO",
-              sim.max_backlog <= job_model.backlog_bound() ? "yes" : "NO");
+              sim.max_delay <= job_model.delay_bound().value ? "yes" : "NO",
+              sim.max_backlog <= job_model.backlog_bound().value ? "yes" : "NO");
   std::printf("job volume: %s; fixed latency component T^tot: %s\n",
               util::format_size(blast::job_source().job_volume).c_str(),
               util::format_duration(job_model.total_latency()).c_str());
@@ -135,8 +135,8 @@ int run() {
   std::fputs(r.render().c_str(), stdout);
   std::printf("replicated bracketing: worst delay <= bound: %s; "
               "worst backlog <= bound: %s\n",
-              reps.worst_delay <= job_model.delay_bound() ? "yes" : "NO",
-              reps.worst_backlog <= job_model.backlog_bound() ? "yes" : "NO");
+              reps.worst_delay <= job_model.delay_bound().value ? "yes" : "NO",
+              reps.worst_backlog <= job_model.backlog_bound().value ? "yes" : "NO");
   return 0;
 }
 

@@ -30,14 +30,14 @@ int main() {
   util::Table t({"Metric", "Traditional", "Bump in the wire", "improvement"},
                 {util::Align::kLeft, util::Align::kRight, util::Align::kRight,
                  util::Align::kRight});
-  t.add_row({"NC delay bound", util::format_duration(mt.delay_bound()),
-             util::format_duration(mb.delay_bound()),
-             bench::versus(mb.delay_bound().in_seconds(),
-                           mt.delay_bound().in_seconds())});
-  t.add_row({"NC backlog bound", util::format_size(mt.backlog_bound()),
-             util::format_size(mb.backlog_bound()),
-             bench::versus(mb.backlog_bound().in_bytes(),
-                           mt.backlog_bound().in_bytes())});
+  t.add_row({"NC delay bound", util::format_duration(mt.delay_bound().value),
+             util::format_duration(mb.delay_bound().value),
+             bench::versus(mb.delay_bound().value.in_seconds(),
+                           mt.delay_bound().value.in_seconds())});
+  t.add_row({"NC backlog bound", util::format_size(mt.backlog_bound().value),
+             util::format_size(mb.backlog_bound().value),
+             bench::versus(mb.backlog_bound().value.in_bytes(),
+                           mt.backlog_bound().value.in_bytes())});
   t.add_row({"NC fixed latency T^tot",
              util::format_duration(mt.total_latency()),
              util::format_duration(mb.total_latency()),

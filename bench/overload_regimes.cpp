@@ -73,8 +73,8 @@ int main() {
                growth.in_bytes_per_sec() > 0
                    ? util::format_rate(growth)
                    : std::string("0"),
-               m.backlog_bound().is_finite()
-                   ? util::format_size(m.backlog_bound())
+               m.backlog_bound().value.is_finite()
+                   ? util::format_size(m.backlog_bound().value)
                    : std::string("inf"),
                util::format_size(windowed),
                bench::mean_ci(backlog.mean / (1024.0 * 1024.0),

@@ -38,9 +38,9 @@ int main() {
     t.add_row({util::format_significant(sigma_mibps) + " MiB/s",
                util::format_size(shaped.shaper.buffer_bound),
                util::format_duration(shaped.shaper.delay_bound),
-               util::format_duration(shaped.model.delay_bound()),
+               util::format_duration(shaped.model.delay_bound().value),
                util::format_duration(shaped.total_delay_bound()),
-               util::format_size(shaped.model.backlog_bound())});
+               util::format_size(shaped.model.backlog_bound().value)});
   }
   std::fputs(t.render().c_str(), stdout);
   std::printf(
@@ -63,8 +63,8 @@ int main() {
       "bound %s (%s); throughput %s\n",
       sigma, util::format_duration(sim.min_delay).c_str(),
       util::format_duration(sim.max_delay).c_str(),
-      util::format_duration(shaped.model.delay_bound()).c_str(),
-      sim.max_delay <= shaped.model.delay_bound() ? "ok" : "VIOLATED",
+      util::format_duration(shaped.model.delay_bound().value).c_str(),
+      sim.max_delay <= shaped.model.delay_bound().value ? "ok" : "VIOLATED",
       util::format_rate(sim.throughput).c_str());
   return 0;
 }

@@ -1,0 +1,95 @@
+// Microbenchmarks of the stochastic tier (DESIGN.md §15): the theta-domain
+// search, the theta-optimized Chernoff delay/backlog bounds for aggregated
+// on/off and Poisson populations, and the N-sweep aggregation_scaling the
+// `streamcalc stoch` report runs. The costs here gate the serve daemon's
+// per-request budget when admission queries carry an epsilon, so the
+// checked-in BENCH_stoch.json baseline is compared in CI (bench-smoke)
+// with tools/bench_compare.
+//
+// Supports `--json <path>` to emit machine-readable name/value/unit rows
+// (see benchmark_json.hpp).
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "benchmark_json.hpp"
+
+#include "stochcalc/bounds.hpp"
+#include "stochcalc/envelope.hpp"
+#include "stochcalc/service.hpp"
+#include "util/units.hpp"
+
+namespace {
+
+using streamcalc::stochcalc::aggregation_scaling;
+using streamcalc::stochcalc::Arrival;
+using streamcalc::stochcalc::delay_bound;
+using streamcalc::stochcalc::Service;
+using streamcalc::stochcalc::StochasticBound;
+using streamcalc::stochcalc::theta_max;
+using streamcalc::util::DataRate;
+using streamcalc::util::DataSize;
+using streamcalc::util::Duration;
+
+/// One video-ish on/off user: 4 MiB/s bursts, 200 ms on / 800 ms off.
+Arrival per_user() {
+  return Arrival::on_off(DataRate::mib_per_sec(4), Duration::millis(200),
+                         Duration::millis(800), DataSize::kib(16));
+}
+
+/// A server with finite headroom over n users' aggregate mean rate, so
+/// the theta search exercises the finite-boundary regime.
+Service server_for(double n) {
+  return Service::rate_latency(DataRate::mib_per_sec(1.5 * n),
+                               Duration::millis(2));
+}
+
+void BM_ThetaMaxOnOff(benchmark::State& state) {
+  const double n = static_cast<double>(state.range(0));
+  const Arrival a = per_user().aggregate(n);
+  const Service s = server_for(n);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(theta_max(a, s));
+  }
+}
+BENCHMARK(BM_ThetaMaxOnOff)->Arg(1)->Arg(16)->Arg(256);
+
+void BM_DelayBoundOnOff(benchmark::State& state) {
+  const double n = static_cast<double>(state.range(0));
+  const Arrival a = per_user().aggregate(n);
+  const Service s = server_for(n);
+  for (auto _ : state) {
+    const StochasticBound d = delay_bound(a, s, 1e-6);
+    benchmark::DoNotOptimize(d.value);
+  }
+}
+BENCHMARK(BM_DelayBoundOnOff)->Arg(1)->Arg(16)->Arg(256);
+
+void BM_DelayBoundPoisson(benchmark::State& state) {
+  const Arrival a =
+      Arrival::poisson_packets(2000.0, DataSize::kib(16)).aggregate(4.0);
+  const Service s = Service::rate_latency(DataRate::mib_per_sec(256),
+                                          Duration::millis(1));
+  for (auto _ : state) {
+    const StochasticBound d = delay_bound(a, s, 1e-9);
+    benchmark::DoNotOptimize(d.value);
+  }
+}
+BENCHMARK(BM_DelayBoundPoisson);
+
+void BM_AggregationScalingSweep(benchmark::State& state) {
+  const Arrival a = per_user();
+  const Service base = Service::rate_latency(DataRate::mib_per_sec(1.5),
+                                             Duration::millis(2));
+  const std::vector<double> ns = {1.0, 10.0, 100.0, 1000.0};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(aggregation_scaling(a, base, 1e-6, ns));
+  }
+}
+BENCHMARK(BM_AggregationScalingSweep);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return streamcalc::bench::run_benchmarks_main(argc, argv);
+}

@@ -47,11 +47,11 @@ int main() {
   const netcalc::PipelineModel gpu = m.subrange(5, 3);
   std::printf("\nSub-model: transport section (decompose..pcie): delay "
               "bound %s, backlog bound %s\n",
-              util::format_duration(transport.delay_bound()).c_str(),
-              util::format_size(transport.backlog_bound()).c_str());
+              util::format_duration(transport.delay_bound().value).c_str(),
+              util::format_size(transport.backlog_bound().value).c_str());
   std::printf("Sub-model: GPU section (seed_match..ungapped_ext): delay "
               "bound %s, backlog bound %s\n",
-              util::format_duration(gpu.delay_bound()).c_str(),
-              util::format_size(gpu.backlog_bound()).c_str());
+              util::format_duration(gpu.delay_bound().value).c_str(),
+              util::format_size(gpu.backlog_bound().value).c_str());
   return 0;
 }

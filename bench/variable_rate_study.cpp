@@ -63,9 +63,9 @@ int main() {
     t.add_row({util::format_significant(duty * 100) + "%",
                util::format_rate(DataRate::bytes_per_sec(peak)),
                util::format_rate(src.rate),
-               util::format_duration(model.delay_bound()),
+               util::format_duration(model.delay_bound().value),
                util::format_duration(sim.max_delay),
-               util::format_size(model.backlog_bound()),
+               util::format_size(model.backlog_bound().value),
                util::format_size(sim.max_backlog)});
   }
   std::fputs(t.render().c_str(), stdout);

@@ -43,8 +43,8 @@ int run() {
 
     t.add_row({util::format_significant(offered) + " MiB/s",
                to_string(m.load_regime()),
-               m.delay_bound().is_finite()
-                   ? util::format_duration(m.delay_bound())
+               m.delay_bound().value.is_finite()
+                   ? util::format_duration(m.delay_bound().value)
                    : std::string("inf (finite job only)"),
                util::format_rate(sim.throughput),
                util::format_duration(sim.max_delay)});

@@ -90,8 +90,8 @@ int run() {
     std::printf(":  %s\n", util::format_duration(p.delay).c_str());
   }
   std::printf("end-to-end delay bound: %s; total backlog bound: %s\n",
-              util::format_duration(model.delay_bound()).c_str(),
-              util::format_size(model.backlog_bound()).c_str());
+              util::format_duration(model.delay_bound().value).c_str(),
+              util::format_size(model.backlog_bound().value).c_str());
 
   streamsim::SimConfig cfg;
   cfg.horizon = util::Duration::seconds(2);
@@ -104,8 +104,8 @@ int run() {
               util::format_duration(sim.max_delay).c_str(),
               util::format_size(sim.max_backlog).c_str());
   std::printf("within bounds: delay %s, backlog %s\n",
-              sim.max_delay <= model.delay_bound() ? "yes" : "no",
-              sim.max_backlog <= model.backlog_bound() ? "yes" : "no");
+              sim.max_delay <= model.delay_bound().value ? "yes" : "no",
+              sim.max_backlog <= model.backlog_bound().value ? "yes" : "no");
 
   // Branch balance: the video branch carries 60% of the bytes.
   const auto& stats = sim.node_stats;

@@ -180,15 +180,15 @@ int run() {
   t3.add_row({"simulated delivery", util::format_rate(sim.throughput)});
   std::fputs(t3.render().c_str(), stdout);
   std::printf("\nNC delay bound %s vs simulated delays [%s .. %s]\n",
-              util::format_duration(model.delay_bound()).c_str(),
+              util::format_duration(model.delay_bound().value).c_str(),
               util::format_duration(sim.min_delay).c_str(),
               util::format_duration(sim.max_delay).c_str());
   std::printf("NC backlog bound %s vs simulated peak %s\n",
-              util::format_size(model.backlog_bound()).c_str(),
+              util::format_size(model.backlog_bound().value).c_str(),
               util::format_size(sim.max_backlog).c_str());
   std::printf("\nbracketing: delay %s, backlog %s, throughput %s\n",
-              sim.max_delay <= model.delay_bound() ? "ok" : "VIOLATED",
-              sim.max_backlog <= model.backlog_bound() ? "ok" : "VIOLATED",
+              sim.max_delay <= model.delay_bound().value ? "ok" : "VIOLATED",
+              sim.max_backlog <= model.backlog_bound().value ? "ok" : "VIOLATED",
               (sim.throughput <= tb.upper &&
                sim.throughput.in_bytes_per_sec() >=
                    0.95 * tb.lower.in_bytes_per_sec())

@@ -158,14 +158,14 @@ int run() {
               util::format_rate(sim.throughput).c_str());
   std::printf("NC delay bound %s vs simulated [%s .. %s]; NC backlog bound "
               "%s vs simulated %s\n",
-              util::format_duration(model.delay_bound()).c_str(),
+              util::format_duration(model.delay_bound().value).c_str(),
               util::format_duration(sim.min_delay).c_str(),
               util::format_duration(sim.max_delay).c_str(),
-              util::format_size(model.backlog_bound()).c_str(),
+              util::format_size(model.backlog_bound().value).c_str(),
               util::format_size(sim.max_backlog).c_str());
   std::printf("bracketing: delay %s, backlog %s\n",
-              sim.max_delay <= model.delay_bound() ? "ok" : "VIOLATED",
-              sim.max_backlog <= model.backlog_bound() ? "ok" : "VIOLATED");
+              sim.max_delay <= model.delay_bound().value ? "ok" : "VIOLATED",
+              sim.max_backlog <= model.backlog_bound().value ? "ok" : "VIOLATED");
 
   // Sanity: the kernels really find the planted homologies.
   const auto alignments =

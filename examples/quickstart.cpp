@@ -47,9 +47,9 @@ int run() {
   certify::postflight_pipeline("quickstart", model);
   std::printf("regime:        %s\n", to_string(model.load_regime()));
   std::printf("delay bound:   %s\n",
-              util::format_duration(model.delay_bound()).c_str());
+              util::format_duration(model.delay_bound().value).c_str());
   std::printf("backlog bound: %s\n",
-              util::format_size(model.backlog_bound()).c_str());
+              util::format_size(model.backlog_bound().value).c_str());
   const auto tb = model.throughput_bounds(util::Duration::seconds(1));
   std::printf("throughput over 1 s: guaranteed %s, at most %s\n",
               util::format_rate(tb.lower).c_str(),
@@ -68,8 +68,8 @@ int run() {
               util::format_duration(sim.max_delay).c_str(),
               util::format_size(sim.max_backlog).c_str());
   std::printf("within bounds: delay %s, backlog %s\n",
-              sim.max_delay <= model.delay_bound() ? "yes" : "no",
-              sim.max_backlog <= model.backlog_bound() ? "yes" : "no");
+              sim.max_delay <= model.delay_bound().value ? "yes" : "no",
+              sim.max_backlog <= model.backlog_bound().value ? "yes" : "no");
   return 0;
 }
 

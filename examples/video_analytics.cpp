@@ -78,7 +78,7 @@ int run() {
 
   std::printf("\n2) Latency SLA: delay bound %s (fixed component %s — "
               "dominated by GPU batch aggregation)\n",
-              util::format_duration(model.delay_bound()).c_str(),
+              util::format_duration(model.delay_bound().value).c_str(),
               util::format_duration(model.total_latency()).c_str());
   for (const auto& a : model.per_node_analysis()) {
     if (a.aggregation_wait > util::Duration::seconds(0)) {
@@ -103,9 +103,9 @@ int run() {
               "(bound %s), peak occupancy %s (bound %s)\n",
               util::format_rate(sim.throughput).c_str(),
               util::format_duration(sim.max_delay).c_str(),
-              util::format_duration(model.delay_bound()).c_str(),
+              util::format_duration(model.delay_bound().value).c_str(),
               util::format_size(sim.max_backlog).c_str(),
-              util::format_size(model.backlog_bound()).c_str());
+              util::format_size(model.backlog_bound().value).c_str());
   return 0;
 }
 

@@ -150,8 +150,8 @@ Reproduced reproduce() {
   r.nc_lower_mibps = tb.lower.in_mib_per_sec();
   r.des_mibps = sim.throughput.in_mib_per_sec();
   r.queueing_mibps = q.roofline_throughput.in_mib_per_sec();
-  r.delay_bound_us = delay_model.delay_bound().in_micros();
-  r.backlog_bound_kib = delay_model.backlog_bound().in_kib();
+  r.delay_bound_us = delay_model.delay_bound().value.in_micros();
+  r.backlog_bound_kib = delay_model.backlog_bound().value.in_kib();
   for (const netcalc::NodeAnalysis& a : delay_model.per_node_analysis()) {
     StageBound s;
     s.name = a.name;

@@ -147,8 +147,8 @@ Reproduced reproduce() {
   r.nc_lower_mibps = tb.lower.in_mib_per_sec();
   r.des_mibps = sim.throughput.in_mib_per_sec();
   r.queueing_mibps = q.roofline_throughput.in_mib_per_sec();
-  r.delay_bound_ms = job_model.delay_bound().in_millis();
-  r.backlog_bound_mib = pk_model.backlog_bound().in_mib();
+  r.delay_bound_ms = job_model.delay_bound().value.in_millis();
+  r.backlog_bound_mib = pk_model.backlog_bound().value.in_mib();
   r.bound_over_measured = r.nc_lower_mibps / paper().measured_mibps;
   r.bottleneck = ns[model.bottleneck()].name;
   return r;

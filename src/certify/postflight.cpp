@@ -75,10 +75,10 @@ std::vector<BoundCertificate> emit_pipeline_certificates(
   const auto steps = pipeline_steps(model);
   certs.push_back(make_certificate(
       BoundKind::kDelay, "e2e", model.arrival_curve(), model.service_curve(),
-      model.delay_bound().in_seconds(), components, steps));
+      model.delay_bound().value.in_seconds(), components, steps));
   certs.push_back(make_certificate(
       BoundKind::kBacklog, "e2e", model.arrival_curve(),
-      model.service_curve(), model.backlog_bound().in_bytes(), components,
+      model.service_curve(), model.backlog_bound().value.in_bytes(), components,
       steps));
   const auto per_node = model.per_node_analysis();
   for (std::size_t i = 0; i < per_node.size(); ++i) {

@@ -41,6 +41,21 @@ bool parse_port_flag(const std::string& value, int& out) {
   return true;
 }
 
+/// Parses an --epsilon value as a double. Deliberately no range check
+/// here: stochcalc validates epsilon in (0, 1) and throws
+/// PreconditionError, which maps to exit 1 — the same class as every
+/// other semantically-bad input.
+bool parse_epsilon_flag(const std::string& value, double& out) {
+  if (value.empty()) return false;
+  try {
+    std::size_t pos = 0;
+    out = std::stod(value, &pos);
+    return pos == value.size();
+  } catch (const std::exception&) {
+    return false;
+  }
+}
+
 }  // namespace
 
 ParseResult parse_args(int argc, const char* const* argv) {
@@ -54,7 +69,7 @@ ParseResult parse_args(int argc, const char* const* argv) {
   if (i < argc) {
     const std::string first = argv[i];
     if (first == "analyze" || first == "lint" || first == "certify" ||
-        first == "serve") {
+        first == "serve" || first == "stoch") {
       opts.command = first;
       ++i;
     }
@@ -107,6 +122,18 @@ ParseResult parse_args(int argc, const char* const* argv) {
         return result;
       }
       opts.port = port;
+    } else if (arg == "--epsilon") {
+      if (i + 1 >= argc) {
+        result.error = "--epsilon requires a probability argument";
+        return result;
+      }
+      double epsilon = 0.0;
+      if (!parse_epsilon_flag(argv[++i], epsilon)) {
+        result.error = std::string("invalid --epsilon value '") + argv[i] +
+                       "': expected a number";
+        return result;
+      }
+      opts.epsilon = epsilon;
     } else if (arg.size() >= 2 && arg[0] == '-' && arg != "-") {
       result.error = "unknown flag '" + arg + "'";
       return result;
@@ -121,14 +148,20 @@ ParseResult parse_args(int argc, const char* const* argv) {
     result.error = "--socket/--port apply to the serve subcommand only";
     return result;
   }
+  if (opts.epsilon >= 0.0 && opts.command != "analyze" &&
+      opts.command != "stoch") {
+    result.error = "--epsilon applies to the analyze and stoch subcommands";
+    return result;
+  }
   if (opts.paths.empty()) {
     result.error = opts.command == "serve"
                        ? "serve requires at least one catalog spec path"
                        : "missing spec path (use '-' for stdin)";
     return result;
   }
-  if (opts.command == "analyze" && opts.paths.size() != 1) {
-    result.error = "analyze takes exactly one spec path";
+  if ((opts.command == "analyze" || opts.command == "stoch") &&
+      opts.paths.size() != 1) {
+    result.error = opts.command + " takes exactly one spec path";
     return result;
   }
   if (opts.command == "serve") {
@@ -147,6 +180,7 @@ std::string help_text(const std::string& argv0) {
   out += "usage: " + argv0 + " [analyze] <spec|-> [flags]\n";
   out += "       " + argv0 + " lint <spec|->... [flags]\n";
   out += "       " + argv0 + " certify <spec|->... [flags]\n";
+  out += "       " + argv0 + " stoch <spec|-> [flags]\n";
   out += "       " + argv0 +
          " serve (--socket <path> | --port <n>) <spec>... [flags]\n";
   out +=
@@ -155,11 +189,16 @@ std::string help_text(const std::string& argv0) {
       "  analyze   network-calculus bounds report (default)\n"
       "  lint      nclint static model analysis\n"
       "  certify   proof-carrying bound certification\n"
+      "  stoch     stochastic (Chernoff/MGF) bounds and scaling report\n"
       "  serve     admission-control daemon over the spec catalog\n"
       "\n"
       "serve flags:\n"
       "  --socket <path>       bind a unix domain socket at <path>\n"
       "  --port <n>            bind TCP 127.0.0.1:<n> (0 = auto-assign)\n"
+      "\n"
+      "analyze/stoch flags:\n"
+      "  --epsilon <p>         also report P(delay > d) <= p Chernoff\n"
+      "                        bounds (stoch default: 1e-6)\n"
       "\n"
       "flags (all subcommands):\n"
       "  --threads <n|serial>  worker threads; 0 = hardware concurrency\n"

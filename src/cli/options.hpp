@@ -9,6 +9,13 @@
 //   --json                 machine-readable output instead of text
 //   --help, -h             print the shared help table
 //
+// analyze and stoch additionally take --epsilon <p>: report the
+// theta-optimized Chernoff bounds P(delay > d) <= p next to (analyze) or
+// instead of only (stoch) the sure worst-case bounds. A missing value is
+// a usage error (exit 3); a value outside (0, 1) is rejected by the
+// bounds layer (PreconditionError, exit 1) — the flag parser forwards the
+// number verbatim so the validation lives in exactly one place.
+//
 // The serve subcommand additionally takes exactly one of
 // --socket <path> (unix domain socket) or --port <n> (TCP on localhost,
 // 0 = kernel-assigned); its positional arguments are the catalog specs.
@@ -31,12 +38,16 @@ namespace streamcalc::cli {
 
 /// Parsed command line shared by every subcommand.
 struct Options {
-  std::string command = "analyze";  ///< analyze | lint | certify | serve
+  std::string command = "analyze";  ///< analyze|lint|certify|serve|stoch
   std::vector<std::string> paths;   ///< spec files; "-" reads stdin
   bool json = false;                ///< machine-readable output
   bool help = false;                ///< --help / -h was given
   std::string socket_path;          ///< serve: unix socket to bind
   int port = -1;                    ///< serve: TCP port (0 = auto); -1 unset
+  /// Violation probability for analyze/stoch. Negative = not given:
+  /// analyze stays deterministic, stoch uses its default (1e-6). The
+  /// parser does NOT range-check; bad values fail in stochcalc (exit 1).
+  double epsilon = -1.0;
   /// Run configuration: environment settings overridden by flags.
   /// `ctx.stats` / `ctx.trace_path` mirror --stats / --trace.
   util::Context ctx;

@@ -12,19 +12,35 @@ namespace streamcalc::cli {
 /// Runs the network-calculus model (plus the queueing baseline and, if
 /// requested, the simulator) on a parsed spec and renders a full text
 /// report. The Context governs the certify post-flight; the one-argument
-/// overload resolves it from Context::active().
-std::string run_report(const Spec& spec, const util::Context& ctx);
+/// overload resolves it from Context::active(). A non-negative `epsilon`
+/// appends the theta-optimized Chernoff block: P(delay > d) <= epsilon
+/// next to the sure bounds (--epsilon; see netcalc/report.hpp).
+std::string run_report(const Spec& spec, const util::Context& ctx,
+                       double epsilon = -1.0);
 std::string run_report(const Spec& spec);
 
 /// Machine-readable (--json) variant: one JSON object with the model
 /// kind, end-to-end bounds, per-node analysis, and (when the spec enables
 /// it) the simulation cross-check. Non-finite bounds render as null.
-std::string run_report_json(const Spec& spec, const util::Context& ctx);
+/// A non-negative `epsilon` adds a "stochastic" object.
+std::string run_report_json(const Spec& spec, const util::Context& ctx,
+                            double epsilon = -1.0);
+
+/// Stochastic-tier report for a chain spec: the MGF source (explicit
+/// [source] model, or the leaky bucket implied by rate/burst), Chernoff
+/// delay/backlog bounds at `epsilon` vs the sure bounds, and the
+/// aggregation-of-N-users scaling table. Text or JSON (`json`).
+std::string run_stoch_report(const Spec& spec, double epsilon, bool json);
 
 /// CLI driver for `streamcalc analyze <spec>`: reads the single spec in
 /// `opts.paths`, parses it, runs the lint pre-flight, and prints the text
 /// or JSON report. Exit codes: 0 = analyzed, 1 = unreadable, unparseable,
 /// or failed strict pre/post-flight.
 int run_analyze(const Options& opts);
+
+/// CLI driver for `streamcalc stoch <spec>`: like run_analyze but prints
+/// run_stoch_report at opts.epsilon (default 1e-6 when the flag was not
+/// given). Chain specs only — a [topology] DAG is an error (exit 1).
+int run_stoch(const Options& opts);
 
 }  // namespace streamcalc::cli

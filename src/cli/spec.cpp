@@ -362,6 +362,29 @@ Spec parse_spec_impl(std::string_view text, bool validate) {
       if (auto v = keys.take("burst")) spec.source.burst = parse_size(*v);
       if (auto v = keys.take("packet")) spec.source.packet = parse_size(*v);
       if (auto v = keys.take("job")) spec.source.job_volume = parse_size(*v);
+      if (auto v = keys.take("model")) {
+        if (*v != "onoff" && *v != "poisson" && *v != "leaky") {
+          fail("line " + std::to_string(s.line) +
+               ": [source] model must be onoff, poisson, or leaky (got '" +
+               std::string(*v) + "')");
+        }
+        spec.stoch_source.model = *v;
+      }
+      if (auto v = keys.take("users")) {
+        spec.stoch_source.users = parse_number(*v, "users");
+      }
+      if (auto v = keys.take("peak")) {
+        spec.stoch_source.peak = parse_rate(*v);
+      }
+      if (auto v = keys.take("mean_on")) {
+        spec.stoch_source.mean_on = parse_duration(*v);
+      }
+      if (auto v = keys.take("mean_off")) {
+        spec.stoch_source.mean_off = parse_duration(*v);
+      }
+      if (auto v = keys.take("lambda")) {
+        spec.stoch_source.lambda = parse_number(*v, "lambda");
+      }
       keys.finish();
     } else if (s.kind == "node") {
       spec.nodes.push_back(parse_node(s, validate));
@@ -425,6 +448,20 @@ Spec parse_spec_impl(std::string_view text, bool validate) {
     if (spec.is_dag()) spec.dag();  // validate the topology eagerly
     util::require(spec.source.rate > DataRate::bytes_per_sec(0),
                   "spec: [source] rate must be positive");
+    const StochSourceSpec& ss = spec.stoch_source;
+    util::require(ss.users >= 1.0, "spec: [source] users must be >= 1");
+    if (ss.model == "onoff") {
+      util::require(ss.peak > DataRate::bytes_per_sec(0),
+                    "spec: onoff source needs a positive peak rate");
+      util::require(ss.mean_on > util::Duration::seconds(0) &&
+                        ss.mean_off > util::Duration::seconds(0),
+                    "spec: onoff source needs positive mean_on and mean_off");
+    } else if (ss.model == "poisson") {
+      util::require(ss.lambda > 0.0,
+                    "spec: poisson source needs a positive lambda");
+      util::require(spec.source.packet > util::DataSize::bytes(0),
+                    "spec: poisson source needs a positive packet size");
+    }
   }
   return spec;
 }

@@ -7,6 +7,13 @@
 //   burst = 256 KiB
 //   packet = 64 KiB
 //   # job = 25 MiB              # optional finite job volume
+//   # --- optional stochastic source (stoch subcommand, analyze --epsilon)
+//   # model = onoff             # onoff | poisson | leaky
+//   # users = 50                # aggregated i.i.d. users (default 1)
+//   # peak = 4 MiB/s            # onoff: per-user on-state rate
+//   # mean_on = 200 ms          # onoff: mean on-sojourn
+//   # mean_off = 800 ms         # onoff: mean off-sojourn
+//   # lambda = 1200             # poisson: packets per second per user
 //
 //   [node transform]
 //   kind = compute              # compute | network | pcie
@@ -70,9 +77,23 @@ struct AnalysisOptions {
   std::size_t queue_capacity = streamsim::SimConfig::kUnlimitedQueue;
 };
 
+/// Optional stochastic description of the source ([source] model = ...):
+/// the MGF arrival the stoch subcommand and analyze --epsilon evaluate.
+/// `model` empty means the spec declared none; the stochastic reports then
+/// fall back to the leaky bucket implied by (rate, burst).
+struct StochSourceSpec {
+  std::string model;           ///< "" | "onoff" | "poisson" | "leaky"
+  double users = 1.0;          ///< aggregated i.i.d. users
+  util::DataRate peak;         ///< onoff: per-user on-state rate
+  util::Duration mean_on;      ///< onoff: mean on-sojourn
+  util::Duration mean_off;     ///< onoff: mean off-sojourn
+  double lambda = 0.0;         ///< poisson: packets per second per user
+};
+
 /// A fully parsed specification.
 struct Spec {
   netcalc::SourceSpec source;
+  StochSourceSpec stoch_source;
   std::vector<netcalc::NodeSpec> nodes;
   netcalc::ModelPolicy policy;
   AnalysisOptions analysis;

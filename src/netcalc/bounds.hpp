@@ -15,6 +15,8 @@
 #include <optional>
 
 #include "minplus/curve.hpp"
+#include "netcalc/report.hpp"
+#include "stochcalc/envelope.hpp"
 #include "util/units.hpp"
 
 namespace streamcalc::netcalc {
@@ -33,14 +35,47 @@ const char* to_string(Regime r);
 Regime regime(const minplus::Curve& alpha, const minplus::Curve& beta);
 
 /// Backlog bound: maximum data resident in the server. Infinite if
-/// overloaded.
-util::DataSize backlog_bound(const minplus::Curve& alpha,
-                             const minplus::Curve& beta);
+/// overloaded. Always a worst-case report; `.value` is the vertical
+/// deviation the pre-redesign API returned.
+BacklogReport backlog_bound(const minplus::Curve& alpha,
+                            const minplus::Curve& beta);
 
 /// Virtual delay bound: maximum time for the server to emit as much data as
-/// it was sent. Infinite if overloaded.
-util::Duration delay_bound(const minplus::Curve& alpha,
-                           const minplus::Curve& beta);
+/// it was sent. Infinite if overloaded. Always a worst-case report;
+/// `.value` is the horizontal deviation the pre-redesign API returned.
+DelayReport delay_bound(const minplus::Curve& alpha,
+                        const minplus::Curve& beta);
+
+// --- Stochastic (violation-probability) bounds ----------------------------
+//
+// The epsilon overloads answer P(quantity > value) <= epsilon instead of
+// the sure statement. The deterministic curves are relaxed onto the
+// stochastic tier (alpha to its dominating leaky bucket, beta to its
+// rate-latency minorant), the Chernoff bound is theta-optimized, and the
+// result is clamped by the sure deviation bound — whichever is tighter
+// wins, recorded in the report's provenance. Requires epsilon in (0, 1).
+
+BacklogReport backlog_bound(const minplus::Curve& alpha,
+                            const minplus::Curve& beta, double epsilon);
+
+DelayReport delay_bound(const minplus::Curve& alpha,
+                        const minplus::Curve& beta, double epsilon);
+
+/// Stochastic bounds for an explicit MGF arrival model (on/off users,
+/// Poisson packets, aggregates) against a service curve: Chernoff against
+/// beta's rate-latency minorant. No curve-derived clamp is applied (alpha
+/// does not constrain a stochastic source); stochcalc's own sure-envelope
+/// clamp still does.
+DelayReport delay_bound(const stochcalc::Arrival& arrival,
+                        const minplus::Curve& beta, double epsilon);
+
+BacklogReport backlog_bound(const stochcalc::Arrival& arrival,
+                            const minplus::Curve& beta, double epsilon);
+
+/// The tightest leaky bucket dominating a (piecewise-linear) arrival
+/// curve: rate = tail slope, burst = sup_t [alpha(t) - rate*t]. The
+/// bridge from deterministic envelopes into the stochastic tier.
+stochcalc::Arrival dominating_arrival(const minplus::Curve& alpha);
 
 /// Output flow bound alpha* = (alpha (x) gamma) (/) beta. Pass nullopt for
 /// gamma when no maximum service curve is known (gamma = +infinity, so the

@@ -270,11 +270,11 @@ std::vector<DagNodeAnalysis> DagModel::per_node_analysis() const {
 }
 
 util::Duration DagModel::delay_bound_for(std::size_t i) const {
-  return netcalc::delay_bound(arrival_[i], service_[i]);
+  return netcalc::delay_bound(arrival_[i], service_[i]).value;
 }
 
 util::DataSize DagModel::backlog_bound_for(std::size_t i) const {
-  return netcalc::backlog_bound(arrival_[i], service_[i]);
+  return netcalc::backlog_bound(arrival_[i], service_[i]).value;
 }
 
 std::vector<DagPathAnalysis> DagModel::per_path_analysis() const {
@@ -339,24 +339,67 @@ std::vector<DagPathAnalysis> DagModel::per_path_analysis() const {
   return result;
 }
 
-util::Duration DagModel::delay_bound() const {
+DelayReport DagModel::delay_bound() const {
   Duration worst = Duration::seconds(0);
   for (const DagPathAnalysis& p : per_path_analysis()) {
     worst = std::max(worst, p.delay);
   }
-  return worst;
+  return DelayReport::worst_case(worst);
 }
 
-util::DataSize DagModel::backlog_bound() const {
+BacklogReport DagModel::backlog_bound() const {
   double total = 0.0;
   for (std::size_t i = 0; i < dag_.nodes.size(); ++i) {
     const double x = backlog_bound_for(i).in_bytes();
     if (x == std::numeric_limits<double>::infinity()) {
-      return DataSize::infinite();
+      return BacklogReport::worst_case(DataSize::infinite());
     }
     total += x;
   }
-  return DataSize::bytes(total);
+  return BacklogReport::worst_case(DataSize::bytes(total));
+}
+
+DelayReport DagModel::delay_bound(double epsilon) const {
+  util::require(epsilon > 0.0 && epsilon < 1.0,
+                "delay_bound requires epsilon in (0, 1)");
+  DelayReport worst =
+      DelayReport::violation_prob(Duration::seconds(0), epsilon,
+                                  BoundProvenance{BoundMethod::kDetClamp, 0.0});
+  for (const DagPathAnalysis& p : per_path_analysis()) {
+    DelayReport r;
+    if (p.residual_valid) {
+      r = netcalc::delay_bound(p.flow, p.path_service, epsilon);
+    } else {
+      r = DelayReport::violation_prob(
+          Duration::infinite(), epsilon,
+          BoundProvenance{BoundMethod::kChernoff, 0.0});
+    }
+    if (r.value > worst.value) worst = r;
+  }
+  worst.epsilon = epsilon;
+  return worst;
+}
+
+BacklogReport DagModel::backlog_bound(double epsilon) const {
+  util::require(epsilon > 0.0 && epsilon < 1.0,
+                "backlog_bound requires epsilon in (0, 1)");
+  // Union bound: each node at epsilon/n, so the summed statement holds
+  // with probability >= 1 - epsilon.
+  const double per_node =
+      epsilon / static_cast<double>(dag_.nodes.size());
+  double total = 0.0;
+  BoundProvenance prov{BoundMethod::kDetClamp, 0.0};
+  for (std::size_t i = 0; i < dag_.nodes.size(); ++i) {
+    const BacklogReport r =
+        netcalc::backlog_bound(arrival_[i], service_[i], per_node);
+    if (!r.value.is_finite()) {
+      return BacklogReport::violation_prob(DataSize::infinite(), epsilon,
+                                           r.provenance);
+    }
+    if (r.provenance.method == BoundMethod::kChernoff) prov = r.provenance;
+    total += r.value.in_bytes();
+  }
+  return BacklogReport::violation_prob(DataSize::bytes(total), epsilon, prov);
 }
 
 }  // namespace streamcalc::netcalc

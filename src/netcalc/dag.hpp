@@ -97,12 +97,22 @@ class DagModel {
   std::vector<DagNodeAnalysis> per_node_analysis() const;
 
   /// Delay bound along every source-to-sink path (residual concatenation)
-  /// and the end-to-end maximum.
+  /// and the end-to-end maximum (sure worst case).
   std::vector<DagPathAnalysis> per_path_analysis() const;
-  util::Duration delay_bound() const;
+  DelayReport delay_bound() const;
 
-  /// Total backlog bound: sum of per-node bounds (normalized bytes).
-  util::DataSize backlog_bound() const;
+  /// Total backlog bound: sum of per-node bounds (normalized bytes, sure
+  /// worst case).
+  BacklogReport backlog_bound() const;
+
+  /// Per-packet P(delay > value) <= epsilon: the worst path's Chernoff
+  /// bound (flow envelope against the concatenated residual service),
+  /// clamped per path by the sure bound. Requires epsilon in (0, 1).
+  DelayReport delay_bound(double epsilon) const;
+
+  /// P(total backlog > value) <= epsilon: per-node Chernoff bounds at
+  /// epsilon / node-count, union-bounded over the nodes.
+  BacklogReport backlog_bound(double epsilon) const;
 
  private:
   void build();

@@ -228,13 +228,13 @@ const minplus::Curve& IncrementalDag::node_service(std::size_t i) {
 util::Duration IncrementalDag::node_delay(std::size_t i) {
   util::require(i < arrival_.size(), "node index out of range");
   refresh();
-  return netcalc::delay_bound(arrival_[i], service_[i]);
+  return netcalc::delay_bound(arrival_[i], service_[i]).value;
 }
 
 util::DataSize IncrementalDag::node_backlog(std::size_t i) {
   util::require(i < arrival_.size(), "node index out of range");
   refresh();
-  return netcalc::backlog_bound(arrival_[i], service_[i]);
+  return netcalc::backlog_bound(arrival_[i], service_[i]).value;
 }
 
 std::vector<DagPathAnalysis> IncrementalDag::per_path_analysis() {
@@ -319,7 +319,7 @@ util::DataSize IncrementalDag::backlog_bound() {
   double total = 0.0;
   for (std::size_t i = 0; i < dag_.nodes.size(); ++i) {
     const double x =
-        netcalc::backlog_bound(arrival_[i], service_[i]).in_bytes();
+        netcalc::backlog_bound(arrival_[i], service_[i]).value.in_bytes();
     if (x == std::numeric_limits<double>::infinity()) {
       return DataSize::infinite();
     }

@@ -156,12 +156,30 @@ void PipelineModel::build() {
   guaranteed_ = minplus::cached_convolve(arrival_, service_);
 }
 
-Duration PipelineModel::delay_bound() const {
+DelayReport PipelineModel::delay_bound() const {
   return netcalc::delay_bound(arrival_, service_);
 }
 
-DataSize PipelineModel::backlog_bound() const {
+BacklogReport PipelineModel::backlog_bound() const {
   return netcalc::backlog_bound(arrival_, service_);
+}
+
+DelayReport PipelineModel::delay_bound(double epsilon) const {
+  return netcalc::delay_bound(arrival_, service_, epsilon);
+}
+
+BacklogReport PipelineModel::backlog_bound(double epsilon) const {
+  return netcalc::backlog_bound(arrival_, service_, epsilon);
+}
+
+DelayReport PipelineModel::delay_bound(
+    double epsilon, const stochcalc::Arrival& arrival) const {
+  return netcalc::delay_bound(arrival, service_, epsilon);
+}
+
+BacklogReport PipelineModel::backlog_bound(
+    double epsilon, const stochcalc::Arrival& arrival) const {
+  return netcalc::backlog_bound(arrival, service_, epsilon);
 }
 
 ThroughputBounds PipelineModel::throughput_bounds(Duration horizon) const {
@@ -201,8 +219,9 @@ std::vector<NodeAnalysis> PipelineModel::per_node_analysis() const {
         DataRate::bytes_per_sec(node_arrival_[i].tail_slope());
     a.service_rate =
         DataRate::bytes_per_sec(node_service_[i].tail_slope());
-    a.delay = netcalc::delay_bound(node_arrival_[i], node_service_[i]);
-    a.backlog = netcalc::backlog_bound(node_arrival_[i], node_service_[i]);
+    a.delay = netcalc::delay_bound(node_arrival_[i], node_service_[i]).value;
+    a.backlog =
+        netcalc::backlog_bound(node_arrival_[i], node_service_[i]).value;
     a.buffer_bytes = a.backlog * vol_worst_[i];
     a.aggregation_wait = aggregation_wait_[i];
     out.push_back(std::move(a));

@@ -130,11 +130,24 @@ class PipelineModel {
 
   // --- End-to-end bounds ----------------------------------------------------
 
-  /// Maximum virtual delay through the whole pipeline.
-  util::Duration delay_bound() const;
+  /// Maximum virtual delay through the whole pipeline (sure worst case).
+  DelayReport delay_bound() const;
   /// Maximum data occupancy resident anywhere in the pipeline
-  /// (input-normalized bytes).
-  util::DataSize backlog_bound() const;
+  /// (input-normalized bytes, sure worst case).
+  BacklogReport backlog_bound() const;
+  /// P(delay > value) <= epsilon: the theta-optimized Chernoff bound of
+  /// the model's arrival against its end-to-end service, clamped by the
+  /// sure bound (see netcalc/report.hpp). Requires epsilon in (0, 1).
+  DelayReport delay_bound(double epsilon) const;
+  /// P(backlog > value) <= epsilon.
+  BacklogReport backlog_bound(double epsilon) const;
+  /// Stochastic bounds for an explicit MGF source (on/off users, Poisson
+  /// packets, aggregates) flowing through this pipeline's end-to-end
+  /// service, replacing the model's own arrival envelope.
+  DelayReport delay_bound(double epsilon,
+                          const stochcalc::Arrival& arrival) const;
+  BacklogReport backlog_bound(double epsilon,
+                              const stochcalc::Arrival& arrival) const;
   /// The summed latency T^tot of the aggregation recursion — the fixed
   /// component of the delay bound.
   util::Duration total_latency() const { return total_latency_; }

@@ -37,7 +37,7 @@ struct ShapedPipeline {
   /// End-to-end delay bound including the shaper (shaper delay + pipeline
   /// delay of the shaped flow).
   util::Duration total_delay_bound() const {
-    return shaper.delay_bound + model.delay_bound();
+    return shaper.delay_bound + model.delay_bound().value;
   }
 };
 

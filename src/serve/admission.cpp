@@ -57,8 +57,10 @@ minplus::Curve AdmissionEngine::aggregate_arrival(
 }
 
 Decision AdmissionEngine::chain_decision(const ScenarioModel& scenario,
-                                         const std::vector<FlowSpec>& flows) {
+                                         const std::vector<FlowSpec>& flows,
+                                         double epsilon) {
   Decision d;
+  d.epsilon = epsilon;
   if (flows.empty()) {
     d.ok = true;
     d.admitted = true;
@@ -70,15 +72,23 @@ Decision AdmissionEngine::chain_decision(const ScenarioModel& scenario,
   // on (nodes, source, policy), so the load-time curve is the one a fresh
   // build would produce and this single deviation evaluation IS the
   // from-scratch bound.
-  const Duration delay = netcalc::delay_bound(
-      alpha, scenario.chain_model->service_curve());
-  decide(d, delay, min_target(flows));
+  const netcalc::DelayReport report =
+      epsilon > 0.0
+          ? netcalc::delay_bound(alpha,
+                                 scenario.chain_model->service_curve(),
+                                 epsilon)
+          : netcalc::delay_bound(alpha,
+                                 scenario.chain_model->service_curve());
+  decide(d, report.value, min_target(flows));
+  d.kind = report.kind;
   return d;
 }
 
 Decision AdmissionEngine::oracle_chain_decision(
-    const ScenarioModel& scenario, const std::vector<FlowSpec>& flows) {
+    const ScenarioModel& scenario, const std::vector<FlowSpec>& flows,
+    double epsilon) {
   Decision d;
+  d.epsilon = epsilon;
   if (flows.empty()) {
     d.ok = true;
     d.admitted = true;
@@ -88,7 +98,10 @@ Decision AdmissionEngine::oracle_chain_decision(
   const netcalc::PipelineModel model = netcalc::PipelineModel::with_arrival(
       scenario.spec.nodes, scenario.spec.source, scenario.spec.policy,
       aggregate_arrival(flows, scenario.spec.source));
-  decide(d, model.delay_bound(), min_target(flows));
+  const netcalc::DelayReport report =
+      epsilon > 0.0 ? model.delay_bound(epsilon) : model.delay_bound();
+  decide(d, report.value, min_target(flows));
+  d.kind = report.kind;
   return d;
 }
 
@@ -223,6 +236,10 @@ Decision AdmissionEngine::admit(const std::string& tenant_name,
     d.error = "admit requires a positive delay target";
     return d;
   }
+  if (!(flow.epsilon >= 0.0) || flow.epsilon >= 1.0) {
+    d.error = "epsilon must be in [0, 1)";
+    return d;
+  }
 
   const std::shared_ptr<Tenant> tenant = tenant_for(tenant_name);
   util::MutexLock lock(tenant->mutex);
@@ -255,6 +272,19 @@ Decision AdmissionEngine::admit(const std::string& tenant_name,
     d.seq = tenant->seq;
     return d;
   }
+  if (flow.epsilon > 0.0 && scenario->is_dag) {
+    d.error = "epsilon applies to chain scenarios only";
+    d.seq = tenant->seq;
+    return d;
+  }
+  // The shared-FIFO rule bounds every flow by the tenant aggregate, so the
+  // statement being admitted against must be one bound; a tenant's flows
+  // therefore all share one epsilon, fixed by its first admit.
+  if (!tenant->scenario.empty() && flow.epsilon != tenant->epsilon) {
+    d.error = "tenant is bound to a different epsilon";
+    d.seq = tenant->seq;
+    return d;
+  }
 
   // Per-query strict certification: requested explicitly or inherited
   // from the daemon's Context (STREAMCALC_CERTIFY=strict).
@@ -272,7 +302,8 @@ Decision AdmissionEngine::admit(const std::string& tenant_name,
     candidate.reserve(tenant->flows.size() + 1);
     for (const auto& [id, f] : tenant->flows) candidate.push_back(f);
     candidate.push_back(flow);
-    result = chain_decision(*scenario, candidate);
+    result = chain_decision(*scenario, candidate, flow.epsilon);
+    if (flow.epsilon > 0.0) SC_OBS_COUNT("serve.admit.stochastic", 1);
     if (result.ok && strict) {
       // Proof-carrying mode: re-derive and certify every bound of the
       // candidate model with the independent exact-rational checker. A
@@ -294,6 +325,7 @@ Decision AdmissionEngine::admit(const std::string& tenant_name,
   result.epoch = snapshot->epoch();
   if (result.ok && result.admitted) {
     tenant->scenario = bound_scenario;
+    tenant->epsilon = flow.epsilon;
     tenant->flows.emplace(flow_id, flow);
     ++tenant->seq;
     result.changed = true;
@@ -344,9 +376,13 @@ Decision AdmissionEngine::release(const std::string& tenant_name,
       std::vector<FlowSpec> flows;
       flows.reserve(tenant->flows.size());
       for (const auto& [id, f] : tenant->flows) flows.push_back(f);
-      current = chain_decision(*scenario, flows);
+      current = chain_decision(*scenario, flows, tenant->epsilon);
     }
-    if (current.ok) d.delay_bound = current.delay_bound;
+    if (current.ok) {
+      d.delay_bound = current.delay_bound;
+      d.kind = current.kind;
+      d.epsilon = current.epsilon;
+    }
   }
   return d;
 }
@@ -372,6 +408,7 @@ Decision AdmissionEngine::query(const std::string& tenant_name,
   out.scenario = tenant->scenario;
   out.seq = tenant->seq;
   out.epoch = snapshot->epoch();
+  out.epsilon = tenant->epsilon;
   out.flows.assign(tenant->flows.begin(), tenant->flows.end());
   out.delay_bound = Duration::seconds(0.0);
   const ScenarioModel* scenario = snapshot->find(tenant->scenario);
@@ -384,7 +421,7 @@ Decision AdmissionEngine::query(const std::string& tenant_name,
       std::vector<FlowSpec> flows;
       flows.reserve(tenant->flows.size());
       for (const auto& [id, f] : tenant->flows) flows.push_back(f);
-      current = chain_decision(*scenario, flows);
+      current = chain_decision(*scenario, flows, tenant->epsilon);
     }
     if (current.ok) out.delay_bound = current.delay_bound;
   }

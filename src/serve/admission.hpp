@@ -39,6 +39,7 @@
 #include <vector>
 
 #include "netcalc/incremental.hpp"
+#include "netcalc/report.hpp"
 #include "serve/catalog.hpp"
 #include "util/context.hpp"
 #include "util/sync.hpp"
@@ -55,6 +56,13 @@ struct FlowSpec {
   util::DataSize burst;        ///< bucket depth
   util::Duration delay_target; ///< end-to-end delay target
   std::string entry;           ///< DAG entry node name; empty = first entry
+  /// Violation probability the tenant accepts. 0 (the default) demands the
+  /// sure worst-case bound — the pre-existing deterministic admission path,
+  /// bit for bit. A value in (0, 1) admits against the theta-optimized
+  /// Chernoff bound P(delay > bound) <= epsilon instead (chain scenarios
+  /// only; all of a tenant's flows must share one epsilon, since the
+  /// shared-FIFO rule bounds every flow by the aggregate's tail).
+  double epsilon = 0.0;
 };
 
 /// Outcome of an admit/release/query operation.
@@ -62,6 +70,10 @@ struct Decision {
   bool ok = false;          ///< request was well-formed and evaluated
   bool admitted = false;    ///< admit only: candidate accepted
   util::Duration delay_bound;  ///< bound backing the decision (inf allowed)
+  /// What kind of statement `delay_bound` is: a sure worst case, or a
+  /// violation-probability bound at `epsilon`.
+  netcalc::BoundKind kind = netcalc::BoundKind::kWorstCase;
+  double epsilon = 0.0;     ///< violation probability (0 = deterministic)
   std::string error;        ///< when !ok: what was wrong
   std::string reason;       ///< when !admitted: which constraint failed
   std::uint64_t seq = 0;    ///< tenant sequence after this operation
@@ -74,6 +86,7 @@ struct TenantSnapshot {
   std::string scenario;
   std::uint64_t seq = 0;
   std::uint64_t epoch = 0;
+  double epsilon = 0.0;        ///< tenant's bound epsilon (0 = deterministic)
   util::Duration delay_bound;  ///< current aggregate bound (0 if no flows)
   std::vector<std::pair<std::string, FlowSpec>> flows;  ///< sorted by id
 };
@@ -111,14 +124,19 @@ class AdmissionEngine {
 
   /// From-scratch chain decision: full PipelineModel::with_arrival over
   /// the flow set. The engine's cached-beta path must agree bit for bit.
+  /// `epsilon` > 0 evaluates the stochastic admission rule instead.
   static Decision oracle_chain_decision(const ScenarioModel& scenario,
-                                        const std::vector<FlowSpec>& flows);
+                                        const std::vector<FlowSpec>& flows,
+                                        double epsilon = 0.0);
 
  private:
   struct Tenant {
     mutable util::Mutex mutex;
     std::string scenario SC_GUARDED_BY(mutex);
     std::map<std::string, FlowSpec> flows SC_GUARDED_BY(mutex);
+    /// Bound with the scenario on first admit; every later admit must
+    /// carry the same value (0 = deterministic).
+    double epsilon SC_GUARDED_BY(mutex) = 0.0;
     std::uint64_t seq SC_GUARDED_BY(mutex) = 0;
     /// Epoch of the catalog snapshot `dag` (if any) was built against;
     /// a newer snapshot forces a rebuild.
@@ -129,9 +147,11 @@ class AdmissionEngine {
   std::shared_ptr<Tenant> tenant_for(const std::string& name)
       SC_EXCLUDES(mutex_);
 
-  /// Chain decision via the cached end-to-end beta.
+  /// Chain decision via the cached end-to-end beta. `epsilon` > 0 admits
+  /// against the Chernoff bound at that violation probability.
   static Decision chain_decision(const ScenarioModel& scenario,
-                                 const std::vector<FlowSpec>& flows);
+                                 const std::vector<FlowSpec>& flows,
+                                 double epsilon);
 
   /// DAG decision via the tenant's IncrementalDag; `tenant` must be
   /// locked. Rebuilds the incremental state when the epoch moved.

@@ -102,6 +102,8 @@ std::string Client::recv_frame() {
     if (status == FrameDecoder::Status::kFrame) return frame;
     util::require(status != FrameDecoder::Status::kOversized,
                   "oversized reply frame");
+    util::require(status != FrameDecoder::Status::kBadVersion,
+                  "reply frame carries an unsupported protocol version");
     char buf[4096];
     const ssize_t n = ::recv(fd_, buf, sizeof(buf), 0);
     if (n == 0) {

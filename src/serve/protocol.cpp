@@ -11,6 +11,7 @@ std::string encode_frame(const std::string& payload,
   const auto len = static_cast<std::uint32_t>(payload.size());
   std::string out;
   out.reserve(kFrameHeaderBytes + payload.size());
+  out += static_cast<char>(kProtocolVersion);
   out += static_cast<char>((len >> 24) & 0xFF);
   out += static_cast<char>((len >> 16) & 0xFF);
   out += static_cast<char>((len >> 8) & 0xFF);
@@ -25,16 +26,27 @@ void FrameDecoder::feed(const char* data, std::size_t size) {
 }
 
 FrameDecoder::Status FrameDecoder::next(std::string& out) {
-  if (dead_) return Status::kOversized;
-  if (buffer_.size() < kFrameHeaderBytes) return Status::kNeedMore;
+  if (dead_) {
+    return version_error_ ? Status::kBadVersion : Status::kOversized;
+  }
+  if (buffer_.empty()) return Status::kNeedMore;
   const auto b = [&](std::size_t i) {
     return static_cast<std::uint32_t>(static_cast<unsigned char>(buffer_[i]));
   };
+  // Check the version before waiting for a full header: a peer speaking a
+  // different protocol is rejected on its very first byte.
+  if (static_cast<unsigned char>(buffer_[0]) != kProtocolVersion) {
+    dead_ = true;
+    version_error_ = true;
+    bad_version_ = static_cast<unsigned char>(buffer_[0]);
+    return Status::kBadVersion;
+  }
+  if (buffer_.size() < kFrameHeaderBytes) return Status::kNeedMore;
   const std::uint32_t len =
-      (b(0) << 24) | (b(1) << 16) | (b(2) << 8) | b(3);
+      (b(1) << 24) | (b(2) << 16) | (b(3) << 8) | b(4);
   if (len > max_payload_) {
     // Reject on the declared length alone: the payload is never buffered,
-    // so a hostile 4 GiB header costs 4 bytes, not 4 GiB.
+    // so a hostile 4 GiB header costs 5 bytes, not 4 GiB.
     dead_ = true;
     oversized_length_ = len;
     return Status::kOversized;

@@ -1,15 +1,20 @@
 // Length-prefixed frame codec for the admission-control wire protocol.
 //
-// A frame is a 4-byte big-endian payload length followed by that many
-// payload bytes (UTF-8 JSON, see json.hpp). The length counts the payload
-// only. Frames larger than the configured ceiling are a protocol error:
-// the decoder reports kOversized *before* buffering the payload, the
-// server replies with a framed error and closes the connection (an
-// attacker-controlled length must never drive allocation).
+// A frame is a 1-byte protocol version, a 4-byte big-endian payload
+// length, and that many payload bytes (UTF-8 JSON, see json.hpp). The
+// length counts the payload only. The version byte lets the codec evolve
+// without resyncing heuristics: a peer speaking a different framing
+// (including the original unversioned one, whose first byte is the high
+// length octet — 0x00 for any payload under 16 MiB) is detected on the
+// first byte and the connection is closed. Frames larger than the
+// configured ceiling are a protocol error: the decoder reports kOversized
+// *before* buffering the payload, the server replies with a framed error
+// and closes the connection (an attacker-controlled length must never
+// drive allocation).
 //
-//   +----------------+---------------------+
-//   | len: u32 (BE)  | payload[len] bytes  |
-//   +----------------+---------------------+
+//   +----------+----------------+---------------------+
+//   | ver: u8  | len: u32 (BE)  | payload[len] bytes  |
+//   +----------+----------------+---------------------+
 //
 // The decoder is incremental: feed() arbitrary byte chunks as they arrive
 // from the socket, next() pops complete frames in order. A truncated frame
@@ -27,8 +32,14 @@ namespace streamcalc::serve {
 /// few hundred bytes; the ceiling exists to bound memory per connection.
 inline constexpr std::size_t kDefaultMaxFramePayload = std::size_t{1} << 20;
 
-/// Frame header width: the u32 big-endian payload length.
-inline constexpr std::size_t kFrameHeaderBytes = 4;
+/// Wire protocol version carried in every frame header. Version 0x01
+/// introduced the version byte itself together with the optional `epsilon`
+/// admission field (absent = deterministic, the pre-versioning semantics).
+inline constexpr unsigned char kProtocolVersion = 0x01;
+
+/// Frame header width: the version byte plus the u32 big-endian payload
+/// length.
+inline constexpr std::size_t kFrameHeaderBytes = 5;
 
 /// Serializes one frame (header + payload). Requires
 /// payload.size() <= max_payload (throws PreconditionError otherwise —
@@ -44,22 +55,27 @@ class FrameDecoder {
       : max_payload_(max_payload) {}
 
   enum class Status {
-    kFrame,      ///< a complete frame was popped into `out`
-    kNeedMore,   ///< no complete frame buffered yet
-    kOversized,  ///< declared length exceeds the ceiling; decoder is dead
+    kFrame,       ///< a complete frame was popped into `out`
+    kNeedMore,    ///< no complete frame buffered yet
+    kOversized,   ///< declared length exceeds the ceiling; decoder is dead
+    kBadVersion,  ///< unknown version byte; decoder is dead
   };
 
   /// Appends raw bytes received from the transport.
   void feed(const char* data, std::size_t size);
   void feed(const std::string& bytes) { feed(bytes.data(), bytes.size()); }
 
-  /// Pops the next complete frame payload. After kOversized the decoder
-  /// stays in the error state (the connection must be closed; resyncing
-  /// inside a byte stream with a corrupt length is not possible).
+  /// Pops the next complete frame payload. After kOversized or
+  /// kBadVersion the decoder stays in the error state (the connection must
+  /// be closed; resyncing inside a byte stream with a corrupt header is
+  /// not possible).
   Status next(std::string& out);
 
   /// Declared length of the oversized frame (valid after kOversized).
   std::size_t oversized_length() const { return oversized_length_; }
+
+  /// The unrecognized version byte (valid after kBadVersion).
+  unsigned char bad_version() const { return bad_version_; }
 
   /// True when a partial frame (header or payload) is buffered — used to
   /// detect truncated frames at connection teardown.
@@ -69,7 +85,9 @@ class FrameDecoder {
   std::size_t max_payload_;
   std::string buffer_;
   std::size_t oversized_length_ = 0;
+  unsigned char bad_version_ = 0;
   bool dead_ = false;
+  bool version_error_ = false;
 };
 
 }  // namespace streamcalc::serve

@@ -53,6 +53,12 @@ void put_decision(Json::Object& obj, const Decision& d) {
   if (d.ok) {
     obj.emplace("delay_bound", Json(d.delay_bound.in_seconds()));
     obj.emplace("changed", Json(d.changed));
+    // Only stochastic decisions carry the extra fields; deterministic
+    // replies are byte-identical to the pre-epsilon protocol.
+    if (d.epsilon > 0.0) {
+      obj.emplace("epsilon", Json(d.epsilon));
+      obj.emplace("bound_kind", Json(std::string(to_string(d.kind))));
+    }
   } else {
     obj.emplace("error", Json(d.error));
   }
@@ -67,6 +73,8 @@ FlowSpec flow_from_request(const Json& req) {
   flow.burst = util::DataSize::bytes(req.number_or("burst", 0.0));
   flow.delay_target = util::Duration::seconds(req.number_or("target", 0.0));
   flow.entry = req.string_or("entry", "");
+  // Absent (the common case) means 0: the deterministic admission path.
+  flow.epsilon = req.number_or("epsilon", 0.0);
   return flow;
 }
 
@@ -239,6 +247,20 @@ void Server::serve_connection(std::size_t slot, int fd) {
               .dump();
       (void)send_all(fd, encode_frame(reply, config_.max_frame));
       break;  // the stream cannot be resynced past a corrupt length
+    }
+    if (status == FrameDecoder::Status::kBadVersion) {
+      protocol_errors_.fetch_add(1);
+      SC_OBS_COUNT("serve.request.protocol_error", 1);
+      const std::string reply =
+          error_reply("unsupported protocol version " +
+                      std::to_string(
+                          static_cast<unsigned>(decoder.bad_version())) +
+                      "; this server speaks version " +
+                      std::to_string(
+                          static_cast<unsigned>(kProtocolVersion)))
+              .dump();
+      (void)send_all(fd, encode_frame(reply, config_.max_frame));
+      break;  // ditto: no resync past a corrupt header
     }
   }
   if (decoder.mid_frame()) {

@@ -74,13 +74,21 @@ class Runner {
         config_(config),
         rng_(config.seed),
         output_trace_(config.max_trace_samples),
-        backlog_trace_(config.max_trace_samples) {
+        backlog_trace_(config.max_trace_samples),
+        delay_trace_(config.max_trace_samples) {
     util::require(!nodes_.empty(), "simulate requires at least one node");
     util::require(config_.horizon > Duration::seconds(0) &&
                       config_.horizon.is_finite(),
                   "simulate requires a positive finite horizon");
     util::require(source_.rate > DataRate::bytes_per_sec(0),
                   "simulate requires a positive source rate");
+    if (config_.onoff_users > 0) {
+      util::require(config_.onoff_peak > DataRate::bytes_per_sec(0),
+                    "on/off sources require a positive peak rate");
+      util::require(config_.onoff_mean_on > Duration::seconds(0) &&
+                        config_.onoff_mean_off > Duration::seconds(0),
+                    "on/off sources require positive mean sojourns");
+    }
     for (const NodeSpec& n : nodes_) n.validate();
     if (!config_.rate_profile.empty()) {
       util::require(config_.rate_profile.front().first == 0.0,
@@ -110,7 +118,13 @@ class Runner {
   }
 
   SimResult run() {
-    sim_.spawn(source_process());
+    if (config_.onoff_users > 0) {
+      for (std::size_t u = 0; u < config_.onoff_users; ++u) {
+        sim_.spawn(onoff_source_process(u));
+      }
+    } else {
+      sim_.spawn(source_process());
+    }
     for (std::size_t i = 0; i < nodes_.size(); ++i) {
       sim_.spawn(node_process(i));
     }
@@ -132,6 +146,7 @@ class Runner {
     r.packets_delivered = packets_delivered_;
     r.output_trace = output_trace_.take();
     r.backlog_trace = backlog_trace_.take();
+    r.delay_trace = delay_trace_.take();
     for (std::size_t i = 0; i < nodes_.size(); ++i) {
       NodeStats s;
       s.name = nodes_[i].name;
@@ -211,6 +226,35 @@ class Runner {
     adjust_backlog(bytes);
     adjust_queue(0, bytes);
     return queues_.front()->put(Packet{bytes, bytes, sim_.now()});
+  }
+
+  /// One on/off user: exponential silences and on-periods; while on, a
+  /// whole packet is released after each accumulation window of `packet`
+  /// bytes at the peak rate, and the partial window at the on->off switch
+  /// is discarded (the fluid envelope in stochcalc dominates this source).
+  /// User RNG streams are split off a 1000+ base so they never collide
+  /// with the per-node streams (split(i + 1)).
+  des::Process onoff_source_process(std::size_t user) {
+    Xoshiro256 rng = rng_.split(1000 + user);
+    const double packet_bytes =
+        source_.packet > DataSize::bytes(0)
+            ? source_.packet.in_bytes()
+            : nodes_.front().block_in.in_bytes();
+    const double window =
+        packet_bytes / config_.onoff_peak.in_bytes_per_sec();
+    const double mean_on = config_.onoff_mean_on.in_seconds();
+    const double mean_off = config_.onoff_mean_off.in_seconds();
+    for (;;) {
+      co_await sim_.timeout(rng.exponential(mean_off));
+      double on_left = rng.exponential(mean_on);
+      while (on_left >= window) {
+        co_await sim_.timeout(window);
+        on_left -= window;
+        co_await emit_source_packet(packet_bytes);
+      }
+      // Partial accumulation window: sojourn ends mid-packet, bytes lost.
+      co_await sim_.timeout(on_left);
+    }
   }
 
   des::Process node_process(std::size_t i) {
@@ -326,6 +370,7 @@ class Runner {
         measured_input_bytes_ += p.input_bytes;
         delays_.add(sim_.now() - p.created_at);
       }
+      delay_trace_.record(sim_.now(), sim_.now() - p.created_at);
       adjust_backlog(-p.input_bytes);
       output_trace_.record(sim_.now(), delivered_input_bytes_);
     }
@@ -352,6 +397,7 @@ class Runner {
   des::Tally delays_;
   Trace output_trace_;
   Trace backlog_trace_;
+  Trace delay_trace_;
 };
 
 /// Deterministic weighted round-robin over a set of destinations: each
@@ -406,13 +452,16 @@ class DagRunner {
         config_(config),
         rng_(config.seed),
         output_trace_(config.max_trace_samples),
-        backlog_trace_(config.max_trace_samples) {
+        backlog_trace_(config.max_trace_samples),
+        delay_trace_(config.max_trace_samples) {
     dag_.validate();
     util::require(config_.horizon > Duration::seconds(0) &&
                       config_.horizon.is_finite(),
                   "simulate_dag requires a positive finite horizon");
     util::require(source_.rate > DataRate::bytes_per_sec(0),
                   "simulate_dag requires a positive source rate");
+    util::require(config_.onoff_users == 0,
+                  "on/off sources apply to chain simulations only");
 
     const std::size_t n = dag_.nodes.size();
     for (std::size_t i = 0; i <= n; ++i) {  // index n = sink
@@ -476,6 +525,7 @@ class DagRunner {
     r.packets_delivered = packets_delivered_;
     r.output_trace = output_trace_.take();
     r.backlog_trace = backlog_trace_.take();
+    r.delay_trace = delay_trace_.take();
     for (std::size_t i = 0; i < dag_.nodes.size(); ++i) {
       NodeStats s;
       s.name = dag_.nodes[i].name;
@@ -645,6 +695,7 @@ class DagRunner {
         measured_input_bytes_ += p.input_bytes;
         delays_.add(sim_.now() - p.created_at);
       }
+      delay_trace_.record(sim_.now(), sim_.now() - p.created_at);
       adjust_backlog(-p.input_bytes);
       output_trace_.record(sim_.now(), delivered_input_bytes_);
     }
@@ -673,6 +724,7 @@ class DagRunner {
   des::Tally delays_;
   Trace output_trace_;
   Trace backlog_trace_;
+  Trace delay_trace_;
 };
 
 }  // namespace

@@ -67,6 +67,18 @@ struct SimConfig {
   bool poisson_arrivals = false;
   /// Cap on recorded trace samples (traces are thinned beyond this).
   std::size_t max_trace_samples = 4096;
+  /// Markov-modulated on/off source population (chain simulate() only):
+  /// when `onoff_users` > 0 the constant-rate source is replaced by that
+  /// many independent on/off users, each alternating exponential silences
+  /// (mean `onoff_mean_off`) and exponential on-periods (mean
+  /// `onoff_mean_on`) during which it emits whole source-packet-sized
+  /// packets at rate `onoff_peak`; the partial accumulation window at an
+  /// on->off switch is discarded. This is the DES twin of
+  /// stochcalc::Arrival::on_off for the tail-quantile oracle.
+  std::size_t onoff_users = 0;
+  util::DataRate onoff_peak;
+  util::Duration onoff_mean_on;
+  util::Duration onoff_mean_off;
   /// Optional piecewise-constant source-rate profile: (start_seconds,
   /// bytes/s), each rate holding until the next entry (the last holds to
   /// the horizon). Empty = the constant SourceSpec rate. Pair with
@@ -98,6 +110,10 @@ struct SimResult {
   std::vector<std::pair<double, double>> output_trace;
   /// System backlog over time (t seconds, normalized bytes).
   std::vector<std::pair<double, double>> backlog_trace;
+  /// Per-delivery end-to-end delay (t seconds, delay seconds), thinned to
+  /// max_trace_samples like the other traces — the empirical delay
+  /// distribution the stochastic-bound oracle takes tail quantiles of.
+  std::vector<std::pair<double, double>> delay_trace;
   std::vector<NodeStats> node_stats;
 };
 

@@ -251,8 +251,10 @@ Scenario ScenarioGenerator::next() {
     const double avg = rng_.uniform(60.0, 400.0);  // MiB/s
     const double spread =
         config_.markovian ? 1.0 : rng_.uniform(1.05, 1.6);
+    std::string name = "s";
+    name += std::to_string(i);
     netcalc::NodeSpec node = netcalc::NodeSpec::from_rates(
-        "s" + std::to_string(i), netcalc::NodeKind::kCompute, block,
+        std::move(name), netcalc::NodeKind::kCompute, block,
         DataRate::mib_per_sec(avg / spread), DataRate::mib_per_sec(avg),
         DataRate::mib_per_sec(avg * spread));
     if (config_.volume_changes && !config_.markovian &&

@@ -68,7 +68,7 @@ OracleReport check_bounds_dominate(const std::vector<NodeSpec>& nodes,
 
   if (regime == netcalc::Regime::kUnderloaded) {
     // Delay: the bound must dominate the worst replication's worst packet.
-    const double bound_d = model.delay_bound().in_seconds();
+    const double bound_d = model.delay_bound().value.in_seconds();
     const double worst_d = summary.worst_delay.in_seconds();
     report.context.push_back(kv("delay_bound_s", bound_d) + " " +
                              kv("worst_sim_delay_s", worst_d));
@@ -80,7 +80,7 @@ OracleReport check_bounds_dominate(const std::vector<NodeSpec>& nodes,
     }
 
     // Backlog: same, against peak system occupancy.
-    const double bound_b = model.backlog_bound().in_bytes();
+    const double bound_b = model.backlog_bound().value.in_bytes();
     const double worst_b = summary.worst_backlog.in_bytes();
     report.context.push_back(kv("backlog_bound_B", bound_b) + " " +
                              kv("worst_sim_backlog_B", worst_b));

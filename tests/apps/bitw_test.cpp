@@ -72,12 +72,12 @@ TEST(BitwModel, Table3ThroughputRelationships) {
 TEST(BitwModel, DelayAndBacklogBounds) {
   const netcalc::PipelineModel m(nodes(), delay_study_source(), policy());
   const PaperNumbers p = paper();
-  EXPECT_NEAR(m.delay_bound().in_micros(), p.delay_bound_us,
+  EXPECT_NEAR(m.delay_bound().value.in_micros(), p.delay_bound_us,
               0.05 * p.delay_bound_us);
   // Same order as the paper's 3 KiB (their value is rounded up; ours is
   // the exact closed form b + R*T).
-  EXPECT_GT(m.backlog_bound().in_kib(), 1.5);
-  EXPECT_LT(m.backlog_bound().in_kib(), 3.5);
+  EXPECT_GT(m.backlog_bound().value.in_kib(), 1.5);
+  EXPECT_LT(m.backlog_bound().value.in_kib(), 3.5);
 }
 
 TEST(BitwSim, ThrottledSimulationMatchesPaperRow) {
@@ -90,8 +90,8 @@ TEST(BitwSim, DelayStudyBracketedByBounds) {
   const auto ns = nodes();
   const auto r = streamsim::simulate(ns, delay_study_source(), sim_config());
   const netcalc::PipelineModel m(ns, delay_study_source(), policy());
-  EXPECT_LE(r.max_delay, m.delay_bound());
-  EXPECT_LE(r.max_backlog, m.backlog_bound());
+  EXPECT_LE(r.max_delay, m.delay_bound().value);
+  EXPECT_LE(r.max_backlog, m.backlog_bound().value);
   // Observed delay band resembles the paper's 25.7-36.7 us.
   EXPECT_GT(r.min_delay.in_micros(), 15.0);
   EXPECT_LT(r.max_delay.in_micros(), 38.0);
@@ -109,7 +109,7 @@ TEST(BitwModel, TraditionalDeploymentAddsPcieHops) {
   // The extra hops add latency: end-to-end delay bound grows.
   const netcalc::PipelineModel mt(trad, delay_study_source(), policy());
   const netcalc::PipelineModel mb(bump, delay_study_source(), policy());
-  EXPECT_GT(mt.delay_bound(), mb.delay_bound());
+  EXPECT_GT(mt.delay_bound().value, mb.delay_bound().value);
   EXPECT_GT(mt.total_latency(), mb.total_latency());
 }
 
@@ -154,8 +154,9 @@ TEST(BitwModel, StaircaseArrivalSurvivesPipelineWithoutPieceExplosion) {
     }
   }
   // The staircase also goes through the end-to-end bounds cleanly.
-  const auto delay = netcalc::delay_bound(staircase, m.service_curve());
-  const auto backlog = netcalc::backlog_bound(staircase, m.service_curve());
+  const auto delay = netcalc::delay_bound(staircase, m.service_curve()).value;
+  const auto backlog =
+      netcalc::backlog_bound(staircase, m.service_curve()).value;
   EXPECT_GT(delay.in_seconds(), 0.0);
   EXPECT_TRUE(delay.is_finite());
   EXPECT_GT(backlog.in_bytes(), 0.0);

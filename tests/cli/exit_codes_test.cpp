@@ -16,6 +16,8 @@
 #include "cli/certify.hpp"
 #include "cli/lint.hpp"
 #include "cli/options.hpp"
+#include "cli/report.hpp"
+#include "cli/spec.hpp"
 #include "serve/catalog.hpp"
 #include "serve/run.hpp"
 #include "serve/server.hpp"
@@ -191,6 +193,102 @@ TEST(ServeExitCodes, DuplicateBindExitsOne) {
       serve::run_serve(serve_options(sock, {example_spec("quickstart.scspec")})),
       1);
   first.stop();
+}
+
+// --- stoch / analyze --epsilon: usage errors are parse errors (exit 3);
+// --- a parseable but out-of-range epsilon is a semantic error (exit 1) --
+
+Options stoch_options(const std::string& path, double epsilon = -1.0) {
+  Options opts;
+  opts.command = "stoch";
+  opts.paths = {path};
+  opts.epsilon = epsilon;
+  return opts;
+}
+
+TEST(StochCli, HelpDocumentsEpsilon) {
+  const ParseResult r = parse({"stoch", "--help"});
+  ASSERT_TRUE(r.ok()) << r.error;
+  EXPECT_TRUE(r.options.help);
+  EXPECT_EQ(r.options.command, "stoch");
+  EXPECT_NE(help_text("streamcalc").find("--epsilon"), std::string::npos);
+  EXPECT_NE(help_text("streamcalc").find("stoch"), std::string::npos);
+}
+
+TEST(StochCli, UsageErrorsAreParseErrors) {
+  // Missing spec path.
+  EXPECT_FALSE(parse({"stoch"}).ok());
+  // More than one spec path.
+  EXPECT_FALSE(parse({"stoch", "a.scspec", "b.scspec"}).ok());
+  // --epsilon missing its value.
+  EXPECT_FALSE(parse({"stoch", "--epsilon"}).ok());
+  EXPECT_FALSE(parse({"analyze", "--epsilon"}).ok());
+  // --epsilon with a non-numeric value.
+  EXPECT_FALSE(parse({"stoch", "--epsilon", "tiny", "spec"}).ok());
+  // --epsilon on subcommands that have no stochastic path.
+  EXPECT_FALSE(parse({"lint", "--epsilon", "0.1", "spec"}).ok());
+  EXPECT_FALSE(parse({"certify", "--epsilon", "0.1", "spec"}).ok());
+  EXPECT_FALSE(parse({"serve", "--epsilon", "0.1", "--port", "0", "s"}).ok());
+}
+
+TEST(StochCli, EpsilonValuesParseWithoutRangeChecking) {
+  // The parser forwards the number verbatim; range validation lives in
+  // the bounds layer (exit 1), not the flag parser (exit 3).
+  const ParseResult r = parse({"stoch", "--epsilon", "1.5", "spec"});
+  ASSERT_TRUE(r.ok()) << r.error;
+  EXPECT_EQ(r.options.epsilon, 1.5);
+  const ParseResult a = parse({"analyze", "--epsilon", "1e-9", "spec"});
+  ASSERT_TRUE(a.ok()) << a.error;
+  EXPECT_EQ(a.options.epsilon, 1e-9);
+}
+
+TEST(StochExitCodes, CleanChainSpecExitsZero) {
+  EXPECT_EQ(run_stoch(stoch_options(example_spec("quickstart.scspec"))), 0);
+  EXPECT_EQ(run_stoch(stoch_options(example_spec("quickstart.scspec"), 1e-3)),
+            0);
+  // The shipped explicit-[source] spec exercises the on/off Chernoff path.
+  EXPECT_EQ(run_stoch(stoch_options(example_spec("onoff_users.scspec"))), 0);
+  Options analyze = stoch_options(example_spec("quickstart.scspec"), 1e-6);
+  analyze.command = "analyze";
+  EXPECT_EQ(run_analyze(analyze), 0);
+}
+
+TEST(StochExitCodes, SpecStochasticBoundsNeverExceedTheSureBounds) {
+  // A spec's [source] rate/burst is a shaping contract the traffic also
+  // satisfies, so the report clamps explicit-model stochastic bounds by
+  // the deterministic ones: for onoff_users.scspec (where the Chernoff
+  // bound at 1e-6 is looser than the sure bound) the rendered stochastic
+  // column must fall back to det_clamp, with the pure-MGF multiplexing
+  // sweep still present.
+  std::ifstream in(example_spec("onoff_users.scspec"));
+  std::stringstream buf;
+  buf << in.rdbuf();
+  const std::string text =
+      run_stoch_report(parse_spec(buf.str()), 1e-6, /*json=*/false);
+  EXPECT_NE(text.find("det_clamp"), std::string::npos) << text;
+  EXPECT_NE(text.find("aggregation scaling"), std::string::npos) << text;
+}
+
+TEST(StochExitCodes, OutOfRangeEpsilonExitsOne) {
+  EXPECT_EQ(run_stoch(stoch_options(example_spec("quickstart.scspec"), 1.5)),
+            1);
+  EXPECT_EQ(run_stoch(stoch_options(example_spec("quickstart.scspec"), 0.0)),
+            1);
+  Options analyze = stoch_options(example_spec("quickstart.scspec"), 2.0);
+  analyze.command = "analyze";
+  EXPECT_EQ(run_analyze(analyze), 1);
+}
+
+TEST(StochExitCodes, DagSpecExitsOne) {
+  // The stoch report is chain-only (matching serve's epsilon contract).
+  EXPECT_EQ(run_stoch(stoch_options(example_spec("fork_join.scspec"))), 1);
+}
+
+TEST(StochExitCodes, UnreadableAndUnparseableExitOne) {
+  EXPECT_EQ(run_stoch(stoch_options("/nonexistent/no_such.scspec")), 1);
+  const std::string bogus = write_temp("stoch_bogus", "[nope\n");
+  EXPECT_EQ(run_stoch(stoch_options(bogus)), 1);
+  std::remove(bogus.c_str());
 }
 
 // --- srclint: same uniform contract (0 clean, 1 bad input, 2 findings,

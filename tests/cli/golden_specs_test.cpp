@@ -39,7 +39,7 @@ TEST(GoldenSpecs, BitwReproducesHeadlineNumbers) {
   const netcalc::PipelineModel model(spec.nodes, spec.source, spec.policy);
   // The CLI spec mirrors apps::bitw: same delay bound (38.4 us) and
   // bottleneck.
-  EXPECT_NEAR(model.delay_bound().in_micros(), 38.4, 1.0);
+  EXPECT_NEAR(model.delay_bound().value.in_micros(), 38.4, 1.0);
   EXPECT_EQ(spec.nodes[model.bottleneck()].name, "encrypt");
 }
 

@@ -48,8 +48,10 @@ Scenario random_scenario(std::uint64_t seed) {
     const double spread = rng.uniform(1.05, 1.6);  // max/min ratio around avg
     const double lo = avg / spread;
     const double hi = avg * spread;
+    std::string name = "s";
+    name += std::to_string(i);
     sc.nodes.push_back(NodeSpec::from_rates(
-        "s" + std::to_string(i), NodeKind::kCompute, block,
+        std::move(name), NodeKind::kCompute, block,
         DataRate::mib_per_sec(lo), DataRate::mib_per_sec(avg),
         DataRate::mib_per_sec(hi)));
     min_rate = std::min(min_rate, lo);
@@ -76,12 +78,12 @@ TEST_P(BoundsVsSim, TrajectoryWithinBounds) {
 
   // Delay: every observed per-packet delay below the NC bound.
   EXPECT_LE(r.max_delay.in_seconds(),
-            model.delay_bound().in_seconds() + 1e-9)
+            model.delay_bound().value.in_seconds() + 1e-9)
       << "seed " << GetParam();
 
   // Backlog: peak system occupancy below the NC bound.
   EXPECT_LE(r.max_backlog.in_bytes(),
-            model.backlog_bound().in_bytes() + 1.0)
+            model.backlog_bound().value.in_bytes() + 1.0)
       << "seed " << GetParam();
 
   // Trajectory: cumulative output R*(t) obeys
@@ -133,8 +135,10 @@ Scenario random_rich_scenario(std::uint64_t seed) {
   for (int i = 0; i < n; ++i) {
     const double avg = rng.uniform(80.0, 300.0);
     const double spread = rng.uniform(1.05, 1.4);
+    std::string name = "s";
+    name += std::to_string(i);
     NodeSpec node = NodeSpec::from_rates(
-        "s" + std::to_string(i), NodeKind::kCompute, 64_KiB,
+        std::move(name), NodeKind::kCompute, 64_KiB,
         DataRate::mib_per_sec(avg / spread), DataRate::mib_per_sec(avg),
         DataRate::mib_per_sec(avg * spread));
     if (rng.uniform01() < 0.4) {
@@ -176,10 +180,10 @@ TEST_P(BoundsVsSim, RichScenarioWithinBoundsDeterministically) {
   cfg.seed = static_cast<std::uint64_t>(GetParam()) + 5;
   const SimResult r = streamsim::simulate(sc.nodes, sc.source, cfg);
   EXPECT_LE(r.max_delay.in_seconds(),
-            model.delay_bound().in_seconds() + 1e-9)
+            model.delay_bound().value.in_seconds() + 1e-9)
       << "seed " << GetParam();
   EXPECT_LE(r.max_backlog.in_bytes(),
-            model.backlog_bound().in_bytes() + 1.0)
+            model.backlog_bound().value.in_bytes() + 1.0)
       << "seed " << GetParam();
 }
 

@@ -34,18 +34,18 @@ TEST(Bounds, RegimeToString) {
 
 TEST(Bounds, BacklogClosedForm) {
   // x = b + R_a * T = 3 + 2*1.
-  EXPECT_DOUBLE_EQ(backlog_bound(alpha(), beta()).in_bytes(), 5.0);
+  EXPECT_DOUBLE_EQ(backlog_bound(alpha(), beta()).value.in_bytes(), 5.0);
 }
 
 TEST(Bounds, DelayClosedForm) {
   // d = T + b / R_b = 1 + 3/5.
-  EXPECT_DOUBLE_EQ(delay_bound(alpha(), beta()).in_seconds(), 1.6);
+  EXPECT_DOUBLE_EQ(delay_bound(alpha(), beta()).value.in_seconds(), 1.6);
 }
 
 TEST(Bounds, OverloadedBoundsAreInfinite) {
   const Curve a = Curve::affine(6.0, 1.0);
-  EXPECT_FALSE(backlog_bound(a, beta()).is_finite());
-  EXPECT_FALSE(delay_bound(a, beta()).is_finite());
+  EXPECT_FALSE(backlog_bound(a, beta()).value.is_finite());
+  EXPECT_FALSE(delay_bound(a, beta()).value.is_finite());
 }
 
 TEST(Bounds, OutputBoundWithoutGamma) {
@@ -117,7 +117,7 @@ TEST(Bounds, BacklogAtFiniteHorizonIsFiniteEvenWhenOverloaded) {
 
 TEST(Bounds, BacklogAtMatchesAsymptoticBoundWhenStable) {
   // For an underloaded server the windowed estimate saturates at the bound.
-  const DataSize asym = backlog_bound(alpha(), beta());
+  const DataSize asym = backlog_bound(alpha(), beta()).value;
   const DataSize windowed = backlog_at(alpha(), beta(), Duration::seconds(100));
   EXPECT_DOUBLE_EQ(windowed.in_bytes(), asym.in_bytes());
 }

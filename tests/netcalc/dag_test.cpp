@@ -112,9 +112,9 @@ TEST(DagModel, ChainMatchesPipelineModelBounds) {
   // The DAG's max-path delay is close to the chain's end-to-end bound
   // (identical latency structure; the DAG pays per-edge packet steps, so
   // allow a modest gap).
-  EXPECT_NEAR(dag_model.delay_bound().in_seconds(),
-              chain_model.delay_bound().in_seconds(),
-              0.5 * chain_model.delay_bound().in_seconds());
+  EXPECT_NEAR(dag_model.delay_bound().value.in_seconds(),
+              chain_model.delay_bound().value.in_seconds(),
+              0.5 * chain_model.delay_bound().value.in_seconds());
 }
 
 TEST(DagModel, ForkJoinArrivalsSumAtTheJoin) {
@@ -134,8 +134,8 @@ TEST(DagModel, ForkJoinBoundsFiniteWhenUnderloaded) {
     EXPECT_TRUE(a.delay.is_finite()) << a.name;
     EXPECT_TRUE(a.backlog.is_finite()) << a.name;
   }
-  EXPECT_TRUE(m.delay_bound().is_finite());
-  EXPECT_TRUE(m.backlog_bound().is_finite());
+  EXPECT_TRUE(m.delay_bound().value.is_finite());
+  EXPECT_TRUE(m.backlog_bound().value.is_finite());
 }
 
 TEST(DagModel, PathDelaysCoverBothBranches) {
@@ -146,7 +146,7 @@ TEST(DagModel, PathDelaysCoverBothBranches) {
     EXPECT_TRUE(p.delay.is_finite());
     EXPECT_GT(p.delay.in_seconds(), 0.0);
   }
-  EXPECT_EQ(m.delay_bound(),
+  EXPECT_EQ(m.delay_bound().value,
             std::max(paths[0].delay, paths[1].delay));
 }
 
@@ -158,7 +158,7 @@ TEST(DagModel, OverloadedBranchReportsInfiniteBounds) {
     if (a.load_regime == Regime::kOverloaded) any_overloaded = true;
   }
   EXPECT_TRUE(any_overloaded);
-  EXPECT_FALSE(m.backlog_bound().is_finite());
+  EXPECT_FALSE(m.backlog_bound().value.is_finite());
 }
 
 TEST(DagModel, SplitterFractionsScaleBranchLoad) {

@@ -38,12 +38,12 @@ TEST(PipelineModel, SingleNodeMatchesClosedForms) {
   // beta = rate_latency(100 MiB/s, T = 64 KiB / 100 MiB/s).
   const double T = (64_KiB).in_bytes() /
                    DataRate::mib_per_sec(100).in_bytes_per_sec();
-  EXPECT_NEAR(m.delay_bound().in_seconds(),
+  EXPECT_NEAR(m.delay_bound().value.in_seconds(),
               T + (64_KiB).in_bytes() /
                       DataRate::mib_per_sec(100).in_bytes_per_sec(),
               1e-9);
   // x = b + R_a * T.
-  EXPECT_NEAR(m.backlog_bound().in_bytes(),
+  EXPECT_NEAR(m.backlog_bound().value.in_bytes(),
               (64_KiB).in_bytes() +
                   DataRate::mib_per_sec(50).in_bytes_per_sec() * T,
               1e-6);
@@ -63,7 +63,7 @@ TEST(PipelineModel, ConcatenationPaysBurstsOnlyOnce) {
   for (const NodeAnalysis& a : m.per_node_analysis()) {
     sum_node_delays += a.delay.in_seconds();
   }
-  EXPECT_LT(m.delay_bound().in_seconds(), sum_node_delays);
+  EXPECT_LT(m.delay_bound().value.in_seconds(), sum_node_delays);
 }
 
 TEST(PipelineModel, ConcatenatedRateIsBottleneckRate) {
@@ -144,8 +144,8 @@ TEST(PipelineModel, PacketizerWorsensBounds) {
   without.packetize = false;
   PipelineModel mw(nodes, source(50), with);
   PipelineModel mo(nodes, source(50), without);
-  EXPECT_GT(mw.delay_bound(), mo.delay_bound());
-  EXPECT_GT(mw.backlog_bound(), mo.backlog_bound());
+  EXPECT_GT(mw.delay_bound().value, mo.delay_bound().value);
+  EXPECT_GT(mw.backlog_bound().value, mo.backlog_bound().value);
 }
 
 TEST(PipelineModel, ThroughputBoundsOrdering) {
@@ -170,8 +170,8 @@ TEST(PipelineModel, GuaranteedRateGrowsWithHorizonThenSaturates) {
 TEST(PipelineModel, OverloadedRegimeReportsInfiniteBounds) {
   PipelineModel m({simple_stage("slow", 30, 35, 40)}, source(100));
   EXPECT_EQ(m.load_regime(), Regime::kOverloaded);
-  EXPECT_FALSE(m.delay_bound().is_finite());
-  EXPECT_FALSE(m.backlog_bound().is_finite());
+  EXPECT_FALSE(m.delay_bound().value.is_finite());
+  EXPECT_FALSE(m.backlog_bound().value.is_finite());
   // Finite-horizon throughput bounds remain finite and ordered.
   const ThroughputBounds tb = m.throughput_bounds(Duration::seconds(1));
   EXPECT_TRUE(tb.lower.is_finite());
@@ -182,14 +182,14 @@ TEST(PipelineModel, FiniteJobKeepsBoundsFiniteUnderOverload) {
   SourceSpec s = source(100);
   s.job_volume = 10_MiB;
   PipelineModel m({simple_stage("slow", 30, 35, 40)}, s);
-  EXPECT_TRUE(m.delay_bound().is_finite());
-  EXPECT_TRUE(m.backlog_bound().is_finite());
+  EXPECT_TRUE(m.delay_bound().value.is_finite());
+  EXPECT_TRUE(m.backlog_bound().value.is_finite());
   // Larger jobs take longer and occupy more.
   SourceSpec s2 = s;
   s2.job_volume = 20_MiB;
   PipelineModel m2({simple_stage("slow", 30, 35, 40)}, s2);
-  EXPECT_GT(m2.delay_bound(), m.delay_bound());
-  EXPECT_GT(m2.backlog_bound(), m.backlog_bound());
+  EXPECT_GT(m2.delay_bound().value, m.delay_bound().value);
+  EXPECT_GT(m2.backlog_bound().value, m.backlog_bound().value);
 }
 
 TEST(PipelineModel, MaxServiceBasisAndLatencyPolicy) {
@@ -246,8 +246,8 @@ TEST(PipelineModel, SubrangeModelsContiguousStages) {
   PipelineModel tail = m.subrange(1, 2);
   EXPECT_EQ(tail.nodes().size(), 2u);
   EXPECT_EQ(tail.nodes()[0].name, "b");
-  EXPECT_TRUE(tail.delay_bound().is_finite());
-  EXPECT_GT(tail.delay_bound().in_seconds(), 0.0);
+  EXPECT_TRUE(tail.delay_bound().value.is_finite());
+  EXPECT_GT(tail.delay_bound().value.in_seconds(), 0.0);
   // The subrange is fed by the prefix's output bound, which is burstier
   // than the source, so its bounds need not be smaller than the full
   // pipeline's — but its fixed latency component must be.

@@ -68,8 +68,8 @@ TEST(ShapeSource, TurnsOverloadIntoStability) {
   const ShapedPipeline shaped = shape_source(
       nodes, src, ModelPolicy{}, DataRate::mib_per_sec(35), 64_KiB);
   EXPECT_EQ(shaped.model.load_regime(), Regime::kUnderloaded);
-  EXPECT_TRUE(shaped.model.delay_bound().is_finite());
-  EXPECT_TRUE(shaped.model.backlog_bound().is_finite());
+  EXPECT_TRUE(shaped.model.delay_bound().value.is_finite());
+  EXPECT_TRUE(shaped.model.backlog_bound().value.is_finite());
   // The shaper itself pays: for an unbounded source its own delay/buffer
   // diverge (it must hold back an ever-growing excess)...
   EXPECT_FALSE(shaped.shaper.delay_bound.is_finite());

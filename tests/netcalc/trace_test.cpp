@@ -85,8 +85,8 @@ TEST(Trace, EnvelopeFeedsPipelineModel) {
   src.rate = util::DataRate::kib_per_sec(30);
   const PipelineModel m = PipelineModel::with_arrival(
       nodes, src, ModelPolicy{}, alpha);
-  EXPECT_TRUE(m.delay_bound().is_finite());
-  EXPECT_TRUE(m.backlog_bound().is_finite());
+  EXPECT_TRUE(m.delay_bound().value.is_finite());
+  EXPECT_TRUE(m.backlog_bound().value.is_finite());
 }
 
 

@@ -47,8 +47,8 @@ Bounds analyze_once() {
   source.rate = DataRate::mib_per_sec(60);
   source.burst = DataSize::kib(64);
   const PipelineModel model(std::move(nodes), source);
-  return Bounds{model.delay_bound().in_seconds(),
-                model.backlog_bound().in_bytes(),
+  return Bounds{model.delay_bound().value.in_seconds(),
+                model.backlog_bound().value.in_bytes(),
                 model.total_latency().in_seconds()};
 }
 

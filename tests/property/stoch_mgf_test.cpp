@@ -1,0 +1,227 @@
+// Property suite for the stochastic tier's MGF algebra (DESIGN.md §15):
+// effective-bandwidth laws the Chernoff bounds rely on, checked over
+// seeded random source populations. Every case is replayable from the
+// printed (seed, case) pair; budgets scale with STREAMCALC_FUZZ_CASES
+// like the rest of the property harness.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "stochcalc/bounds.hpp"
+#include "stochcalc/envelope.hpp"
+#include "stochcalc/service.hpp"
+#include "testing/property.hpp"
+#include "util/rng.hpp"
+#include "util/units.hpp"
+
+namespace streamcalc::stochcalc {
+namespace {
+
+using streamcalc::testing::scaled_cases;
+using util::DataRate;
+using util::DataSize;
+using util::Duration;
+using util::Xoshiro256;
+
+/// A random on/off source with sane magnitudes: peak in [0.1, 64] MiB/s,
+/// sojourns in [1, 1000] ms, packets in [1, 256] KiB.
+Arrival random_on_off(Xoshiro256& rng) {
+  const double peak = std::exp(rng.uniform(std::log(0.1), std::log(64.0)));
+  const double on = std::exp(rng.uniform(std::log(1e-3), std::log(1.0)));
+  const double off = std::exp(rng.uniform(std::log(1e-3), std::log(1.0)));
+  const double packet = std::exp(rng.uniform(std::log(1.0), std::log(256.0)));
+  return Arrival::on_off(DataRate::mib_per_sec(peak), Duration::seconds(on),
+                         Duration::seconds(off), DataSize::kib(packet));
+}
+
+/// A random single-component source across all three families.
+Arrival random_component(Xoshiro256& rng) {
+  switch (static_cast<int>(rng.uniform(0.0, 3.0))) {
+    case 0:
+      return Arrival::leaky_bucket(
+          DataRate::mib_per_sec(rng.uniform(0.1, 32.0)),
+          DataSize::kib(rng.uniform(1.0, 512.0)));
+    case 1:
+      return random_on_off(rng);
+    default:
+      return Arrival::poisson_packets(rng.uniform(1.0, 5000.0),
+                                      DataSize::kib(rng.uniform(1.0, 64.0)));
+  }
+}
+
+/// Random positive theta spanning the useful range of the optimizer.
+double random_theta(Xoshiro256& rng) {
+  return std::exp(rng.uniform(std::log(1e-9), std::log(1e-2)));
+}
+
+TEST(StochMgfLaws, RhoIsNondecreasingAndBracketedByMeanAndPeak) {
+  Xoshiro256 rng(0x570c0001);
+  const int n = scaled_cases(300);
+  for (int i = 0; i < n; ++i) {
+    const Arrival a = random_component(rng);
+    const double t1 = random_theta(rng);
+    const double t2 = t1 * rng.uniform(1.0, 100.0);
+    const double r1 = a.rho(t1);
+    const double r2 = a.rho(t2);
+    EXPECT_LE(r1, r2 * (1.0 + 1e-12)) << "case " << i;
+    EXPECT_GE(r1, a.mean_rate().in_bytes_per_sec() * (1.0 - 1e-9))
+        << "case " << i;
+    if (a.peak_rate().is_finite()) {
+      EXPECT_LE(r2, a.peak_rate().in_bytes_per_sec() * (1.0 + 1e-9))
+          << "case " << i;
+    }
+    EXPECT_GE(a.sigma(t1), 0.0) << "case " << i;
+  }
+}
+
+TEST(StochMgfLaws, IndependentSumsAddSigmaAndRho) {
+  Xoshiro256 rng(0x570c0002);
+  const int n = scaled_cases(300);
+  for (int i = 0; i < n; ++i) {
+    const Arrival a = random_component(rng);
+    const Arrival b = random_component(rng);
+    const Arrival sum = a + b;
+    const double theta = random_theta(rng);
+    EXPECT_NEAR(sum.rho(theta), a.rho(theta) + b.rho(theta),
+                1e-9 * (1.0 + a.rho(theta) + b.rho(theta)))
+        << "case " << i;
+    EXPECT_NEAR(sum.sigma(theta), a.sigma(theta) + b.sigma(theta),
+                1e-9 * (1.0 + a.sigma(theta) + b.sigma(theta)))
+        << "case " << i;
+    EXPECT_NEAR(sum.mean_rate().in_bytes_per_sec(),
+                a.mean_rate().in_bytes_per_sec() +
+                    b.mean_rate().in_bytes_per_sec(),
+                1e-6)
+        << "case " << i;
+  }
+}
+
+TEST(StochMgfLaws, AggregationIsRepeatedIndependentSummation) {
+  Xoshiro256 rng(0x570c0003);
+  const int n = scaled_cases(300);
+  for (int i = 0; i < n; ++i) {
+    const Arrival a = random_component(rng);
+    const double users = std::floor(rng.uniform(2.0, 9.0));
+    Arrival summed = a;
+    for (int u = 1; u < static_cast<int>(users); ++u) summed = summed + a;
+    const Arrival scaled = a.aggregate(users);
+    const double theta = random_theta(rng);
+    EXPECT_NEAR(scaled.rho(theta), summed.rho(theta),
+                1e-9 * (1.0 + summed.rho(theta)))
+        << "case " << i << " users " << users;
+    EXPECT_NEAR(scaled.sigma(theta), summed.sigma(theta),
+                1e-9 * (1.0 + summed.sigma(theta)))
+        << "case " << i << " users " << users;
+  }
+}
+
+TEST(StochMgfLaws, ThetaMaxBoundsTheValidDomain) {
+  // Below theta_max the effective bandwidth stays under the service rate
+  // (the Chernoff geometric sum converges); theta_max = 0 exactly when
+  // even the mean rate overloads the server.
+  Xoshiro256 rng(0x570c0004);
+  const int n = scaled_cases(300);
+  for (int i = 0; i < n; ++i) {
+    const Arrival a = random_on_off(rng).aggregate(
+        std::floor(rng.uniform(1.0, 33.0)));
+    const Service s = Service::rate_latency(
+        DataRate::mib_per_sec(rng.uniform(0.5, 64.0)),
+        Duration::millis(rng.uniform(0.0, 20.0)));
+    const double rate = s.rate().in_bytes_per_sec();
+    const double tmax = theta_max(a, s);
+    if (a.mean_rate().in_bytes_per_sec() >= rate) {
+      EXPECT_EQ(tmax, 0.0) << "case " << i;
+      continue;
+    }
+    ASSERT_GT(tmax, 0.0) << "case " << i;
+    const double probe = std::isinf(tmax) ? 1.0 : tmax * 0.9;
+    EXPECT_LT(a.rho(probe), rate) << "case " << i;
+    if (std::isinf(tmax)) {
+      EXPECT_LE(a.peak_rate().in_bytes_per_sec(), rate * (1.0 + 1e-9))
+          << "case " << i;
+    }
+  }
+}
+
+TEST(StochChernoffLaws, DelayBoundsAreEpsilonMonotone) {
+  Xoshiro256 rng(0x570c0005);
+  const int n = scaled_cases(200);
+  for (int i = 0; i < n; ++i) {
+    const Arrival a = random_on_off(rng).aggregate(
+        std::floor(rng.uniform(1.0, 17.0)));
+    // Keep the server above the mean rate so a finite bound exists.
+    const double mean = a.mean_rate().in_bytes_per_sec();
+    const Service s = Service::rate_latency(
+        DataRate::bytes_per_sec(mean * rng.uniform(1.1, 4.0)),
+        Duration::millis(rng.uniform(0.0, 10.0)));
+    const double e1 = std::exp(rng.uniform(std::log(1e-12), std::log(1e-4)));
+    const double e2 = e1 * rng.uniform(10.0, 1e4);
+    ASSERT_LT(e2, 1.0) << "case " << i;
+    const StochasticBound tight = delay_bound(a, s, e1);
+    const StochasticBound loose = delay_bound(a, s, e2);
+    ASSERT_TRUE(tight.finite) << "case " << i;
+    ASSERT_TRUE(loose.finite) << "case " << i;
+    EXPECT_LE(loose.value, tight.value * (1.0 + 1e-12)) << "case " << i;
+    const StochasticBound bt = backlog_bound(a, s, e1);
+    const StochasticBound bl = backlog_bound(a, s, e2);
+    EXPECT_LE(bl.value, bt.value * (1.0 + 1e-12)) << "case " << i;
+  }
+}
+
+TEST(StochChernoffLaws, DeterministicArrivalsRecoverTheSureBound) {
+  // Leaky buckets have no randomness: the unified API must return the
+  // closed-form deterministic bounds (det clamp) at every epsilon.
+  Xoshiro256 rng(0x570c0006);
+  const int n = scaled_cases(200);
+  for (int i = 0; i < n; ++i) {
+    const double r = rng.uniform(0.1, 16.0);
+    const double burst = rng.uniform(1.0, 1024.0);
+    const Arrival a = Arrival::leaky_bucket(DataRate::mib_per_sec(r),
+                                            DataSize::kib(burst));
+    const double rate_mult = rng.uniform(1.05, 8.0);
+    const Service s = Service::rate_latency(
+        DataRate::mib_per_sec(r * rate_mult),
+        Duration::millis(rng.uniform(0.0, 10.0)));
+    const double eps = std::exp(rng.uniform(std::log(1e-12), std::log(0.5)));
+    const StochasticBound d = delay_bound(a, s, eps);
+    ASSERT_TRUE(d.finite) << "case " << i;
+    EXPECT_TRUE(d.det_clamped) << "case " << i;
+    const double expected =
+        s.latency().in_seconds() +
+        DataSize::kib(burst).in_bytes() / s.rate().in_bytes_per_sec();
+    EXPECT_NEAR(d.value, expected, 1e-9 * (1.0 + expected)) << "case " << i;
+  }
+}
+
+TEST(StochChernoffLaws, MultiplexingGainIsMonotoneInTheUserCount) {
+  // N users on the N-scaled server never do worse than 1 user on the base
+  // server, and the per-user Chernoff gain is nondecreasing in N.
+  Xoshiro256 rng(0x570c0007);
+  const int n = scaled_cases(100);
+  for (int i = 0; i < n; ++i) {
+    const Arrival per_user = random_on_off(rng);
+    const double mean = per_user.mean_rate().in_bytes_per_sec();
+    const Service base = Service::rate_latency(
+        DataRate::bytes_per_sec(mean * rng.uniform(1.2, 3.0)),
+        Duration::millis(rng.uniform(0.0, 5.0)));
+    const auto points =
+        aggregation_scaling(per_user, base, 1e-6, {1.0, 4.0, 16.0, 64.0});
+    ASSERT_EQ(points.size(), 4u) << "case " << i;
+    EXPECT_DOUBLE_EQ(points[0].gain, 1.0) << "case " << i;
+    for (std::size_t k = 1; k < points.size(); ++k) {
+      ASSERT_TRUE(points[k].delay.finite)
+          << "case " << i << " n " << points[k].n;
+      EXPECT_GE(points[k].gain, points[k - 1].gain * (1.0 - 1e-12))
+          << "case " << i << " n " << points[k].n;
+      EXPECT_LE(points[k].delay.value,
+                points[0].delay.value * (1.0 + 1e-12))
+          << "case " << i << " n " << points[k].n;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace streamcalc::stochcalc

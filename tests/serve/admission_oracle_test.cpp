@@ -166,9 +166,9 @@ TEST(AdmissionOracle, FreshIncrementalDagMatchesDagModel) {
   netcalc::IncrementalDag incremental(spec.dag(), spec.source, spec.policy);
   netcalc::DagModel reference(spec.dag(), spec.source, spec.policy);
   EXPECT_EQ(incremental.delay_bound().in_seconds(),
-            reference.delay_bound().in_seconds());
+            reference.delay_bound().value.in_seconds());
   EXPECT_EQ(incremental.backlog_bound().in_bytes(),
-            reference.backlog_bound().in_bytes());
+            reference.backlog_bound().value.in_bytes());
   const auto per_node = reference.per_node_analysis();
   ASSERT_EQ(per_node.size(), spec.dag().nodes.size());
   for (std::size_t i = 0; i < spec.dag().nodes.size(); ++i) {

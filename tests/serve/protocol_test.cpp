@@ -83,7 +83,7 @@ TEST(FrameCodec, DetectsOversizedFromTheHeaderAlone) {
   FrameDecoder decoder(/*max_payload=*/1024);
   // Declared length 1 MiB, not a single payload byte delivered: the
   // decoder must reject on the declared length, not after buffering.
-  const char header[4] = {0x00, 0x10, 0x00, 0x00};
+  const char header[5] = {0x01, 0x00, 0x10, 0x00, 0x00};
   decoder.feed(header, sizeof(header));
   std::string out;
   ASSERT_EQ(decoder.next(out), FrameDecoder::Status::kOversized);
@@ -95,10 +95,36 @@ TEST(FrameCodec, DetectsOversizedFromTheHeaderAlone) {
 
 TEST(FrameCodec, HostileLengthPrefixIsOversized) {
   FrameDecoder decoder;
-  decoder.feed("\xff\xff\xff\xff", 4);
+  decoder.feed("\x01\xff\xff\xff\xff", 5);
   std::string out;
   ASSERT_EQ(decoder.next(out), FrameDecoder::Status::kOversized);
   EXPECT_EQ(decoder.oversized_length(), 0xffffffffu);
+}
+
+TEST(FrameCodec, EncodedFramesCarryTheProtocolVersion) {
+  const std::string wire = encode_frame("payload");
+  ASSERT_GE(wire.size(), kFrameHeaderBytes);
+  EXPECT_EQ(static_cast<unsigned char>(wire[0]), kProtocolVersion);
+}
+
+TEST(FrameCodec, RejectsUnknownVersionOnTheFirstByte) {
+  // The original unversioned framing starts with the high length octet —
+  // 0x00 for any sane payload; a future v2 would be 0x02. Both must be
+  // detected before a length is even read, and the decoder must stay dead.
+  for (const unsigned char bad :
+       {static_cast<unsigned char>(0x00), static_cast<unsigned char>(0x02),
+        static_cast<unsigned char>(0xff)}) {
+    FrameDecoder decoder;
+    const char byte = static_cast<char>(bad);
+    decoder.feed(&byte, 1);
+    std::string out;
+    ASSERT_EQ(decoder.next(out), FrameDecoder::Status::kBadVersion)
+        << "version byte " << static_cast<unsigned>(bad);
+    EXPECT_EQ(decoder.bad_version(), bad);
+    decoder.feed(encode_frame("{}"));
+    EXPECT_EQ(decoder.next(out), FrameDecoder::Status::kBadVersion);
+    EXPECT_FALSE(decoder.mid_frame());
+  }
 }
 
 TEST(FrameCodec, TruncatedFrameStaysPending) {
@@ -249,13 +275,86 @@ TEST_F(ServeProtocolTest, NonObjectAndUnknownOpsAreErrors) {
 TEST_F(ServeProtocolTest, OversizedFrameGetsErrorReplyThenClose) {
   Client client = Client::connect_unix(path_);
   // Header declaring 16 MiB — over the 1 MiB ceiling; no payload needed.
-  client.send_bytes(std::string("\x01\x00\x00\x00", 4));
+  client.send_bytes(std::string("\x01\x01\x00\x00\x00", 5));
   const Json reply = json_parse(client.recv_frame()).value;
   EXPECT_FALSE(reply.bool_or("ok", true));
   EXPECT_NE(reply.string_or("error", "").find("ceiling"),
             std::string::npos);
   // ... and the server hangs up: the next read sees EOF.
   EXPECT_THROW(client.recv_frame(), util::PreconditionError);
+}
+
+TEST_F(ServeProtocolTest, WrongProtocolVersionGetsErrorReplyThenClose) {
+  Client client = Client::connect_unix(path_);
+  // A peer speaking the pre-versioning framing: first byte is the high
+  // length octet (0x00), which is not a known version.
+  client.send_bytes(std::string("\x00\x00\x00\x0d{\"op\":\"ping\"}", 17));
+  const Json reply = json_parse(client.recv_frame()).value;
+  EXPECT_FALSE(reply.bool_or("ok", true));
+  EXPECT_NE(reply.string_or("error", "").find("version"),
+            std::string::npos);
+  EXPECT_THROW(client.recv_frame(), util::PreconditionError);
+}
+
+TEST_F(ServeProtocolTest, UnknownRequestFieldsAreTolerated) {
+  // Forward compatibility: a newer client may send fields this server
+  // does not know; they must be ignored, not rejected.
+  Client client = Client::connect_unix(path_);
+  const Json reply =
+      client.request(json_parse("{\"op\":\"ping\",\"future_field\":42,"
+                                "\"nested\":{\"a\":[1,2]}}")
+                         .value);
+  EXPECT_TRUE(reply.bool_or("ok", false));
+  const Json admit = client.request(
+      json_parse("{\"op\":\"admit\",\"tenant\":\"t\",\"scenario\":"
+                 "\"chain\",\"id\":\"f1\",\"rate\":1048576,\"burst\":65536,"
+                 "\"target\":0.5,\"shiny_new_knob\":true}")
+          .value);
+  EXPECT_TRUE(admit.bool_or("ok", false));
+  EXPECT_TRUE(admit.bool_or("admitted", false));
+  // Deterministic admits carry no epsilon fields — the pre-epsilon reply
+  // shape, byte for byte.
+  EXPECT_EQ(admit.find("epsilon"), nullptr);
+  EXPECT_EQ(admit.find("bound_kind"), nullptr);
+}
+
+TEST_F(ServeProtocolTest, EpsilonAdmitRoundTripsThroughTheWire) {
+  Client client = Client::connect_unix(path_);
+  const Json reply = client.request(
+      json_parse("{\"op\":\"admit\",\"tenant\":\"s\",\"scenario\":"
+                 "\"chain\",\"id\":\"f1\",\"rate\":1048576,\"burst\":65536,"
+                 "\"target\":0.5,\"epsilon\":1e-6}")
+          .value);
+  ASSERT_TRUE(reply.bool_or("ok", false));
+  EXPECT_TRUE(reply.bool_or("admitted", false));
+  EXPECT_DOUBLE_EQ(reply.number_or("epsilon", 0.0), 1e-6);
+  EXPECT_EQ(reply.string_or("bound_kind", ""), "violation_prob");
+  // The stochastic bound is never worse than the deterministic one for
+  // the same flow set.
+  Client det = Client::connect_unix(path_);
+  const Json dreply = det.request(
+      json_parse("{\"op\":\"admit\",\"tenant\":\"d\",\"scenario\":"
+                 "\"chain\",\"id\":\"f1\",\"rate\":1048576,\"burst\":65536,"
+                 "\"target\":0.5}")
+          .value);
+  ASSERT_TRUE(dreply.bool_or("ok", false));
+  EXPECT_LE(reply.number_or("delay_bound", 1e99),
+            dreply.number_or("delay_bound", 0.0));
+
+  // Epsilon is per tenant: a different epsilon on the same tenant errors.
+  const Json mixed = client.request(
+      json_parse("{\"op\":\"admit\",\"tenant\":\"s\",\"id\":\"f2\","
+                 "\"rate\":1048576,\"burst\":65536,\"target\":0.5,"
+                 "\"epsilon\":1e-3}")
+          .value);
+  EXPECT_FALSE(mixed.bool_or("ok", true));
+  // Out-of-range epsilon is a request error.
+  const Json bad = client.request(
+      json_parse("{\"op\":\"admit\",\"tenant\":\"s\",\"id\":\"f3\","
+                 "\"rate\":1048576,\"burst\":65536,\"target\":0.5,"
+                 "\"epsilon\":1.5}")
+          .value);
+  EXPECT_FALSE(bad.bool_or("ok", true));
 }
 
 TEST_F(ServeProtocolTest, TruncatedFrameDoesNotHarmTheServer) {

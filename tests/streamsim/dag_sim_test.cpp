@@ -98,9 +98,9 @@ TEST(DagSim, WithinDagModelBounds) {
   cfg.warmup = Duration::seconds(0);
   const auto r = simulate_dag(d, src, cfg);
   EXPECT_LE(r.max_delay.in_seconds(),
-            model.delay_bound().in_seconds() + 1e-9);
+            model.delay_bound().value.in_seconds() + 1e-9);
   EXPECT_LE(r.max_backlog.in_bytes(),
-            model.backlog_bound().in_bytes() + 1.0);
+            model.backlog_bound().value.in_bytes() + 1.0);
 }
 
 TEST(DagSim, DeterministicForFixedSeed) {

@@ -5,6 +5,8 @@
 //   streamcalc -                         # read the spec from stdin
 //   streamcalc lint a.scspec b...        # static analysis only (nclint)
 //   streamcalc certify a.scspec b...     # proof-carrying certification
+//   streamcalc stoch pipeline.scspec     # Chernoff/MGF stochastic bounds
+//   streamcalc analyze --epsilon 1e-6 p  # sure + stochastic bounds
 //   streamcalc serve --socket /run/sc.sock specs/*.scspec
 //                                        # admission-control daemon
 //
@@ -105,6 +107,8 @@ int main(int argc, char** argv) {
     code = streamcalc::cli::run_certify(opts.paths, opts);
   } else if (opts.command == "serve") {
     code = streamcalc::serve::run_serve(opts);
+  } else if (opts.command == "stoch") {
+    code = streamcalc::cli::run_stoch(opts);
   } else {
     code = streamcalc::cli::run_analyze(opts);
   }
